@@ -1,0 +1,55 @@
+// Table 2 + Figure 4: the Dromaeo sub-suites.
+//
+// Expected shape (paper): dom and jslib carry significant mpk overhead
+// (30.74% / 22.65%) because they cross the compartment boundary at very high
+// rates; v8, dromaeo-js and sunspider are on par with baseline. The
+// Transitions column must show dom/jslib orders of magnitude above the rest.
+#include <cstdio>
+
+#include "src/workloads/harness.h"
+
+int main() {
+  using namespace pkrusafe;  // NOLINT: bench brevity
+
+  HarnessOptions options;
+  options.repetitions = 7;
+  WorkloadHarness harness(options);
+
+  std::printf("# Table 2 / Figure 4: Dromaeo sub-suite overhead and statistics\n\n");
+
+  struct Row {
+    std::string name;
+    double alloc;
+    double mpk;
+    uint64_t transitions;
+    double mu;
+  };
+  std::vector<Row> rows;
+
+  for (const SuiteSpec& suite : DromaeoSubSuites()) {
+    auto result = harness.RunSuite(suite);
+    if (!result.ok()) {
+      std::fprintf(stderr, "suite %s failed: %s\n", suite.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", FormatSuiteTable(*result).c_str());
+    rows.push_back(Row{suite.name, result->mean_alloc_overhead(), result->mean_mpk_overhead(),
+                       result->total_transitions(), result->mean_untrusted_fraction()});
+  }
+
+  std::printf("\n# Table 2 summary (cf. paper: dom 7.85%%/30.74%%, v8 -2.31%%/0.53%%,\n");
+  std::printf("# dromaeo 15.87%%/4.64%%, sunspider -1.34%%/-0.81%%, jslib 9.39%%/22.65%%)\n");
+  std::printf("%-12s %9s %9s %14s %8s\n", "suite", "alloc", "mpk", "Transitions", "%MU");
+  double alloc_sum = 0;
+  double mpk_sum = 0;
+  for (const Row& row : rows) {
+    std::printf("%-12s %8.2f%% %8.2f%% %14llu %7.2f%%\n", row.name.c_str(), row.alloc * 100,
+                row.mpk * 100, static_cast<unsigned long long>(row.transitions), row.mu * 100);
+    alloc_sum += row.alloc;
+    mpk_sum += row.mpk;
+  }
+  std::printf("%-12s %8.2f%% %8.2f%%\n", "mean", alloc_sum / rows.size() * 100,
+              mpk_sum / rows.size() * 100);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Gate ablation: cost decomposition of the call gate itself.
+//
+// The paper's gates (a) save/restore PKRU through a per-thread compartment
+// stack and (b) verify the written value (§3.3). This bench isolates both
+// knobs, plus the cost of nesting depth, using google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "src/mpk/sim_backend.h"
+#include "src/pkalloc/pkalloc.h"
+#include "src/runtime/call_gate.h"
+
+namespace pkrusafe {
+namespace {
+
+struct GateEnv {
+  GateEnv() {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    allocator = *PkAllocator::Create(&backend);
+    gates = std::make_unique<GateSet>(&backend, allocator->trusted_key());
+  }
+
+  SimMpkBackend backend;
+  std::unique_ptr<PkAllocator> allocator;
+  std::unique_ptr<GateSet> gates;
+};
+
+GateEnv& Env() {
+  static auto* env = new GateEnv();
+  return *env;
+}
+
+void BM_Gate_Verified(benchmark::State& state) {
+  GateEnv& env = Env();
+  env.gates->set_verify(true);
+  for (auto _ : state) {
+    env.gates->EnterUntrusted();
+    env.gates->ExitUntrusted();
+  }
+}
+BENCHMARK(BM_Gate_Verified);
+
+void BM_Gate_Unverified(benchmark::State& state) {
+  GateEnv& env = Env();
+  env.gates->set_verify(false);
+  for (auto _ : state) {
+    env.gates->EnterUntrusted();
+    env.gates->ExitUntrusted();
+  }
+  env.gates->set_verify(true);
+}
+BENCHMARK(BM_Gate_Unverified);
+
+void BM_Gate_Disabled(benchmark::State& state) {
+  // The baseline configuration: gate calls compile in but do nothing.
+  GateEnv& env = Env();
+  env.gates->set_enabled(false);
+  for (auto _ : state) {
+    env.gates->EnterUntrusted();
+    env.gates->ExitUntrusted();
+  }
+  env.gates->set_enabled(true);
+}
+BENCHMARK(BM_Gate_Disabled);
+
+void BM_Gate_NestedDepth(benchmark::State& state) {
+  GateEnv& env = Env();
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < depth; ++i) {
+      if (i % 2 == 0) {
+        env.gates->EnterUntrusted();
+      } else {
+        env.gates->EnterTrusted();
+      }
+    }
+    for (int i = depth; i-- > 0;) {
+      if (i % 2 == 0) {
+        env.gates->ExitUntrusted();
+      } else {
+        env.gates->ExitTrusted();
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * depth * 2);
+}
+BENCHMARK(BM_Gate_NestedDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PkruWriteOnly(benchmark::State& state) {
+  // Floor: the raw register write pair without stack bookkeeping.
+  GateEnv& env = Env();
+  const PkruValue allow = PkruValue::AllowAll();
+  const PkruValue deny = allow.WithAccessDisabled(env.allocator->trusted_key());
+  for (auto _ : state) {
+    env.backend.WritePkru(deny);
+    env.backend.WritePkru(allow);
+  }
+}
+BENCHMARK(BM_PkruWriteOnly);
+
+}  // namespace
+}  // namespace pkrusafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Figure 5: Kraken per-benchmark normalized runtime.
+//
+// Expected shape (paper): compute-bound kernels with almost no boundary
+// traffic — every bar sits at ~1.0 for both alloc and mpk (mean -0.41%).
+#include <cstdio>
+
+#include "src/workloads/harness.h"
+
+int main() {
+  using namespace pkrusafe;  // NOLINT: bench brevity
+
+  HarnessOptions options;
+  options.repetitions = 7;
+  WorkloadHarness harness(options);
+
+  std::printf("# Figure 5: Kraken normalized runtime (alloc / mpk vs base)\n\n");
+  auto result = harness.RunSuite(KrakenSuite());
+  if (!result.ok()) {
+    std::fprintf(stderr, "kraken failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-36s %8s %8s\n", "benchmark", "alloc", "mpk");
+  for (const WorkloadResult& w : result->workloads) {
+    std::printf("%-36s %8.3f %8.3f\n", w.name.c_str(), w.alloc_ns / w.base_ns,
+                w.mpk_ns / w.base_ns);
+  }
+  std::printf("\nmean overhead: alloc %.2f%%, mpk %.2f%% (paper: -0.11%% / -0.41%%)\n",
+              result->mean_alloc_overhead() * 100, result->mean_mpk_overhead() * 100);
+  std::printf("total transitions: %llu (low by design — compute-bound suite)\n",
+              static_cast<unsigned long long>(result->total_transitions()));
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 6: Octane per-benchmark normalized runtime.
+//
+// Expected shape (paper): on par with baseline; mean mpk overhead under 4%.
+#include <cstdio>
+
+#include "src/workloads/harness.h"
+
+int main() {
+  using namespace pkrusafe;  // NOLINT: bench brevity
+
+  HarnessOptions options;
+  options.repetitions = 7;
+  WorkloadHarness harness(options);
+
+  std::printf("# Figure 6: Octane normalized runtime (alloc / mpk vs base)\n\n");
+  auto result = harness.RunSuite(OctaneSuite());
+  if (!result.ok()) {
+    std::fprintf(stderr, "octane failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-24s %8s %8s\n", "benchmark", "alloc", "mpk");
+  for (const WorkloadResult& w : result->workloads) {
+    std::printf("%-24s %8.3f %8.3f\n", w.name.c_str(), w.alloc_ns / w.base_ns,
+                w.mpk_ns / w.base_ns);
+  }
+  std::printf("\nmean overhead: alloc %.2f%%, mpk %.2f%% (paper: -2.25%% / 3.28%%)\n",
+              result->mean_alloc_overhead() * 100, result->mean_mpk_overhead() * 100);
+  return 0;
+}

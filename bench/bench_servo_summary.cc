@@ -1,0 +1,90 @@
+// Table 1: mean benchmark overhead and statistics across all four suites.
+//
+// Expected shape (paper):
+//   Dromaeo     5.89% / 11.55%   1.8e9 transitions    4.13% M_U
+//   JetStream2 -1.48% /  0.61%   7.0e6 transitions   42.41% M_U
+//   Kraken     -0.11% / -0.41%   5.8e6 transitions   48.59% M_U
+//   Octane     -2.25% /  3.28%   4.3e5 transitions   16.57% M_U
+// Only Dromaeo (transition-heavy dom/jslib sub-suites) shows real overhead;
+// absolute transition counts scale with our smaller workloads, but the
+// Dromaeo >> others ordering must hold.
+#include <cstdio>
+
+#include "src/workloads/harness.h"
+
+int main() {
+  using namespace pkrusafe;  // NOLINT: bench brevity
+
+  HarnessOptions options;
+  options.repetitions = 5;
+  WorkloadHarness harness(options);
+
+  struct Row {
+    std::string name;
+    double alloc;
+    double mpk;
+    uint64_t transitions;
+    double mu;
+  };
+  std::vector<Row> rows;
+
+  // Dromaeo: aggregate its five sub-suites.
+  {
+    double alloc_sum = 0;
+    double mpk_sum = 0;
+    uint64_t transitions = 0;
+    double mu_sum = 0;
+    const auto subs = DromaeoSubSuites();
+    for (const SuiteSpec& suite : subs) {
+      auto result = harness.RunSuite(suite);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", suite.name.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      alloc_sum += result->mean_alloc_overhead();
+      mpk_sum += result->mean_mpk_overhead();
+      transitions += result->total_transitions();
+      mu_sum += result->mean_untrusted_fraction();
+    }
+    const double n = static_cast<double>(subs.size());
+    rows.push_back(Row{"Dromaeo", alloc_sum / n, mpk_sum / n, transitions, mu_sum / n});
+  }
+
+  for (const SuiteSpec& suite : {JetStream2Suite(), KrakenSuite(), OctaneSuite()}) {
+    auto result = harness.RunSuite(suite);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", suite.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    Row row;
+    row.name = suite.name == "jetstream2" ? "JetStream2"
+               : suite.name == "kraken"   ? "Kraken"
+                                          : "Octane";
+    row.alloc = result->mean_alloc_overhead();
+    row.mpk = result->mean_mpk_overhead();
+    row.transitions = result->total_transitions();
+    row.mu = result->mean_untrusted_fraction();
+    rows.push_back(row);
+  }
+
+  std::printf("# Table 1: mean benchmark overhead and statistics\n\n");
+  std::printf("%-12s %9s %9s %14s %8s\n", "", "alloc", "mpk", "Transitions", "%MU");
+  for (const Row& row : rows) {
+    std::printf("%-12s %8.2f%% %8.2f%% %14llu %7.2f%%\n", row.name.c_str(), row.alloc * 100,
+                row.mpk * 100, static_cast<unsigned long long>(row.transitions), row.mu * 100);
+  }
+
+  // Shape checks the paper's Table 1 implies.
+  const bool dromaeo_heaviest =
+      rows[0].transitions > rows[1].transitions && rows[0].transitions > rows[2].transitions &&
+      rows[0].transitions > rows[3].transitions;
+  const bool dromaeo_highest_overhead =
+      rows[0].mpk > rows[1].mpk && rows[0].mpk > rows[2].mpk && rows[0].mpk > rows[3].mpk;
+  std::printf("\nshape: Dromaeo has the most transitions: %s\n",
+              dromaeo_heaviest ? "yes" : "NO (mismatch)");
+  std::printf("shape: Dromaeo has the highest mpk overhead: %s\n",
+              dromaeo_highest_overhead ? "yes" : "NO (mismatch)");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Multi-compartment sandbox (§6 "Number of Compartments"): a browser with
+// TWO untrusted libraries — a codec and a script engine — each locked into
+// its own pool. A compromise of one cannot reach the other's heap, nor the
+// browser's.
+#include <cstdio>
+
+#include "src/mpk/sim_backend.h"
+#include "src/multidomain/multi_compartment.h"
+
+int main() {
+  using namespace pkrusafe;  // NOLINT: example brevity
+
+  std::printf("== Multi-compartment sandbox ==\n\n");
+
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  SimMpkBackend backend;
+  auto mc = MultiCompartment::Create(&backend);
+  if (!mc.ok()) {
+    std::fprintf(stderr, "%s\n", mc.status().ToString().c_str());
+    return 1;
+  }
+  const LibraryId codec = *(*mc)->RegisterLibrary("codec");
+  const LibraryId jsengine = *(*mc)->RegisterLibrary("jsengine");
+  std::printf("registered libraries: %s (pkey %u), %s (pkey %u); trusted pkey %u\n\n",
+              (*mc)->library_name(codec).c_str(), (*mc)->key_of(codec),
+              (*mc)->library_name(jsengine).c_str(), (*mc)->key_of(jsengine),
+              (*mc)->trusted_key());
+
+  auto* secret = static_cast<int64_t*>((*mc)->AllocateTrusted(sizeof(int64_t)));
+  auto* frame = static_cast<int64_t*>((*mc)->AllocateIn(codec, sizeof(int64_t)));
+  auto* script_obj = static_cast<int64_t*>((*mc)->AllocateIn(jsengine, sizeof(int64_t)));
+  auto* mailbox = static_cast<int64_t*>((*mc)->AllocateShared(sizeof(int64_t)));
+  *secret = 42;
+  *frame = 1;
+  *script_obj = 2;
+  *mailbox = 0;
+
+  auto probe = [&](const char* who, const void* what, const char* label) {
+    const Status status =
+        backend.CheckAccess(reinterpret_cast<uintptr_t>(what), AccessKind::kRead);
+    std::printf("  %-10s -> %-14s : %s\n", who, label, status.ok() ? "ok" : "DENIED");
+  };
+
+  std::printf("access matrix (rows = executing compartment):\n");
+  {
+    MultiCompartment::Scope scope(**mc, codec);
+    probe("codec", secret, "browser secret");
+    probe("codec", frame, "codec frame");
+    probe("codec", script_obj, "js object");
+    probe("codec", mailbox, "shared mailbox");
+  }
+  {
+    MultiCompartment::Scope scope(**mc, jsengine);
+    probe("jsengine", secret, "browser secret");
+    probe("jsengine", frame, "codec frame");
+    probe("jsengine", script_obj, "js object");
+    probe("jsengine", mailbox, "shared mailbox");
+  }
+  probe("trusted", secret, "browser secret");
+  probe("trusted", frame, "codec frame");
+  probe("trusted", script_obj, "js object");
+
+  // Legitimate cross-library communication goes through the shared pool.
+  std::printf("\ncross-library message through the shared pool:\n");
+  {
+    MultiCompartment::Scope scope(**mc, codec);
+    *mailbox = 7700;  // codec posts a decoded-frame notification
+  }
+  {
+    MultiCompartment::Scope scope(**mc, jsengine);
+    std::printf("  jsengine reads mailbox: %lld\n", static_cast<long long>(*mailbox));
+  }
+  std::printf("\ntransitions: %llu; browser secret still %lld\n",
+              static_cast<unsigned long long>((*mc)->transition_count()),
+              static_cast<long long>(*secret));
+
+  (*mc)->Free(secret);
+  (*mc)->Free(frame);
+  (*mc)->Free(script_obj);
+  (*mc)->Free(mailbox);
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "src/core/pkru_safe.h"
+
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+#include "src/passes/profile_apply_pass.h"
+
+namespace pkrusafe {
+
+Result<std::unique_ptr<System>> System::Create(std::string_view ir_source, SystemConfig config,
+                                               ExternRegistry externs) {
+  auto system = std::unique_ptr<System>(new System());
+
+  PS_ASSIGN_OR_RETURN(system->module_, ParseModule(ir_source));
+
+  // Instrumented build: site naming, boundary gating, and (for enforcement
+  // builds) profile application.
+  auto alloc_ids = std::make_unique<AllocIdPass>();
+  auto gates = std::make_unique<GateInsertionPass>();
+  auto* alloc_ids_ptr = alloc_ids.get();
+  auto* gates_ptr = gates.get();
+  ProfileApplyPass* apply_ptr = nullptr;
+
+  PassManager pm;
+  pm.Add(std::move(alloc_ids));
+  pm.Add(std::move(gates));
+  if (config.mode == RuntimeMode::kEnforcing && !config.profile.empty()) {
+    auto apply = std::make_unique<ProfileApplyPass>(config.profile);
+    apply_ptr = apply.get();
+    pm.Add(std::move(apply));
+  }
+  PS_RETURN_IF_ERROR(pm.Run(system->module_));
+  system->total_sites_ = alloc_ids_ptr->sites_assigned();
+  system->gates_inserted_ = gates_ptr->gates_inserted();
+  system->sites_rewritten_ = apply_ptr != nullptr ? apply_ptr->sites_rewritten() : 0;
+
+  RuntimeConfig rc;
+  rc.backend = config.backend;
+  rc.mode = config.mode;
+  rc.verify_gates = config.verify_gates;
+  rc.allocator.trusted_pool_bytes = config.trusted_pool_bytes;
+  rc.allocator.untrusted_pool_bytes = config.untrusted_pool_bytes;
+  // Defence in depth: even if an alloc instruction escaped rewriting, the
+  // runtime's site policy redirects it.
+  rc.policy = SitePolicy::FromProfile(config.profile);
+  PS_ASSIGN_OR_RETURN(system->runtime_, PkruSafeRuntime::Create(std::move(rc)));
+
+  system->interpreter_ =
+      std::make_unique<Interpreter>(&system->module_, system->runtime_.get(), std::move(externs));
+  return system;
+}
+
+Result<int64_t> System::Call(const std::string& function, const std::vector<int64_t>& args) {
+  return interpreter_->Call(function, args);
+}
+
+std::string System::DumpIr() const { return PrintModule(module_); }
+
+}  // namespace pkrusafe

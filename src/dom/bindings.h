@@ -1,0 +1,62 @@
+// The VM <-> DOM bindings: our rust-mozjs stand-in (paper §5.3).
+//
+// Host functions come in two flavours:
+//   * Trusted entry points — DOM mutations and queries. Each passes through
+//     a trusted entry gate (the instrumented "externally visible APIs from
+//     T", §3.3) and so re-enables access to M_T for its duration.
+//   * Untrusted glue — fast-path reads the engine performs *itself* against
+//     cached pointers into document data (dom_char_at / dom_text_sum). These
+//     run in U and access the trusted text buffers directly through checked
+//     loads. This is exactly the cross-compartment data flow the profiling
+//     pipeline must discover: under enforcement, text buffers must have been
+//     moved to M_U or these reads fault.
+#ifndef SRC_DOM_BINDINGS_H_
+#define SRC_DOM_BINDINGS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dom/document.h"
+#include "src/jsvm/vm.h"
+
+namespace pkrusafe {
+
+class DomBindings {
+ public:
+  // Registers every dom_* host function on `vm`. Both pointees must outlive
+  // the bindings (and the VM). Call before Vm::Load.
+  DomBindings(Document* document, Vm* vm);
+
+  // The names Register installs, in registration order (for tooling that
+  // needs to compile DOM scripts without a live document).
+  static std::vector<std::string> HostNames();
+
+  // Number of T<->U transitions is tracked by the runtime's gate set; the
+  // bindings additionally count their own invocations for the workload
+  // statistics.
+  uint64_t trusted_calls() const { return trusted_calls_; }
+  uint64_t untrusted_reads() const { return untrusted_reads_; }
+
+ private:
+  void Register(Vm* vm);
+
+  // Cached view the engine keeps of document text (pointer + length), filled
+  // on first access from the trusted side — like the JS engine holding
+  // references into browser data structures.
+  struct TextRef {
+    const char* data;
+    size_t length;
+  };
+  Result<TextRef> RefFor(uint32_t handle);
+
+  Document* document_;
+  PkruSafeRuntime* runtime_;
+  std::unordered_map<uint32_t, TextRef> text_cache_;
+  uint64_t trusted_calls_ = 0;
+  uint64_t untrusted_reads_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_DOM_BINDINGS_H_

@@ -1,0 +1,75 @@
+// The trusted document: tree construction, queries, a tiny HTML parser, a
+// block layout pass and an HTML serializer — the browser-side workload
+// generator for the evaluation.
+#ifndef SRC_DOM_DOCUMENT_H_
+#define SRC_DOM_DOCUMENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dom/node.h"
+#include "src/runtime/runtime.h"
+
+namespace pkrusafe {
+
+class Document {
+ public:
+  // The runtime must outlive the document. All node data is allocated via
+  // the runtime's site-annotated trusted allocation API.
+  explicit Document(PkruSafeRuntime* runtime);
+  ~Document();
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  // Node construction. Returns nullptr on pool exhaustion.
+  DomNode* CreateElement(std::string_view tag);
+  DomNode* CreateTextNode(std::string_view text);
+
+  void AppendChild(DomNode* parent, DomNode* child);
+  // Detaches `node` (and its subtree) from its parent and frees it.
+  void RemoveNode(DomNode* node);
+
+  // Replaces a text node's payload (reallocating its trusted buffer).
+  bool SetText(DomNode* node, std::string_view text);
+
+  void SetIdAttribute(DomNode* node, std::string_view id);
+  DomNode* GetElementById(std::string_view id) const;
+  DomNode* NodeByHandle(uint32_t node_id) const;
+  uint32_t HandleOf(const DomNode* node) const { return node->node_id; }
+
+  // Parses a subset of HTML (`<tag id="x">text<child/>...</tag>`) and
+  // appends the produced forest under `parent`. Returns the number of nodes
+  // created, or an error for malformed markup.
+  Result<size_t> ParseHtml(DomNode* parent, std::string_view html);
+
+  // Serializes the subtree rooted at `node` back to HTML.
+  std::string Serialize(const DomNode* node) const;
+
+  // Recomputes layout: block stacking, `viewport_width` wide, text flows at
+  // 8px per character, 16px line height. Returns total document height.
+  int32_t Layout(int32_t viewport_width);
+
+  DomNode* root() { return root_; }
+  size_t node_count() const { return nodes_alive_; }
+
+  // Aggregate text length across the subtree (a read-heavy trusted op).
+  size_t TextLength(const DomNode* node) const;
+
+ private:
+  DomNode* AllocateNode();
+  void FreeSubtree(DomNode* node);
+  int32_t LayoutNode(DomNode* node, int32_t x, int32_t y, int32_t width);
+
+  PkruSafeRuntime* runtime_;
+  DomNode* root_ = nullptr;
+  uint32_t next_node_id_ = 1;
+  size_t nodes_alive_ = 0;
+  std::unordered_map<uint32_t, DomNode*> by_handle_;
+  std::unordered_map<std::string, DomNode*> by_id_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_DOM_DOCUMENT_H_

@@ -1,0 +1,72 @@
+// DOM nodes: the trusted browser engine's core data structure (the Servo
+// stand-in).
+//
+// Nodes and their text buffers are plain, pointer-linked records placed in
+// the runtime's pools via site-annotated allocations, so the whole document
+// tree is provenance-tracked heap data: node records come from one allocation
+// site, text buffers from another. The text-buffer site is the one the
+// untrusted engine ends up reading through the bindings — the data flow the
+// profiling pipeline must discover.
+#ifndef SRC_DOM_NODE_H_
+#define SRC_DOM_NODE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "src/runtime/alloc_id.h"
+
+namespace pkrusafe {
+
+// Allocation sites of the trusted browser engine. Function id 9000 is the
+// "dom library"; distinct site ids let the profile separate what U touches.
+inline constexpr AllocId kDomNodeSite{9000, 0, 0};
+inline constexpr AllocId kDomTextSite{9000, 0, 1};
+inline constexpr AllocId kDomScratchSite{9000, 0, 2};
+
+enum class DomNodeKind : uint8_t { kElement, kText };
+
+struct DomNode {
+  static constexpr size_t kMaxTagLen = 15;
+  static constexpr size_t kMaxIdLen = 31;
+
+  uint32_t node_id = 0;
+  DomNodeKind kind = DomNodeKind::kElement;
+  char tag[kMaxTagLen + 1] = {};
+  char id_attr[kMaxIdLen + 1] = {};
+
+  DomNode* parent = nullptr;
+  DomNode* first_child = nullptr;
+  DomNode* last_child = nullptr;
+  DomNode* next_sibling = nullptr;
+
+  // Text payload (kText nodes); a separate trusted allocation.
+  char* text = nullptr;
+  size_t text_len = 0;
+
+  // Computed layout (filled by LayoutDocument).
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t width = 0;
+  int32_t height = 0;
+
+  std::string_view tag_view() const { return tag; }
+  std::string_view id_view() const { return id_attr; }
+  std::string_view text_view() const { return {text, text_len}; }
+
+  void set_tag(std::string_view value) {
+    const size_t n = std::min(value.size(), kMaxTagLen);
+    std::memcpy(tag, value.data(), n);
+    tag[n] = '\0';
+  }
+  void set_id_attr(std::string_view value) {
+    const size_t n = std::min(value.size(), kMaxIdLen);
+    std::memcpy(id_attr, value.data(), n);
+    id_attr[n] = '\0';
+  }
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_DOM_NODE_H_

@@ -1,0 +1,274 @@
+#include "src/interp/interpreter.h"
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+namespace {
+
+Result<int64_t> EvalBinary(Opcode opcode, int64_t a, int64_t b) {
+  switch (opcode) {
+    case Opcode::kAdd:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+    case Opcode::kSub:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+    case Opcode::kMul:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+    case Opcode::kDiv:
+      if (b == 0) {
+        return InvalidArgumentError("division by zero");
+      }
+      return a / b;
+    case Opcode::kMod:
+      if (b == 0) {
+        return InvalidArgumentError("modulo by zero");
+      }
+      return a % b;
+    case Opcode::kAnd:
+      return a & b;
+    case Opcode::kOr:
+      return a | b;
+    case Opcode::kXor:
+      return a ^ b;
+    case Opcode::kShl:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) << (b & 63));
+    case Opcode::kShr:
+      return static_cast<int64_t>(static_cast<uint64_t>(a) >> (b & 63));
+    case Opcode::kCmpEq:
+      return a == b ? 1 : 0;
+    case Opcode::kCmpNe:
+      return a != b ? 1 : 0;
+    case Opcode::kCmpLt:
+      return a < b ? 1 : 0;
+    case Opcode::kCmpLe:
+      return a <= b ? 1 : 0;
+    case Opcode::kCmpGt:
+      return a > b ? 1 : 0;
+    case Opcode::kCmpGe:
+      return a >= b ? 1 : 0;
+    default:
+      return InternalError("not a binary op");
+  }
+}
+
+uint32_t MaxRegister(const IrFunction& fn) {
+  uint32_t max_reg = fn.num_params == 0 ? 0 : fn.num_params - 1;
+  for (const BasicBlock& block : fn.blocks) {
+    for (const Instruction& instr : block.instructions) {
+      if (instr.dest.has_value()) {
+        max_reg = std::max(max_reg, *instr.dest);
+      }
+      for (const Operand& op : instr.operands) {
+        if (op.is_reg()) {
+          max_reg = std::max(max_reg, op.reg());
+        }
+      }
+    }
+  }
+  return max_reg;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const IrModule* module, PkruSafeRuntime* runtime,
+                         ExternRegistry externs, InterpreterConfig config)
+    : module_(module), runtime_(runtime), externs_(std::move(externs)), config_(config) {}
+
+Result<int64_t> Interpreter::Call(const std::string& function,
+                                  const std::vector<int64_t>& args) {
+  const IrFunction* fn = module_->FindFunction(function);
+  if (fn == nullptr) {
+    return NotFoundError("no such function @" + function);
+  }
+  if (args.size() != fn->num_params) {
+    return InvalidArgumentError(StrFormat("@%s expects %u args, got %zu", function.c_str(),
+                                          fn->num_params, args.size()));
+  }
+  return Execute(*fn, args);
+}
+
+Result<int64_t> Interpreter::CallbackFromUntrusted(const std::string& function,
+                                                   const std::vector<int64_t>& args) {
+  TrustedScope scope(runtime_->gates());
+  return Call(function, args);
+}
+
+Result<int64_t> Interpreter::LoadChecked(int64_t addr) {
+  PS_RETURN_IF_ERROR(
+      runtime_->backend().CheckAccess(static_cast<uintptr_t>(addr), AccessKind::kRead));
+  return *reinterpret_cast<const int64_t*>(static_cast<uintptr_t>(addr));
+}
+
+Status Interpreter::StoreChecked(int64_t addr, int64_t value) {
+  PS_RETURN_IF_ERROR(
+      runtime_->backend().CheckAccess(static_cast<uintptr_t>(addr), AccessKind::kWrite));
+  *reinterpret_cast<int64_t*>(static_cast<uintptr_t>(addr)) = value;
+  return Status::Ok();
+}
+
+Result<int64_t> Interpreter::Invoke(const Instruction& instr, const std::vector<int64_t>& args) {
+  // IR-to-IR calls stay inside T: no gate.
+  if (const IrFunction* callee = module_->FindFunction(instr.callee)) {
+    return Execute(*callee, args);
+  }
+  const NativeFn* native = externs_.Find(instr.callee);
+  if (native == nullptr) {
+    return NotFoundError("extern @" + instr.callee + " has no native implementation");
+  }
+  if (instr.gated) {
+    // The transparent wrapper of §3.3: drop M_T rights, call, restore.
+    UntrustedScope scope(runtime_->gates());
+    return (*native)(*this, args);
+  }
+  return (*native)(*this, args);
+}
+
+Result<int64_t> Interpreter::Execute(const IrFunction& fn, const std::vector<int64_t>& args) {
+  std::vector<int64_t> regs(MaxRegister(fn) + 1, 0);
+  for (size_t i = 0; i < args.size(); ++i) {
+    regs[i] = args[i];
+  }
+
+  auto value_of = [&regs](const Operand& op) -> int64_t {
+    return op.is_reg() ? regs[op.reg()] : op.value;
+  };
+
+  // Function-scoped allocations (kStackAlloc*): owned by this activation and
+  // released on every exit path, error unwinding included — the §6
+  // stack-protection extension.
+  struct FrameAllocGuard {
+    PkruSafeRuntime* runtime;
+    std::vector<void*> allocs;
+    ~FrameAllocGuard() {
+      for (void* ptr : allocs) {
+        runtime->Free(ptr);
+      }
+    }
+  } frame_allocs{runtime_, {}};
+
+  const BasicBlock* block = &fn.blocks.front();
+  size_t pc = 0;
+  while (true) {
+    if (pc >= block->instructions.size()) {
+      return InternalError("fell off the end of block " + block->label);
+    }
+    if (++executed_ > config_.max_instructions) {
+      return ResourceExhaustedError("instruction budget exceeded");
+    }
+    const Instruction& instr = block->instructions[pc];
+
+    switch (instr.opcode) {
+      case Opcode::kConst:
+        regs[*instr.dest] = value_of(instr.operands[0]);
+        ++pc;
+        break;
+      case Opcode::kAlloc: {
+        if (!instr.alloc_id.has_value()) {
+          return FailedPreconditionError("alloc without site id (run alloc-id pass first)");
+        }
+        const auto size = static_cast<size_t>(value_of(instr.operands[0]));
+        void* ptr = runtime_->AllocTrusted(*instr.alloc_id, size);
+        if (ptr == nullptr) {
+          return ResourceExhaustedError("trusted allocation failed");
+        }
+        regs[*instr.dest] = static_cast<int64_t>(reinterpret_cast<uintptr_t>(ptr));
+        ++pc;
+        break;
+      }
+      case Opcode::kAllocUntrusted: {
+        const auto size = static_cast<size_t>(value_of(instr.operands[0]));
+        void* ptr = runtime_->AllocUntrusted(size);
+        if (ptr == nullptr) {
+          return ResourceExhaustedError("untrusted allocation failed");
+        }
+        regs[*instr.dest] = static_cast<int64_t>(reinterpret_cast<uintptr_t>(ptr));
+        ++pc;
+        break;
+      }
+      case Opcode::kStackAlloc: {
+        if (!instr.alloc_id.has_value()) {
+          return FailedPreconditionError("stackalloc without site id (run alloc-id pass first)");
+        }
+        const auto size = static_cast<size_t>(value_of(instr.operands[0]));
+        void* ptr = runtime_->AllocTrusted(*instr.alloc_id, size);
+        if (ptr == nullptr) {
+          return ResourceExhaustedError("trusted stack allocation failed");
+        }
+        frame_allocs.allocs.push_back(ptr);
+        regs[*instr.dest] = static_cast<int64_t>(reinterpret_cast<uintptr_t>(ptr));
+        ++pc;
+        break;
+      }
+      case Opcode::kStackAllocUntrusted: {
+        const auto size = static_cast<size_t>(value_of(instr.operands[0]));
+        void* ptr = runtime_->AllocUntrusted(size);
+        if (ptr == nullptr) {
+          return ResourceExhaustedError("untrusted stack allocation failed");
+        }
+        frame_allocs.allocs.push_back(ptr);
+        regs[*instr.dest] = static_cast<int64_t>(reinterpret_cast<uintptr_t>(ptr));
+        ++pc;
+        break;
+      }
+      case Opcode::kFree:
+        runtime_->Free(reinterpret_cast<void*>(static_cast<uintptr_t>(value_of(instr.operands[0]))));
+        ++pc;
+        break;
+      case Opcode::kLoad: {
+        const auto addr =
+            static_cast<uintptr_t>(value_of(instr.operands[0]) + value_of(instr.operands[1]));
+        PS_RETURN_IF_ERROR(runtime_->backend().CheckAccess(addr, AccessKind::kRead));
+        regs[*instr.dest] = *reinterpret_cast<const int64_t*>(addr);
+        ++pc;
+        break;
+      }
+      case Opcode::kStore: {
+        const auto addr =
+            static_cast<uintptr_t>(value_of(instr.operands[0]) + value_of(instr.operands[1]));
+        PS_RETURN_IF_ERROR(runtime_->backend().CheckAccess(addr, AccessKind::kWrite));
+        *reinterpret_cast<int64_t*>(addr) = value_of(instr.operands[2]);
+        ++pc;
+        break;
+      }
+      case Opcode::kCall: {
+        std::vector<int64_t> call_args;
+        call_args.reserve(instr.operands.size());
+        for (const Operand& op : instr.operands) {
+          call_args.push_back(value_of(op));
+        }
+        PS_ASSIGN_OR_RETURN(int64_t result, Invoke(instr, call_args));
+        if (instr.dest.has_value()) {
+          regs[*instr.dest] = result;
+        }
+        ++pc;
+        break;
+      }
+      case Opcode::kPrint:
+        output_.push_back(value_of(instr.operands[0]));
+        ++pc;
+        break;
+      case Opcode::kBr:
+        block = fn.FindBlock(instr.targets[0]);
+        pc = 0;
+        break;
+      case Opcode::kBrIf:
+        block = fn.FindBlock(value_of(instr.operands[0]) != 0 ? instr.targets[0]
+                                                              : instr.targets[1]);
+        pc = 0;
+        break;
+      case Opcode::kRet:
+        // FrameAllocGuard releases this activation's stack allocations.
+        return instr.operands.empty() ? 0 : value_of(instr.operands[0]);
+      default: {
+        PS_ASSIGN_OR_RETURN(
+            int64_t result,
+            EvalBinary(instr.opcode, value_of(instr.operands[0]), value_of(instr.operands[1])));
+        regs[*instr.dest] = result;
+        ++pc;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,92 @@
+// IR interpreter wired into the PKRU-Safe runtime.
+//
+// This is the execution vehicle for the four-stage pipeline: the same module
+// can be run under a profiling runtime (allocations register provenance,
+// cross-compartment faults are recorded and stepped past) or an enforcing
+// runtime (denied accesses abort execution with PermissionDenied — the
+// "program crash" of §4.3.1).
+//
+// Division of labour:
+//   * IR functions are trusted code (T).
+//   * Externs from annotated libraries are untrusted native code (U); gated
+//     call sites transition the compartment around their invocation.
+//   * Native code must touch memory via LoadChecked/StoreChecked, which
+//     consult the MPK backend exactly like hardware would.
+#ifndef SRC_INTERP_INTERPRETER_H_
+#define SRC_INTERP_INTERPRETER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/runtime/runtime.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+class Interpreter;
+
+// Signature of a native (extern) function implementation.
+using NativeFn = std::function<Result<int64_t>(Interpreter&, const std::vector<int64_t>&)>;
+
+class ExternRegistry {
+ public:
+  void Register(const std::string& name, NativeFn fn) { fns_[name] = std::move(fn); }
+  const NativeFn* Find(const std::string& name) const {
+    auto it = fns_.find(name);
+    return it == fns_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, NativeFn> fns_;
+};
+
+struct InterpreterConfig {
+  // Abort runaway programs after this many executed instructions.
+  uint64_t max_instructions = 200'000'000;
+};
+
+class Interpreter {
+ public:
+  // All pointees must outlive the interpreter.
+  Interpreter(const IrModule* module, PkruSafeRuntime* runtime, ExternRegistry externs,
+              InterpreterConfig config = {});
+
+  // Calls an IR function from the trusted side.
+  Result<int64_t> Call(const std::string& function, const std::vector<int64_t>& args);
+
+  // Calls an IR function from inside untrusted native code: passes through a
+  // trusted entry gate (§3.3 — exported APIs re-enable access to M_T).
+  Result<int64_t> CallbackFromUntrusted(const std::string& function,
+                                        const std::vector<int64_t>& args);
+
+  // Checked memory access for native extern implementations. Under an
+  // enforcing runtime these fault when U touches M_T.
+  Result<int64_t> LoadChecked(int64_t addr);
+  Status StoreChecked(int64_t addr, int64_t value);
+
+  // Output collected from kPrint instructions.
+  const std::vector<int64_t>& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+  uint64_t instructions_executed() const { return executed_; }
+  PkruSafeRuntime& runtime() { return *runtime_; }
+  const IrModule& module() const { return *module_; }
+
+ private:
+  Result<int64_t> Execute(const IrFunction& fn, const std::vector<int64_t>& args);
+  Result<int64_t> Invoke(const Instruction& instr, const std::vector<int64_t>& args);
+
+  const IrModule* module_;
+  PkruSafeRuntime* runtime_;
+  ExternRegistry externs_;
+  InterpreterConfig config_;
+  uint64_t executed_ = 0;
+  std::vector<int64_t> output_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_INTERP_INTERPRETER_H_

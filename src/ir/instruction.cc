@@ -1,0 +1,97 @@
+#include "src/ir/instruction.h"
+
+namespace pkrusafe {
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kConst:
+      return "const";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kDiv:
+      return "div";
+    case Opcode::kMod:
+      return "mod";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kShl:
+      return "shl";
+    case Opcode::kShr:
+      return "shr";
+    case Opcode::kCmpEq:
+      return "cmpeq";
+    case Opcode::kCmpNe:
+      return "cmpne";
+    case Opcode::kCmpLt:
+      return "cmplt";
+    case Opcode::kCmpLe:
+      return "cmple";
+    case Opcode::kCmpGt:
+      return "cmpgt";
+    case Opcode::kCmpGe:
+      return "cmpge";
+    case Opcode::kAlloc:
+      return "alloc";
+    case Opcode::kAllocUntrusted:
+      return "alloc_untrusted";
+    case Opcode::kStackAlloc:
+      return "stackalloc";
+    case Opcode::kStackAllocUntrusted:
+      return "stackalloc_untrusted";
+    case Opcode::kFree:
+      return "free";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kBr:
+      return "br";
+    case Opcode::kBrIf:
+      return "brif";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kPrint:
+      return "print";
+  }
+  return "?";
+}
+
+bool IsTerminator(Opcode opcode) {
+  return opcode == Opcode::kBr || opcode == Opcode::kBrIf || opcode == Opcode::kRet;
+}
+
+bool IsBinaryOp(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,93 @@
+// Instruction set of the miniature IR.
+//
+// The paper's toolchain operates on LLVM IR: allocation sites are calls to
+// the global allocator, the compartment boundary is a set of annotated FFI
+// call sites, and the profile-apply step rewrites allocator calls. This IR
+// keeps exactly the features those transformations need — integer ops,
+// memory, calls (direct and external), control flow — as an SSA-less
+// register machine that is easy to parse, verify and interpret.
+#ifndef SRC_IR_INSTRUCTION_H_
+#define SRC_IR_INSTRUCTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/alloc_id.h"
+
+namespace pkrusafe {
+
+enum class Opcode : uint8_t {
+  kConst,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kCmpEq,
+  kCmpNe,
+  kCmpLt,
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  kAlloc,           // trusted allocation site (may be rewritten by the
+                    // profile-apply pass)
+  kAllocUntrusted,  // allocation served from M_U
+  kStackAlloc,           // function-scoped trusted allocation (auto-freed at
+                         // return; §6 "Stack Protection" extension)
+  kStackAllocUntrusted,  // function-scoped allocation from M_U
+  kFree,
+  kLoad,   // dest = mem[op0 + op1]
+  kStore,  // mem[op0 + op1] = op2
+  kCall,   // direct call to a function or extern
+  kBr,
+  kBrIf,
+  kRet,
+  kPrint,  // writes op0 to the interpreter's output stream
+};
+
+const char* OpcodeName(Opcode opcode);
+bool IsTerminator(Opcode opcode);
+bool IsBinaryOp(Opcode opcode);
+
+// An instruction operand: a virtual register or an immediate.
+struct Operand {
+  enum class Kind : uint8_t { kReg, kImm };
+  Kind kind = Kind::kImm;
+  // Register index for kReg; literal value for kImm.
+  int64_t value = 0;
+
+  static Operand Reg(uint32_t index) { return {Kind::kReg, index}; }
+  static Operand Imm(int64_t value) { return {Kind::kImm, value}; }
+
+  bool is_reg() const { return kind == Kind::kReg; }
+  uint32_t reg() const { return static_cast<uint32_t>(value); }
+  bool operator==(const Operand&) const = default;
+};
+
+struct Instruction {
+  Opcode opcode = Opcode::kConst;
+  // Destination register; nullopt for value-less instructions.
+  std::optional<uint32_t> dest;
+  std::vector<Operand> operands;
+
+  // kCall: callee name (without '@').
+  std::string callee;
+  // kBr: targets[0]; kBrIf: targets[0] (taken), targets[1] (fallthrough).
+  std::vector<std::string> targets;
+
+  // Assigned by AllocIdPass for kAlloc/kAllocUntrusted.
+  std::optional<AllocId> alloc_id;
+  // Set by GateInsertionPass on kCall sites that cross into U.
+  bool gated = false;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_INSTRUCTION_H_

@@ -1,0 +1,82 @@
+// IR containers: basic blocks, functions, externs and modules.
+#ifndef SRC_IR_MODULE_H_
+#define SRC_IR_MODULE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/instruction.h"
+
+namespace pkrusafe {
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> instructions;
+};
+
+struct IrFunction {
+  std::string name;
+  uint32_t num_params = 0;  // parameters arrive in registers %0 .. %n-1
+  std::vector<BasicBlock> blocks;
+
+  const BasicBlock* FindBlock(const std::string& label) const {
+    for (const BasicBlock& block : blocks) {
+      if (block.label == label) {
+        return &block;
+      }
+    }
+    return nullptr;
+  }
+  BasicBlock* FindBlock(const std::string& label) {
+    return const_cast<BasicBlock*>(std::as_const(*this).FindBlock(label));
+  }
+};
+
+// A declaration of a native (FFI) function. `library` names the unsafe
+// library it comes from; empty means a trusted native helper.
+struct ExternDecl {
+  std::string name;
+  uint32_t num_params = 0;
+  std::string library;
+};
+
+struct IrModule {
+  std::string name;
+  std::vector<IrFunction> functions;
+  std::vector<ExternDecl> externs;
+  // Developer annotations (§3.2): libraries whose interfaces define the
+  // compartment boundary. Calls into their externs get call gates.
+  std::set<std::string> untrusted_libraries;
+
+  const IrFunction* FindFunction(const std::string& fn_name) const {
+    for (const IrFunction& fn : functions) {
+      if (fn.name == fn_name) {
+        return &fn;
+      }
+    }
+    return nullptr;
+  }
+  IrFunction* FindFunction(const std::string& fn_name) {
+    return const_cast<IrFunction*>(std::as_const(*this).FindFunction(fn_name));
+  }
+
+  const ExternDecl* FindExtern(const std::string& extern_name) const {
+    for (const ExternDecl& decl : externs) {
+      if (decl.name == extern_name) {
+        return &decl;
+      }
+    }
+    return nullptr;
+  }
+
+  bool IsUntrustedExtern(const std::string& extern_name) const {
+    const ExternDecl* decl = FindExtern(extern_name);
+    return decl != nullptr && !decl->library.empty() &&
+           untrusted_libraries.contains(decl->library);
+  }
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_MODULE_H_

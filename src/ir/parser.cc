@@ -1,0 +1,281 @@
+#include "src/ir/parser.h"
+
+#include <map>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+namespace {
+
+// Opcode spellings accepted in source.
+const std::map<std::string_view, Opcode>& OpcodeTable() {
+  static const auto* table = new std::map<std::string_view, Opcode>{
+      {"const", Opcode::kConst},
+      {"add", Opcode::kAdd},
+      {"sub", Opcode::kSub},
+      {"mul", Opcode::kMul},
+      {"div", Opcode::kDiv},
+      {"mod", Opcode::kMod},
+      {"and", Opcode::kAnd},
+      {"or", Opcode::kOr},
+      {"xor", Opcode::kXor},
+      {"shl", Opcode::kShl},
+      {"shr", Opcode::kShr},
+      {"cmpeq", Opcode::kCmpEq},
+      {"cmpne", Opcode::kCmpNe},
+      {"cmplt", Opcode::kCmpLt},
+      {"cmple", Opcode::kCmpLe},
+      {"cmpgt", Opcode::kCmpGt},
+      {"cmpge", Opcode::kCmpGe},
+      {"alloc", Opcode::kAlloc},
+      {"alloc_untrusted", Opcode::kAllocUntrusted},
+      {"stackalloc", Opcode::kStackAlloc},
+      {"stackalloc_untrusted", Opcode::kStackAllocUntrusted},
+      {"free", Opcode::kFree},
+      {"load", Opcode::kLoad},
+      {"store", Opcode::kStore},
+      {"call", Opcode::kCall},
+      {"br", Opcode::kBr},
+      {"brif", Opcode::kBrIf},
+      {"ret", Opcode::kRet},
+      {"print", Opcode::kPrint},
+  };
+  return *table;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lines_(StrSplit(source, '\n')) {}
+
+  Result<IrModule> Run() {
+    IrModule module;
+    while (line_no_ < lines_.size()) {
+      std::string_view line = CurrentLine();
+      ++line_no_;
+      if (line.empty()) {
+        continue;
+      }
+      if (StrStartsWith(line, "module ")) {
+        module.name = std::string(StrStrip(line.substr(7)));
+      } else if (StrStartsWith(line, "untrusted ")) {
+        PS_ASSIGN_OR_RETURN(std::string lib, ParseQuoted(StrStrip(line.substr(10))));
+        module.untrusted_libraries.insert(lib);
+      } else if (StrStartsWith(line, "extern ")) {
+        PS_ASSIGN_OR_RETURN(ExternDecl decl, ParseExtern(line));
+        module.externs.push_back(std::move(decl));
+      } else if (StrStartsWith(line, "func ")) {
+        PS_ASSIGN_OR_RETURN(IrFunction fn, ParseFunction(line));
+        module.functions.push_back(std::move(fn));
+      } else {
+        return Error("unexpected top-level line: " + std::string(line));
+      }
+    }
+    return module;
+  }
+
+ private:
+  std::string_view CurrentLine() {
+    std::string_view line = lines_[line_no_];
+    const size_t comment = line.find(';');
+    if (comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    return StrStrip(line);
+  }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(StrFormat("line %zu: %s", line_no_, message.c_str()));
+  }
+
+  static Result<std::string> ParseQuoted(std::string_view text) {
+    if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+      return InvalidArgumentError("expected quoted string: " + std::string(text));
+    }
+    return std::string(text.substr(1, text.size() - 2));
+  }
+
+  // "@name(3)" -> {name, 3, rest-after-paren}
+  Result<std::pair<std::string, uint32_t>> ParseSignature(std::string_view text,
+                                                          std::string_view* rest) const {
+    if (text.empty() || text[0] != '@') {
+      return Error("expected '@name(...)'");
+    }
+    const size_t open = text.find('(');
+    const size_t close = text.find(')', open);
+    if (open == std::string_view::npos || close == std::string_view::npos) {
+      return Error("malformed signature");
+    }
+    const std::string name(text.substr(1, open - 1));
+    auto params = ParseUint64(StrStrip(text.substr(open + 1, close - open - 1)));
+    if (!params.ok()) {
+      return Error("bad parameter count in signature");
+    }
+    if (rest != nullptr) {
+      *rest = StrStrip(text.substr(close + 1));
+    }
+    return std::make_pair(name, static_cast<uint32_t>(*params));
+  }
+
+  Result<ExternDecl> ParseExtern(std::string_view line) const {
+    std::string_view rest;
+    PS_ASSIGN_OR_RETURN(auto sig, ParseSignature(StrStrip(line.substr(7)), &rest));
+    ExternDecl decl;
+    decl.name = sig.first;
+    decl.num_params = sig.second;
+    if (!rest.empty()) {
+      if (!StrStartsWith(rest, "lib ")) {
+        return Error("expected 'lib \"...\"' after extern signature");
+      }
+      PS_ASSIGN_OR_RETURN(decl.library, ParseQuoted(StrStrip(rest.substr(4))));
+    }
+    return decl;
+  }
+
+  Result<IrFunction> ParseFunction(std::string_view header) {
+    std::string_view rest;
+    PS_ASSIGN_OR_RETURN(auto sig, ParseSignature(StrStrip(header.substr(5)), &rest));
+    if (rest != "{") {
+      return Error("expected '{' after function signature");
+    }
+    IrFunction fn;
+    fn.name = sig.first;
+    fn.num_params = sig.second;
+
+    BasicBlock* block = nullptr;
+    while (true) {
+      if (line_no_ >= lines_.size()) {
+        return Error("unterminated function " + fn.name);
+      }
+      std::string_view line = CurrentLine();
+      ++line_no_;
+      if (line.empty()) {
+        continue;
+      }
+      if (line == "}") {
+        break;
+      }
+      if (StrEndsWith(line, ":")) {
+        fn.blocks.push_back(BasicBlock{std::string(line.substr(0, line.size() - 1)), {}});
+        block = &fn.blocks.back();
+        continue;
+      }
+      if (block == nullptr) {
+        return Error("instruction before first block label");
+      }
+      PS_ASSIGN_OR_RETURN(Instruction instr, ParseInstruction(line));
+      block->instructions.push_back(std::move(instr));
+    }
+    return fn;
+  }
+
+  Result<Operand> ParseOperand(std::string_view text) const {
+    text = StrStrip(text);
+    if (text.empty()) {
+      return Error("empty operand");
+    }
+    if (text[0] == '%') {
+      auto reg = ParseUint64(text.substr(1));
+      if (!reg.ok()) {
+        return Error("bad register: " + std::string(text));
+      }
+      return Operand::Reg(static_cast<uint32_t>(*reg));
+    }
+    auto imm = ParseInt64(text);
+    if (!imm.ok()) {
+      return Error("bad immediate: " + std::string(text));
+    }
+    return Operand::Imm(*imm);
+  }
+
+  Result<std::vector<Operand>> ParseOperandList(std::string_view text) const {
+    std::vector<Operand> operands;
+    text = StrStrip(text);
+    if (text.empty()) {
+      return operands;
+    }
+    for (std::string_view piece : StrSplit(text, ',')) {
+      PS_ASSIGN_OR_RETURN(Operand op, ParseOperand(piece));
+      operands.push_back(op);
+    }
+    return operands;
+  }
+
+  Result<Instruction> ParseInstruction(std::string_view line) const {
+    Instruction instr;
+
+    // Optional "%N = " destination.
+    if (line[0] == '%') {
+      const size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        return Error("expected '=' after destination register");
+      }
+      auto reg = ParseUint64(StrStrip(line.substr(1, eq - 1)));
+      if (!reg.ok()) {
+        return Error("bad destination register");
+      }
+      instr.dest = static_cast<uint32_t>(*reg);
+      line = StrStrip(line.substr(eq + 1));
+    }
+
+    const size_t space = line.find(' ');
+    const std::string_view mnemonic = space == std::string_view::npos ? line : line.substr(0, space);
+    std::string_view rest = space == std::string_view::npos ? "" : StrStrip(line.substr(space + 1));
+
+    const auto& table = OpcodeTable();
+    auto it = table.find(mnemonic);
+    if (it == table.end()) {
+      return Error("unknown opcode: " + std::string(mnemonic));
+    }
+    instr.opcode = it->second;
+
+    switch (instr.opcode) {
+      case Opcode::kCall: {
+        if (rest.empty() || rest[0] != '@') {
+          return Error("call expects '@callee(args)'");
+        }
+        const size_t open = rest.find('(');
+        const size_t close = rest.rfind(')');
+        if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+          return Error("malformed call");
+        }
+        instr.callee = std::string(rest.substr(1, open - 1));
+        PS_ASSIGN_OR_RETURN(instr.operands,
+                            ParseOperandList(rest.substr(open + 1, close - open - 1)));
+        break;
+      }
+      case Opcode::kBr: {
+        if (rest.empty()) {
+          return Error("br expects a target label");
+        }
+        instr.targets.push_back(std::string(rest));
+        break;
+      }
+      case Opcode::kBrIf: {
+        const auto pieces = StrSplit(rest, ',');
+        if (pieces.size() != 3) {
+          return Error("brif expects 'cond, taken, fallthrough'");
+        }
+        PS_ASSIGN_OR_RETURN(Operand cond, ParseOperand(pieces[0]));
+        instr.operands.push_back(cond);
+        instr.targets.push_back(std::string(StrStrip(pieces[1])));
+        instr.targets.push_back(std::string(StrStrip(pieces[2])));
+        break;
+      }
+      default: {
+        PS_ASSIGN_OR_RETURN(instr.operands, ParseOperandList(rest));
+        break;
+      }
+    }
+    return instr;
+  }
+
+  std::vector<std::string_view> lines_;
+  size_t line_no_ = 0;
+};
+
+}  // namespace
+
+Result<IrModule> ParseModule(std::string_view source) { return Parser(source).Run(); }
+
+}  // namespace pkrusafe

@@ -1,0 +1,29 @@
+// Textual IR parser.
+//
+// Grammar (line oriented, ';' starts a comment):
+//
+//   module <name>
+//   untrusted "<library>"                  ; developer annotation (§3.2)
+//   extern @<name>(<nparams>) [lib "<library>"]
+//   func @<name>(<nparams>) {
+//   <label>:
+//     [%<reg> =] <opcode> <operands...>
+//   }
+//
+// Operands are registers (%N) or integer immediates. Calls use
+// `call @callee(op, op, ...)`; branches name block labels.
+#ifndef SRC_IR_PARSER_H_
+#define SRC_IR_PARSER_H_
+
+#include <string_view>
+
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+Result<IrModule> ParseModule(std::string_view source);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_PARSER_H_

@@ -1,0 +1,16 @@
+// Prints IR back to its textual form. Print(Parse(x)) == Print(Parse(Print(Parse(x)))).
+#ifndef SRC_IR_PRINTER_H_
+#define SRC_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace pkrusafe {
+
+std::string PrintInstruction(const Instruction& instr);
+std::string PrintModule(const IrModule& module);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_PRINTER_H_

@@ -1,0 +1,153 @@
+#include "src/ir/verifier.h"
+
+#include <set>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+namespace {
+
+Status Err(const IrFunction& fn, const std::string& message) {
+  return InvalidArgumentError(StrFormat("@%s: %s", fn.name.c_str(), message.c_str()));
+}
+
+// Expected operand count per opcode; -1 = variable.
+int ExpectedOperands(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kConst:
+      return 1;
+    case Opcode::kAlloc:
+    case Opcode::kAllocUntrusted:
+    case Opcode::kStackAlloc:
+    case Opcode::kStackAllocUntrusted:
+    case Opcode::kFree:
+    case Opcode::kPrint:
+      return 1;
+    case Opcode::kLoad:
+      return 2;
+    case Opcode::kStore:
+      return 3;
+    case Opcode::kBr:
+      return 0;
+    case Opcode::kBrIf:
+      return 1;
+    case Opcode::kCall:
+      return -1;
+    case Opcode::kRet:
+      return -1;  // 0 or 1
+    default:
+      return IsBinaryOp(opcode) ? 2 : -1;
+  }
+}
+
+bool RequiresDest(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kConst:
+    case Opcode::kAlloc:
+    case Opcode::kAllocUntrusted:
+    case Opcode::kStackAlloc:
+    case Opcode::kStackAllocUntrusted:
+    case Opcode::kLoad:
+      return true;
+    default:
+      return IsBinaryOp(opcode);
+  }
+}
+
+bool ForbidsDest(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kStore:
+    case Opcode::kFree:
+    case Opcode::kBr:
+    case Opcode::kBrIf:
+    case Opcode::kRet:
+    case Opcode::kPrint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status VerifyFunction(const IrModule& module, const IrFunction& fn) {
+  if (fn.blocks.empty()) {
+    return Err(fn, "function has no blocks");
+  }
+  std::set<std::string> labels;
+  for (const BasicBlock& block : fn.blocks) {
+    if (!labels.insert(block.label).second) {
+      return Err(fn, "duplicate block label " + block.label);
+    }
+  }
+  for (const BasicBlock& block : fn.blocks) {
+    if (block.instructions.empty()) {
+      return Err(fn, "block " + block.label + " is empty");
+    }
+    for (size_t i = 0; i < block.instructions.size(); ++i) {
+      const Instruction& instr = block.instructions[i];
+      const bool last = i + 1 == block.instructions.size();
+      if (IsTerminator(instr.opcode) != last) {
+        return Err(fn, StrFormat("block %s: terminator placement at instruction %zu",
+                                 block.label.c_str(), i));
+      }
+
+      const int expected = ExpectedOperands(instr.opcode);
+      if (expected >= 0 && instr.operands.size() != static_cast<size_t>(expected)) {
+        return Err(fn, StrFormat("%s expects %d operands, got %zu", OpcodeName(instr.opcode),
+                                 expected, instr.operands.size()));
+      }
+      if (instr.opcode == Opcode::kRet && instr.operands.size() > 1) {
+        return Err(fn, "ret takes at most one operand");
+      }
+      if (RequiresDest(instr.opcode) && !instr.dest.has_value()) {
+        return Err(fn, StrFormat("%s requires a destination", OpcodeName(instr.opcode)));
+      }
+      if (ForbidsDest(instr.opcode) && instr.dest.has_value()) {
+        return Err(fn, StrFormat("%s cannot have a destination", OpcodeName(instr.opcode)));
+      }
+
+      for (const std::string& target : instr.targets) {
+        if (!labels.contains(target)) {
+          return Err(fn, "branch to unknown block " + target);
+        }
+      }
+
+      if (instr.opcode == Opcode::kCall) {
+        const IrFunction* callee_fn = module.FindFunction(instr.callee);
+        const ExternDecl* callee_ext = module.FindExtern(instr.callee);
+        if (callee_fn == nullptr && callee_ext == nullptr) {
+          return Err(fn, "call to unknown symbol @" + instr.callee);
+        }
+        const uint32_t arity =
+            callee_fn != nullptr ? callee_fn->num_params : callee_ext->num_params;
+        if (instr.operands.size() != arity) {
+          return Err(fn, StrFormat("call to @%s expects %u args, got %zu", instr.callee.c_str(),
+                                   arity, instr.operands.size()));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifyModule(const IrModule& module) {
+  std::set<std::string> names;
+  for (const IrFunction& fn : module.functions) {
+    if (!names.insert(fn.name).second) {
+      return InvalidArgumentError("duplicate function @" + fn.name);
+    }
+  }
+  for (const ExternDecl& decl : module.externs) {
+    if (!names.insert(decl.name).second) {
+      return InvalidArgumentError("extern @" + decl.name + " collides with another symbol");
+    }
+  }
+  for (const IrFunction& fn : module.functions) {
+    PS_RETURN_IF_ERROR(VerifyFunction(module, fn));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,21 @@
+// Structural verifier for IR modules.
+//
+// Checks the invariants the passes and the interpreter rely on:
+//   * every block ends in exactly one terminator, with none mid-block;
+//   * branch targets name blocks of the enclosing function;
+//   * call targets resolve to a function or an extern with a matching arity;
+//   * instruction shapes (operand/dest counts) match their opcode;
+//   * function and block names are unique; functions have an entry block.
+#ifndef SRC_IR_VERIFIER_H_
+#define SRC_IR_VERIFIER_H_
+
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+Status VerifyModule(const IrModule& module);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_VERIFIER_H_

@@ -1,0 +1,87 @@
+// Abstract syntax tree for MiniScript.
+#ifndef SRC_JSVM_AST_H_
+#define SRC_JSVM_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/jsvm/token.h"
+
+namespace pkrusafe {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kNumber,
+  kString,
+  kBool,
+  kNull,
+  kVariable,
+  kUnary,      // op operand
+  kBinary,     // lhs op rhs (including && and ||)
+  kAssign,     // target (variable or index) = value
+  kCall,       // callee(args...)
+  kIndex,      // base[index]
+  kArrayLit,   // [elements...]
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  double number = 0;        // kNumber
+  std::string text;         // kString literal / kVariable / kCall callee name
+  bool boolean = false;     // kBool
+  TokenType op = TokenType::kEof;  // kUnary / kBinary operator
+
+  ExprPtr lhs;              // kBinary lhs, kUnary operand, kIndex base,
+                            // kAssign target
+  ExprPtr rhs;              // kBinary rhs, kIndex index, kAssign value
+  std::vector<ExprPtr> args;  // kCall args, kArrayLit elements
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  kExpr,
+  kLet,
+  kReturn,
+  kIf,
+  kWhile,
+  kFor,
+  kBlock,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;        // kLet variable name
+  ExprPtr expr;            // kExpr / kLet initializer / kReturn value / kIf /
+                           // kWhile condition
+  std::vector<StmtPtr> body;       // kBlock statements, kIf then, kWhile/kFor body
+  std::vector<StmtPtr> else_body;  // kIf else
+  StmtPtr init;            // kFor initializer
+  ExprPtr step;            // kFor step expression
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<FunctionDecl> functions;
+  std::vector<StmtPtr> top_level;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_AST_H_

@@ -1,0 +1,110 @@
+// Bytecode representation produced by the compiler and executed by the VM.
+#ifndef SRC_JSVM_BYTECODE_H_
+#define SRC_JSVM_BYTECODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pkrusafe {
+
+enum class Op : uint8_t {
+  kConst,        // push constants[a]
+  kNull,         // push null
+  kTrue,
+  kFalse,
+  kPop,
+  kDup,          // duplicate top of stack
+  kLoadLocal,    // push locals[a]
+  kStoreLocal,   // locals[a] = peek (value stays on stack)
+  kLoadGlobal,   // push globals[a]
+  kStoreGlobal,  // globals[a] = peek
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kJump,           // ip = a
+  kJumpIfFalse,    // pop; if falsey ip = a
+  kJumpIfFalseKeep,  // if falsey { ip = a } else { pop }   (for &&)
+  kJumpIfTrueKeep,   // if truthy { ip = a } else { pop }   (for ||)
+  kCall,      // a = script function index, b = argc
+  kCallHost,  // a = host function index,  b = argc
+  kCallBuiltin,  // a = BuiltinId,          b = argc
+  kReturn,    // pop result, leave function
+  kNewArray,  // pop a elements, push array
+  kIndexGet,  // pop index, base; push base[index]
+  kIndexSet,  // pop value, index, base; push value
+};
+
+// Builtins resolved at compile time. The last three form the opt-in
+// "CVE" used by the security evaluation (§5.4): an arbitrary
+// read/write/addr-of primitive inside the untrusted engine, standing in for
+// the type-confusion exploit of CVE-2019-11707.
+enum class BuiltinId : uint8_t {
+  kPrint,
+  kLen,
+  kPush,
+  kPop,
+  kSqrt,
+  kSin,
+  kCos,
+  kFloor,
+  kPow,
+  kAbs,
+  kMin,
+  kMax,
+  kSubstr,
+  kOrd,
+  kChr,
+  kStr,
+  kBand,  // 32-bit integer ops (JS |0 semantics), used by the crypto kernels
+  kBor,
+  kBxor,
+  kShlB,
+  kShrB,
+  kAddrOf,  // __addrof(v): address of v's heap object
+  kPeek,    // __peek(addr): 8-byte read anywhere in the address space
+  kPoke,    // __poke(addr, v): 8-byte write anywhere in the address space
+};
+inline constexpr int kNumBuiltins = 24;
+
+struct BcInstr {
+  Op op;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+// Compile-time constant; string constants are interned into the VM heap at
+// load time.
+using BcConstant = std::variant<double, std::string>;
+
+struct CompiledFunction {
+  std::string name;
+  uint32_t arity = 0;
+  uint32_t num_locals = 0;  // including parameters
+  std::vector<BcInstr> code;
+  std::vector<BcConstant> constants;
+  std::vector<int> lines;  // per-instruction source line (diagnostics)
+};
+
+struct CompiledProgram {
+  // functions[0] is the synthesized top-level "@main".
+  std::vector<CompiledFunction> functions;
+  std::vector<std::string> global_names;
+  std::vector<std::string> host_names;  // index space of kCallHost
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_BYTECODE_H_

@@ -1,0 +1,30 @@
+// AST -> bytecode compiler.
+//
+// Name resolution is fully static: locals (parameters + lets, with block
+// shadowing) resolve to frame slots; unresolved names in function bodies
+// become globals; call targets resolve to script functions, then builtins,
+// then registered host functions.
+#ifndef SRC_JSVM_COMPILER_H_
+#define SRC_JSVM_COMPILER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/jsvm/ast.h"
+#include "src/jsvm/bytecode.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+// `host_names` lists the embedder's host functions (e.g. the DOM bindings);
+// calls to them compile to kCallHost with the matching index.
+Result<CompiledProgram> CompileProgram(const Program& program,
+                                       std::vector<std::string> host_names);
+
+// Convenience: parse + compile.
+Result<CompiledProgram> CompileSource(std::string_view source,
+                                      std::vector<std::string> host_names = {});
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_COMPILER_H_

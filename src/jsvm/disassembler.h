@@ -1,0 +1,24 @@
+// Bytecode disassembler: human-readable listings of compiled programs, for
+// engine debugging and the compiler's tests.
+#ifndef SRC_JSVM_DISASSEMBLER_H_
+#define SRC_JSVM_DISASSEMBLER_H_
+
+#include <string>
+
+#include "src/jsvm/bytecode.h"
+
+namespace pkrusafe {
+
+// One instruction, e.g. "  12  jump_if_false -> 27".
+std::string DisassembleInstruction(const CompiledFunction& fn, const CompiledProgram& program,
+                                   size_t index);
+
+// A whole function including header and constant pool.
+std::string DisassembleFunction(const CompiledFunction& fn, const CompiledProgram& program);
+
+// Every function in the program.
+std::string Disassemble(const CompiledProgram& program);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_DISASSEMBLER_H_

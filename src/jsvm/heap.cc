@@ -1,0 +1,143 @@
+#include "src/jsvm/heap.h"
+
+#include <cstring>
+#include <vector>
+
+namespace pkrusafe {
+
+JsHeap::~JsHeap() {
+  GcObject* object = all_objects_;
+  while (object != nullptr) {
+    GcObject* next = object->next;
+    FreeObject(object);
+    object = next;
+  }
+}
+
+void* JsHeap::AllocRaw(size_t bytes) {
+  void* ptr = runtime_->AllocUntrusted(bytes);
+  if (ptr != nullptr) {
+    bytes_since_gc_ += bytes;
+    stats_.bytes_allocated += bytes;
+  }
+  return ptr;
+}
+
+StringObject* JsHeap::NewString(std::string_view text) {
+  auto* str = static_cast<StringObject*>(AllocRaw(sizeof(StringObject) + text.size() + 1));
+  if (str == nullptr) {
+    return nullptr;
+  }
+  str->header.kind = GcObject::Kind::kString;
+  str->header.marked = false;
+  str->header.next = all_objects_;
+  all_objects_ = &str->header;
+  str->length = text.size();
+  std::memcpy(str->data, text.data(), text.size());
+  str->data[text.size()] = '\0';
+  ++stats_.objects_allocated;
+  ++stats_.live_objects;
+  return str;
+}
+
+ArrayObject* JsHeap::NewArray(size_t initial_capacity) {
+  auto* array = static_cast<ArrayObject*>(AllocRaw(sizeof(ArrayObject)));
+  if (array == nullptr) {
+    return nullptr;
+  }
+  array->header.kind = GcObject::Kind::kArray;
+  array->header.marked = false;
+  array->header.next = all_objects_;
+  all_objects_ = &array->header;
+  array->size = 0;
+  array->capacity = initial_capacity;
+  array->slots = nullptr;
+  if (initial_capacity > 0) {
+    array->slots = static_cast<Value*>(AllocRaw(initial_capacity * sizeof(Value)));
+    if (array->slots == nullptr) {
+      array->capacity = 0;
+    }
+  }
+  ++stats_.objects_allocated;
+  ++stats_.live_objects;
+  return array;
+}
+
+bool JsHeap::ArrayPush(ArrayObject* array, Value value) {
+  if (array->size == array->capacity) {
+    const size_t new_capacity = array->capacity == 0 ? 8 : array->capacity * 2;
+    Value* new_slots = nullptr;
+    if (array->slots == nullptr) {
+      new_slots = static_cast<Value*>(AllocRaw(new_capacity * sizeof(Value)));
+    } else {
+      // Realloc stays in M_U by the allocator's pool-preservation rule.
+      new_slots = static_cast<Value*>(runtime_->Realloc(array->slots, new_capacity * sizeof(Value)));
+      bytes_since_gc_ += (new_capacity - array->capacity) * sizeof(Value);
+    }
+    if (new_slots == nullptr) {
+      return false;
+    }
+    array->slots = new_slots;
+    array->capacity = new_capacity;
+  }
+  array->slots[array->size++] = value;
+  return true;
+}
+
+void JsHeap::MarkValue(const Value& value) {
+  if (!value.is_object() || value.object == nullptr) {
+    return;
+  }
+  // Iterative mark with an explicit worklist (arrays can nest arbitrarily).
+  std::vector<GcObject*> worklist;
+  worklist.push_back(value.object);
+  while (!worklist.empty()) {
+    GcObject* object = worklist.back();
+    worklist.pop_back();
+    if (object->marked) {
+      continue;
+    }
+    object->marked = true;
+    if (object->kind == GcObject::Kind::kArray) {
+      const auto* array = reinterpret_cast<const ArrayObject*>(object);
+      for (size_t i = 0; i < array->size; ++i) {
+        const Value& slot = array->slots[i];
+        if (slot.is_object() && slot.object != nullptr && !slot.object->marked) {
+          worklist.push_back(slot.object);
+        }
+      }
+    }
+  }
+}
+
+void JsHeap::FreeObject(GcObject* object) {
+  if (object->kind == GcObject::Kind::kArray) {
+    auto* array = reinterpret_cast<ArrayObject*>(object);
+    if (array->slots != nullptr) {
+      runtime_->Free(array->slots);
+    }
+  }
+  runtime_->Free(object);
+}
+
+void JsHeap::Collect(const RootVisitor& visit_roots) {
+  visit_roots([this](const Value& value) { MarkValue(value); });
+
+  GcObject** link = &all_objects_;
+  while (*link != nullptr) {
+    GcObject* object = *link;
+    if (object->marked) {
+      object->marked = false;
+      link = &object->next;
+    } else {
+      *link = object->next;
+      FreeObject(object);
+      ++stats_.objects_freed;
+      --stats_.live_objects;
+    }
+  }
+  ++stats_.collections;
+  bytes_since_gc_ = 0;
+}
+
+}  // namespace pkrusafe

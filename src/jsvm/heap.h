@@ -1,0 +1,74 @@
+// The untrusted engine's garbage-collected heap.
+//
+// Every object (and every array's slot buffer) is allocated from M_U through
+// the PKRU-Safe runtime — the engine's heap *is* the shared pool, exactly as
+// SpiderMonkey's heap is placed in M_U in the paper's Servo deployment.
+// Collection is a stop-the-world mark/sweep: the VM exposes its roots
+// (operand stack, globals, interned constants) and triggers collection only
+// at instruction boundaries, so no native caller can hold an unrooted object
+// across a collection.
+#ifndef SRC_JSVM_HEAP_H_
+#define SRC_JSVM_HEAP_H_
+
+#include <functional>
+#include <string_view>
+
+#include "src/jsvm/value.h"
+#include "src/runtime/runtime.h"
+
+namespace pkrusafe {
+
+struct HeapGcStats {
+  uint64_t objects_allocated = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t collections = 0;
+  uint64_t objects_freed = 0;
+  size_t live_objects = 0;
+};
+
+class JsHeap {
+ public:
+  // Bytes of new allocation between collections.
+  static constexpr size_t kDefaultGcThreshold = 8 << 20;
+
+  explicit JsHeap(PkruSafeRuntime* runtime, size_t gc_threshold = kDefaultGcThreshold)
+      : runtime_(runtime), gc_threshold_(gc_threshold) {}
+  ~JsHeap();
+
+  JsHeap(const JsHeap&) = delete;
+  JsHeap& operator=(const JsHeap&) = delete;
+
+  // Returns nullptr on M_U exhaustion.
+  StringObject* NewString(std::string_view text);
+  ArrayObject* NewArray(size_t initial_capacity = 0);
+
+  // Appends to an array, growing its slot buffer in-pool. Returns false on
+  // exhaustion.
+  bool ArrayPush(ArrayObject* array, Value value);
+
+  // True when enough garbage accumulated that the VM should collect at its
+  // next safepoint.
+  bool ShouldCollect() const { return bytes_since_gc_ >= gc_threshold_; }
+
+  // Mark/sweep collection. `visit_roots` must invoke the functor on every
+  // root value.
+  using RootVisitor = std::function<void(const std::function<void(const Value&)>&)>;
+  void Collect(const RootVisitor& visit_roots);
+
+  const HeapGcStats& stats() const { return stats_; }
+
+ private:
+  void* AllocRaw(size_t bytes);
+  void MarkValue(const Value& value);
+  void FreeObject(GcObject* object);
+
+  PkruSafeRuntime* runtime_;
+  size_t gc_threshold_;
+  size_t bytes_since_gc_ = 0;
+  GcObject* all_objects_ = nullptr;
+  HeapGcStats stats_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_HEAP_H_

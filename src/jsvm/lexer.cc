@@ -1,0 +1,312 @@
+#include "src/jsvm/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kFn:
+      return "fn";
+    case TokenType::kLet:
+      return "let";
+    case TokenType::kReturn:
+      return "return";
+    case TokenType::kIf:
+      return "if";
+    case TokenType::kElse:
+      return "else";
+    case TokenType::kWhile:
+      return "while";
+    case TokenType::kFor:
+      return "for";
+    case TokenType::kBreak:
+      return "break";
+    case TokenType::kContinue:
+      return "continue";
+    case TokenType::kTrue:
+      return "true";
+    case TokenType::kFalse:
+      return "false";
+    case TokenType::kNull:
+      return "null";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kLBrace:
+      return "{";
+    case TokenType::kRBrace:
+      return "}";
+    case TokenType::kLBracket:
+      return "[";
+    case TokenType::kRBracket:
+      return "]";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kPercent:
+      return "%";
+    case TokenType::kBang:
+      return "!";
+    case TokenType::kAssign:
+      return "=";
+    case TokenType::kEq:
+      return "==";
+    case TokenType::kNe:
+      return "!=";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kAndAnd:
+      return "&&";
+    case TokenType::kOrOr:
+      return "||";
+    case TokenType::kEof:
+      return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string_view, TokenType>& Keywords() {
+  static const auto* keywords = new std::map<std::string_view, TokenType>{
+      {"fn", TokenType::kFn},         {"let", TokenType::kLet},
+      {"return", TokenType::kReturn}, {"if", TokenType::kIf},
+      {"else", TokenType::kElse},     {"while", TokenType::kWhile},
+      {"for", TokenType::kFor},       {"break", TokenType::kBreak},
+      {"continue", TokenType::kContinue}, {"true", TokenType::kTrue},
+      {"false", TokenType::kFalse},   {"null", TokenType::kNull},
+  };
+  return *keywords;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool IsIdentChar(char c) { return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  int line = 1;
+
+  auto error = [&](const std::string& message) {
+    return InvalidArgumentError(StrFormat("line %d: %s", line, message.c_str()));
+  };
+  auto push = [&](TokenType type) { tokens.push_back(Token{type, "", 0, line}); };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++pos;
+      continue;
+    }
+    if (c == '/' && pos + 1 < source.size() && source[pos + 1] == '/') {
+      while (pos < source.size() && source[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t end = pos;
+      while (end < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[end])) != 0 || source[end] == '.' ||
+              source[end] == 'e' || source[end] == 'E' ||
+              ((source[end] == '+' || source[end] == '-') && end > pos &&
+               (source[end - 1] == 'e' || source[end - 1] == 'E')))) {
+        ++end;
+      }
+      const std::string text(source.substr(pos, end - pos));
+      char* parse_end = nullptr;
+      const double value = std::strtod(text.c_str(), &parse_end);
+      if (parse_end != text.c_str() + text.size()) {
+        return error("malformed number: " + text);
+      }
+      tokens.push_back(Token{TokenType::kNumber, "", value, line});
+      pos = end;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t end = pos;
+      while (end < source.size() && IsIdentChar(source[end])) {
+        ++end;
+      }
+      const std::string_view word = source.substr(pos, end - pos);
+      auto it = Keywords().find(word);
+      if (it != Keywords().end()) {
+        push(it->second);
+      } else {
+        tokens.push_back(Token{TokenType::kIdent, std::string(word), 0, line});
+      }
+      pos = end;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++pos;
+      while (pos < source.size() && source[pos] != '"') {
+        char ch = source[pos];
+        if (ch == '\\' && pos + 1 < source.size()) {
+          ++pos;
+          switch (source[pos]) {
+            case 'n':
+              ch = '\n';
+              break;
+            case 't':
+              ch = '\t';
+              break;
+            case '\\':
+              ch = '\\';
+              break;
+            case '"':
+              ch = '"';
+              break;
+            default:
+              return error("unknown escape sequence");
+          }
+        } else if (ch == '\n') {
+          return error("unterminated string literal");
+        }
+        text.push_back(ch);
+        ++pos;
+      }
+      if (pos >= source.size()) {
+        return error("unterminated string literal");
+      }
+      ++pos;  // closing quote
+      tokens.push_back(Token{TokenType::kString, std::move(text), 0, line});
+      continue;
+    }
+
+    auto two = [&](char next) {
+      return pos + 1 < source.size() && source[pos + 1] == next;
+    };
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen);
+        break;
+      case ')':
+        push(TokenType::kRParen);
+        break;
+      case '{':
+        push(TokenType::kLBrace);
+        break;
+      case '}':
+        push(TokenType::kRBrace);
+        break;
+      case '[':
+        push(TokenType::kLBracket);
+        break;
+      case ']':
+        push(TokenType::kRBracket);
+        break;
+      case ',':
+        push(TokenType::kComma);
+        break;
+      case ';':
+        push(TokenType::kSemicolon);
+        break;
+      case '+':
+        push(TokenType::kPlus);
+        break;
+      case '-':
+        push(TokenType::kMinus);
+        break;
+      case '*':
+        push(TokenType::kStar);
+        break;
+      case '/':
+        push(TokenType::kSlash);
+        break;
+      case '%':
+        push(TokenType::kPercent);
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenType::kNe);
+          ++pos;
+        } else {
+          push(TokenType::kBang);
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(TokenType::kEq);
+          ++pos;
+        } else {
+          push(TokenType::kAssign);
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenType::kLe);
+          ++pos;
+        } else {
+          push(TokenType::kLt);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenType::kGe);
+          ++pos;
+        } else {
+          push(TokenType::kGt);
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(TokenType::kAndAnd);
+          ++pos;
+        } else {
+          return error("stray '&'");
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(TokenType::kOrOr);
+          ++pos;
+        } else {
+          return error("stray '|'");
+        }
+        break;
+      default:
+        return error(StrFormat("unexpected character '%c'", c));
+    }
+    ++pos;
+  }
+  tokens.push_back(Token{TokenType::kEof, "", 0, line});
+  return tokens;
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,19 @@
+// Hand-written lexer for MiniScript.
+#ifndef SRC_JSVM_LEXER_H_
+#define SRC_JSVM_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/jsvm/token.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+// Tokenizes `source`; the result always ends with a kEof token.
+// Comments run from "//" to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_LEXER_H_

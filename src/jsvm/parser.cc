@@ -1,0 +1,378 @@
+#include "src/jsvm/parser.h"
+
+#include "src/jsvm/lexer.h"
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+namespace {
+
+class ScriptParser {
+ public:
+  explicit ScriptParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    Program program;
+    while (!Check(TokenType::kEof)) {
+      if (Check(TokenType::kFn)) {
+        PS_ASSIGN_OR_RETURN(FunctionDecl fn, ParseFunction());
+        program.functions.push_back(std::move(fn));
+      } else {
+        PS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+        program.top_level.push_back(std::move(stmt));
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type) {
+    if (Check(type)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(StrFormat("line %d: %s (found '%s')", Peek().line,
+                                          message.c_str(), TokenTypeName(Peek().type)));
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Match(type)) {
+      return Error(StrFormat("expected %s", what));
+    }
+    return Status::Ok();
+  }
+
+  Result<FunctionDecl> ParseFunction() {
+    FunctionDecl fn;
+    fn.line = Peek().line;
+    PS_RETURN_IF_ERROR(Expect(TokenType::kFn, "'fn'"));
+    if (!Check(TokenType::kIdent)) {
+      return Error("expected function name");
+    }
+    fn.name = Advance().text;
+    PS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (!Check(TokenType::kRParen)) {
+      while (true) {
+        if (!Check(TokenType::kIdent)) {
+          return Error("expected parameter name");
+        }
+        fn.params.push_back(Advance().text);
+        if (!Match(TokenType::kComma)) {
+          break;
+        }
+      }
+    }
+    PS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    PS_ASSIGN_OR_RETURN(fn.body, ParseBlockBody());
+    return fn;
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlockBody() {
+    PS_RETURN_IF_ERROR(Expect(TokenType::kLBrace, "'{'"));
+    std::vector<StmtPtr> body;
+    while (!Check(TokenType::kRBrace)) {
+      if (Check(TokenType::kEof)) {
+        return Error("unterminated block");
+      }
+      PS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      body.push_back(std::move(stmt));
+    }
+    PS_RETURN_IF_ERROR(Expect(TokenType::kRBrace, "'}'"));
+    return body;
+  }
+
+  StmtPtr NewStmt(StmtKind kind) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = Peek().line;
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    if (Check(TokenType::kLet)) {
+      return ParseLet();
+    }
+    if (Check(TokenType::kReturn)) {
+      auto stmt = NewStmt(StmtKind::kReturn);
+      Advance();
+      if (!Check(TokenType::kSemicolon)) {
+        PS_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+      }
+      PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+      return stmt;
+    }
+    if (Check(TokenType::kIf)) {
+      return ParseIf();
+    }
+    if (Check(TokenType::kWhile)) {
+      auto stmt = NewStmt(StmtKind::kWhile);
+      Advance();
+      PS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      PS_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+      PS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      PS_ASSIGN_OR_RETURN(stmt->body, ParseBlockBody());
+      return stmt;
+    }
+    if (Check(TokenType::kFor)) {
+      return ParseFor();
+    }
+    if (Check(TokenType::kBreak)) {
+      auto stmt = NewStmt(StmtKind::kBreak);
+      Advance();
+      PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+      return stmt;
+    }
+    if (Check(TokenType::kContinue)) {
+      auto stmt = NewStmt(StmtKind::kContinue);
+      Advance();
+      PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+      return stmt;
+    }
+    if (Check(TokenType::kLBrace)) {
+      auto stmt = NewStmt(StmtKind::kBlock);
+      PS_ASSIGN_OR_RETURN(stmt->body, ParseBlockBody());
+      return stmt;
+    }
+    auto stmt = NewStmt(StmtKind::kExpr);
+    PS_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+    PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseLet() {
+    auto stmt = NewStmt(StmtKind::kLet);
+    Advance();  // 'let'
+    if (!Check(TokenType::kIdent)) {
+      return Error("expected variable name after 'let'");
+    }
+    stmt->name = Advance().text;
+    PS_RETURN_IF_ERROR(Expect(TokenType::kAssign, "'='"));
+    PS_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+    PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    auto stmt = NewStmt(StmtKind::kIf);
+    Advance();  // 'if'
+    PS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    PS_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+    PS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    PS_ASSIGN_OR_RETURN(stmt->body, ParseBlockBody());
+    if (Match(TokenType::kElse)) {
+      if (Check(TokenType::kIf)) {
+        PS_ASSIGN_OR_RETURN(StmtPtr nested, ParseIf());
+        stmt->else_body.push_back(std::move(nested));
+      } else {
+        PS_ASSIGN_OR_RETURN(stmt->else_body, ParseBlockBody());
+      }
+    }
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseFor() {
+    auto stmt = NewStmt(StmtKind::kFor);
+    Advance();  // 'for'
+    PS_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (!Match(TokenType::kSemicolon)) {
+      if (Check(TokenType::kLet)) {
+        PS_ASSIGN_OR_RETURN(stmt->init, ParseLet());
+      } else {
+        auto init = NewStmt(StmtKind::kExpr);
+        PS_ASSIGN_OR_RETURN(init->expr, ParseExpression());
+        PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+        stmt->init = std::move(init);
+      }
+    }
+    if (!Check(TokenType::kSemicolon)) {
+      PS_ASSIGN_OR_RETURN(stmt->expr, ParseExpression());
+    }
+    PS_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "';'"));
+    if (!Check(TokenType::kRParen)) {
+      PS_ASSIGN_OR_RETURN(stmt->step, ParseExpression());
+    }
+    PS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    PS_ASSIGN_OR_RETURN(stmt->body, ParseBlockBody());
+    return stmt;
+  }
+
+  ExprPtr NewExpr(ExprKind kind) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->line = Peek().line;
+    return expr;
+  }
+
+  Result<ExprPtr> ParseExpression() { return ParseAssignment(); }
+
+  Result<ExprPtr> ParseAssignment() {
+    PS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOr());
+    if (Check(TokenType::kAssign)) {
+      if (lhs->kind != ExprKind::kVariable && lhs->kind != ExprKind::kIndex) {
+        return Error("invalid assignment target");
+      }
+      auto assign = NewExpr(ExprKind::kAssign);
+      Advance();
+      PS_ASSIGN_OR_RETURN(ExprPtr value, ParseAssignment());
+      assign->lhs = std::move(lhs);
+      assign->rhs = std::move(value);
+      return assign;
+    }
+    return lhs;
+  }
+
+  template <typename Next>
+  Result<ExprPtr> ParseBinaryLevel(Next next, std::initializer_list<TokenType> ops) {
+    PS_ASSIGN_OR_RETURN(ExprPtr lhs, (this->*next)());
+    while (true) {
+      bool matched = false;
+      for (TokenType op : ops) {
+        if (Check(op)) {
+          auto expr = NewExpr(ExprKind::kBinary);
+          expr->op = op;
+          Advance();
+          PS_ASSIGN_OR_RETURN(ExprPtr rhs, (this->*next)());
+          expr->lhs = std::move(lhs);
+          expr->rhs = std::move(rhs);
+          lhs = std::move(expr);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseOr() {
+    return ParseBinaryLevel(&ScriptParser::ParseAnd, {TokenType::kOrOr});
+  }
+  Result<ExprPtr> ParseAnd() {
+    return ParseBinaryLevel(&ScriptParser::ParseEquality, {TokenType::kAndAnd});
+  }
+  Result<ExprPtr> ParseEquality() {
+    return ParseBinaryLevel(&ScriptParser::ParseComparison, {TokenType::kEq, TokenType::kNe});
+  }
+  Result<ExprPtr> ParseComparison() {
+    return ParseBinaryLevel(&ScriptParser::ParseTerm,
+                            {TokenType::kLt, TokenType::kLe, TokenType::kGt, TokenType::kGe});
+  }
+  Result<ExprPtr> ParseTerm() {
+    return ParseBinaryLevel(&ScriptParser::ParseFactor, {TokenType::kPlus, TokenType::kMinus});
+  }
+  Result<ExprPtr> ParseFactor() {
+    return ParseBinaryLevel(&ScriptParser::ParseUnary,
+                            {TokenType::kStar, TokenType::kSlash, TokenType::kPercent});
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Check(TokenType::kMinus) || Check(TokenType::kBang)) {
+      auto expr = NewExpr(ExprKind::kUnary);
+      expr->op = Advance().type;
+      PS_ASSIGN_OR_RETURN(expr->lhs, ParseUnary());
+      return expr;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    PS_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    while (true) {
+      if (Check(TokenType::kLBracket)) {
+        auto index = NewExpr(ExprKind::kIndex);
+        Advance();
+        PS_ASSIGN_OR_RETURN(index->rhs, ParseExpression());
+        PS_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "']'"));
+        index->lhs = std::move(expr);
+        expr = std::move(index);
+      } else if (Check(TokenType::kLParen)) {
+        if (expr->kind != ExprKind::kVariable) {
+          return Error("only named functions can be called");
+        }
+        auto call = NewExpr(ExprKind::kCall);
+        call->text = expr->text;
+        Advance();
+        if (!Check(TokenType::kRParen)) {
+          while (true) {
+            PS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpression());
+            call->args.push_back(std::move(arg));
+            if (!Match(TokenType::kComma)) {
+              break;
+            }
+          }
+        }
+        PS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        expr = std::move(call);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Check(TokenType::kNumber)) {
+      auto expr = NewExpr(ExprKind::kNumber);
+      expr->number = Advance().number;
+      return expr;
+    }
+    if (Check(TokenType::kString)) {
+      auto expr = NewExpr(ExprKind::kString);
+      expr->text = Advance().text;
+      return expr;
+    }
+    if (Check(TokenType::kTrue) || Check(TokenType::kFalse)) {
+      auto expr = NewExpr(ExprKind::kBool);
+      expr->boolean = Advance().type == TokenType::kTrue;
+      return expr;
+    }
+    if (Match(TokenType::kNull)) {
+      return NewExpr(ExprKind::kNull);
+    }
+    if (Check(TokenType::kIdent)) {
+      auto expr = NewExpr(ExprKind::kVariable);
+      expr->text = Advance().text;
+      return expr;
+    }
+    if (Match(TokenType::kLParen)) {
+      PS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression());
+      PS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return expr;
+    }
+    if (Check(TokenType::kLBracket)) {
+      auto expr = NewExpr(ExprKind::kArrayLit);
+      Advance();
+      if (!Check(TokenType::kRBracket)) {
+        while (true) {
+          PS_ASSIGN_OR_RETURN(ExprPtr element, ParseExpression());
+          expr->args.push_back(std::move(element));
+          if (!Match(TokenType::kComma)) {
+            break;
+          }
+        }
+      }
+      PS_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "']'"));
+      return expr;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  PS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return ScriptParser(std::move(tokens)).Run();
+}
+
+}  // namespace pkrusafe

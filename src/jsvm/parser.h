@@ -1,0 +1,16 @@
+// Recursive-descent / precedence-climbing parser for MiniScript.
+#ifndef SRC_JSVM_PARSER_H_
+#define SRC_JSVM_PARSER_H_
+
+#include <string_view>
+
+#include "src/jsvm/ast.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+Result<Program> ParseProgram(std::string_view source);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_PARSER_H_

@@ -1,0 +1,69 @@
+// Tokens of the MiniScript language — the scripting language executed by the
+// untrusted engine (our SpiderMonkey stand-in).
+#ifndef SRC_JSVM_TOKEN_H_
+#define SRC_JSVM_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pkrusafe {
+
+enum class TokenType : uint8_t {
+  // Literals / identifiers.
+  kNumber,
+  kString,
+  kIdent,
+  // Keywords.
+  kFn,
+  kLet,
+  kReturn,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kBreak,
+  kContinue,
+  kTrue,
+  kFalse,
+  kNull,
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  // Operators.
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kBang,
+  kAssign,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  // Control.
+  kEof,
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // identifier name or string literal contents
+  double number = 0;   // kNumber payload
+  int line = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_TOKEN_H_

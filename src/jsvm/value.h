@@ -1,0 +1,112 @@
+// Runtime values of the untrusted engine.
+//
+// Values are trivially copyable tagged words (like SpiderMonkey's jsval):
+// heap-backed kinds (strings, arrays) point at GcObjects owned by JsHeap,
+// whose storage lives in M_U — the engine's data is untrusted-pool data.
+#ifndef SRC_JSVM_VALUE_H_
+#define SRC_JSVM_VALUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pkrusafe {
+
+enum class ValueType : uint8_t { kNull, kBool, kNumber, kString, kArray };
+
+struct GcObject;
+struct StringObject;
+struct ArrayObject;
+
+struct Value {
+  ValueType type = ValueType::kNull;
+  union {
+    bool boolean;
+    double number;
+    GcObject* object;
+  };
+
+  Value() : object(nullptr) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type = ValueType::kBool;
+    v.boolean = b;
+    return v;
+  }
+  static Value Number(double n) {
+    Value v;
+    v.type = ValueType::kNumber;
+    v.number = n;
+    return v;
+  }
+  static Value String(StringObject* s) {
+    Value v;
+    v.type = ValueType::kString;
+    v.object = reinterpret_cast<GcObject*>(s);
+    return v;
+  }
+  static Value Array(ArrayObject* a) {
+    Value v;
+    v.type = ValueType::kArray;
+    v.object = reinterpret_cast<GcObject*>(a);
+    return v;
+  }
+
+  bool is_null() const { return type == ValueType::kNull; }
+  bool is_bool() const { return type == ValueType::kBool; }
+  bool is_number() const { return type == ValueType::kNumber; }
+  bool is_string() const { return type == ValueType::kString; }
+  bool is_array() const { return type == ValueType::kArray; }
+  bool is_object() const { return is_string() || is_array(); }
+
+  // JS-style truthiness: null, false and 0 are falsey.
+  bool Truthy() const {
+    switch (type) {
+      case ValueType::kNull:
+        return false;
+      case ValueType::kBool:
+        return boolean;
+      case ValueType::kNumber:
+        return number != 0;
+      default:
+        return true;
+    }
+  }
+
+  StringObject* AsString() const { return reinterpret_cast<StringObject*>(object); }
+  ArrayObject* AsArray() const { return reinterpret_cast<ArrayObject*>(object); }
+};
+
+static_assert(sizeof(Value) == 16, "Value should stay two words");
+
+// GC header common to all heap objects. Objects are chained on an intrusive
+// all-objects list for the sweep phase.
+struct GcObject {
+  enum class Kind : uint8_t { kString, kArray };
+  Kind kind;
+  bool marked = false;
+  GcObject* next = nullptr;
+};
+
+// Immutable string: character data lives inline in the same M_U allocation.
+struct StringObject {
+  GcObject header;
+  size_t length = 0;
+  char data[];  // length bytes + NUL
+
+  std::string_view view() const { return {data, length}; }
+};
+
+// Growable array; `slots` is a separate M_U allocation.
+struct ArrayObject {
+  GcObject header;
+  size_t size = 0;
+  size_t capacity = 0;
+  Value* slots = nullptr;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_VALUE_H_

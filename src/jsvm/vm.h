@@ -1,0 +1,108 @@
+// The bytecode VM: the untrusted engine's execution core.
+//
+// The VM plays the role of SpiderMonkey: it runs inside the untrusted
+// compartment, allocates every heap object from M_U, and reaches memory the
+// embedder hands it only through addresses. Host functions (the embedder's
+// bindings) bridge back into the trusted side.
+//
+// The opt-in vulnerability (VmOptions::enable_vulnerability) exposes the
+// __addrof/__peek/__poke builtins — a data-only arbitrary read/write
+// primitive equivalent to the CVE-2019-11707-based exploit of §5.4. The
+// primitive performs *real* loads and stores, checked against the MPK
+// backend exactly like any other untrusted access: with PKRU-Safe enforcing,
+// a poke at trusted memory faults; without it, the write lands.
+#ifndef SRC_JSVM_VM_H_
+#define SRC_JSVM_VM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/jsvm/bytecode.h"
+#include "src/jsvm/compiler.h"
+#include "src/jsvm/heap.h"
+#include "src/jsvm/value.h"
+#include "src/runtime/runtime.h"
+
+namespace pkrusafe {
+
+class Vm;
+
+// A host function: implemented by the embedder, callable from scripts.
+using HostFn = std::function<Result<Value>(Vm&, const std::vector<Value>&)>;
+
+struct VmOptions {
+  bool enable_vulnerability = false;
+  uint64_t max_steps = 2'000'000'000;
+  size_t gc_threshold_bytes = JsHeap::kDefaultGcThreshold;
+};
+
+class Vm {
+ public:
+  explicit Vm(PkruSafeRuntime* runtime, VmOptions options = {});
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // Host functions must be registered before Compile (they participate in
+  // name resolution).
+  void RegisterHost(const std::string& name, HostFn fn);
+
+  // Parses + compiles `source` against the registered host functions and
+  // loads it, interning constants and resetting globals.
+  Status Load(std::string_view source);
+
+  // Runs the top-level code.
+  Result<Value> Run();
+
+  // Calls a script function by name (used to re-run benchmark kernels
+  // without recompiling).
+  Result<Value> CallFunction(const std::string& name, const std::vector<Value>& args);
+
+  // --- services for host functions ---
+  JsHeap& heap() { return heap_; }
+  PkruSafeRuntime& runtime() { return *runtime_; }
+  Result<Value> MakeString(std::string_view text);
+  std::string ToDisplayString(const Value& value);
+
+  // Lines produced by print().
+  const std::vector<std::string>& print_output() const { return print_output_; }
+  void ClearPrintOutput() { print_output_.clear(); }
+
+  uint64_t steps_executed() const { return steps_; }
+
+ private:
+  struct Frame {
+    const CompiledFunction* fn;
+    size_t ip;
+    size_t base;  // first local's index in locals_
+  };
+
+  Result<Value> Execute(uint32_t function_index, const std::vector<Value>& args);
+  Result<Value> RunBuiltin(BuiltinId id, std::vector<Value>& args);
+  Status RuntimeError(const Frame& frame, const std::string& message) const;
+  void VisitRoots(const std::function<void(const Value&)>& visit) const;
+  void MaybeCollect();
+
+  PkruSafeRuntime* runtime_;
+  VmOptions options_;
+  JsHeap heap_;
+  std::vector<std::string> host_names_;
+  std::vector<HostFn> host_fns_;
+  CompiledProgram program_;
+  bool loaded_ = false;
+
+  // Interned constant values per function (parallel to constants pools).
+  std::vector<std::vector<Value>> interned_;
+  std::vector<Value> globals_;
+  std::vector<Value> stack_;
+  std::vector<Value> locals_;
+  std::vector<Frame> frames_;
+  std::vector<std::string> print_output_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_JSVM_VM_H_

@@ -1,0 +1,118 @@
+// An ordered map from half-open address intervals [begin, end) to values.
+//
+// Used for (a) page→protection-key tagging in the MPK backends and (b) the
+// live-object provenance table the profiler consults on faults: "which heap
+// object does this faulting address belong to?" (§4.3.2).
+#ifndef SRC_MEMMAP_INTERVAL_MAP_H_
+#define SRC_MEMMAP_INTERVAL_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+template <typename V>
+class IntervalMap {
+ public:
+  struct Interval {
+    uintptr_t begin;
+    uintptr_t end;  // exclusive
+    V value;
+  };
+
+  // Inserts [begin, end) → value. Fails if the interval is empty or overlaps
+  // an existing interval.
+  Status Insert(uintptr_t begin, uintptr_t end, V value) {
+    if (begin >= end) {
+      return InvalidArgumentError("empty interval");
+    }
+    if (OverlapsLocked(begin, end)) {
+      return AlreadyExistsError("interval overlaps existing entry");
+    }
+    entries_.emplace(begin, Entry{end, std::move(value)});
+    return Status::Ok();
+  }
+
+  // Removes the interval starting exactly at `begin`. Returns its value.
+  Result<V> Erase(uintptr_t begin) {
+    auto it = entries_.find(begin);
+    if (it == entries_.end()) {
+      return NotFoundError("no interval starts at the given address");
+    }
+    V value = std::move(it->second.value);
+    entries_.erase(it);
+    return value;
+  }
+
+  // Finds the interval containing `addr`, if any.
+  std::optional<Interval> Find(uintptr_t addr) const {
+    auto it = entries_.upper_bound(addr);
+    if (it == entries_.begin()) {
+      return std::nullopt;
+    }
+    --it;
+    if (addr >= it->second.end) {
+      return std::nullopt;
+    }
+    return Interval{it->first, it->second.end, it->second.value};
+  }
+
+  // Mutable access to the value of the interval containing `addr`.
+  V* FindValue(uintptr_t addr) {
+    auto it = entries_.upper_bound(addr);
+    if (it == entries_.begin()) {
+      return nullptr;
+    }
+    --it;
+    if (addr >= it->second.end) {
+      return nullptr;
+    }
+    return &it->second.value;
+  }
+
+  bool Overlaps(uintptr_t begin, uintptr_t end) const { return OverlapsLocked(begin, end); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  // Ordered iteration over all intervals.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [begin, entry] : entries_) {
+      fn(Interval{begin, entry.end, entry.value});
+    }
+  }
+
+ private:
+  struct Entry {
+    uintptr_t end;
+    V value;
+  };
+
+  bool OverlapsLocked(uintptr_t begin, uintptr_t end) const {
+    // The first interval starting at or after `begin` overlaps iff it starts
+    // before `end`; the interval before `begin` overlaps iff it extends past
+    // `begin`.
+    auto it = entries_.lower_bound(begin);
+    if (it != entries_.end() && it->first < end) {
+      return true;
+    }
+    if (it != entries_.begin()) {
+      --it;
+      if (it->second.end > begin) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::map<uintptr_t, Entry> entries_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MEMMAP_INTERVAL_MAP_H_

@@ -1,0 +1,29 @@
+// Page-size constants and alignment helpers.
+//
+// MPK (and our emulations of it) protect memory at page granularity, which is
+// the central tension the paper resolves (§3.4): objects are smaller than
+// pages, so *where* an object is allocated decides *who* may access it.
+#ifndef SRC_MEMMAP_PAGE_H_
+#define SRC_MEMMAP_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pkrusafe {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+constexpr uintptr_t PageDown(uintptr_t addr) { return addr & ~(kPageSize - 1); }
+constexpr uintptr_t PageUp(uintptr_t addr) { return (addr + kPageSize - 1) & ~(kPageSize - 1); }
+constexpr bool IsPageAligned(uintptr_t addr) { return (addr & (kPageSize - 1)) == 0; }
+constexpr uint64_t PageIndex(uintptr_t addr) { return addr >> kPageShift; }
+
+constexpr size_t RoundUp(size_t value, size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+constexpr bool IsPowerOfTwo(size_t value) { return value != 0 && (value & (value - 1)) == 0; }
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MEMMAP_PAGE_H_

@@ -1,0 +1,104 @@
+#include "src/memmap/vm_region.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/memmap/page.h"
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+namespace {
+
+int ToProtFlags(PageProtection protection) {
+  switch (protection) {
+    case PageProtection::kNone:
+      return PROT_NONE;
+    case PageProtection::kRead:
+      return PROT_READ;
+    case PageProtection::kReadWrite:
+      return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+}  // namespace
+
+Result<VmRegion> VmRegion::ReserveWithProt(size_t size, int prot) {
+  if (size == 0) {
+    return InvalidArgumentError("cannot reserve empty region");
+  }
+  const size_t rounded = PageUp(size);
+  void* addr = ::mmap(nullptr, rounded, prot, MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (addr == MAP_FAILED) {
+    return ResourceExhaustedError(
+        StrFormat("mmap of %zu bytes failed: %s", rounded, std::strerror(errno)));
+  }
+  return VmRegion(reinterpret_cast<uintptr_t>(addr), rounded);
+}
+
+VmRegion::VmRegion(VmRegion&& other) noexcept
+    : base_(std::exchange(other.base_, 0)), size_(std::exchange(other.size_, 0)) {}
+
+VmRegion& VmRegion::operator=(VmRegion&& other) noexcept {
+  if (this != &other) {
+    if (base_ != 0) {
+      ::munmap(reinterpret_cast<void*>(base_), size_);
+    }
+    base_ = std::exchange(other.base_, 0);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+VmRegion::~VmRegion() {
+  if (base_ != 0) {
+    ::munmap(reinterpret_cast<void*>(base_), size_);
+  }
+}
+
+Result<VmRegion> VmRegion::Reserve(size_t size) {
+  return VmRegion::ReserveWithProt(size, PROT_READ | PROT_WRITE);
+}
+
+Result<VmRegion> VmRegion::ReserveInaccessible(size_t size) {
+  return ReserveWithProt(size, PROT_NONE);
+}
+
+Status VmRegion::Protect(size_t offset, size_t length, PageProtection protection) {
+  if (!valid()) {
+    return FailedPreconditionError("Protect on invalid region");
+  }
+  if (!IsPageAligned(offset) || !IsPageAligned(length)) {
+    return InvalidArgumentError("Protect range must be page-aligned");
+  }
+  if (offset + length > size_ || offset + length < offset) {
+    return OutOfRangeError("Protect range outside region");
+  }
+  if (::mprotect(reinterpret_cast<void*>(base_ + offset), length, ToProtFlags(protection)) != 0) {
+    return InternalError(StrFormat("mprotect failed: %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status VmRegion::Decommit(size_t offset, size_t length) {
+  if (!valid()) {
+    return FailedPreconditionError("Decommit on invalid region");
+  }
+  if (!IsPageAligned(offset) || !IsPageAligned(length)) {
+    return InvalidArgumentError("Decommit range must be page-aligned");
+  }
+  if (offset + length > size_ || offset + length < offset) {
+    return OutOfRangeError("Decommit range outside region");
+  }
+  if (::madvise(reinterpret_cast<void*>(base_ + offset), length, MADV_DONTNEED) != 0) {
+    return InternalError(StrFormat("madvise failed: %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,64 @@
+// RAII wrapper over a reserved virtual-memory region.
+//
+// pkalloc reserves each compartment pool as one large region up front
+// (the paper reserves 46 bits of address space for M_T, §4.4) and relies on
+// on-demand paging: reserving costs nothing until pages are touched.
+#ifndef SRC_MEMMAP_VM_REGION_H_
+#define SRC_MEMMAP_VM_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+enum class PageProtection : uint8_t {
+  kNone,       // PROT_NONE
+  kRead,       // PROT_READ
+  kReadWrite,  // PROT_READ | PROT_WRITE
+};
+
+// One mmap'd reservation. Movable, not copyable; unmaps on destruction.
+class VmRegion {
+ public:
+  VmRegion() = default;
+  VmRegion(const VmRegion&) = delete;
+  VmRegion& operator=(const VmRegion&) = delete;
+  VmRegion(VmRegion&& other) noexcept;
+  VmRegion& operator=(VmRegion&& other) noexcept;
+  ~VmRegion();
+
+  // Reserves `size` bytes of address space (rounded up to pages) with
+  // read/write protection, backed lazily by anonymous memory.
+  static Result<VmRegion> Reserve(size_t size);
+
+  // Like Reserve, but the region starts PROT_NONE; callers Protect() ranges
+  // before use. Used by the trusted pool so untouched pages stay inaccessible.
+  static Result<VmRegion> ReserveInaccessible(size_t size);
+
+  // Changes protection on [offset, offset+length), both page-aligned.
+  Status Protect(size_t offset, size_t length, PageProtection protection);
+
+  // Releases physical backing for the range but keeps the reservation
+  // (MADV_DONTNEED). Page contents read as zero afterwards.
+  Status Decommit(size_t offset, size_t length);
+
+  uintptr_t base() const { return base_; }
+  size_t size() const { return size_; }
+  bool valid() const { return base_ != 0; }
+  bool Contains(uintptr_t addr) const { return addr >= base_ && addr < base_ + size_; }
+
+ private:
+  VmRegion(uintptr_t base, size_t size) : base_(base), size_(size) {}
+
+  // `prot` is a raw PROT_* bitmask; kept as int so the header avoids <sys/mman.h>.
+  static Result<VmRegion> ReserveWithProt(size_t size, int prot);
+
+  uintptr_t base_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MEMMAP_VM_REGION_H_

@@ -1,0 +1,99 @@
+// The pluggable MPK enforcement backend.
+//
+// PKRU-Safe's mechanism needs four capabilities from the platform:
+//   1. allocate a protection key,
+//   2. tag page ranges with a key,
+//   3. read/write the per-thread PKRU register, and
+//   4. deliver a fault when code accesses a page whose key the current PKRU
+//      denies — and allow the profiler to observe, record, and resume.
+//
+// Three implementations exist (see DESIGN.md "Substitutions"):
+//   * SimMpkBackend       — deterministic software model; accesses are checked
+//                           explicitly through CheckAccess (used by the IR
+//                           interpreter and the untrusted jsvm engine).
+//   * MprotectMpkBackend  — real OS enforcement: PKRU writes become mprotect
+//                           calls, violations raise genuine SIGSEGV.
+//   * HardwareMpkBackend  — real Intel MPK, when the CPU supports PKU.
+#ifndef SRC_MPK_BACKEND_H_
+#define SRC_MPK_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "src/mpk/pkey.h"
+#include "src/mpk/pkru.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+enum class AccessKind : uint8_t { kRead, kWrite };
+
+inline const char* AccessKindName(AccessKind kind) {
+  return kind == AccessKind::kRead ? "read" : "write";
+}
+
+// Description of a protection-key violation.
+struct MpkFault {
+  uintptr_t address = 0;
+  AccessKind kind = AccessKind::kRead;
+  PkeyId key = kDefaultPkey;   // the key tagging the faulting page
+  PkruValue pkru;              // the thread PKRU at fault time
+};
+
+// What the fault handler wants the backend to do after it has recorded the
+// fault (§4.3.2: the profiler single-steps the faulting access and then
+// restores protection; an enforcing build simply denies).
+enum class FaultResolution : uint8_t {
+  kDeny,          // propagate the violation (terminate / report an error)
+  kRetryAllowed,  // permit exactly this access, then restore protections
+};
+
+// Invoked on every protection-key violation the backend detects.
+using FaultHandlerFn = std::function<FaultResolution(const MpkFault&)>;
+
+class MpkBackend {
+ public:
+  virtual ~MpkBackend() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Whether violations are trapped by the OS/hardware on ordinary
+  // loads/stores (true) or only through the CheckAccess API (false).
+  virtual bool enforces_natively() const = 0;
+
+  // Allocates a fresh protection key. Key 0 is never returned.
+  virtual Result<PkeyId> AllocateKey() = 0;
+
+  // Tags pages [addr, addr+length) with `key` (pkey_mprotect analogue).
+  virtual Status TagRange(uintptr_t addr, size_t length, PkeyId key) = 0;
+
+  // Removes the tag for the range starting at `addr`.
+  virtual Status UntagRange(uintptr_t addr) = 0;
+
+  // The key tagging `addr` (kDefaultPkey when untagged).
+  virtual PkeyId KeyFor(uintptr_t addr) const = 0;
+
+  // Reads / writes the calling thread's PKRU.
+  virtual PkruValue ReadPkru() const = 0;
+  virtual void WritePkru(PkruValue value) = 0;
+
+  // Validates an access against the current thread PKRU and the page-key
+  // tags. Native backends return Ok unconditionally (the MMU checks); the sim
+  // backend consults its model and routes violations through the fault
+  // handler. Returns PermissionDenied when the access is (still) denied.
+  virtual Status CheckAccess(uintptr_t addr, AccessKind kind) = 0;
+
+  // Installs the handler consulted on violations. Pass nullptr to reset to
+  // the default (deny).
+  virtual void SetFaultHandler(FaultHandlerFn handler) = 0;
+
+  // Performs any one-time setup native enforcement needs (the signal-based
+  // backends register their SIGSEGV/SIGTRAP handlers here). No-op for the
+  // software-checked backend.
+  virtual Status PrepareNativeEnforcement() { return Status::Ok(); }
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_BACKEND_H_

@@ -1,0 +1,45 @@
+#include "src/mpk/backend_factory.h"
+
+#include "src/mpk/hardware_backend.h"
+#include "src/mpk/mprotect_backend.h"
+#include "src/mpk/sim_backend.h"
+
+namespace pkrusafe {
+
+Result<BackendKind> ParseBackendKind(std::string_view name) {
+  if (name == "sim") {
+    return BackendKind::kSim;
+  }
+  if (name == "mprotect") {
+    return BackendKind::kMprotect;
+  }
+  if (name == "hardware") {
+    return BackendKind::kHardware;
+  }
+  if (name == "auto") {
+    return BackendKind::kAuto;
+  }
+  return InvalidArgumentError("unknown backend: " + std::string(name));
+}
+
+Result<std::unique_ptr<MpkBackend>> CreateMpkBackend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return std::unique_ptr<MpkBackend>(std::make_unique<SimMpkBackend>());
+    case BackendKind::kMprotect:
+      return std::unique_ptr<MpkBackend>(std::make_unique<MprotectMpkBackend>());
+    case BackendKind::kHardware:
+      if (!HardwareMpkBackend::IsSupported()) {
+        return UnavailableError("this machine does not support Intel MPK (PKU)");
+      }
+      return std::unique_ptr<MpkBackend>(std::make_unique<HardwareMpkBackend>());
+    case BackendKind::kAuto:
+      if (HardwareMpkBackend::IsSupported()) {
+        return std::unique_ptr<MpkBackend>(std::make_unique<HardwareMpkBackend>());
+      }
+      return std::unique_ptr<MpkBackend>(std::make_unique<SimMpkBackend>());
+  }
+  return InternalError("unreachable backend kind");
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,28 @@
+// Constructs MPK backends by name or by probing the platform.
+#ifndef SRC_MPK_BACKEND_FACTORY_H_
+#define SRC_MPK_BACKEND_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/mpk/backend.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+enum class BackendKind : uint8_t {
+  kSim,
+  kMprotect,
+  kHardware,
+  kAuto,  // hardware if supported, else sim
+};
+
+Result<BackendKind> ParseBackendKind(std::string_view name);
+
+// Creates a backend. kAuto prefers real MPK silicon and falls back to the
+// deterministic software model.
+Result<std::unique_ptr<MpkBackend>> CreateMpkBackend(BackendKind kind);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_BACKEND_FACTORY_H_

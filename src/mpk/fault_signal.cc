@@ -1,0 +1,175 @@
+#include "src/mpk/fault_signal.h"
+
+#include <signal.h>
+#include <string.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pkrusafe {
+
+namespace {
+
+#if defined(__x86_64__)
+// Bit 1 of the page-fault error code distinguishes writes from reads.
+constexpr uint64_t kPageFaultWriteBit = 1u << 1;
+// EFLAGS trap flag: single-step after the next instruction.
+constexpr uint64_t kEflagsTrapFlag = 1u << 8;
+#endif
+
+std::atomic<FaultSignalDelegate*> g_delegate{nullptr};
+std::atomic<uint64_t> g_serviced_faults{0};
+
+struct sigaction g_prev_segv;
+struct sigaction g_prev_trap;
+bool g_installed = false;
+
+// At most one in-flight single-step per process; MPK faults are serialized
+// through this slot. A sig_atomic_t spin flag guards it.
+struct PendingStep {
+  std::atomic<bool> active{false};
+  MpkFault fault;
+};
+PendingStep g_pending;
+
+void ChainToPrevious(const struct sigaction& prev, int signo, siginfo_t* info, void* context) {
+  if ((prev.sa_flags & SA_SIGINFO) != 0 && prev.sa_sigaction != nullptr) {
+    prev.sa_sigaction(signo, info, context);
+    return;
+  }
+  if (prev.sa_handler == SIG_IGN) {
+    return;
+  }
+  if (prev.sa_handler != SIG_DFL && prev.sa_handler != nullptr) {
+    prev.sa_handler(signo);
+    return;
+  }
+  // Default disposition: restore and re-raise so the kernel terminates us
+  // with the original signal.
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+void DieWithViolation(const MpkFault& fault) {
+  // Async-signal-safe-ish reporting: fixed buffer + write(2) via fprintf is
+  // tolerated here because we are about to terminate anyway.
+  std::fprintf(stderr,
+               "pkru-safe: fatal MPK violation: %s of 0x%zx (pkey %u) denied; terminating\n",
+               AccessKindName(fault.kind), fault.address, static_cast<unsigned>(fault.key));
+  std::fflush(stderr);
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+}
+
+void SegvHandler(int signo, siginfo_t* info, void* context) {
+#if defined(__x86_64__)
+  FaultSignalDelegate* delegate = g_delegate.load(std::memory_order_acquire);
+  auto* uc = static_cast<ucontext_t*>(context);
+  const auto addr = reinterpret_cast<uintptr_t>(info->si_addr);
+  const bool is_write =
+      (static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_ERR]) & kPageFaultWriteBit) != 0;
+
+  std::optional<MpkFault> fault;
+  if (delegate != nullptr) {
+    fault = delegate->Classify(addr, is_write);
+  }
+  if (!fault.has_value()) {
+    ChainToPrevious(g_prev_segv, signo, info, context);
+    return;
+  }
+
+  const FaultResolution resolution = delegate->OnFault(*fault);
+  if (resolution == FaultResolution::kDeny) {
+    DieWithViolation(*fault);
+    return;  // unreachable
+  }
+
+  // Single-step resume. Serialize: a second concurrent MPK fault spins until
+  // the first completes its step.
+  bool expected = false;
+  while (!g_pending.active.compare_exchange_weak(expected, true, std::memory_order_acquire)) {
+    expected = false;
+  }
+  g_pending.fault = *fault;
+  g_serviced_faults.fetch_add(1, std::memory_order_relaxed);
+  delegate->AllowOnce(*fault);
+  uc->uc_mcontext.gregs[REG_EFL] |= static_cast<greg_t>(kEflagsTrapFlag);
+#else
+  (void)signo;
+  (void)info;
+  (void)context;
+  ChainToPrevious(g_prev_segv, signo, info, context);
+#endif
+}
+
+void TrapHandler(int signo, siginfo_t* info, void* context) {
+#if defined(__x86_64__)
+  FaultSignalDelegate* delegate = g_delegate.load(std::memory_order_acquire);
+  if (delegate != nullptr && g_pending.active.load(std::memory_order_acquire)) {
+    auto* uc = static_cast<ucontext_t*>(context);
+    delegate->Reprotect(g_pending.fault);
+    uc->uc_mcontext.gregs[REG_EFL] &= ~static_cast<greg_t>(kEflagsTrapFlag);
+    g_pending.active.store(false, std::memory_order_release);
+    return;
+  }
+#endif
+  ChainToPrevious(g_prev_trap, signo, info, context);
+}
+
+}  // namespace
+
+Status FaultSignalEngine::Install(FaultSignalDelegate* delegate) {
+  if (delegate == nullptr) {
+    return InvalidArgumentError("null delegate");
+  }
+  FaultSignalDelegate* current = g_delegate.load(std::memory_order_acquire);
+  if (current == delegate && g_installed) {
+    return Status::Ok();
+  }
+  if (current != nullptr && current != delegate) {
+    return FailedPreconditionError("another fault delegate is already installed");
+  }
+
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = SegvHandler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGSEGV, &sa, &g_prev_segv) != 0) {
+    return InternalError("sigaction(SIGSEGV) failed");
+  }
+
+  struct sigaction ta;
+  memset(&ta, 0, sizeof(ta));
+  ta.sa_sigaction = TrapHandler;
+  ta.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&ta.sa_mask);
+  if (sigaction(SIGTRAP, &ta, &g_prev_trap) != 0) {
+    sigaction(SIGSEGV, &g_prev_segv, nullptr);
+    return InternalError("sigaction(SIGTRAP) failed");
+  }
+
+  g_delegate.store(delegate, std::memory_order_release);
+  g_installed = true;
+  return Status::Ok();
+}
+
+void FaultSignalEngine::Uninstall() {
+  if (!g_installed) {
+    return;
+  }
+  sigaction(SIGSEGV, &g_prev_segv, nullptr);
+  sigaction(SIGTRAP, &g_prev_trap, nullptr);
+  g_delegate.store(nullptr, std::memory_order_release);
+  g_installed = false;
+}
+
+bool FaultSignalEngine::installed() { return g_installed; }
+
+uint64_t FaultSignalEngine::serviced_fault_count() {
+  return g_serviced_faults.load(std::memory_order_relaxed);
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,64 @@
+// Shared SIGSEGV/SIGTRAP machinery for the natively-enforcing backends.
+//
+// Reproduces the paper's fault-handler design (§4.3.2):
+//   * SIGSEGV: classify the fault. Non-MPK faults fall through to whatever
+//     handler the application had registered (chaining, §4.3.1). MPK faults
+//     are reported to the installed FaultHandlerFn.
+//   * kRetryAllowed: the engine asks the backend to permit the access, sets
+//     the x86 trap flag (TF) in the interrupted context and returns; the
+//     faulting instruction re-executes and completes; the resulting SIGTRAP
+//     restores protections and clears TF — single-step resume, exactly as in
+//     the paper (they "wished to avoid decoding the faulting instruction").
+//   * kDeny: the engine uninstalls itself and re-raises, terminating the
+//     program with the genuine access violation (enforcement-mode crash).
+//
+// Only one engine can be installed at a time; installation is idempotent.
+#ifndef SRC_MPK_FAULT_SIGNAL_H_
+#define SRC_MPK_FAULT_SIGNAL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/mpk/backend.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+// Backend-specific hooks the engine drives. All are invoked from signal
+// context and must confine themselves to async-signal-tolerant work.
+class FaultSignalDelegate {
+ public:
+  virtual ~FaultSignalDelegate() = default;
+
+  // Maps a faulting address to an MPK fault, or nullopt if the fault is not
+  // a protection-key violation (it will then be chained).
+  virtual std::optional<MpkFault> Classify(uintptr_t addr, bool is_write) = 0;
+
+  // Consulted after Classify; decides deny vs single-step.
+  virtual FaultResolution OnFault(const MpkFault& fault) = 0;
+
+  // Temporarily grants access to the faulting page(s) so the instruction can
+  // complete, and re-establishes protection afterwards.
+  virtual void AllowOnce(const MpkFault& fault) = 0;
+  virtual void Reprotect(const MpkFault& fault) = 0;
+};
+
+class FaultSignalEngine {
+ public:
+  // Registers SIGSEGV and SIGTRAP handlers, remembering any previously
+  // installed SIGSEGV handler for chaining. The delegate must outlive the
+  // installation.
+  static Status Install(FaultSignalDelegate* delegate);
+
+  // Restores the chained handlers and detaches the delegate.
+  static void Uninstall();
+
+  static bool installed();
+
+  // Count of MPK faults serviced (single-stepped) since Install.
+  static uint64_t serviced_fault_count();
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_FAULT_SIGNAL_H_

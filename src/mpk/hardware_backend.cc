@@ -1,0 +1,171 @@
+#include "src/mpk/hardware_backend.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "src/memmap/page.h"
+#include "src/support/string_util.h"
+
+#ifndef SYS_pkey_alloc
+#define SYS_pkey_alloc 330
+#endif
+#ifndef SYS_pkey_free
+#define SYS_pkey_free 331
+#endif
+#ifndef SYS_pkey_mprotect
+#define SYS_pkey_mprotect 329
+#endif
+
+namespace pkrusafe {
+
+namespace {
+
+long PkeyAlloc() { return syscall(SYS_pkey_alloc, 0UL, 0UL); }
+long PkeyFree(int pkey) { return syscall(SYS_pkey_free, pkey); }
+long PkeyMprotect(uintptr_t addr, size_t len, int prot, int pkey) {
+  return syscall(SYS_pkey_mprotect, reinterpret_cast<void*>(addr), len, prot, pkey);
+}
+
+#if defined(__x86_64__)
+uint32_t RdPkru() {
+  uint32_t eax = 0;
+  uint32_t edx = 0;
+  uint32_t ecx = 0;
+  __asm__ volatile(".byte 0x0f,0x01,0xee" : "=a"(eax), "=d"(edx) : "c"(ecx));
+  return eax;
+}
+
+void WrPkru(uint32_t value) {
+  const uint32_t eax = value;
+  const uint32_t ecx = 0;
+  const uint32_t edx = 0;
+  __asm__ volatile(".byte 0x0f,0x01,0xef" : : "a"(eax), "c"(ecx), "d"(edx));
+}
+#else
+uint32_t RdPkru() { return 0; }
+void WrPkru(uint32_t) {}
+#endif
+
+}  // namespace
+
+bool HardwareMpkBackend::IsSupported() {
+#if defined(__x86_64__)
+  static const bool supported = [] {
+    const long key = PkeyAlloc();
+    if (key < 0) {
+      return false;
+    }
+    PkeyFree(static_cast<int>(key));
+    return true;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+HardwareMpkBackend::~HardwareMpkBackend() { UninstallSignalHandlers(); }
+
+Result<PkeyId> HardwareMpkBackend::AllocateKey() {
+  const long key = PkeyAlloc();
+  if (key < 0) {
+    return UnavailableError("pkey_alloc failed (no MPK support or keys exhausted)");
+  }
+  return static_cast<PkeyId>(key);
+}
+
+Status HardwareMpkBackend::TagRange(uintptr_t addr, size_t length, PkeyId key) {
+  if (PkeyMprotect(addr, length, PROT_READ | PROT_WRITE, key) != 0) {
+    return InternalError(StrFormat("pkey_mprotect(0x%zx, %zu, key=%u) failed", addr, length, key));
+  }
+  return page_keys_.Tag(addr, length, key);
+}
+
+Status HardwareMpkBackend::UntagRange(uintptr_t addr) {
+  auto interval = page_keys_.AllRanges();
+  for (const auto& range : interval) {
+    if (range.begin == addr) {
+      (void)PkeyMprotect(range.begin, range.end - range.begin, PROT_READ | PROT_WRITE,
+                         kDefaultPkey);
+      break;
+    }
+  }
+  return page_keys_.Untag(addr);
+}
+
+PkeyId HardwareMpkBackend::KeyFor(uintptr_t addr) const { return page_keys_.KeyFor(addr); }
+
+PkruValue HardwareMpkBackend::ReadPkru() const { return PkruValue(RdPkru()); }
+
+void HardwareMpkBackend::WritePkru(PkruValue value) {
+  // Keep the software mirror in sync so code that consults CurrentThreadPkru
+  // (stats, assertions) agrees with the hardware.
+  SetCurrentThreadPkru(value);
+  WrPkru(value.raw());
+}
+
+Status HardwareMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
+  (void)addr;
+  (void)kind;
+  return Status::Ok();  // the MMU enforces
+}
+
+void HardwareMpkBackend::SetFaultHandler(FaultHandlerFn handler) {
+  std::lock_guard lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+Status HardwareMpkBackend::InstallSignalHandlers() { return FaultSignalEngine::Install(this); }
+
+void HardwareMpkBackend::UninstallSignalHandlers() {
+  if (FaultSignalEngine::installed()) {
+    FaultSignalEngine::Uninstall();
+  }
+}
+
+std::optional<MpkFault> HardwareMpkBackend::Classify(uintptr_t addr, bool is_write) {
+  if (!page_keys_.IsTagged(addr)) {
+    return std::nullopt;
+  }
+  const PkeyId key = page_keys_.KeyFor(addr);
+  const PkruValue pkru = ReadPkru();
+  const AccessKind kind = is_write ? AccessKind::kWrite : AccessKind::kRead;
+  const bool allowed = kind == AccessKind::kRead ? pkru.allows_read(key) : pkru.allows_write(key);
+  if (allowed) {
+    return std::nullopt;
+  }
+  return MpkFault{addr, kind, key, pkru};
+}
+
+FaultResolution HardwareMpkBackend::OnFault(const MpkFault& fault) {
+  FaultHandlerFn handler;
+  {
+    std::lock_guard lock(handler_mutex_);
+    handler = handler_;
+  }
+  return handler ? handler(fault) : FaultResolution::kDeny;
+}
+
+void HardwareMpkBackend::AllowOnce(const MpkFault& fault) {
+  const uintptr_t page = PageDown(fault.address);
+  for (int i = 0; i < 2; ++i) {
+    const uintptr_t p = page + static_cast<uintptr_t>(i) * kPageSize;
+    if (page_keys_.IsTagged(p)) {
+      (void)PkeyMprotect(p, kPageSize, PROT_READ | PROT_WRITE, kDefaultPkey);
+    }
+  }
+}
+
+void HardwareMpkBackend::Reprotect(const MpkFault& fault) {
+  const uintptr_t page = PageDown(fault.address);
+  for (int i = 0; i < 2; ++i) {
+    const uintptr_t p = page + static_cast<uintptr_t>(i) * kPageSize;
+    if (page_keys_.IsTagged(p)) {
+      const PkeyId key = page_keys_.KeyFor(p);
+      (void)PkeyMprotect(p, kPageSize, PROT_READ | PROT_WRITE, key);
+    }
+  }
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,63 @@
+// Real Intel MPK backend, used when the CPU and kernel support PKU.
+//
+// Keys come from pkey_alloc(2), tagging from pkey_mprotect(2), and PKRU
+// reads/writes are the RDPKRU/WRPKRU instructions. Single-step resume
+// temporarily re-tags the faulting page with the default key (pkey 0) rather
+// than editing the PKRU slot of the signal frame's XSAVE area, which keeps the
+// signal path identical to the mprotect backend.
+#ifndef SRC_MPK_HARDWARE_BACKEND_H_
+#define SRC_MPK_HARDWARE_BACKEND_H_
+
+#include <mutex>
+
+#include "src/mpk/backend.h"
+#include "src/mpk/fault_signal.h"
+#include "src/mpk/page_key_map.h"
+
+namespace pkrusafe {
+
+class HardwareMpkBackend final : public MpkBackend, public FaultSignalDelegate {
+ public:
+  // True when pkey_alloc succeeds on this machine (CPU + kernel support).
+  static bool IsSupported();
+
+  HardwareMpkBackend() = default;
+  ~HardwareMpkBackend() override;
+
+  std::string_view name() const override { return "hardware"; }
+  bool enforces_natively() const override { return true; }
+
+  Result<PkeyId> AllocateKey() override;
+  Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
+  Status UntagRange(uintptr_t addr) override;
+  PkeyId KeyFor(uintptr_t addr) const override;
+
+  PkruValue ReadPkru() const override;
+  void WritePkru(PkruValue value) override;
+
+  Status CheckAccess(uintptr_t addr, AccessKind kind) override;
+  void SetFaultHandler(FaultHandlerFn handler) override;
+
+  Status PrepareNativeEnforcement() override { return InstallSignalHandlers(); }
+
+  Status InstallSignalHandlers();
+  void UninstallSignalHandlers();
+
+  // FaultSignalDelegate:
+  std::optional<MpkFault> Classify(uintptr_t addr, bool is_write) override;
+  FaultResolution OnFault(const MpkFault& fault) override;
+  void AllowOnce(const MpkFault& fault) override;
+  void Reprotect(const MpkFault& fault) override;
+
+ private:
+  // Mirror of the kernel's tags so faults can be attributed without parsing
+  // /proc/self/smaps.
+  PageKeyMap page_keys_;
+
+  std::mutex handler_mutex_;
+  FaultHandlerFn handler_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_HARDWARE_BACKEND_H_

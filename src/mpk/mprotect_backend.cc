@@ -1,0 +1,156 @@
+#include "src/mpk/mprotect_backend.h"
+
+#include <sys/mman.h>
+
+#include "src/memmap/page.h"
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+MprotectMpkBackend::~MprotectMpkBackend() { UninstallSignalHandlers(); }
+
+Result<PkeyId> MprotectMpkBackend::AllocateKey() {
+  const uint16_t key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  if (key >= kNumPkeys) {
+    return ResourceExhaustedError("out of protection keys");
+  }
+  return static_cast<PkeyId>(key);
+}
+
+int MprotectMpkBackend::ProtFor(PkruValue pkru, PkeyId key) {
+  if (pkru.access_disabled(key)) {
+    return PROT_NONE;
+  }
+  if (pkru.write_disabled(key)) {
+    return PROT_READ;
+  }
+  return PROT_READ | PROT_WRITE;
+}
+
+Status MprotectMpkBackend::TagRange(uintptr_t addr, size_t length, PkeyId key) {
+  PS_RETURN_IF_ERROR(page_keys_.Tag(addr, length, key));
+  PkruValue pkru;
+  {
+    std::lock_guard lock(pkru_mutex_);
+    pkru = effective_pkru_;
+  }
+  if (::mprotect(reinterpret_cast<void*>(addr), length, ProtFor(pkru, key)) != 0) {
+    (void)page_keys_.Untag(addr);
+    return InternalError("mprotect while tagging range failed");
+  }
+  return Status::Ok();
+}
+
+Status MprotectMpkBackend::UntagRange(uintptr_t addr) { return page_keys_.Untag(addr); }
+
+PkeyId MprotectMpkBackend::KeyFor(uintptr_t addr) const { return page_keys_.KeyFor(addr); }
+
+void MprotectMpkBackend::ApplyKeyProtection(PkeyId key, PkruValue pkru) {
+  const int prot = ProtFor(pkru, key);
+  for (const auto& range : page_keys_.RangesForKey(key)) {
+    if (::mprotect(reinterpret_cast<void*>(range.begin), range.end - range.begin, prot) != 0) {
+      PS_LOG(Error) << "mprotect failed while applying pkru to key " << static_cast<int>(key);
+    }
+  }
+}
+
+void MprotectMpkBackend::WritePkru(PkruValue value) {
+  SetCurrentThreadPkru(value);
+  PkruValue previous;
+  {
+    std::lock_guard lock(pkru_mutex_);
+    previous = effective_pkru_;
+    effective_pkru_ = value;
+  }
+  if (previous == value) {
+    return;
+  }
+  for (int key = 1; key < kNumPkeys; ++key) {
+    const auto id = static_cast<PkeyId>(key);
+    if (ProtFor(previous, id) != ProtFor(value, id)) {
+      ApplyKeyProtection(id, value);
+    }
+  }
+}
+
+Status MprotectMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
+  // The MMU enforces; accesses that reach this backend in software are let
+  // through so the hardware-equivalent path decides.
+  (void)addr;
+  (void)kind;
+  return Status::Ok();
+}
+
+void MprotectMpkBackend::SetFaultHandler(FaultHandlerFn handler) {
+  std::lock_guard lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+Status MprotectMpkBackend::InstallSignalHandlers() { return FaultSignalEngine::Install(this); }
+
+void MprotectMpkBackend::UninstallSignalHandlers() {
+  if (FaultSignalEngine::installed()) {
+    FaultSignalEngine::Uninstall();
+  }
+}
+
+std::optional<MpkFault> MprotectMpkBackend::Classify(uintptr_t addr, bool is_write) {
+  if (!page_keys_.IsTagged(addr)) {
+    return std::nullopt;  // not ours: chain to the application's handler
+  }
+  const PkeyId key = page_keys_.KeyFor(addr);
+  PkruValue pkru;
+  {
+    std::lock_guard lock(pkru_mutex_);
+    pkru = effective_pkru_;
+  }
+  const AccessKind kind = is_write ? AccessKind::kWrite : AccessKind::kRead;
+  const bool allowed = kind == AccessKind::kRead ? pkru.allows_read(key) : pkru.allows_write(key);
+  if (allowed) {
+    // Tagged but permitted: a genuine SEGV (e.g. unrelated bug); chain it.
+    return std::nullopt;
+  }
+  return MpkFault{addr, kind, key, pkru};
+}
+
+FaultResolution MprotectMpkBackend::OnFault(const MpkFault& fault) {
+  FaultHandlerFn handler;
+  {
+    std::lock_guard lock(handler_mutex_);
+    handler = handler_;
+  }
+  return handler ? handler(fault) : FaultResolution::kDeny;
+}
+
+void MprotectMpkBackend::AllowOnce(const MpkFault& fault) {
+  // One instruction may touch at most two pages (an unaligned access that
+  // straddles a boundary); open whichever of the two are tagged. Untagged
+  // neighbours are left alone — they may be unrelated mappings.
+  const uintptr_t page = PageDown(fault.address);
+  for (int i = 0; i < 2; ++i) {
+    const uintptr_t p = page + static_cast<uintptr_t>(i) * kPageSize;
+    if (page_keys_.IsTagged(p)) {
+      (void)::mprotect(reinterpret_cast<void*>(p), kPageSize, PROT_READ | PROT_WRITE);
+    }
+  }
+}
+
+void MprotectMpkBackend::Reprotect(const MpkFault& fault) {
+  PkruValue pkru;
+  {
+    std::lock_guard lock(pkru_mutex_);
+    pkru = effective_pkru_;
+  }
+  const uintptr_t page = PageDown(fault.address);
+  // Restore each page according to its own key (they may differ at a pool
+  // boundary).
+  for (int i = 0; i < 2; ++i) {
+    const uintptr_t p = page + static_cast<uintptr_t>(i) * kPageSize;
+    if (page_keys_.IsTagged(p)) {
+      const PkeyId key = page_keys_.KeyFor(p);
+      (void)::mprotect(reinterpret_cast<void*>(p), kPageSize, ProtFor(pkru, key));
+    }
+  }
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,77 @@
+// OS-enforced MPK emulation via mprotect.
+//
+// PKRU writes are translated into mprotect calls over the ranges tagged with
+// each affected key, so a denied access is a *real* access violation: the MMU
+// raises SIGSEGV with no cooperation from the offending code. This is the
+// backend that exercises the paper's genuine enforcement and profiling paths
+// (fault handler, single-step resume) on machines without MPK silicon.
+//
+// Divergence from hardware (documented in DESIGN.md): page protections are
+// process-wide, so the effective PKRU is a process-wide value; per-thread
+// PKRU reads still reflect the last value the thread wrote.
+#ifndef SRC_MPK_MPROTECT_BACKEND_H_
+#define SRC_MPK_MPROTECT_BACKEND_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "src/mpk/backend.h"
+#include "src/mpk/fault_signal.h"
+#include "src/mpk/page_key_map.h"
+
+namespace pkrusafe {
+
+class MprotectMpkBackend final : public MpkBackend, public FaultSignalDelegate {
+ public:
+  MprotectMpkBackend() = default;
+  ~MprotectMpkBackend() override;
+
+  std::string_view name() const override { return "mprotect"; }
+  bool enforces_natively() const override { return true; }
+
+  Result<PkeyId> AllocateKey() override;
+  Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
+  Status UntagRange(uintptr_t addr) override;
+  PkeyId KeyFor(uintptr_t addr) const override;
+
+  PkruValue ReadPkru() const override { return CurrentThreadPkru(); }
+  void WritePkru(PkruValue value) override;
+
+  // Native enforcement: ordinary loads/stores trap on violation.
+  Status CheckAccess(uintptr_t addr, AccessKind kind) override;
+
+  void SetFaultHandler(FaultHandlerFn handler) override;
+
+  // Registers the SIGSEGV/SIGTRAP handlers (chaining any existing ones).
+  // Must be called before violations are expected; idempotent.
+  Status PrepareNativeEnforcement() override { return InstallSignalHandlers(); }
+
+  Status InstallSignalHandlers();
+  void UninstallSignalHandlers();
+
+  // FaultSignalDelegate:
+  std::optional<MpkFault> Classify(uintptr_t addr, bool is_write) override;
+  FaultResolution OnFault(const MpkFault& fault) override;
+  void AllowOnce(const MpkFault& fault) override;
+  void Reprotect(const MpkFault& fault) override;
+
+ private:
+  // Effective protection for pages tagged `key` under PKRU `pkru`.
+  static int ProtFor(PkruValue pkru, PkeyId key);
+
+  // mprotects every range tagged with `key` per `pkru`.
+  void ApplyKeyProtection(PkeyId key, PkruValue pkru);
+
+  PageKeyMap page_keys_;
+  std::atomic<uint16_t> next_key_{1};
+
+  std::mutex pkru_mutex_;
+  PkruValue effective_pkru_;  // process-wide value protections currently reflect
+
+  std::mutex handler_mutex_;
+  FaultHandlerFn handler_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_MPROTECT_BACKEND_H_

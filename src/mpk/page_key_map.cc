@@ -1,0 +1,71 @@
+#include "src/mpk/page_key_map.h"
+
+#include "src/memmap/page.h"
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+Status PageKeyMap::Tag(uintptr_t addr, size_t length, PkeyId key) {
+  if (!IsPageAligned(addr) || !IsPageAligned(length) || length == 0) {
+    return InvalidArgumentError("Tag range must be non-empty and page-aligned");
+  }
+  if (key >= kNumPkeys) {
+    return InvalidArgumentError(StrFormat("pkey %d out of range", key));
+  }
+  std::unique_lock lock(mutex_);
+  // Allow exact retagging: pkey_mprotect may be called repeatedly on the same
+  // mapping with a different key.
+  auto existing = ranges_.Find(addr);
+  if (existing.has_value() && existing->begin == addr && existing->end == addr + length) {
+    (void)ranges_.Erase(addr);
+    return ranges_.Insert(addr, addr + length, key);
+  }
+  return ranges_.Insert(addr, addr + length, key);
+}
+
+Status PageKeyMap::Untag(uintptr_t addr) {
+  std::unique_lock lock(mutex_);
+  auto result = ranges_.Erase(addr);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return Status::Ok();
+}
+
+PkeyId PageKeyMap::KeyFor(uintptr_t addr) const {
+  std::shared_lock lock(mutex_);
+  auto interval = ranges_.Find(addr);
+  return interval.has_value() ? interval->value : kDefaultPkey;
+}
+
+bool PageKeyMap::IsTagged(uintptr_t addr) const {
+  std::shared_lock lock(mutex_);
+  return ranges_.Find(addr).has_value();
+}
+
+std::vector<PageKeyMap::TaggedRange> PageKeyMap::RangesForKey(PkeyId key) const {
+  std::shared_lock lock(mutex_);
+  std::vector<TaggedRange> out;
+  ranges_.ForEach([&](const IntervalMap<PkeyId>::Interval& interval) {
+    if (interval.value == key) {
+      out.push_back(TaggedRange{interval.begin, interval.end, interval.value});
+    }
+  });
+  return out;
+}
+
+std::vector<PageKeyMap::TaggedRange> PageKeyMap::AllRanges() const {
+  std::shared_lock lock(mutex_);
+  std::vector<TaggedRange> out;
+  ranges_.ForEach([&](const IntervalMap<PkeyId>::Interval& interval) {
+    out.push_back(TaggedRange{interval.begin, interval.end, interval.value});
+  });
+  return out;
+}
+
+size_t PageKeyMap::range_count() const {
+  std::shared_lock lock(mutex_);
+  return ranges_.size();
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,58 @@
+// Thread-safe map from page ranges to protection keys.
+//
+// This models the protection-key field of the page tables: the sim backend
+// consults it on every checked access, and the mprotect backend uses it to
+// translate PKRU writes into mprotect calls over the affected ranges.
+#ifndef SRC_MPK_PAGE_KEY_MAP_H_
+#define SRC_MPK_PAGE_KEY_MAP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/memmap/interval_map.h"
+#include "src/mpk/pkey.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+class PageKeyMap {
+ public:
+  struct TaggedRange {
+    uintptr_t begin;
+    uintptr_t end;
+    PkeyId key;
+  };
+
+  // Tags [addr, addr+length) with `key`. Both bounds must be page-aligned.
+  // Retagging an identical existing range is allowed (pkey_mprotect
+  // semantics); partially overlapping ranges are rejected.
+  Status Tag(uintptr_t addr, size_t length, PkeyId key);
+
+  // Removes the tag for the range starting at `addr` (e.g. on unmap).
+  Status Untag(uintptr_t addr);
+
+  // The key governing `addr`; kDefaultPkey when untagged.
+  PkeyId KeyFor(uintptr_t addr) const;
+
+  // Whether `addr` lies in any explicitly tagged range.
+  bool IsTagged(uintptr_t addr) const;
+
+  // Snapshot of all ranges tagged with `key`.
+  std::vector<TaggedRange> RangesForKey(PkeyId key) const;
+
+  // Snapshot of every tagged range.
+  std::vector<TaggedRange> AllRanges() const;
+
+  size_t range_count() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  IntervalMap<PkeyId> ranges_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_PAGE_KEY_MAP_H_

@@ -1,0 +1,34 @@
+// Protection-key identifiers and the two-compartment domain policy.
+//
+// Intel MPK provides 16 protection keys. Every page carries a 4-bit key in
+// its page-table entry; the per-thread PKRU register holds an access-disable
+// (AD) and write-disable (WD) bit for each key. PKRU-Safe uses exactly two
+// domains (§6 "Number of Compartments"): the default key 0 for M_U and one
+// allocated key for the trusted pool M_T.
+#ifndef SRC_MPK_PKEY_H_
+#define SRC_MPK_PKEY_H_
+
+#include <cstdint>
+
+namespace pkrusafe {
+
+using PkeyId = uint8_t;
+
+inline constexpr int kNumPkeys = 16;
+// Key 0 is the default key: all memory not explicitly tagged. In our policy
+// this is M_U — memory accessible from both compartments.
+inline constexpr PkeyId kDefaultPkey = 0;
+
+// The compartment a piece of code or memory belongs to.
+enum class Domain : uint8_t {
+  kTrusted = 0,    // T: safe-language code; may access M_T and M_U.
+  kUntrusted = 1,  // U: legacy unsafe code; may access only M_U.
+};
+
+inline const char* DomainName(Domain domain) {
+  return domain == Domain::kTrusted ? "trusted" : "untrusted";
+}
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_PKEY_H_

@@ -1,0 +1,57 @@
+#include "src/mpk/sim_backend.h"
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+Result<PkeyId> SimMpkBackend::AllocateKey() {
+  const uint16_t key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  if (key >= kNumPkeys) {
+    return ResourceExhaustedError("out of protection keys");
+  }
+  return static_cast<PkeyId>(key);
+}
+
+Status SimMpkBackend::TagRange(uintptr_t addr, size_t length, PkeyId key) {
+  return page_keys_.Tag(addr, length, key);
+}
+
+Status SimMpkBackend::UntagRange(uintptr_t addr) { return page_keys_.Untag(addr); }
+
+PkeyId SimMpkBackend::KeyFor(uintptr_t addr) const { return page_keys_.KeyFor(addr); }
+
+Status SimMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
+  const PkeyId key = page_keys_.KeyFor(addr);
+  const PkruValue pkru = CurrentThreadPkru();
+  const bool allowed = kind == AccessKind::kRead ? pkru.allows_read(key) : pkru.allows_write(key);
+  if (allowed) {
+    return Status::Ok();
+  }
+
+  fault_count_.fetch_add(1, std::memory_order_relaxed);
+  const MpkFault fault{addr, kind, key, pkru};
+
+  FaultHandlerFn handler;
+  {
+    std::lock_guard lock(handler_mutex_);
+    handler = handler_;
+  }
+  if (handler) {
+    const FaultResolution resolution = handler(fault);
+    if (resolution == FaultResolution::kRetryAllowed) {
+      // Single-step semantics: exactly this access succeeds; the thread PKRU
+      // is untouched, so the next denied access faults again.
+      return Status::Ok();
+    }
+  }
+  return PermissionDeniedError(StrFormat("MPK violation: %s of 0x%zx (pkey %u) denied by %s",
+                                         AccessKindName(kind), addr, key,
+                                         pkru.ToString().c_str()));
+}
+
+void SimMpkBackend::SetFaultHandler(FaultHandlerFn handler) {
+  std::lock_guard lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+}  // namespace pkrusafe

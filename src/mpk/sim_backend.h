@@ -1,0 +1,51 @@
+// Deterministic software MPK model.
+//
+// Enforcement is cooperative: code that should be subject to checking (the IR
+// interpreter, the untrusted jsvm engine) routes loads/stores through
+// CheckAccess. This gives bit-exact, thread-aware PKRU semantics with no
+// hardware requirement, which the tests and the profiling pipeline build on.
+#ifndef SRC_MPK_SIM_BACKEND_H_
+#define SRC_MPK_SIM_BACKEND_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "src/mpk/backend.h"
+#include "src/mpk/page_key_map.h"
+
+namespace pkrusafe {
+
+class SimMpkBackend final : public MpkBackend {
+ public:
+  SimMpkBackend() = default;
+
+  std::string_view name() const override { return "sim"; }
+  bool enforces_natively() const override { return false; }
+
+  Result<PkeyId> AllocateKey() override;
+  Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
+  Status UntagRange(uintptr_t addr) override;
+  PkeyId KeyFor(uintptr_t addr) const override;
+
+  PkruValue ReadPkru() const override { return CurrentThreadPkru(); }
+  void WritePkru(PkruValue value) override { SetCurrentThreadPkru(value); }
+
+  Status CheckAccess(uintptr_t addr, AccessKind kind) override;
+
+  void SetFaultHandler(FaultHandlerFn handler) override;
+
+  // Number of violations observed (before resolution), for tests and stats.
+  uint64_t fault_count() const { return fault_count_.load(std::memory_order_relaxed); }
+
+ private:
+  PageKeyMap page_keys_;
+  std::atomic<uint16_t> next_key_{1};
+  std::atomic<uint64_t> fault_count_{0};
+
+  std::mutex handler_mutex_;
+  FaultHandlerFn handler_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_SIM_BACKEND_H_

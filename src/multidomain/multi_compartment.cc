@@ -1,0 +1,116 @@
+#include "src/multidomain/multi_compartment.h"
+
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+Result<std::unique_ptr<MultiCompartment>> MultiCompartment::Create(
+    MpkBackend* backend, const MultiCompartmentConfig& config) {
+  if (backend == nullptr) {
+    return InvalidArgumentError("null backend");
+  }
+  auto mc = std::unique_ptr<MultiCompartment>(new MultiCompartment(backend, config));
+
+  PS_ASSIGN_OR_RETURN(mc->trusted_key_, backend->AllocateKey());
+  PS_ASSIGN_OR_RETURN(mc->trusted_arena_, Arena::Create(config.trusted_pool_bytes));
+  PS_RETURN_IF_ERROR(backend->TagRange(mc->trusted_arena_->base(),
+                                       mc->trusted_arena_->reserved_bytes(), mc->trusted_key_));
+  mc->trusted_heap_ = std::make_unique<FreeListHeap>(mc->trusted_arena_.get());
+
+  // The shared pool stays on the default key: visible to everyone.
+  PS_ASSIGN_OR_RETURN(mc->shared_arena_, Arena::Create(config.shared_pool_bytes));
+  mc->shared_heap_ = std::make_unique<FreeListHeap>(mc->shared_arena_.get());
+  return mc;
+}
+
+Result<LibraryId> MultiCompartment::RegisterLibrary(const std::string& name) {
+  PS_ASSIGN_OR_RETURN(PkeyId key, backend_->AllocateKey());
+  PS_ASSIGN_OR_RETURN(std::unique_ptr<Arena> arena, Arena::Create(config_.library_pool_bytes));
+  PS_RETURN_IF_ERROR(backend_->TagRange(arena->base(), arena->reserved_bytes(), key));
+
+  Library library;
+  library.name = name;
+  library.key = key;
+  library.heap = std::make_unique<FreeListHeap>(arena.get());
+  library.arena = std::move(arena);
+  libraries_.push_back(std::move(library));
+  return static_cast<LibraryId>(libraries_.size());
+}
+
+void* MultiCompartment::AllocateTrusted(size_t size) { return trusted_heap_->Allocate(size); }
+
+void* MultiCompartment::AllocateShared(size_t size) { return shared_heap_->Allocate(size); }
+
+void* MultiCompartment::AllocateIn(LibraryId library, size_t size) {
+  PS_CHECK_GE(library, 1u);
+  PS_CHECK_LE(library, libraries_.size());
+  return libraries_[library - 1].heap->Allocate(size);
+}
+
+void MultiCompartment::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  const auto addr = reinterpret_cast<uintptr_t>(ptr);
+  if (trusted_arena_->Contains(addr)) {
+    trusted_heap_->Free(ptr);
+    return;
+  }
+  if (shared_arena_->Contains(addr)) {
+    shared_heap_->Free(ptr);
+    return;
+  }
+  for (Library& library : libraries_) {
+    if (library.arena->Contains(addr)) {
+      library.heap->Free(ptr);
+      return;
+    }
+  }
+  PS_CHECK(false) << "Free of pointer not owned by any compartment pool";
+}
+
+std::optional<LibraryId> MultiCompartment::PrivateOwnerOf(const void* ptr) const {
+  const auto addr = reinterpret_cast<uintptr_t>(ptr);
+  if (trusted_arena_->Contains(addr)) {
+    return kTrustedLibrary;
+  }
+  for (size_t i = 0; i < libraries_.size(); ++i) {
+    if (libraries_[i].arena->Contains(addr)) {
+      return static_cast<LibraryId>(i + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+PkruValue MultiCompartment::PolicyFor(LibraryId library) const {
+  if (library == kTrustedLibrary) {
+    return PkruValue::AllowAll();
+  }
+  PS_CHECK_LE(library, libraries_.size());
+  // Deny every key we manage except the entered library's own; key 0
+  // (shared) stays accessible.
+  PkruValue pkru = PkruValue::AllowAll().WithAccessDisabled(trusted_key_);
+  for (size_t i = 0; i < libraries_.size(); ++i) {
+    if (static_cast<LibraryId>(i + 1) != library) {
+      pkru = pkru.WithAccessDisabled(libraries_[i].key);
+    }
+  }
+  return pkru;
+}
+
+void MultiCompartment::EnterLibrary(LibraryId library) {
+  PS_CHECK_GE(library, 1u);
+  const PkruValue saved = backend_->ReadPkru();
+  CompartmentStack::Push({saved, Domain::kUntrusted});
+  ++transitions_;
+  backend_->WritePkru(PolicyFor(library));
+}
+
+void MultiCompartment::ExitLibrary() {
+  const CompartmentStack::Frame frame = CompartmentStack::Pop();
+  PS_CHECK(frame.entered == Domain::kUntrusted) << "unbalanced library transitions";
+  ++transitions_;
+  backend_->WritePkru(frame.saved_pkru);
+}
+
+}  // namespace pkrusafe

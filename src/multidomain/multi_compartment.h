@@ -1,0 +1,122 @@
+// Multi-compartment support: the §6 "Number of Compartments" extension.
+//
+// The paper's two-domain split (T + one U) is a policy choice; §6 sees "no
+// fundamental issue using a more complicated partitioning scheme that uses
+// more than two domains". This module implements that scheme on top of the
+// same primitives: each registered untrusted library gets its *own*
+// protection key and its own private pool, plus access to the common shared
+// pool (key 0). The policy matrix:
+//
+//   * T (no active library) — access to everything;
+//   * library i — access to its own pool and the shared pool only; the
+//     trusted pool and every other library's pool are denied.
+//
+// So a compromised codec cannot corrupt the JS engine's heap either — a
+// strictly stronger property than the paper's deployment, bought with one
+// pkey per library (15 usable keys bound the library count).
+#ifndef SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_
+#define SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mpk/backend.h"
+#include "src/pkalloc/arena.h"
+#include "src/pkalloc/free_list_heap.h"
+#include "src/runtime/call_gate.h"
+
+namespace pkrusafe {
+
+// Identifies a registered untrusted library. Index 0 is reserved for the
+// trusted compartment itself.
+using LibraryId = uint32_t;
+inline constexpr LibraryId kTrustedLibrary = 0;
+
+struct MultiCompartmentConfig {
+  size_t trusted_pool_bytes = size_t{1} << 30;
+  size_t shared_pool_bytes = size_t{1} << 30;
+  size_t library_pool_bytes = size_t{1} << 30;
+};
+
+class MultiCompartment {
+ public:
+  // Creates the trusted pool (own key) and the shared pool (default key).
+  // The backend must outlive the compartment manager.
+  static Result<std::unique_ptr<MultiCompartment>> Create(
+      MpkBackend* backend, const MultiCompartmentConfig& config = {});
+
+  MultiCompartment(const MultiCompartment&) = delete;
+  MultiCompartment& operator=(const MultiCompartment&) = delete;
+
+  // Registers an untrusted library: allocates its key, reserves and tags its
+  // private pool. Fails when protection keys run out (15 usable).
+  Result<LibraryId> RegisterLibrary(const std::string& name);
+
+  // --- allocation ---
+  // From M_T (trusted-private), the common shared pool, or a library's
+  // private pool respectively. Returns nullptr on exhaustion.
+  void* AllocateTrusted(size_t size);
+  void* AllocateShared(size_t size);
+  void* AllocateIn(LibraryId library, size_t size);
+  void Free(void* ptr);
+
+  // Which compartment's pool owns `ptr`: kTrustedLibrary for M_T, the
+  // library id for a private pool, nullopt for the shared pool or foreign
+  // pointers (shared memory belongs to everyone).
+  std::optional<LibraryId> PrivateOwnerOf(const void* ptr) const;
+
+  // --- transitions ---
+  // Enters `library`'s compartment: PKRU allows only key 0 and the
+  // library's key. Balanced by ExitLibrary; nesting across different
+  // libraries is allowed and restores exactly.
+  void EnterLibrary(LibraryId library);
+  void ExitLibrary();
+
+  // RAII wrapper.
+  class Scope {
+   public:
+    Scope(MultiCompartment& mc, LibraryId library) : mc_(mc) { mc_.EnterLibrary(library); }
+    ~Scope() { mc_.ExitLibrary(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    MultiCompartment& mc_;
+  };
+
+  // The PKRU value that running inside `library` uses (exposed for tests).
+  PkruValue PolicyFor(LibraryId library) const;
+
+  size_t library_count() const { return libraries_.size(); }
+  const std::string& library_name(LibraryId id) const { return libraries_[id - 1].name; }
+  PkeyId trusted_key() const { return trusted_key_; }
+  PkeyId key_of(LibraryId id) const { return libraries_[id - 1].key; }
+  uint64_t transition_count() const { return transitions_; }
+
+ private:
+  struct Library {
+    std::string name;
+    PkeyId key;
+    std::unique_ptr<Arena> arena;
+    std::unique_ptr<FreeListHeap> heap;
+  };
+
+  MultiCompartment(MpkBackend* backend, MultiCompartmentConfig config)
+      : backend_(backend), config_(config) {}
+
+  MpkBackend* backend_;
+  MultiCompartmentConfig config_;
+  PkeyId trusted_key_ = 0;
+  std::unique_ptr<Arena> trusted_arena_;
+  std::unique_ptr<FreeListHeap> trusted_heap_;
+  std::unique_ptr<Arena> shared_arena_;
+  std::unique_ptr<FreeListHeap> shared_heap_;
+  std::vector<Library> libraries_;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_

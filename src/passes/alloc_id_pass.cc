@@ -1,0 +1,24 @@
+#include "src/passes/alloc_id_pass.h"
+
+namespace pkrusafe {
+
+Status AllocIdPass::Run(IrModule& module) {
+  sites_assigned_ = 0;
+  for (uint32_t fn_index = 0; fn_index < module.functions.size(); ++fn_index) {
+    IrFunction& fn = module.functions[fn_index];
+    for (uint32_t block_index = 0; block_index < fn.blocks.size(); ++block_index) {
+      uint32_t site_index = 0;
+      for (Instruction& instr : fn.blocks[block_index].instructions) {
+        if (instr.opcode == Opcode::kAlloc || instr.opcode == Opcode::kAllocUntrusted ||
+            instr.opcode == Opcode::kStackAlloc ||
+            instr.opcode == Opcode::kStackAllocUntrusted) {
+          instr.alloc_id = AllocId{fn_index, block_index, site_index++};
+          ++sites_assigned_;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

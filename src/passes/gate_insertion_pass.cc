@@ -1,0 +1,26 @@
+#include "src/passes/gate_insertion_pass.h"
+
+namespace pkrusafe {
+
+Status GateInsertionPass::Run(IrModule& module) {
+  gates_inserted_ = 0;
+  for (IrFunction& fn : module.functions) {
+    for (BasicBlock& block : fn.blocks) {
+      for (Instruction& instr : block.instructions) {
+        if (instr.opcode != Opcode::kCall) {
+          continue;
+        }
+        const bool is_extern_call = module.FindExtern(instr.callee) != nullptr;
+        if ((gate_all_externs_ && is_extern_call) || module.IsUntrustedExtern(instr.callee)) {
+          if (!instr.gated) {
+            instr.gated = true;
+            ++gates_inserted_;
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,37 @@
+// GateInsertionPass: wraps the compartment boundary with call gates.
+//
+// The developer's library-level annotations (`untrusted "lib"`) define the
+// boundary (§3.2). This pass marks every call whose callee is an extern from
+// an annotated library as gated; the interpreter (standing in for the
+// generated WRPKRU stubs) drops access to M_T around exactly those calls.
+#ifndef SRC_PASSES_GATE_INSERTION_PASS_H_
+#define SRC_PASSES_GATE_INSERTION_PASS_H_
+
+#include "src/passes/pass.h"
+
+namespace pkrusafe {
+
+class GateInsertionPass final : public ModulePass {
+ public:
+  // The default policy gates only calls into libraries the developer
+  // annotated as untrusted. `gate_all_externs` is the drastic alternative
+  // §3.2 discusses ("simply instrument all interfaces to libraries written
+  // in an unsafe language"): every extern call gets a gate, distrusting the
+  // whole FFI surface.
+  explicit GateInsertionPass(bool gate_all_externs = false)
+      : gate_all_externs_(gate_all_externs) {}
+
+  std::string_view name() const override { return "gate-insertion"; }
+  Status Run(IrModule& module) override;
+
+  // Number of call sites gated by the last Run.
+  size_t gates_inserted() const { return gates_inserted_; }
+
+ private:
+  bool gate_all_externs_;
+  size_t gates_inserted_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PASSES_GATE_INSERTION_PASS_H_

@@ -1,0 +1,30 @@
+#include "src/passes/pass.h"
+
+#include "src/ir/verifier.h"
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+Status PassManager::Run(IrModule& module) const {
+  Status status = VerifyModule(module);
+  if (!status.ok()) {
+    return InvalidArgumentError("module invalid before passes: " + status.ToString());
+  }
+  for (const auto& pass : passes_) {
+    status = pass->Run(module);
+    if (!status.ok()) {
+      return InternalError(
+          StrFormat("pass %.*s failed: %s", static_cast<int>(pass->name().size()),
+                    pass->name().data(), status.ToString().c_str()));
+    }
+    status = VerifyModule(module);
+    if (!status.ok()) {
+      return InternalError(
+          StrFormat("module invalid after pass %.*s: %s", static_cast<int>(pass->name().size()),
+                    pass->name().data(), status.ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

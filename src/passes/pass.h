@@ -1,0 +1,39 @@
+// Pass framework: named module transformations, run in sequence by a
+// PassManager, verifying the module after each step.
+#ifndef SRC_PASSES_PASS_H_
+#define SRC_PASSES_PASS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+class ModulePass {
+ public:
+  virtual ~ModulePass() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status Run(IrModule& module) = 0;
+};
+
+class PassManager {
+ public:
+  void Add(std::unique_ptr<ModulePass> pass) { passes_.push_back(std::move(pass)); }
+
+  // Runs every pass in order; verifies the module before the first pass and
+  // after each one. Stops at the first failure.
+  Status Run(IrModule& module) const;
+
+  size_t pass_count() const { return passes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ModulePass>> passes_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PASSES_PASS_H_

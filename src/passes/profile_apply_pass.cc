@@ -1,0 +1,29 @@
+#include "src/passes/profile_apply_pass.h"
+
+namespace pkrusafe {
+
+Status ProfileApplyPass::Run(IrModule& module) {
+  sites_rewritten_ = 0;
+  for (IrFunction& fn : module.functions) {
+    for (BasicBlock& block : fn.blocks) {
+      for (Instruction& instr : block.instructions) {
+        const bool heap_site = instr.opcode == Opcode::kAlloc;
+        const bool stack_site = instr.opcode == Opcode::kStackAlloc;
+        if (!heap_site && !stack_site) {
+          continue;
+        }
+        if (!instr.alloc_id.has_value()) {
+          return FailedPreconditionError(
+              "profile-apply requires alloc-id to have assigned site ids");
+        }
+        if (profile_.Contains(*instr.alloc_id)) {
+          instr.opcode = heap_site ? Opcode::kAllocUntrusted : Opcode::kStackAllocUntrusted;
+          ++sites_rewritten_;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

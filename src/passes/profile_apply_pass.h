@@ -1,0 +1,35 @@
+// ProfileApplyPass: the feedback step of the pipeline (paper §4.3.1).
+//
+// For every kAlloc whose AllocId appears in the profile — i.e. the profiling
+// run observed untrusted code touching an object from that site — rewrite
+// the call to the untrusted allocator so the object lives in M_U. Sites the
+// profile never saw stay kAlloc and remain protected in M_T.
+//
+// Requires AllocIdPass to have run (ids must be assigned).
+#ifndef SRC_PASSES_PROFILE_APPLY_PASS_H_
+#define SRC_PASSES_PROFILE_APPLY_PASS_H_
+
+#include "src/passes/pass.h"
+#include "src/runtime/profile.h"
+
+namespace pkrusafe {
+
+class ProfileApplyPass final : public ModulePass {
+ public:
+  explicit ProfileApplyPass(Profile profile) : profile_(std::move(profile)) {}
+
+  std::string_view name() const override { return "profile-apply"; }
+  Status Run(IrModule& module) override;
+
+  // Sites rewritten to alloc_untrusted by the last Run (the "274 of 12088"
+  // statistic of §5.3).
+  size_t sites_rewritten() const { return sites_rewritten_; }
+
+ private:
+  Profile profile_;
+  size_t sites_rewritten_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PASSES_PROFILE_APPLY_PASS_H_

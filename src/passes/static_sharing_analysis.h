@@ -1,0 +1,54 @@
+// Static sharing analysis: the compile-time alternative to dynamic profiling
+// (paper §4.3 / §6 — "PKRU-Safe supports instrumentation entirely based on
+// static analysis in principle, which we tested using various small
+// programs").
+//
+// A flow-insensitive, context-insensitive interprocedural taint analysis
+// over the IR. Allocation sites are taint sources; arguments of gated
+// (untrusted) call sites are sinks. The result is a Profile usable exactly
+// like a dynamically collected one: feed it to ProfileApplyPass /
+// SitePolicy.
+//
+// Soundness model (deliberately over-approximate, mirroring the paper's
+// observation that sound static analyses over-share):
+//   * arithmetic on a tainted value stays tainted (pointer arithmetic);
+//   * calls propagate argument taints to parameters and return taints back;
+//   * a pointer stored *into* a shared object becomes shared itself
+//     (transitive reachability from U);
+//   * loads return anything that was ever stored anywhere (one global memory
+//     abstraction) — the price of flow-insensitivity.
+// Trusted externs are assumed not to leak trusted pointers to U (they are
+// part of T's TCB, like the standard library in the paper's partitioning).
+//
+// Guaranteed relationship, tested as a property: the static profile is a
+// superset of any dynamic profile of the same module.
+#ifndef SRC_PASSES_STATIC_SHARING_ANALYSIS_H_
+#define SRC_PASSES_STATIC_SHARING_ANALYSIS_H_
+
+#include "src/ir/module.h"
+#include "src/runtime/profile.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+class StaticSharingAnalysis {
+ public:
+  // The module must already carry AllocIds (run AllocIdPass) and gate marks
+  // (run GateInsertionPass).
+  explicit StaticSharingAnalysis(const IrModule* module) : module_(module) {}
+
+  // Computes the set of allocation sites that may flow into U. Each site is
+  // reported with count 1 (static analysis has no fault counts).
+  Result<Profile> Run();
+
+  // Number of global fixed-point iterations the last Run took.
+  int iterations() const { return iterations_; }
+
+ private:
+  const IrModule* module_;
+  int iterations_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PASSES_STATIC_SHARING_ANALYSIS_H_

@@ -1,0 +1,183 @@
+#include "src/pkalloc/boundary_tag_heap.h"
+
+#include <algorithm>
+
+#include "src/memmap/page.h"
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+namespace {
+constexpr uint64_t kSizeMask = ~uint64_t{15};
+}  // namespace
+
+uint64_t BoundaryTagHeap::SizeOf(uintptr_t block) {
+  return reinterpret_cast<const Header*>(block)->size_flags & kSizeMask;
+}
+
+bool BoundaryTagHeap::InUse(uintptr_t block) {
+  return (reinterpret_cast<const Header*>(block)->size_flags & kInUse) != 0;
+}
+
+bool BoundaryTagHeap::PrevInUse(uintptr_t block) {
+  return (reinterpret_cast<const Header*>(block)->size_flags & kPrevInUse) != 0;
+}
+
+void BoundaryTagHeap::SetSize(uintptr_t block, uint64_t size, uint64_t flags) {
+  reinterpret_cast<Header*>(block)->size_flags = (size & kSizeMask) | flags;
+}
+
+void BoundaryTagHeap::WriteFooter(uintptr_t block) {
+  const uint64_t size = SizeOf(block);
+  *reinterpret_cast<uint64_t*>(block + size - 8) = size;
+}
+
+BoundaryTagHeap::FreeLinks* BoundaryTagHeap::LinksOf(uintptr_t block) {
+  return reinterpret_cast<FreeLinks*>(block + kHeaderSize);
+}
+
+void BoundaryTagHeap::PushFree(uintptr_t block) {
+  FreeLinks* links = LinksOf(block);
+  links->next = free_head_;
+  links->prev = 0;
+  if (free_head_ != 0) {
+    LinksOf(free_head_)->prev = block;
+  }
+  free_head_ = block;
+}
+
+void BoundaryTagHeap::UnlinkFree(uintptr_t block) {
+  FreeLinks* links = LinksOf(block);
+  if (links->prev != 0) {
+    LinksOf(links->prev)->next = links->next;
+  } else {
+    free_head_ = links->next;
+  }
+  if (links->next != 0) {
+    LinksOf(links->next)->prev = links->prev;
+  }
+}
+
+uintptr_t BoundaryTagHeap::AddSegment(size_t min_block) {
+  // The segment must fit the requested block plus the terminating sentinel.
+  const size_t seg_bytes =
+      std::max(kSegmentSize, RoundUp(min_block + kHeaderSize, kArenaChunkGranularity));
+  auto chunk = arena_->AllocateChunk(seg_bytes);
+  if (!chunk.ok()) {
+    return 0;
+  }
+  const uintptr_t block = *chunk;
+  const uint64_t block_size = seg_bytes - kHeaderSize;  // minus sentinel
+  SetSize(block, block_size, kPrevInUse);               // free; no block before it
+  WriteFooter(block);
+  // Sentinel: zero-size, permanently in-use, prev (the big free block) free.
+  SetSize(block + block_size, 0, kInUse);
+  PushFree(block);
+  return block;
+}
+
+void* BoundaryTagHeap::Allocate(size_t size) {
+  std::lock_guard lock(mutex_);
+  const uint64_t need =
+      std::max<uint64_t>(kMinBlockSize, RoundUp(std::max<size_t>(size, 1) + kHeaderSize, 16));
+
+  // First fit over the explicit free list.
+  uintptr_t block = free_head_;
+  while (block != 0 && SizeOf(block) < need) {
+    block = LinksOf(block)->next;
+  }
+  if (block == 0) {
+    block = AddSegment(need);
+    if (block == 0) {
+      return nullptr;
+    }
+    if (SizeOf(block) < need) {
+      return nullptr;  // arena gave less than requested (cannot happen today)
+    }
+  }
+  UnlinkFree(block);
+
+  const uint64_t total = SizeOf(block);
+  const bool prev_in_use = PrevInUse(block);
+  if (total - need >= kMinBlockSize) {
+    // Split: the tail remains free.
+    const uintptr_t rest = block + need;
+    SetSize(rest, total - need, kPrevInUse);  // `block` is about to be in use
+    WriteFooter(rest);
+    PushFree(rest);
+    SetSize(block, need, kInUse | (prev_in_use ? kPrevInUse : 0));
+  } else {
+    SetSize(block, total, kInUse | (prev_in_use ? kPrevInUse : 0));
+    // Tell the right neighbour its predecessor is now in use.
+    const uintptr_t next = block + total;
+    reinterpret_cast<Header*>(next)->size_flags |= kPrevInUse;
+  }
+
+  const uint64_t usable = SizeOf(block) - kHeaderSize;
+  ++stats_.alloc_calls;
+  stats_.live_bytes += usable;
+  stats_.total_bytes += usable;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  return reinterpret_cast<void*>(block + kHeaderSize);
+}
+
+void BoundaryTagHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  uintptr_t block = reinterpret_cast<uintptr_t>(ptr) - kHeaderSize;
+  PS_CHECK(Owns(ptr)) << "Free of pointer not owned by this heap";
+  PS_CHECK(InUse(block)) << "double free detected";
+
+  ++stats_.free_calls;
+  stats_.live_bytes -= SizeOf(block) - kHeaderSize;
+
+  uint64_t size = SizeOf(block);
+  bool prev_in_use = PrevInUse(block);
+
+  // Coalesce with the right neighbour.
+  const uintptr_t right = block + size;
+  if (!InUse(right)) {
+    UnlinkFree(right);
+    size += SizeOf(right);
+  }
+  // Coalesce with the left neighbour (its footer is the word before us).
+  if (!prev_in_use) {
+    const uint64_t left_size = *reinterpret_cast<const uint64_t*>(block - 8);
+    const uintptr_t left = block - left_size;
+    UnlinkFree(left);
+    size += left_size;
+    prev_in_use = PrevInUse(left);  // a free block's predecessor is in use
+    block = left;
+  }
+
+  SetSize(block, size, prev_in_use ? kPrevInUse : 0);
+  WriteFooter(block);
+  // Tell the right neighbour its predecessor is now free.
+  reinterpret_cast<Header*>(block + size)->size_flags &= ~kPrevInUse;
+  PushFree(block);
+}
+
+size_t BoundaryTagHeap::UsableSize(const void* ptr) const {
+  std::lock_guard lock(mutex_);
+  const uintptr_t block = reinterpret_cast<uintptr_t>(ptr) - kHeaderSize;
+  PS_CHECK(InUse(block)) << "UsableSize of free block";
+  return SizeOf(block) - kHeaderSize;
+}
+
+HeapStats BoundaryTagHeap::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+size_t BoundaryTagHeap::free_block_count() const {
+  std::lock_guard lock(mutex_);
+  size_t count = 0;
+  for (uintptr_t block = free_head_; block != 0; block = LinksOf(block)->next) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace pkrusafe

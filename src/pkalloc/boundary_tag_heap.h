@@ -1,0 +1,80 @@
+// First-fit heap with boundary-tag coalescing: the stand-in for libc malloc,
+// used for the shared pool M_U.
+//
+// The paper deliberately serves M_U from libc's allocator rather than the
+// tuned jemalloc, and attributes most of the `alloc` configuration's overhead
+// to that choice (§5.3). Keeping this heap simpler and slower than
+// FreeListHeap reproduces that asymmetry honestly: the allocator-ablation
+// benchmark swaps it out and watches the overhead vanish.
+#ifndef SRC_PKALLOC_BOUNDARY_TAG_HEAP_H_
+#define SRC_PKALLOC_BOUNDARY_TAG_HEAP_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/pkalloc/arena.h"
+#include "src/pkalloc/free_list_heap.h"  // HeapStats
+
+namespace pkrusafe {
+
+class BoundaryTagHeap {
+ public:
+  explicit BoundaryTagHeap(Arena* arena) : arena_(arena) {}
+
+  BoundaryTagHeap(const BoundaryTagHeap&) = delete;
+  BoundaryTagHeap& operator=(const BoundaryTagHeap&) = delete;
+
+  // Returns 16-byte-aligned memory, or nullptr when the arena is exhausted.
+  void* Allocate(size_t size);
+  void Free(void* ptr);
+  size_t UsableSize(const void* ptr) const;
+  bool Owns(const void* ptr) const {
+    return arena_->Contains(reinterpret_cast<uintptr_t>(ptr));
+  }
+
+  HeapStats stats() const;
+
+  // Number of blocks currently on the free list (tests observe coalescing).
+  size_t free_block_count() const;
+
+ private:
+  // Block layout (sizes are multiples of 16):
+  //   [ header: size|flags, pad ][ payload ... | free: next,prev ... footer ]
+  // Footer (last 8 bytes of a *free* block) repeats the size so the right
+  // neighbour can find the block start when coalescing left.
+  struct Header {
+    uint64_t size_flags;  // bit0: this block in use; bit1: prev block in use
+    uint64_t pad;         // keeps payload 16-aligned
+  };
+  struct FreeLinks {
+    uintptr_t next;  // next free block header, 0 terminates
+    uintptr_t prev;
+  };
+
+  static constexpr uint64_t kInUse = 1;
+  static constexpr uint64_t kPrevInUse = 2;
+  static constexpr size_t kHeaderSize = sizeof(Header);
+  static constexpr size_t kMinBlockSize = 48;  // header + links + footer, rounded
+  static constexpr size_t kSegmentSize = 256 * 1024;
+
+  static uint64_t SizeOf(uintptr_t block);
+  static bool InUse(uintptr_t block);
+  static bool PrevInUse(uintptr_t block);
+  static void SetSize(uintptr_t block, uint64_t size, uint64_t flags);
+  static void WriteFooter(uintptr_t block);
+  static FreeLinks* LinksOf(uintptr_t block);
+
+  void PushFree(uintptr_t block);
+  void UnlinkFree(uintptr_t block);
+  // Grows by one segment; returns the first free block or 0.
+  uintptr_t AddSegment(size_t min_payload);
+
+  Arena* arena_;
+  mutable std::mutex mutex_;
+  uintptr_t free_head_ = 0;  // explicit doubly-linked free list, first-fit
+  HeapStats stats_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PKALLOC_BOUNDARY_TAG_HEAP_H_

@@ -1,0 +1,126 @@
+#include "src/pkalloc/free_list_heap.h"
+
+#include "src/memmap/page.h"
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+namespace {
+
+uintptr_t ChunkBaseOf(const void* ptr) {
+  return reinterpret_cast<uintptr_t>(ptr) & ~(kArenaChunkGranularity - 1);
+}
+
+}  // namespace
+
+void* FreeListHeap::Allocate(size_t size) {
+  std::lock_guard lock(mutex_);
+  void* ptr = nullptr;
+  size_t usable = 0;
+  if (size <= kMaxSmallSize) {
+    const size_t class_index = SizeClassIndex(size == 0 ? 1 : size);
+    ptr = AllocateSmall(class_index);
+    usable = ClassSize(class_index);
+  } else {
+    ptr = AllocateLarge(size);
+    usable = ptr != nullptr ? RoundUp(size, kArenaChunkGranularity) : 0;
+  }
+  if (ptr != nullptr) {
+    ++stats_.alloc_calls;
+    stats_.live_bytes += usable;
+    stats_.total_bytes += usable;
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  }
+  return ptr;
+}
+
+void* FreeListHeap::AllocateSmall(size_t class_index) {
+  FreeNode*& list = free_lists_[class_index];
+  if (list == nullptr) {
+    // Carve a fresh span into blocks of this class.
+    auto chunk = arena_->AllocateChunk(kArenaChunkGranularity);
+    if (!chunk.ok()) {
+      return nullptr;
+    }
+    const size_t block_size = ClassSize(class_index);
+    if (!spans_
+             .Insert(*chunk, SpanInfo{static_cast<uint32_t>(class_index),
+                                      kArenaChunkGranularity})
+             .ok()) {
+      arena_->FreeChunk(*chunk, kArenaChunkGranularity);
+      return nullptr;
+    }
+    const size_t block_count = kArenaChunkGranularity / block_size;
+    // Thread blocks in address order so allocation walks forward.
+    FreeNode* head = nullptr;
+    for (size_t i = block_count; i-- > 0;) {
+      auto* node = reinterpret_cast<FreeNode*>(*chunk + i * block_size);
+      node->next = head;
+      head = node;
+    }
+    list = head;
+  }
+  FreeNode* node = list;
+  list = node->next;
+  return node;
+}
+
+void* FreeListHeap::AllocateLarge(size_t size) {
+  const size_t rounded = RoundUp(size, kArenaChunkGranularity);
+  auto chunk = arena_->AllocateChunk(rounded);
+  if (!chunk.ok()) {
+    return nullptr;
+  }
+  if (!spans_.Insert(*chunk, SpanInfo{SpanInfo::kLargeSpan, rounded}).ok()) {
+    arena_->FreeChunk(*chunk, rounded);
+    return nullptr;
+  }
+  return reinterpret_cast<void*>(*chunk);
+}
+
+void FreeListHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  PS_CHECK(Owns(ptr)) << "Free of pointer not owned by this heap";
+  const uintptr_t chunk_base = ChunkBaseOf(ptr);
+  const SpanInfo* span = spans_.Find(chunk_base);
+  PS_CHECK(span != nullptr) << "Free of pointer without a span";
+
+  ++stats_.free_calls;
+  if (span->class_index == SpanInfo::kLargeSpan) {
+    PS_CHECK_EQ(reinterpret_cast<uintptr_t>(ptr), chunk_base)
+        << "large frees must pass the allocation base";
+    const size_t bytes = span->chunk_bytes;
+    PS_CHECK(spans_.Erase(chunk_base).ok());
+    arena_->FreeChunk(chunk_base, bytes);
+    stats_.live_bytes -= bytes;
+    return;
+  }
+
+  const size_t block_size = ClassSize(span->class_index);
+  const uintptr_t offset = reinterpret_cast<uintptr_t>(ptr) - chunk_base;
+  PS_CHECK_EQ(offset % block_size, 0u) << "Free of interior pointer";
+  auto* node = static_cast<FreeNode*>(ptr);
+  node->next = free_lists_[span->class_index];
+  free_lists_[span->class_index] = node;
+  stats_.live_bytes -= block_size;
+}
+
+size_t FreeListHeap::UsableSize(const void* ptr) const {
+  std::lock_guard lock(mutex_);
+  const SpanInfo* span = spans_.Find(ChunkBaseOf(ptr));
+  PS_CHECK(span != nullptr) << "UsableSize of unknown pointer";
+  if (span->class_index == SpanInfo::kLargeSpan) {
+    return span->chunk_bytes;
+  }
+  return ClassSize(span->class_index);
+}
+
+HeapStats FreeListHeap::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,72 @@
+// Segregated-fit heap: the stand-in for the paper's modified jemalloc, used
+// for the trusted pool M_T.
+//
+// Small allocations are served from spans — 64 KiB chunks carved into
+// equal-size blocks threaded onto per-class intrusive free lists. Large
+// allocations map directly to chunks. All metadata (free-list links inside
+// free blocks, the span directory) lives inside the owning arena (§3.4).
+#ifndef SRC_PKALLOC_FREE_LIST_HEAP_H_
+#define SRC_PKALLOC_FREE_LIST_HEAP_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "src/pkalloc/arena.h"
+#include "src/pkalloc/size_classes.h"
+#include "src/pkalloc/span_table.h"
+
+namespace pkrusafe {
+
+struct HeapStats {
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t live_bytes = 0;   // sum of usable sizes of live allocations
+  uint64_t peak_bytes = 0;
+  uint64_t total_bytes = 0;  // cumulative usable bytes ever allocated
+};
+
+class FreeListHeap {
+ public:
+  // The arena must outlive the heap.
+  explicit FreeListHeap(Arena* arena) : arena_(arena), spans_(arena) {}
+
+  FreeListHeap(const FreeListHeap&) = delete;
+  FreeListHeap& operator=(const FreeListHeap&) = delete;
+
+  // Returns 16-byte-aligned memory, or nullptr when the arena is exhausted.
+  // Zero-size requests receive a unique valid pointer (smallest class).
+  void* Allocate(size_t size);
+
+  // `ptr` must come from Allocate on this heap (nullptr is a no-op).
+  void Free(void* ptr);
+
+  // Usable size of a live allocation (>= requested size).
+  size_t UsableSize(const void* ptr) const;
+
+  // Whether `ptr` points into this heap's arena.
+  bool Owns(const void* ptr) const {
+    return arena_->Contains(reinterpret_cast<uintptr_t>(ptr));
+  }
+
+  HeapStats stats() const;
+
+ private:
+  // A free block's in-place link.
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  void* AllocateSmall(size_t class_index);
+  void* AllocateLarge(size_t size);
+
+  Arena* arena_;
+  mutable std::mutex mutex_;
+  SpanTable spans_;
+  std::array<FreeNode*, kNumSizeClasses> free_lists_{};
+  HeapStats stats_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PKALLOC_FREE_LIST_HEAP_H_

@@ -1,0 +1,118 @@
+#include "src/pkalloc/pkalloc.h"
+
+#include <cstring>
+
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+PkAllocator::PkAllocator(MpkBackend* backend, std::unique_ptr<Arena> trusted_arena,
+                         std::unique_ptr<Arena> untrusted_arena, PkeyId key, bool fast_untrusted)
+    : backend_(backend),
+      trusted_arena_(std::move(trusted_arena)),
+      untrusted_arena_(std::move(untrusted_arena)),
+      trusted_key_(key) {
+  trusted_heap_ = std::make_unique<FreeListHeap>(trusted_arena_.get());
+  if (fast_untrusted) {
+    fast_untrusted_heap_ = std::make_unique<FreeListHeap>(untrusted_arena_.get());
+  } else {
+    untrusted_heap_ = std::make_unique<BoundaryTagHeap>(untrusted_arena_.get());
+  }
+}
+
+Result<std::unique_ptr<PkAllocator>> PkAllocator::Create(MpkBackend* backend,
+                                                         const PkAllocatorConfig& config) {
+  if (backend == nullptr) {
+    return InvalidArgumentError("null backend");
+  }
+  auto trusted = Arena::Create(config.trusted_pool_bytes);
+  if (!trusted.ok()) {
+    return trusted.status();
+  }
+  auto untrusted = Arena::Create(config.untrusted_pool_bytes);
+  if (!untrusted.ok()) {
+    return untrusted.status();
+  }
+  auto key = backend->AllocateKey();
+  if (!key.ok()) {
+    return key.status();
+  }
+  // Tag the whole trusted reservation once: every page the trusted heap will
+  // ever use carries the key from the start, so no allocation-time tagging
+  // is needed (and no page can be handed out untagged).
+  PS_RETURN_IF_ERROR(
+      backend->TagRange((*trusted)->base(), (*trusted)->reserved_bytes(), *key));
+
+  return std::unique_ptr<PkAllocator>(new PkAllocator(
+      backend, std::move(*trusted), std::move(*untrusted), *key, config.fast_untrusted_heap));
+}
+
+void* PkAllocator::Allocate(Domain domain, size_t size) {
+  if (domain == Domain::kTrusted) {
+    return trusted_heap_->Allocate(size);
+  }
+  return fast_untrusted_heap_ != nullptr ? fast_untrusted_heap_->Allocate(size)
+                                         : untrusted_heap_->Allocate(size);
+}
+
+void* PkAllocator::Reallocate(void* ptr, size_t new_size) {
+  if (ptr == nullptr) {
+    return Allocate(Domain::kTrusted, new_size);
+  }
+  const auto owner = OwnerOf(ptr);
+  PS_CHECK(owner.has_value()) << "Reallocate of foreign pointer";
+  const size_t old_usable = UsableSize(ptr);
+  if (old_usable >= new_size && new_size > 0) {
+    return ptr;  // shrink in place
+  }
+  void* fresh = Allocate(*owner, new_size);
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  std::memcpy(fresh, ptr, std::min(old_usable, new_size));
+  Free(ptr);
+  return fresh;
+}
+
+void PkAllocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  const auto owner = OwnerOf(ptr);
+  PS_CHECK(owner.has_value()) << "Free of foreign pointer";
+  if (*owner == Domain::kTrusted) {
+    trusted_heap_->Free(ptr);
+  } else if (fast_untrusted_heap_ != nullptr) {
+    fast_untrusted_heap_->Free(ptr);
+  } else {
+    untrusted_heap_->Free(ptr);
+  }
+}
+
+size_t PkAllocator::UsableSize(const void* ptr) const {
+  const auto owner = OwnerOf(ptr);
+  PS_CHECK(owner.has_value()) << "UsableSize of foreign pointer";
+  if (*owner == Domain::kTrusted) {
+    return trusted_heap_->UsableSize(ptr);
+  }
+  return fast_untrusted_heap_ != nullptr ? fast_untrusted_heap_->UsableSize(ptr)
+                                         : untrusted_heap_->UsableSize(ptr);
+}
+
+std::optional<Domain> PkAllocator::OwnerOf(const void* ptr) const {
+  const auto addr = reinterpret_cast<uintptr_t>(ptr);
+  if (trusted_arena_->Contains(addr)) {
+    return Domain::kTrusted;
+  }
+  if (untrusted_arena_->Contains(addr)) {
+    return Domain::kUntrusted;
+  }
+  return std::nullopt;
+}
+
+HeapStats PkAllocator::untrusted_stats() const {
+  return fast_untrusted_heap_ != nullptr ? fast_untrusted_heap_->stats()
+                                         : untrusted_heap_->stats();
+}
+
+}  // namespace pkrusafe

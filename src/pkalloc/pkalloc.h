@@ -1,0 +1,88 @@
+// pkalloc: the compartment-aware allocator (paper §4.4).
+//
+// Two disjoint pools back the application heap:
+//   * M_T — the trusted pool: a FreeListHeap (jemalloc stand-in) over an
+//     arena whose pages are tagged with a dedicated protection key, so they
+//     become inaccessible the moment a thread's PKRU drops the key.
+//   * M_U — the shared pool: a BoundaryTagHeap (libc malloc stand-in) over a
+//     disjoint arena left on the default key, accessible from both
+//     compartments.
+//
+// Invariants (tested as properties):
+//   * no page is ever owned by both pools, and pages never migrate;
+//   * Reallocate() stays in the pool of its argument regardless of the
+//     requested domain of the site (paper §4.2: __rust_realloc keeps the
+//     original pool so profiling provenance stays valid).
+#ifndef SRC_PKALLOC_PKALLOC_H_
+#define SRC_PKALLOC_PKALLOC_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/mpk/backend.h"
+#include "src/pkalloc/arena.h"
+#include "src/pkalloc/boundary_tag_heap.h"
+#include "src/pkalloc/free_list_heap.h"
+
+namespace pkrusafe {
+
+struct PkAllocatorConfig {
+  // Reservation sizes; on-demand paging means these cost address space only.
+  size_t trusted_pool_bytes = size_t{4} << 30;    // 4 GiB
+  size_t untrusted_pool_bytes = size_t{4} << 30;  // 4 GiB
+  // When true, M_U allocations are served from a FreeListHeap too. This is
+  // the allocator ablation from §5.3: swapping the slower shared-pool
+  // allocator for the fast one removed all detectable allocator overhead.
+  bool fast_untrusted_heap = false;
+};
+
+class PkAllocator {
+ public:
+  // Reserves both pools, allocates the trusted protection key and tags the
+  // trusted pool's pages with it. The backend must outlive the allocator.
+  static Result<std::unique_ptr<PkAllocator>> Create(MpkBackend* backend,
+                                                     const PkAllocatorConfig& config = {});
+
+  PkAllocator(const PkAllocator&) = delete;
+  PkAllocator& operator=(const PkAllocator&) = delete;
+
+  // Allocates from the pool of `domain`. Returns nullptr on exhaustion.
+  void* Allocate(Domain domain, size_t size);
+
+  // Reallocates within the pool that owns `ptr` (never migrates pools).
+  // nullptr behaves like Allocate(Domain::kTrusted, size).
+  void* Reallocate(void* ptr, size_t new_size);
+
+  void Free(void* ptr);
+
+  size_t UsableSize(const void* ptr) const;
+
+  // Which pool owns `ptr`, or nullopt for foreign pointers.
+  std::optional<Domain> OwnerOf(const void* ptr) const;
+
+  // The protection key tagging M_T.
+  PkeyId trusted_key() const { return trusted_key_; }
+
+  HeapStats trusted_stats() const { return trusted_heap_->stats(); }
+  HeapStats untrusted_stats() const;
+
+  const Arena& trusted_arena() const { return *trusted_arena_; }
+  const Arena& untrusted_arena() const { return *untrusted_arena_; }
+
+ private:
+  PkAllocator(MpkBackend* backend, std::unique_ptr<Arena> trusted_arena,
+              std::unique_ptr<Arena> untrusted_arena, PkeyId key, bool fast_untrusted);
+
+  MpkBackend* backend_;
+  std::unique_ptr<Arena> trusted_arena_;
+  std::unique_ptr<Arena> untrusted_arena_;
+  PkeyId trusted_key_;
+  std::unique_ptr<FreeListHeap> trusted_heap_;
+  // Exactly one of the two untrusted heaps is active (ablation switch).
+  std::unique_ptr<BoundaryTagHeap> untrusted_heap_;
+  std::unique_ptr<FreeListHeap> fast_untrusted_heap_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PKALLOC_PKALLOC_H_

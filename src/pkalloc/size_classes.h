@@ -1,0 +1,66 @@
+// Size-class table for the segregated-fit trusted heap.
+//
+// Classes follow a jemalloc-like progression: 16-byte spacing up to 128,
+// then four classes per power-of-two group. Allocations above
+// kMaxSmallSize go through the large-allocation path.
+#ifndef SRC_PKALLOC_SIZE_CLASSES_H_
+#define SRC_PKALLOC_SIZE_CLASSES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pkrusafe {
+
+inline constexpr size_t kMinAllocAlignment = 16;
+inline constexpr size_t kMaxSmallSize = 16384;
+
+namespace size_class_detail {
+
+constexpr size_t kClassCount = [] {
+  size_t count = 0;
+  for (size_t size = 16; size <= 128; size += 16) {
+    ++count;
+  }
+  for (size_t group = 256; group <= kMaxSmallSize; group *= 2) {
+    count += 4;  // group/2 + k*group/8 for k=1..4
+  }
+  return count;
+}();
+
+constexpr std::array<size_t, kClassCount> BuildTable() {
+  std::array<size_t, kClassCount> table{};
+  size_t i = 0;
+  for (size_t size = 16; size <= 128; size += 16) {
+    table[i++] = size;
+  }
+  for (size_t group = 256; group <= kMaxSmallSize; group *= 2) {
+    for (size_t k = 1; k <= 4; ++k) {
+      table[i++] = group / 2 + k * group / 8;
+    }
+  }
+  return table;
+}
+
+}  // namespace size_class_detail
+
+inline constexpr size_t kNumSizeClasses = size_class_detail::kClassCount;
+inline constexpr std::array<size_t, kNumSizeClasses> kSizeClasses =
+    size_class_detail::BuildTable();
+
+// Smallest class index whose size is >= `size`. `size` must be
+// <= kMaxSmallSize and > 0.
+constexpr size_t SizeClassIndex(size_t size) {
+  for (size_t i = 0; i < kNumSizeClasses; ++i) {
+    if (kSizeClasses[i] >= size) {
+      return i;
+    }
+  }
+  return kNumSizeClasses;  // unreachable for valid input
+}
+
+constexpr size_t ClassSize(size_t index) { return kSizeClasses[index]; }
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PKALLOC_SIZE_CLASSES_H_

@@ -1,0 +1,155 @@
+// Open-addressing hash table mapping chunk bases to span metadata, with its
+// storage allocated from the owning arena.
+//
+// The paper requires each compartment's allocator to keep *its own internal
+// data* inside that compartment's memory (§3.4), so other compartments can
+// neither read nor corrupt it. Free-list nodes already live in-pool; this
+// table keeps the span directory in-pool too.
+#ifndef SRC_PKALLOC_SPAN_TABLE_H_
+#define SRC_PKALLOC_SPAN_TABLE_H_
+
+#include <cstdint>
+
+#include "src/pkalloc/arena.h"
+#include "src/support/logging.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+struct SpanInfo {
+  // Size-class index for small spans; kLargeSpan for direct chunk allocs.
+  static constexpr uint32_t kLargeSpan = 0xFFFFFFFFu;
+  uint32_t class_index = 0;
+  // Rounded byte size of the underlying chunk (needed to return it).
+  uint64_t chunk_bytes = 0;
+};
+
+class SpanTable {
+ public:
+  // Storage comes from `arena`; the table grows by allocating a bigger
+  // chunk and rehashing. The arena must outlive the table.
+  explicit SpanTable(Arena* arena) : arena_(arena) {}
+
+  SpanTable(const SpanTable&) = delete;
+  SpanTable& operator=(const SpanTable&) = delete;
+
+  Status Insert(uintptr_t chunk_base, SpanInfo info) {
+    if (slots_ == nullptr || live_ * 4 >= capacity_ * 3) {
+      PS_RETURN_IF_ERROR(Grow());
+    }
+    Slot* slot = Probe(chunk_base);
+    if (slot->state == kLive) {
+      return AlreadyExistsError("span already registered");
+    }
+    if (slot->state == kEmpty) {
+      ++used_;
+    }
+    slot->key = chunk_base;
+    slot->info = info;
+    slot->state = kLive;
+    ++live_;
+    return Status::Ok();
+  }
+
+  const SpanInfo* Find(uintptr_t chunk_base) const {
+    if (slots_ == nullptr) {
+      return nullptr;
+    }
+    const Slot* slot = Probe(chunk_base);
+    return slot->state == kLive ? &slot->info : nullptr;
+  }
+
+  Status Erase(uintptr_t chunk_base) {
+    if (slots_ == nullptr) {
+      return NotFoundError("span table empty");
+    }
+    Slot* slot = Probe(chunk_base);
+    if (slot->state != kLive) {
+      return NotFoundError("span not registered");
+    }
+    slot->state = kTombstone;
+    --live_;
+    return Status::Ok();
+  }
+
+  size_t size() const { return live_; }
+
+ private:
+  enum SlotState : uint8_t { kEmpty = 0, kTombstone = 1, kLive = 2 };
+
+  struct Slot {
+    uintptr_t key;
+    SpanInfo info;
+    SlotState state;
+  };
+
+  static uint64_t Hash(uintptr_t key) {
+    // Chunk bases share low zero bits; mix before masking.
+    uint64_t z = key;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Returns the live slot for `key`, or the first insertable slot.
+  Slot* Probe(uintptr_t key) {
+    const size_t mask = capacity_ - 1;
+    size_t index = Hash(key) & mask;
+    Slot* first_free = nullptr;
+    while (true) {
+      Slot* slot = &slots_[index];
+      if (slot->state == kLive && slot->key == key) {
+        return slot;
+      }
+      if (slot->state == kTombstone && first_free == nullptr) {
+        first_free = slot;
+      }
+      if (slot->state == kEmpty) {
+        return first_free != nullptr ? first_free : slot;
+      }
+      index = (index + 1) & mask;
+    }
+  }
+  const Slot* Probe(uintptr_t key) const { return const_cast<SpanTable*>(this)->Probe(key); }
+
+  Status Grow() {
+    const size_t new_capacity = capacity_ == 0 ? 1024 : capacity_ * 2;
+    const size_t bytes = new_capacity * sizeof(Slot);
+    auto chunk = arena_->AllocateChunk(bytes);
+    if (!chunk.ok()) {
+      return chunk.status();
+    }
+    auto* new_slots = reinterpret_cast<Slot*>(*chunk);
+    for (size_t i = 0; i < new_capacity; ++i) {
+      new_slots[i].state = kEmpty;
+    }
+
+    Slot* old_slots = slots_;
+    const size_t old_capacity = capacity_;
+    const size_t old_bytes = old_capacity * sizeof(Slot);
+
+    slots_ = new_slots;
+    capacity_ = new_capacity;
+    used_ = 0;
+    live_ = 0;
+    if (old_slots != nullptr) {
+      for (size_t i = 0; i < old_capacity; ++i) {
+        if (old_slots[i].state == kLive) {
+          PS_CHECK(Insert(old_slots[i].key, old_slots[i].info).ok());
+        }
+      }
+      arena_->FreeChunk(reinterpret_cast<uintptr_t>(old_slots), old_bytes);
+    }
+    return Status::Ok();
+  }
+
+  Arena* arena_;
+  Slot* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t used_ = 0;  // live + tombstones
+  size_t live_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PKALLOC_SPAN_TABLE_H_

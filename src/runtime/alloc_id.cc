@@ -1,0 +1,29 @@
+#include "src/runtime/alloc_id.h"
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+std::string AllocId::ToString() const {
+  return StrFormat("%u:%u:%u", function_id, block_id, site_id);
+}
+
+Result<AllocId> AllocId::Parse(std::string_view text) {
+  const auto parts = StrSplit(text, ':');
+  if (parts.size() != 3) {
+    return InvalidArgumentError("AllocId must have three ':'-separated fields");
+  }
+  AllocId id;
+  PS_ASSIGN_OR_RETURN(uint64_t function_id, ParseUint64(parts[0]));
+  PS_ASSIGN_OR_RETURN(uint64_t block_id, ParseUint64(parts[1]));
+  PS_ASSIGN_OR_RETURN(uint64_t site_id, ParseUint64(parts[2]));
+  if (function_id > UINT32_MAX || block_id > UINT32_MAX || site_id > UINT32_MAX) {
+    return OutOfRangeError("AllocId field exceeds 32 bits");
+  }
+  id.function_id = static_cast<uint32_t>(function_id);
+  id.block_id = static_cast<uint32_t>(block_id);
+  id.site_id = static_cast<uint32_t>(site_id);
+  return id;
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,85 @@
+#include "src/runtime/call_gate.h"
+
+namespace pkrusafe {
+
+namespace {
+
+struct StackStorage {
+  CompartmentStack::Frame frames[CompartmentStack::kMaxDepth];
+  size_t depth = 0;
+};
+
+thread_local StackStorage tls_stack;
+
+}  // namespace
+
+void CompartmentStack::Push(Frame frame) {
+  StackStorage& stack = tls_stack;
+  PS_CHECK_LT(stack.depth, kMaxDepth) << "compartment stack overflow";
+  stack.frames[stack.depth++] = frame;
+}
+
+CompartmentStack::Frame CompartmentStack::Pop() {
+  StackStorage& stack = tls_stack;
+  PS_CHECK_GT(stack.depth, 0u) << "compartment stack underflow";
+  return stack.frames[--stack.depth];
+}
+
+size_t CompartmentStack::Depth() { return tls_stack.depth; }
+
+Domain CompartmentStack::CurrentDomain() {
+  const StackStorage& stack = tls_stack;
+  return stack.depth == 0 ? Domain::kTrusted : stack.frames[stack.depth - 1].entered;
+}
+
+void GateSet::WriteAndMaybeVerify(PkruValue target) {
+  backend_->WritePkru(target);
+  if (verify_) {
+    const PkruValue actual = backend_->ReadPkru();
+    PS_CHECK(actual == target) << "call gate PKRU verification failed: wrote "
+                               << target.ToString() << " but register holds "
+                               << actual.ToString();
+  }
+}
+
+void GateSet::EnterUntrusted() {
+  if (!enabled_) {
+    return;
+  }
+  const PkruValue saved = backend_->ReadPkru();
+  CompartmentStack::Push({saved, Domain::kUntrusted});
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  WriteAndMaybeVerify(saved.WithAccessDisabled(trusted_key_));
+}
+
+void GateSet::ExitUntrusted() {
+  if (!enabled_) {
+    return;
+  }
+  const CompartmentStack::Frame frame = CompartmentStack::Pop();
+  PS_CHECK(frame.entered == Domain::kUntrusted) << "unbalanced compartment transitions";
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  WriteAndMaybeVerify(frame.saved_pkru);
+}
+
+void GateSet::EnterTrusted() {
+  if (!enabled_) {
+    return;
+  }
+  const PkruValue saved = backend_->ReadPkru();
+  CompartmentStack::Push({saved, Domain::kTrusted});
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  WriteAndMaybeVerify(saved.WithKeyAllowed(trusted_key_));
+}
+
+void GateSet::ExitTrusted() {
+  if (!enabled_) {
+    return;
+  }
+  const CompartmentStack::Frame frame = CompartmentStack::Pop();
+  PS_CHECK(frame.entered == Domain::kTrusted) << "unbalanced compartment transitions";
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  WriteAndMaybeVerify(frame.saved_pkru);
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,139 @@
+// Call gates: the compartment-transition mechanism (paper §3.3, §4.1).
+//
+// Every call from T into an annotated untrusted library is wrapped so the
+// thread first drops its right to access M_T, and restores the previous
+// rights when execution returns. Rights are not assumed — they are kept on a
+// per-thread compartment stack so nested and re-entrant transitions restore
+// exactly what was in force before the call. Each gate verifies that the
+// PKRU value it installed actually took effect and aborts on mismatch,
+// mirroring the paper's WRPKRU call-gate stubs.
+//
+// Transitions in both directions are counted; the evaluation's "Transitions"
+// columns (Tables 1-2) come from these counters.
+#ifndef SRC_RUNTIME_CALL_GATE_H_
+#define SRC_RUNTIME_CALL_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "src/mpk/backend.h"
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+// Per-thread stack of saved PKRU values + the domain the thread is running
+// in. Depth is bounded; the paper observed deeply nested transition stacks in
+// Servo's dom benchmarks, so the bound is generous.
+class CompartmentStack {
+ public:
+  static constexpr size_t kMaxDepth = 512;
+
+  struct Frame {
+    PkruValue saved_pkru;
+    Domain entered;
+  };
+
+  static void Push(Frame frame);
+  static Frame Pop();
+  static size_t Depth();
+  static Domain CurrentDomain();  // kTrusted when the stack is empty
+};
+
+class GateSet {
+ public:
+  // `trusted_key` is the protection key tagging M_T. The backend must
+  // outlive the gate set.
+  GateSet(MpkBackend* backend, PkeyId trusted_key)
+      : backend_(backend), trusted_key_(trusted_key) {}
+
+  GateSet(const GateSet&) = delete;
+  GateSet& operator=(const GateSet&) = delete;
+
+  // T -> U: revoke access to M_T for this thread.
+  void EnterUntrusted();
+  void ExitUntrusted();
+
+  // U -> T (callback / exported API): re-enable access to M_T.
+  void EnterTrusted();
+  void ExitTrusted();
+
+  // Runs `fn` inside the untrusted compartment.
+  template <typename Fn, typename... Args>
+  decltype(auto) CallUntrusted(Fn&& fn, Args&&... args) {
+    EnterUntrusted();
+    if constexpr (std::is_void_v<decltype(fn(std::forward<Args>(args)...))>) {
+      fn(std::forward<Args>(args)...);
+      ExitUntrusted();
+    } else {
+      decltype(auto) result = fn(std::forward<Args>(args)...);
+      ExitUntrusted();
+      return result;
+    }
+  }
+
+  // Runs `fn` back inside the trusted compartment (callback path).
+  template <typename Fn, typename... Args>
+  decltype(auto) CallTrusted(Fn&& fn, Args&&... args) {
+    EnterTrusted();
+    if constexpr (std::is_void_v<decltype(fn(std::forward<Args>(args)...))>) {
+      fn(std::forward<Args>(args)...);
+      ExitTrusted();
+    } else {
+      decltype(auto) result = fn(std::forward<Args>(args)...);
+      ExitTrusted();
+      return result;
+    }
+  }
+
+  uint64_t transition_count() const { return transitions_.load(std::memory_order_relaxed); }
+  void ResetTransitionCount() { transitions_.store(0, std::memory_order_relaxed); }
+
+  // Gate-verification ablation (§3.3: gates verify the written PKRU value).
+  void set_verify(bool verify) { verify_ = verify; }
+  bool verify() const { return verify_; }
+
+  // Baseline builds carry no call gates at all: a disabled gate set turns
+  // every transition into a no-op (no PKRU writes, no counting), so the same
+  // application code can run as the paper's `base` configuration.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  PkeyId trusted_key() const { return trusted_key_; }
+
+ private:
+  void WriteAndMaybeVerify(PkruValue target);
+
+  MpkBackend* backend_;
+  PkeyId trusted_key_;
+  bool verify_ = true;
+  bool enabled_ = true;
+  std::atomic<uint64_t> transitions_{0};
+};
+
+// RAII transition guards.
+class UntrustedScope {
+ public:
+  explicit UntrustedScope(GateSet& gates) : gates_(gates) { gates_.EnterUntrusted(); }
+  ~UntrustedScope() { gates_.ExitUntrusted(); }
+  UntrustedScope(const UntrustedScope&) = delete;
+  UntrustedScope& operator=(const UntrustedScope&) = delete;
+
+ private:
+  GateSet& gates_;
+};
+
+class TrustedScope {
+ public:
+  explicit TrustedScope(GateSet& gates) : gates_(gates) { gates_.EnterTrusted(); }
+  ~TrustedScope() { gates_.ExitTrusted(); }
+  TrustedScope(const TrustedScope&) = delete;
+  TrustedScope& operator=(const TrustedScope&) = delete;
+
+ private:
+  GateSet& gates_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_RUNTIME_CALL_GATE_H_

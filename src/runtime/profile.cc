@@ -1,0 +1,112 @@
+#include "src/runtime/profile.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+namespace {
+constexpr std::string_view kHeader = "# pkru-safe profile v1";
+}  // namespace
+
+std::vector<AllocId> Profile::Sites() const {
+  std::vector<AllocId> sites;
+  sites.reserve(counts_.size());
+  for (const auto& [id, count] : counts_) {
+    sites.push_back(id);
+  }
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
+void Profile::Merge(const Profile& other) {
+  for (const auto& [id, count] : other.counts_) {
+    counts_[id] += count;
+  }
+}
+
+std::string Profile::Serialize() const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const AllocId& id : Sites()) {
+    out << id.ToString() << " " << CountFor(id) << "\n";
+  }
+  return out.str();
+}
+
+Result<Profile> Profile::Deserialize(std::string_view text) {
+  Profile profile;
+  bool saw_header = false;
+  for (std::string_view line : StrSplit(text, '\n')) {
+    line = StrStrip(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      if (line == kHeader) {
+        saw_header = true;
+      }
+      continue;
+    }
+    const auto fields = StrSplit(line, ' ');
+    if (fields.size() != 2) {
+      return InvalidArgumentError("malformed profile line: " + std::string(line));
+    }
+    PS_ASSIGN_OR_RETURN(AllocId id, AllocId::Parse(fields[0]));
+    PS_ASSIGN_OR_RETURN(uint64_t count, ParseUint64(fields[1]));
+    profile.Add(id, count);
+  }
+  if (!saw_header) {
+    return InvalidArgumentError("missing profile header");
+  }
+  return profile;
+}
+
+Status Profile::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open profile file for writing: " + path);
+  }
+  out << Serialize();
+  if (!out.flush()) {
+    return InternalError("failed writing profile file: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Profile> Profile::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open profile file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+void ProfileRecorder::RecordFault(AllocId id) {
+  std::lock_guard lock(mutex_);
+  profile_.Add(id);
+  ++total_faults_;
+}
+
+Profile ProfileRecorder::TakeProfile() const {
+  std::lock_guard lock(mutex_);
+  return profile_;
+}
+
+uint64_t ProfileRecorder::total_faults() const {
+  std::lock_guard lock(mutex_);
+  return total_faults_;
+}
+
+void ProfileRecorder::Reset() {
+  std::lock_guard lock(mutex_);
+  profile_ = Profile();
+  total_faults_ = 0;
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,75 @@
+// The sharing profile: the set of trusted allocation sites observed crossing
+// the compartment boundary, with fault counts.
+//
+// Produced by profiling runs, consumed by the enforcement build (the
+// ProfileApplyPass rewrites exactly these sites to allocate from M_U). The
+// on-disk format is line-oriented text:
+//
+//   # pkru-safe profile v1
+//   <function>:<block>:<site> <fault-count>
+#ifndef SRC_RUNTIME_PROFILE_H_
+#define SRC_RUNTIME_PROFILE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/alloc_id.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+class Profile {
+ public:
+  Profile() = default;
+
+  void Add(AllocId id, uint64_t count = 1) { counts_[id] += count; }
+
+  bool Contains(AllocId id) const { return counts_.contains(id); }
+  uint64_t CountFor(AllocId id) const {
+    auto it = counts_.find(id);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  size_t site_count() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  // Sites in deterministic (sorted) order.
+  std::vector<AllocId> Sites() const;
+
+  // Folds `other` into this profile (per-site counts add).
+  void Merge(const Profile& other);
+
+  std::string Serialize() const;
+  static Result<Profile> Deserialize(std::string_view text);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<Profile> LoadFromFile(const std::string& path);
+
+ private:
+  std::unordered_map<AllocId, uint64_t, AllocIdHasher> counts_;
+};
+
+// Thread-safe fault sink used by the profiling fault handler. The paper
+// records each AllocId once per unique site (§4.3.2); we additionally keep
+// fault counts for diagnostics.
+class ProfileRecorder {
+ public:
+  void RecordFault(AllocId id);
+
+  // Snapshot of everything recorded so far.
+  Profile TakeProfile() const;
+
+  uint64_t total_faults() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Profile profile_;
+  uint64_t total_faults_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_RUNTIME_PROFILE_H_

@@ -1,0 +1,54 @@
+#include "src/runtime/provenance.h"
+
+namespace pkrusafe {
+
+Status ProvenanceTracker::OnAlloc(const void* ptr, size_t size, AllocId id) {
+  if (ptr == nullptr || size == 0) {
+    return InvalidArgumentError("null or empty allocation");
+  }
+  const auto base = reinterpret_cast<uintptr_t>(ptr);
+  std::lock_guard lock(mutex_);
+  return objects_.Insert(base, base + size, Record{base, size, id});
+}
+
+Status ProvenanceTracker::OnRealloc(const void* old_ptr, const void* new_ptr, size_t new_size) {
+  const auto old_base = reinterpret_cast<uintptr_t>(old_ptr);
+  const auto new_base = reinterpret_cast<uintptr_t>(new_ptr);
+  std::lock_guard lock(mutex_);
+  auto old_record = objects_.Erase(old_base);
+  if (!old_record.ok()) {
+    return old_record.status();
+  }
+  const AllocId id = old_record->id;
+  return objects_.Insert(new_base, new_base + new_size, Record{new_base, new_size, id});
+}
+
+Status ProvenanceTracker::OnFree(const void* ptr) {
+  std::lock_guard lock(mutex_);
+  auto erased = objects_.Erase(reinterpret_cast<uintptr_t>(ptr));
+  if (!erased.ok()) {
+    return erased.status();
+  }
+  return Status::Ok();
+}
+
+std::optional<ProvenanceTracker::Record> ProvenanceTracker::Lookup(uintptr_t addr) const {
+  std::lock_guard lock(mutex_);
+  auto interval = objects_.Find(addr);
+  if (!interval.has_value()) {
+    return std::nullopt;
+  }
+  return interval->value;
+}
+
+size_t ProvenanceTracker::live_count() const {
+  std::lock_guard lock(mutex_);
+  return objects_.size();
+}
+
+void ProvenanceTracker::Clear() {
+  std::lock_guard lock(mutex_);
+  objects_.clear();
+}
+
+}  // namespace pkrusafe

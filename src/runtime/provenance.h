@@ -1,0 +1,53 @@
+// Live-object provenance tracking (paper Fig. 2).
+//
+// During a profiling build, every trusted allocation is registered here with
+// its AllocId, address and size. When untrusted code faults on a trusted
+// address, the fault handler looks the address up — anywhere inside the
+// object — and records the AllocId into the profile. Reallocation carries the
+// original AllocId forward (§4.3.1), so an object keeps its provenance for
+// its whole lifetime regardless of resizing.
+#ifndef SRC_RUNTIME_PROVENANCE_H_
+#define SRC_RUNTIME_PROVENANCE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "src/memmap/interval_map.h"
+#include "src/runtime/alloc_id.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+class ProvenanceTracker {
+ public:
+  struct Record {
+    uintptr_t base = 0;
+    size_t size = 0;
+    AllocId id;
+  };
+
+  // Registers a new live object. Overlapping registrations fail.
+  Status OnAlloc(const void* ptr, size_t size, AllocId id);
+
+  // Transfers provenance from `old_ptr` to `new_ptr` (same AllocId). The two
+  // may be equal (in-place realloc).
+  Status OnRealloc(const void* old_ptr, const void* new_ptr, size_t new_size);
+
+  // Unregisters a live object; `ptr` must be its base.
+  Status OnFree(const void* ptr);
+
+  // The record owning `addr` (any interior address), if tracked.
+  std::optional<Record> Lookup(uintptr_t addr) const;
+
+  size_t live_count() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  IntervalMap<Record> objects_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_RUNTIME_PROVENANCE_H_

@@ -1,0 +1,125 @@
+#include "src/runtime/runtime.h"
+
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+
+PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBackend> backend,
+                                 std::unique_ptr<PkAllocator> allocator)
+    : mode_(config.mode),
+      policy_(std::move(config.policy)),
+      backend_(std::move(backend)),
+      allocator_(std::move(allocator)) {
+  gates_ = std::make_unique<GateSet>(backend_.get(), allocator_->trusted_key());
+  gates_->set_verify(config.verify_gates);
+  // The baseline configuration has no instrumentation: gates become no-ops.
+  gates_->set_enabled(mode_ != RuntimeMode::kDisabled);
+}
+
+Result<std::unique_ptr<PkruSafeRuntime>> PkruSafeRuntime::Create(RuntimeConfig config) {
+  PS_ASSIGN_OR_RETURN(std::unique_ptr<MpkBackend> backend, CreateMpkBackend(config.backend));
+  PS_ASSIGN_OR_RETURN(std::unique_ptr<PkAllocator> allocator,
+                      PkAllocator::Create(backend.get(), config.allocator));
+
+  auto runtime = std::unique_ptr<PkruSafeRuntime>(
+      new PkruSafeRuntime(std::move(config), std::move(backend), std::move(allocator)));
+
+  // Route protection-key violations into the runtime's mode-dependent
+  // handler, and let natively-enforcing backends hook their signals.
+  runtime->backend_->SetFaultHandler(
+      [rt = runtime.get()](const MpkFault& fault) { return rt->OnMpkFault(fault); });
+  if (runtime->backend_->enforces_natively()) {
+    PS_RETURN_IF_ERROR(runtime->backend_->PrepareNativeEnforcement());
+  }
+  return runtime;
+}
+
+PkruSafeRuntime::~PkruSafeRuntime() {
+  // Drop the fault handler before members are destroyed; a late fault must
+  // not call into a half-dead runtime.
+  backend_->SetFaultHandler(nullptr);
+}
+
+FaultResolution PkruSafeRuntime::OnMpkFault(const MpkFault& fault) {
+  if (mode_ != RuntimeMode::kProfiling) {
+    return FaultResolution::kDeny;
+  }
+  // Permissive profiling (§4.3.2): attribute the fault to the allocation
+  // site owning the address, record it once per site, and let the access
+  // complete via single-stepping. Faults that hit trusted memory not backed
+  // by a tracked object (e.g. allocator metadata) are stepped past without a
+  // profile entry — there is no allocation site to move.
+  const auto record = provenance_.Lookup(fault.address);
+  if (record.has_value()) {
+    recorder_.RecordFault(record->id);
+  } else {
+    PS_LOG(Warning) << "profiling fault at 0x" << std::hex << fault.address << std::dec
+                    << " hit no tracked allocation";
+  }
+  return FaultResolution::kRetryAllowed;
+}
+
+void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
+  {
+    std::lock_guard lock(sites_mutex_);
+    sites_seen_.insert(site);
+  }
+  Domain domain = Domain::kTrusted;
+  if (mode_ == RuntimeMode::kEnforcing) {
+    domain = policy_.DomainFor(site);
+  }
+  void* ptr = allocator_->Allocate(domain, size);
+  if (ptr != nullptr && mode_ == RuntimeMode::kProfiling && domain == Domain::kTrusted) {
+    const size_t usable = allocator_->UsableSize(ptr);
+    const Status status = provenance_.OnAlloc(ptr, usable, site);
+    PS_CHECK(status.ok()) << "provenance registration failed: " << status.ToString();
+  }
+  return ptr;
+}
+
+void* PkruSafeRuntime::AllocUntrusted(size_t size) {
+  return allocator_->Allocate(Domain::kUntrusted, size);
+}
+
+void* PkruSafeRuntime::Realloc(void* ptr, size_t new_size) {
+  if (ptr == nullptr) {
+    return allocator_->Allocate(Domain::kTrusted, new_size);
+  }
+  const bool tracked =
+      mode_ == RuntimeMode::kProfiling &&
+      provenance_.Lookup(reinterpret_cast<uintptr_t>(ptr)).has_value();
+  void* fresh = allocator_->Reallocate(ptr, new_size);
+  if (fresh != nullptr && tracked) {
+    const size_t usable = allocator_->UsableSize(fresh);
+    const Status status = provenance_.OnRealloc(ptr, fresh, usable);
+    PS_CHECK(status.ok()) << "provenance realloc failed: " << status.ToString();
+  }
+  return fresh;
+}
+
+void PkruSafeRuntime::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  if (mode_ == RuntimeMode::kProfiling) {
+    // Untracked pointers (M_U allocations) are fine; ignore NotFound.
+    (void)provenance_.OnFree(ptr);
+  }
+  allocator_->Free(ptr);
+}
+
+RuntimeStats PkruSafeRuntime::stats() const {
+  RuntimeStats stats;
+  stats.transitions = gates_->transition_count();
+  stats.profile_faults = recorder_.total_faults();
+  {
+    std::lock_guard lock(sites_mutex_);
+    stats.sites_seen = sites_seen_.size();
+  }
+  stats.sites_shared = policy_.shared_site_count();
+  stats.trusted_bytes = allocator_->trusted_stats().total_bytes;
+  stats.untrusted_bytes = allocator_->untrusted_stats().total_bytes;
+  return stats;
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,131 @@
+// The PKRU-Safe runtime: one object wiring together the MPK backend, the
+// compartment-aware allocator, provenance tracking, the profiling fault
+// handler and the allocation-site policy.
+//
+// A runtime is created in one of three modes, matching the three binaries of
+// the paper's artifact experiment E1:
+//   * kDisabled  — baseline: no partitioning, no gates semantics (the gate
+//                  API still works but the policy never moves a site).
+//   * kProfiling — everything trusted allocates in M_T with provenance
+//                  registration; MPK faults from U are recorded into the
+//                  profile and single-stepped past (permissive mode).
+//   * kEnforcing — sites named by the loaded profile allocate from M_U;
+//                  every other trusted site stays in M_T; MPK faults deny.
+#ifndef SRC_RUNTIME_RUNTIME_H_
+#define SRC_RUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/mpk/backend.h"
+#include "src/mpk/backend_factory.h"
+#include "src/pkalloc/pkalloc.h"
+#include "src/runtime/call_gate.h"
+#include "src/runtime/profile.h"
+#include "src/runtime/provenance.h"
+#include "src/runtime/site_policy.h"
+
+namespace pkrusafe {
+
+enum class RuntimeMode : uint8_t {
+  kDisabled = 0,
+  kProfiling = 1,
+  kEnforcing = 2,
+};
+
+inline const char* RuntimeModeName(RuntimeMode mode) {
+  switch (mode) {
+    case RuntimeMode::kDisabled:
+      return "disabled";
+    case RuntimeMode::kProfiling:
+      return "profiling";
+    case RuntimeMode::kEnforcing:
+      return "enforcing";
+  }
+  return "?";
+}
+
+struct RuntimeConfig {
+  BackendKind backend = BackendKind::kSim;
+  RuntimeMode mode = RuntimeMode::kDisabled;
+  PkAllocatorConfig allocator;
+  bool verify_gates = true;
+  // Enforcement policy; typically SitePolicy::FromProfile(profile).
+  SitePolicy policy;
+};
+
+struct RuntimeStats {
+  uint64_t transitions = 0;
+  uint64_t profile_faults = 0;
+  size_t sites_seen = 0;        // distinct AllocIds that allocated
+  size_t sites_shared = 0;      // sites the policy serves from M_U
+  uint64_t trusted_bytes = 0;   // cumulative usable bytes from M_T
+  uint64_t untrusted_bytes = 0; // cumulative usable bytes from M_U
+  // Share of heap traffic landing in M_U (the %M_U column of Tables 1-2).
+  double untrusted_fraction() const {
+    const uint64_t total = trusted_bytes + untrusted_bytes;
+    return total == 0 ? 0.0 : static_cast<double>(untrusted_bytes) / static_cast<double>(total);
+  }
+};
+
+class PkruSafeRuntime {
+ public:
+  static Result<std::unique_ptr<PkruSafeRuntime>> Create(RuntimeConfig config);
+  ~PkruSafeRuntime();
+
+  PkruSafeRuntime(const PkruSafeRuntime&) = delete;
+  PkruSafeRuntime& operator=(const PkruSafeRuntime&) = delete;
+
+  RuntimeMode mode() const { return mode_; }
+
+  // --- Allocation API (the paper's liballoc extensions, §4.2) ---
+
+  // __rust_alloc analogue: a trusted-code allocation at `site`. The mode and
+  // policy decide which pool actually serves it.
+  void* AllocTrusted(AllocId site, size_t size);
+
+  // __rust_untrusted_alloc analogue: memory explicitly destined for U.
+  void* AllocUntrusted(size_t size);
+
+  // __rust_realloc analogue: stays in the pool of `ptr`; provenance follows.
+  void* Realloc(void* ptr, size_t new_size);
+
+  void Free(void* ptr);
+
+  // --- Compartment transitions ---
+  GateSet& gates() { return *gates_; }
+
+  // --- Profiling ---
+  Profile TakeProfile() const { return recorder_.TakeProfile(); }
+  const SitePolicy& policy() const { return policy_; }
+
+  // --- Introspection ---
+  MpkBackend& backend() { return *backend_; }
+  PkAllocator& allocator() { return *allocator_; }
+  ProvenanceTracker& provenance() { return provenance_; }
+  PkeyId trusted_key() const { return allocator_->trusted_key(); }
+
+  RuntimeStats stats() const;
+
+ private:
+  PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBackend> backend,
+                  std::unique_ptr<PkAllocator> allocator);
+
+  FaultResolution OnMpkFault(const MpkFault& fault);
+
+  RuntimeMode mode_;
+  SitePolicy policy_;
+  std::unique_ptr<MpkBackend> backend_;
+  std::unique_ptr<PkAllocator> allocator_;
+  std::unique_ptr<GateSet> gates_;
+  ProvenanceTracker provenance_;
+  ProfileRecorder recorder_;
+
+  mutable std::mutex sites_mutex_;
+  std::unordered_set<AllocId, AllocIdHasher> sites_seen_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_RUNTIME_RUNTIME_H_

@@ -1,0 +1,44 @@
+// Allocation-site policy: which pool each trusted allocation site uses.
+//
+// This is the output of the paper's feedback step: sites present in the
+// profile were observed flowing into U, so the enforcement build serves them
+// from M_U; everything else stays in M_T (§4.3.1 — "If the profiling corpus
+// does not record an allocation being used by U ... it will reside in M_T").
+#ifndef SRC_RUNTIME_SITE_POLICY_H_
+#define SRC_RUNTIME_SITE_POLICY_H_
+
+#include <unordered_set>
+
+#include "src/mpk/pkey.h"
+#include "src/runtime/alloc_id.h"
+#include "src/runtime/profile.h"
+
+namespace pkrusafe {
+
+class SitePolicy {
+ public:
+  SitePolicy() = default;
+
+  static SitePolicy FromProfile(const Profile& profile) {
+    SitePolicy policy;
+    for (const AllocId& id : profile.Sites()) {
+      policy.shared_sites_.insert(id);
+    }
+    return policy;
+  }
+
+  Domain DomainFor(AllocId id) const {
+    return shared_sites_.contains(id) ? Domain::kUntrusted : Domain::kTrusted;
+  }
+
+  void MarkShared(AllocId id) { shared_sites_.insert(id); }
+
+  size_t shared_site_count() const { return shared_sites_.size(); }
+
+ private:
+  std::unordered_set<AllocId, AllocIdHasher> shared_sites_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_RUNTIME_SITE_POLICY_H_

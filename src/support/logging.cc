@@ -1,0 +1,56 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pkrusafe {
+
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void EmitLogMessage(LogSeverity severity, const char* file, int line, const std::string& message) {
+  if (severity >= MinLogSeverity() || severity == LogSeverity::kFatal) {
+    // Strip directories for readability.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity), base, line, message.c_str());
+  }
+  if (severity == LogSeverity::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace pkrusafe

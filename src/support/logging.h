@@ -1,0 +1,76 @@
+// Minimal logging and assertion macros.
+//
+// PS_CHECK(cond) aborts with a diagnostic when `cond` is false; it is always
+// enabled (release builds included) because the invariants it guards protect
+// compartment isolation, where silent corruption is worse than termination.
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pkrusafe {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum severity; messages below it are discarded. Default kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// Internal: emits one formatted line to stderr. Fatal messages abort.
+void EmitLogMessage(LogSeverity severity, const char* file, int line, const std::string& message);
+
+// Stream-style collector used by the PS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLogMessage(severity_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream when a log statement is disabled.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+#define PS_LOG(severity)                                                                   \
+  (::pkrusafe::LogSeverity::k##severity < ::pkrusafe::MinLogSeverity())                    \
+      ? (void)0                                                                            \
+      : ::pkrusafe::LogMessageVoidify() &                                                  \
+            ::pkrusafe::LogMessage(::pkrusafe::LogSeverity::k##severity, __FILE__, __LINE__) \
+                .stream()
+
+#define PS_CHECK(cond)                                                                      \
+  (cond) ? (void)0                                                                         \
+         : ::pkrusafe::LogMessageVoidify() &                                               \
+               ::pkrusafe::LogMessage(::pkrusafe::LogSeverity::kFatal, __FILE__, __LINE__) \
+                       .stream()                                                           \
+                   << "Check failed: " #cond " "
+
+#define PS_CHECK_EQ(a, b) PS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS_CHECK_NE(a, b) PS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS_CHECK_LE(a, b) PS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS_CHECK_LT(a, b) PS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS_CHECK_GE(a, b) PS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PS_CHECK_GT(a, b) PS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace pkrusafe
+
+#endif  // SRC_SUPPORT_LOGGING_H_

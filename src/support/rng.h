@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generator for workload generation.
+//
+// Benchmarks must be reproducible run-to-run, so all workload randomness
+// flows through SplitMix64 seeded explicitly — never std::random_device.
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace pkrusafe {
+
+// SplitMix64: tiny, fast, passes BigCrush when used as a stream.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,127 @@
+#include "src/support/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pkrusafe {
+
+std::vector<std::string_view> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StrStrip(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1])) != 0) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool StrStartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool StrEndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty()) {
+    return InvalidArgumentError("empty integer");
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return OutOfRangeError("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("trailing characters in integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  if (s.empty()) {
+    return InvalidArgumentError("empty integer");
+  }
+  if (s[0] == '-') {
+    return InvalidArgumentError("negative value for unsigned integer");
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return OutOfRangeError("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("trailing characters in integer: " + buf);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  if (s.empty()) {
+    return InvalidArgumentError("empty double");
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return OutOfRangeError("double out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("trailing characters in double: " + buf);
+  }
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,37 @@
+// Small string helpers used by the IR parser, the profile file format and the
+// benchmark harnesses. Kept dependency-free.
+#ifndef SRC_SUPPORT_STRING_UTIL_H_
+#define SRC_SUPPORT_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace pkrusafe {
+
+// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string_view> StrSplit(std::string_view input, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrStrip(std::string_view input);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+// Strict decimal parses; reject trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<uint64_t> ParseUint64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,832 @@
+#include "src/workloads/kernels.h"
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kFft:
+      return "fft";
+    case KernelKind::kCryptoRounds:
+      return "crypto-rounds";
+    case KernelKind::kAesRounds:
+      return "aes-rounds";
+    case KernelKind::kGaussianBlur:
+      return "gaussian-blur";
+    case KernelKind::kPixelMap:
+      return "pixel-map";
+    case KernelKind::kAstar:
+      return "astar";
+    case KernelKind::kJsonParse:
+      return "json-parse";
+    case KernelKind::kJsonStringify:
+      return "json-stringify";
+    case KernelKind::kStringChurn:
+      return "string-churn";
+    case KernelKind::kRegexLite:
+      return "regex-lite";
+    case KernelKind::kSort:
+      return "sort";
+    case KernelKind::kRichards:
+      return "richards";
+    case KernelKind::kDeltaBlue:
+      return "deltablue";
+    case KernelKind::kSplay:
+      return "splay";
+    case KernelKind::kNbody:
+      return "nbody";
+    case KernelKind::kRayTrace:
+      return "raytrace";
+    case KernelKind::kMandel:
+      return "mandel";
+    case KernelKind::kCodeLoad:
+      return "code-load";
+    case KernelKind::kMachine:
+      return "machine";
+    case KernelKind::kDomChurn:
+      return "dom-churn";
+    case KernelKind::kDomQuery:
+      return "dom-query";
+    case KernelKind::kDomRead:
+      return "dom-read";
+    case KernelKind::kJslibMix:
+      return "jslib-mix";
+  }
+  return "?";
+}
+
+bool KernelUsesDom(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kDomChurn:
+    case KernelKind::kDomQuery:
+    case KernelKind::kDomRead:
+    case KernelKind::kJslibMix:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Shared script preamble: a deterministic small-state PRNG that stays well
+// inside double-exact integer range.
+constexpr const char* kPrng = R"(
+let seed = 12345;
+fn rnd() {
+  seed = (seed * 75 + 74) % 65537;
+  return seed;
+}
+)";
+
+std::string FftScript(const KernelParams& p) {
+  return std::string(kPrng) + StrFormat(R"(
+let n = %d;
+let re = [];
+let im = [];
+for (let i = 0; i < n; i = i + 1) { push(re, sin(i * 0.1)); push(im, 0); }
+
+fn fft_once() {
+  let j = 0;
+  for (let i = 0; i < n - 1; i = i + 1) {
+    if (i < j) {
+      let tr = re[i]; re[i] = re[j]; re[j] = tr;
+      let ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    let m = n / 2;
+    while (m >= 1 && j >= m) { j = j - m; m = m / 2; }
+    j = j + m;
+  }
+  let step = 1;
+  while (step < n) {
+    let theta = 3.141592653589793 / step;
+    for (let m2 = 0; m2 < step; m2 = m2 + 1) {
+      let wr = cos(m2 * theta);
+      let wi = 0 - sin(m2 * theta);
+      let i = m2;
+      while (i < n) {
+        let k = i + step;
+        let tr = wr * re[k] - wi * im[k];
+        let ti = wr * im[k] + wi * re[k];
+        re[k] = re[i] - tr; im[k] = im[i] - ti;
+        re[i] = re[i] + tr; im[i] = im[i] + ti;
+        i = i + 2 * step;
+      }
+    }
+    step = step * 2;
+  }
+}
+
+fn bench() {
+  for (let it = 0; it < %d; it = it + 1) { fft_once(); }
+  return re[1];
+}
+)",
+                           p.size, p.inner_iters);
+}
+
+std::string CryptoRoundsScript(const KernelParams& p) {
+  return StrFormat(R"(
+let n = %d;
+let w = [];
+for (let i = 0; i < n; i = i + 1) { push(w, (i * 2654435 + 101) %% 16777216); }
+
+fn bench() {
+  let a = 1779033703; let b = 3144134277; let c = 1013904242; let d = 2773480762;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let r = 0; r < n; r = r + 1) {
+      let x = w[r];
+      let s0 = bxor(bxor(shr(x, 7), shl(x, 14)), shr(x, 3));
+      let s1 = bxor(bxor(shr(a, 17), shl(a, 15)), shr(a, 10));
+      let t = band(a + s0 + bxor(b, band(c, d)) + r, 4294967295);
+      a = d; d = c; c = b; b = band(t + s1, 4294967295);
+      w[r] = band(x + t, 16777215);
+    }
+  }
+  return band(a, 65535);
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string AesRoundsScript(const KernelParams& p) {
+  return StrFormat(R"(
+let sbox = [];
+for (let i = 0; i < 256; i = i + 1) { push(sbox, band(i * 167 + 89, 255)); }
+let state = [];
+for (let i = 0; i < 16; i = i + 1) { push(state, band(i * 31 + 7, 255)); }
+let blocks = %d;
+
+fn bench() {
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let blk = 0; blk < blocks; blk = blk + 1) {
+      for (let round = 0; round < 10; round = round + 1) {
+        for (let i = 0; i < 16; i = i + 1) {
+          state[i] = bxor(sbox[state[i]], state[(i + 5) %% 16]);
+        }
+      }
+    }
+  }
+  return state[0];
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string GaussianBlurScript(const KernelParams& p) {
+  return StrFormat(R"(
+let w = %d;
+let src = [];
+let dst = [];
+for (let i = 0; i < w * w; i = i + 1) { push(src, (i * 13) %% 256); push(dst, 0); }
+
+fn bench() {
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let y = 0; y < w; y = y + 1) {
+      for (let x = 1; x < w - 1; x = x + 1) {
+        let i = y * w + x;
+        dst[i] = (src[i - 1] + 2 * src[i] + src[i + 1]) / 4;
+      }
+    }
+    for (let y = 1; y < w - 1; y = y + 1) {
+      for (let x = 0; x < w; x = x + 1) {
+        let i = y * w + x;
+        src[i] = (dst[i - w] + 2 * dst[i] + dst[i + w]) / 4;
+      }
+    }
+  }
+  return src[w + 1];
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string PixelMapScript(const KernelParams& p) {
+  return StrFormat(R"(
+let n = %d;
+let px = [];
+for (let i = 0; i < n * 3; i = i + 1) { push(px, (i * 7) %% 256); }
+
+fn bench() {
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let i = 0; i < n; i = i + 1) {
+      let r = px[i * 3]; let g = px[i * 3 + 1]; let b = px[i * 3 + 2];
+      let grey = floor(0.299 * r + 0.587 * g + 0.114 * b);
+      px[i * 3] = grey; px[i * 3 + 1] = grey; px[i * 3 + 2] = band(grey + 1, 255);
+    }
+  }
+  return px[0];
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string AstarScript(const KernelParams& p) {
+  return std::string(kPrng) + StrFormat(R"(
+let w = %d;
+let cost = [];
+for (let i = 0; i < w * w; i = i + 1) { push(cost, 1 + rnd() %% 9); }
+
+fn bench() {
+  let total = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    let x = 0; let y = 0; let spent = 0;
+    while (x < w - 1 || y < w - 1) {
+      let right = 1000000;
+      let down = 1000000;
+      if (x < w - 1) { right = cost[y * w + x + 1]; }
+      if (y < w - 1) { down = cost[(y + 1) * w + x]; }
+      if (right <= down) { x = x + 1; spent = spent + right; }
+      else { y = y + 1; spent = spent + down; }
+    }
+    total = total + spent;
+  }
+  return total;
+}
+)",
+                           p.size, p.inner_iters);
+}
+
+std::string JsonParseScript(const KernelParams& p) {
+  return StrFormat(R"(
+let doc = "[";
+for (let i = 0; i < %d; i = i + 1) {
+  if (i > 0) { doc = doc + ","; }
+  doc = doc + "[" + i + "," + (i * 3) + ",\"k" + i + "\"]";
+}
+doc = doc + "]";
+
+fn bench() {
+  let sum = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    let depth = 0; let num = 0; let in_num = false; let strings = 0; let i = 0;
+    let n = len(doc);
+    while (i < n) {
+      let c = ord(doc, i);
+      if (c == 91) { depth = depth + 1; }
+      else { if (c == 93) { depth = depth - 1; } }
+      if (c >= 48 && c <= 57) { num = num * 10 + (c - 48); in_num = true; }
+      else {
+        if (in_num) { sum = sum + num; num = 0; in_num = false; }
+        if (c == 34) { strings = strings + 1; }
+      }
+      i = i + 1;
+    }
+    sum = sum + strings;
+  }
+  return sum;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string JsonStringifyScript(const KernelParams& p) {
+  return StrFormat(R"(
+let n = %d;
+let rows = [];
+for (let i = 0; i < n; i = i + 1) { push(rows, [i, i * 2, i * 3]); }
+
+fn row_to_json(row) {
+  let out = "[";
+  for (let i = 0; i < len(row); i = i + 1) {
+    if (i > 0) { out = out + ","; }
+    out = out + row[i];
+  }
+  return out + "]";
+}
+
+fn bench() {
+  let total = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    let out = "[";
+    for (let i = 0; i < n; i = i + 1) {
+      if (i > 0) { out = out + ","; }
+      out = out + row_to_json(rows[i]);
+    }
+    out = out + "]";
+    total = total + len(out);
+  }
+  return total;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string StringChurnScript(const KernelParams& p) {
+  return StrFormat(R"(
+let n = %d;
+let words = [];
+for (let i = 0; i < n; i = i + 1) { push(words, "word" + i + "x"); }
+
+fn bench() {
+  let hits = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    let joined = "";
+    for (let i = 0; i < n; i = i + 1) { joined = joined + words[i] + " "; }
+    // Count 'o' characters (search pass).
+    let m = len(joined);
+    for (let i = 0; i < m; i = i + 1) {
+      if (ord(joined, i) == 111) { hits = hits + 1; }
+    }
+    // Slice pass.
+    let mid = substr(joined, m / 4, m / 2);
+    hits = hits + len(mid);
+  }
+  return hits;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string RegexLiteScript(const KernelParams& p) {
+  return StrFormat(R"(
+let text = "";
+for (let i = 0; i < %d; i = i + 1) { text = text + "abxac" + i; }
+
+// Matches pattern a?c at position i: 'a', any char, 'c'.
+fn match_at(i) {
+  if (ord(text, i) != 97) { return false; }
+  if (i + 2 >= len(text)) { return false; }
+  return ord(text, i + 2) == 99 || ord(text, i + 2) == 120;
+}
+
+fn bench() {
+  let matches = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    let n = len(text) - 2;
+    for (let i = 0; i < n; i = i + 1) {
+      if (match_at(i)) { matches = matches + 1; }
+    }
+  }
+  return matches;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string SortScript(const KernelParams& p) {
+  return std::string(kPrng) + StrFormat(R"(
+let n = %d;
+
+fn qsort(a, lo, hi) {
+  if (lo >= hi) { return null; }
+  let pivot = a[floor((lo + hi) / 2)];
+  let i = lo; let j = hi;
+  while (i <= j) {
+    while (a[i] < pivot) { i = i + 1; }
+    while (a[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      let t = a[i]; a[i] = a[j]; a[j] = t;
+      i = i + 1; j = j - 1;
+    }
+  }
+  qsort(a, lo, j);
+  qsort(a, i, hi);
+  return null;
+}
+
+fn bench() {
+  let checksum = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    let a = [];
+    for (let i = 0; i < n; i = i + 1) { push(a, rnd()); }
+    qsort(a, 0, n - 1);
+    checksum = checksum + a[0] + a[n - 1];
+  }
+  return checksum;
+}
+)",
+                           p.size, p.inner_iters);
+}
+
+std::string RichardsScript(const KernelParams& p) {
+  return StrFormat(R"(
+let ntasks = %d;
+let work = [];
+let state = [];
+for (let i = 0; i < ntasks; i = i + 1) { push(work, 10 + (i * 7) %% 20); push(state, 0); }
+
+fn bench() {
+  let completed = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let i = 0; i < ntasks; i = i + 1) { work[i] = 10 + (i * 7) %% 20; state[i] = 0; }
+    let live = ntasks;
+    let t = 0;
+    while (live > 0) {
+      if (state[t] == 0) {
+        work[t] = work[t] - 1;
+        if (work[t] == 0) { state[t] = 2; live = live - 1; completed = completed + 1; }
+        else { if (work[t] %% 3 == 0) { state[t] = 1; } }
+      } else {
+        if (state[t] == 1) { state[t] = 0; }
+      }
+      t = (t + 1) %% ntasks;
+    }
+  }
+  return completed;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string DeltaBlueScript(const KernelParams& p) {
+  return StrFormat(R"(
+let n = %d;
+let values = [];
+let strength = [];
+for (let i = 0; i < n; i = i + 1) { push(values, 0); push(strength, i %% 4); }
+
+fn bench() {
+  let stable = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    values[0] = it;
+    // Forward propagation with strength-gated updates until a full clean pass.
+    let changed = true;
+    let passes = 0;
+    while (changed && passes < 10) {
+      changed = false;
+      for (let i = 1; i < n; i = i + 1) {
+        let want = values[i - 1] + 1;
+        if (strength[i] != 3 && values[i] != want) { values[i] = want; changed = true; }
+      }
+      passes = passes + 1;
+    }
+    stable = stable + values[n - 1] + passes;
+  }
+  return stable;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string SplayScript(const KernelParams& p) {
+  return std::string(kPrng) + StrFormat(R"(
+let cap = %d;
+let key = []; let left = []; let right = [];
+let root = 0 - 1;
+let count = 0;
+
+fn insert(k) {
+  if (root < 0) {
+    root = count; push(key, k); push(left, 0 - 1); push(right, 0 - 1);
+    count = count + 1;
+    return null;
+  }
+  let node = root;
+  while (true) {
+    if (k < key[node]) {
+      if (left[node] < 0) {
+        left[node] = count; push(key, k); push(left, 0 - 1); push(right, 0 - 1);
+        count = count + 1;
+        return null;
+      }
+      node = left[node];
+    } else {
+      if (right[node] < 0) {
+        right[node] = count; push(key, k); push(left, 0 - 1); push(right, 0 - 1);
+        count = count + 1;
+        return null;
+      }
+      node = right[node];
+    }
+  }
+}
+
+fn find(k) {
+  let node = root;
+  while (node >= 0) {
+    if (key[node] == k) { return true; }
+    if (k < key[node]) { node = left[node]; } else { node = right[node]; }
+  }
+  return false;
+}
+
+fn bench() {
+  let hits = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    key = []; left = []; right = []; root = 0 - 1; count = 0;
+    for (let i = 0; i < cap; i = i + 1) { insert(rnd()); }
+    for (let i = 0; i < cap; i = i + 1) {
+      if (find(rnd())) { hits = hits + 1; }
+    }
+  }
+  return hits;
+}
+)",
+                           p.size, p.inner_iters);
+}
+
+std::string NbodyScript(const KernelParams& p) {
+  return StrFormat(R"(
+let n = %d;
+let x = []; let y = []; let vx = []; let vy = [];
+for (let i = 0; i < n; i = i + 1) {
+  push(x, sin(i) * 10); push(y, cos(i) * 10); push(vx, 0); push(vy, 0);
+}
+
+fn bench() {
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let i = 0; i < n; i = i + 1) {
+      let ax = 0; let ay = 0;
+      for (let j = 0; j < n; j = j + 1) {
+        if (i != j) {
+          let dx = x[j] - x[i]; let dy = y[j] - y[i];
+          let d2 = dx * dx + dy * dy + 0.5;
+          let inv = 1 / (d2 * sqrt(d2));
+          ax = ax + dx * inv; ay = ay + dy * inv;
+        }
+      }
+      vx[i] = vx[i] + ax * 0.01; vy[i] = vy[i] + ay * 0.01;
+    }
+    for (let i = 0; i < n; i = i + 1) { x[i] = x[i] + vx[i]; y[i] = y[i] + vy[i]; }
+  }
+  return x[0];
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string RayTraceScript(const KernelParams& p) {
+  return StrFormat(R"(
+let w = %d;
+
+fn trace(px, py) {
+  // Ray from origin through the pixel; unit sphere at z=3.
+  let dx = (px - w / 2) / w;
+  let dy = (py - w / 2) / w;
+  let dz = 1;
+  let norm = sqrt(dx * dx + dy * dy + dz * dz);
+  dx = dx / norm; dy = dy / norm; dz = dz / norm;
+  let cz = 3;
+  let b = 0 - 2 * dz * cz;
+  let c = cz * cz - 1;
+  let disc = b * b - 4 * c;
+  if (disc < 0) { return 0; }
+  let t = (0 - b - sqrt(disc)) / 2;
+  return floor(255 / (1 + t));
+}
+
+fn bench() {
+  let acc = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let py = 0; py < w; py = py + 1) {
+      for (let px = 0; px < w; px = px + 1) {
+        acc = acc + trace(px, py);
+      }
+    }
+  }
+  return acc;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string MandelScript(const KernelParams& p) {
+  return StrFormat(R"(
+let w = %d;
+
+fn bench() {
+  let inside = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let py = 0; py < w; py = py + 1) {
+      for (let px = 0; px < w; px = px + 1) {
+        let cr = px * 3.0 / w - 2.0;
+        let ci = py * 2.0 / w - 1.0;
+        let zr = 0; let zi = 0; let k = 0;
+        while (k < 24 && zr * zr + zi * zi < 4) {
+          let t = zr * zr - zi * zi + cr;
+          zi = 2 * zr * zi + ci;
+          zr = t;
+          k = k + 1;
+        }
+        if (k == 24) { inside = inside + 1; }
+      }
+    }
+  }
+  return inside;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string CodeLoadScript(const KernelParams& p) {
+  // Many tiny functions (code-heavy program), dispatched in rotation.
+  std::string out;
+  const int fn_count = std::max(8, p.size);
+  for (int i = 0; i < fn_count; ++i) {
+    out += StrFormat("fn f%d(x) { return x * %d + %d; }\n", i, i + 1, i);
+  }
+  out += "fn dispatch(which, x) {\n";
+  for (int i = 0; i < fn_count; ++i) {
+    out += StrFormat("  if (which == %d) { return f%d(x); }\n", i, i);
+  }
+  out += "  return 0;\n}\n";
+  out += StrFormat(R"(
+fn bench() {
+  let acc = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let i = 0; i < %d; i = i + 1) { acc = acc + dispatch(i %% %d, i); }
+  }
+  return acc;
+}
+)",
+                   p.inner_iters, fn_count * 4, fn_count);
+  return out;
+}
+
+std::string MachineScript(const KernelParams& p) {
+  return std::string(kPrng) + StrFormat(R"(
+// A tiny register machine interpreted in script: opcodes over 4 registers.
+let prog = [];
+for (let i = 0; i < %d; i = i + 1) { push(prog, rnd() %% 5); }
+
+fn bench() {
+  let r0 = 1; let r1 = 2; let r2 = 3; let r3 = 4;
+  for (let it = 0; it < %d; it = it + 1) {
+    let n = len(prog);
+    for (let pc = 0; pc < n; pc = pc + 1) {
+      let op = prog[pc];
+      if (op == 0) { r0 = band(r0 + r1, 65535); }
+      else { if (op == 1) { r1 = bxor(r1, r2); }
+      else { if (op == 2) { r2 = band(r2 * 3 + 1, 65535); }
+      else { if (op == 3) { r3 = band(r3 + r0, 65535); }
+      else { let t = r0; r0 = r3; r3 = t; } } } }
+    }
+  }
+  return r0 + r1 + r2 + r3;
+}
+)",
+                           p.size, p.inner_iters);
+}
+
+std::string DomChurnScript(const KernelParams& p) {
+  return StrFormat(R"(
+let root = dom_root();
+
+fn bench() {
+  let container = dom_create_element("div");
+  dom_append_child(root, container);
+  for (let i = 0; i < %d; i = i + 1) {
+    let e = dom_create_element("span");
+    dom_append_child(container, e);
+    dom_set_id(e, "node" + i);
+  }
+  let found = 0;
+  for (let i = 0; i < %d; i = i + 1) {
+    if (dom_get_by_id("node" + i) != null) { found = found + 1; }
+  }
+  dom_layout(800);
+  dom_remove(container);
+  return found;
+}
+)",
+                   p.size, p.size);
+}
+
+std::string DomQueryScript(const KernelParams& p) {
+  return StrFormat(R"(
+let root = dom_root();
+let holder = dom_create_element("div");
+dom_append_child(root, holder);
+for (let i = 0; i < %d; i = i + 1) {
+  let e = dom_create_element("p");
+  dom_set_id(e, "q" + i);
+  let t = dom_create_text("content-" + i);
+  dom_append_child(e, t);
+  dom_append_child(holder, e);
+}
+
+fn bench() {
+  let total = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let i = 0; i < %d; i = i + 1) {
+      let h = dom_get_by_id("q" + i);
+      if (h != null) { total = total + 1; }
+    }
+    total = total + dom_layout(640);
+  }
+  return total;
+}
+)",
+                   p.size, p.inner_iters, p.size);
+}
+
+std::string DomReadScript(const KernelParams& p) {
+  return StrFormat(R"(
+let root = dom_root();
+let texts = [];
+for (let i = 0; i < %d; i = i + 1) {
+  let t = dom_create_text("payload-" + i + "-abcdefghijklmnopqrstuvwxyz");
+  dom_append_child(root, t);
+  push(texts, t);
+}
+
+fn bench() {
+  let sum = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    for (let i = 0; i < len(texts); i = i + 1) {
+      sum = sum + dom_text_sum(texts[i]);
+      sum = sum + dom_char_at(texts[i], 3);
+    }
+  }
+  return sum;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+std::string JslibMixScript(const KernelParams& p) {
+  return StrFormat(R"(
+let root = dom_root();
+let list = dom_create_element("ul");
+dom_append_child(root, list);
+let items = [];
+for (let i = 0; i < %d; i = i + 1) {
+  let li = dom_create_element("li");
+  dom_set_id(li, "item" + i);
+  let t = dom_create_text("item text " + i);
+  dom_append_child(li, t);
+  dom_append_child(list, li);
+  push(items, t);
+}
+
+fn bench() {
+  let acc = 0;
+  for (let it = 0; it < %d; it = it + 1) {
+    // jQuery-ish: select, read a little, write back, re-measure. The work
+    // per crossing is deliberately tiny — that is what makes jslib one of
+    // the paper's gate-bound suites.
+    for (let i = 0; i < len(items); i = i + 1) {
+      let text = dom_get_text(items[i]);
+      let c = ord(text, 0);
+      if (c >= 97 && c <= 122) {
+        dom_set_text(items[i], chr(c - 32) + substr(text, 1, len(text) - 1));
+      } else {
+        dom_set_text(items[i], text);
+      }
+      acc = acc + dom_text_len(items[i]);
+      acc = acc + dom_char_at(items[i], 0);
+    }
+  }
+  return acc;
+}
+)",
+                   p.size, p.inner_iters);
+}
+
+}  // namespace
+
+std::string KernelScript(KernelKind kind, const KernelParams& params) {
+  switch (kind) {
+    case KernelKind::kFft:
+      return FftScript(params);
+    case KernelKind::kCryptoRounds:
+      return CryptoRoundsScript(params);
+    case KernelKind::kAesRounds:
+      return AesRoundsScript(params);
+    case KernelKind::kGaussianBlur:
+      return GaussianBlurScript(params);
+    case KernelKind::kPixelMap:
+      return PixelMapScript(params);
+    case KernelKind::kAstar:
+      return AstarScript(params);
+    case KernelKind::kJsonParse:
+      return JsonParseScript(params);
+    case KernelKind::kJsonStringify:
+      return JsonStringifyScript(params);
+    case KernelKind::kStringChurn:
+      return StringChurnScript(params);
+    case KernelKind::kRegexLite:
+      return RegexLiteScript(params);
+    case KernelKind::kSort:
+      return SortScript(params);
+    case KernelKind::kRichards:
+      return RichardsScript(params);
+    case KernelKind::kDeltaBlue:
+      return DeltaBlueScript(params);
+    case KernelKind::kSplay:
+      return SplayScript(params);
+    case KernelKind::kNbody:
+      return NbodyScript(params);
+    case KernelKind::kRayTrace:
+      return RayTraceScript(params);
+    case KernelKind::kMandel:
+      return MandelScript(params);
+    case KernelKind::kCodeLoad:
+      return CodeLoadScript(params);
+    case KernelKind::kMachine:
+      return MachineScript(params);
+    case KernelKind::kDomChurn:
+      return DomChurnScript(params);
+    case KernelKind::kDomQuery:
+      return DomQueryScript(params);
+    case KernelKind::kDomRead:
+      return DomReadScript(params);
+    case KernelKind::kJslibMix:
+      return JslibMixScript(params);
+  }
+  return "";
+}
+
+}  // namespace pkrusafe

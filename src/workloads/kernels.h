@@ -1,0 +1,63 @@
+// Workload kernels: MiniScript programs for the untrusted engine, grouped by
+// the computation families the browser suites cover.
+//
+// The paper notes that the four suites share a large common corpus ("there
+// is a large overlap in their testing corpus", §5.3); we mirror that by
+// generating each named benchmark from a parameterized kernel family. Every
+// kernel defines `fn bench()` — the timed unit — plus any setup at top level.
+// Dom kernels additionally assume the DomBindings host functions.
+#ifndef SRC_WORKLOADS_KERNELS_H_
+#define SRC_WORKLOADS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pkrusafe {
+
+enum class KernelKind : uint8_t {
+  // Pure-compute (no boundary crossings inside bench()).
+  kFft,            // iterative radix-2 FFT over script arrays
+  kCryptoRounds,   // SHA-like bitwise message schedule + compression
+  kAesRounds,      // table-free AES-ish substitution/xor rounds
+  kGaussianBlur,   // separable blur over a 2D grid
+  kPixelMap,       // per-pixel arithmetic (desaturate/darkroom)
+  kAstar,          // greedy grid search with open-list arrays
+  kJsonParse,      // character-level parser of a generated JSON document
+  kJsonStringify,  // recursive stringification of nested arrays
+  kStringChurn,    // split/concat/search string manipulation
+  kRegexLite,      // wildcard pattern matching over generated text
+  kSort,           // quicksort of pseudo-random arrays
+  kRichards,       // task-scheduler simulation (queues of work packets)
+  kDeltaBlue,      // one-way dataflow constraint propagation
+  kSplay,          // binary-search-tree insert/lookup churn (array encoded)
+  kNbody,          // particle kinematics float loops
+  kRayTrace,       // sphere ray marching per pixel
+  kMandel,         // escape-time fractal iteration
+  kCodeLoad,       // many tiny functions dispatched in rotation
+  kMachine,        // bytecode-interpreter-in-script (gameboy/typescript-ish)
+  // Boundary-heavy (each bench() crosses into the trusted DOM).
+  kDomChurn,       // create/append/query/remove elements
+  kDomQuery,       // getElementById + attribute/text updates
+  kDomRead,        // direct engine reads of trusted text buffers
+  kJslibMix,       // jQuery-ish: string work interleaved with dom calls
+};
+
+const char* KernelKindName(KernelKind kind);
+
+struct KernelParams {
+  // Problem size (array length, grid edge, node count — kernel specific).
+  int size = 64;
+  // Iterations of the kernel core per bench() call.
+  int inner_iters = 1;
+};
+
+// Returns the MiniScript source for the kernel.
+std::string KernelScript(KernelKind kind, const KernelParams& params);
+
+// True when the kernel calls dom_* host functions (needs DomBindings and a
+// prepared document).
+bool KernelUsesDom(KernelKind kind);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_WORKLOADS_KERNELS_H_

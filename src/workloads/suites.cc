@@ -1,0 +1,199 @@
+#include "src/workloads/suites.h"
+
+namespace pkrusafe {
+
+namespace {
+
+WorkloadSpec W(std::string name, KernelKind kernel, int size, int inner_iters) {
+  return WorkloadSpec{std::move(name), kernel, KernelParams{size, inner_iters}};
+}
+
+}  // namespace
+
+std::vector<SuiteSpec> DromaeoSubSuites() {
+  std::vector<SuiteSpec> suites;
+
+  // dom: DOM traversal/mutation — very high transition density, tiny work
+  // per crossing (the paper's worst case: +30.74% under mpk).
+  suites.push_back(SuiteSpec{
+      "dom",
+      {
+          W("dom-attr", KernelKind::kDomQuery, 48, 6),
+          W("dom-modify", KernelKind::kDomChurn, 96, 1),
+          W("dom-query", KernelKind::kDomQuery, 96, 4),
+          W("dom-traverse", KernelKind::kDomChurn, 64, 1),
+          W("dom-create", KernelKind::kDomChurn, 48, 2),
+          W("dom-attr-id", KernelKind::kDomQuery, 64, 5),
+          W("dom-text-read", KernelKind::kDomRead, 40, 6),
+          W("dom-inner-html", KernelKind::kDomQuery, 72, 3),
+      }});
+
+  // v8: classic compute programs — negligible gate traffic.
+  suites.push_back(SuiteSpec{
+      "v8",
+      {
+          W("v8-richards", KernelKind::kRichards, 24, 24),
+          W("v8-deltablue", KernelKind::kDeltaBlue, 96, 80),
+          W("v8-crypto", KernelKind::kCryptoRounds, 64, 64),
+          W("v8-raytrace", KernelKind::kRayTrace, 28, 8),
+          W("v8-earley-boyer", KernelKind::kCodeLoad, 30, 30),
+          W("v8-splay", KernelKind::kSplay, 130, 6),
+      }});
+
+  // dromaeo (core JS): array/string microkernels.
+  suites.push_back(SuiteSpec{
+      "dromaeo",
+      {
+          W("dromaeo-array", KernelKind::kSort, 220, 12),
+          W("dromaeo-string", KernelKind::kStringChurn, 28, 12),
+          W("dromaeo-regexp", KernelKind::kRegexLite, 48, 16),
+          W("dromaeo-eval", KernelKind::kCodeLoad, 24, 40),
+          W("dromaeo-object", KernelKind::kSplay, 110, 5),
+          W("dromaeo-json", KernelKind::kJsonParse, 95, 14),
+      }});
+
+  // sunspider: small numeric/string kernels.
+  suites.push_back(SuiteSpec{
+      "sunspider",
+      {
+          W("sunspider-3d-morph", KernelKind::kNbody, 26, 12),
+          W("sunspider-bitops", KernelKind::kMachine, 160, 48),
+          W("sunspider-math", KernelKind::kMandel, 26, 8),
+          W("sunspider-string", KernelKind::kJsonStringify, 90, 24),
+          W("sunspider-crypto", KernelKind::kCryptoRounds, 48, 40),
+          W("sunspider-fannkuch", KernelKind::kSort, 140, 10),
+          W("sunspider-regexp", KernelKind::kRegexLite, 40, 12),
+          W("sunspider-raytrace", KernelKind::kRayTrace, 22, 6),
+      }});
+
+  // jslib: jQuery-style DOM + string mix — second-highest transition density
+  // (+22.65% in the paper).
+  suites.push_back(SuiteSpec{
+      "jslib",
+      {
+          W("jslib-modify-jquery", KernelKind::kJslibMix, 32, 3),
+          W("jslib-traverse-jquery", KernelKind::kDomQuery, 56, 5),
+          W("jslib-style-jquery", KernelKind::kJslibMix, 24, 4),
+          W("jslib-event-jquery", KernelKind::kJslibMix, 28, 3),
+          W("jslib-modify-prototype", KernelKind::kJslibMix, 20, 5),
+          W("jslib-traverse-prototype", KernelKind::kDomQuery, 44, 5),
+      }});
+
+  return suites;
+}
+
+SuiteSpec KrakenSuite() {
+  return SuiteSpec{
+      "kraken",
+      {
+          W("audio-fft", KernelKind::kFft, 256, 4),
+          W("stanford-crypto-pbkdf2", KernelKind::kCryptoRounds, 64, 24),
+          W("audio-beat-detection", KernelKind::kFft, 128, 6),
+          W("stanford-crypto-ccm", KernelKind::kAesRounds, 36, 4),
+          W("imaging-darkroom", KernelKind::kPixelMap, 2800, 5),
+          W("json-parse-financial", KernelKind::kJsonParse, 110, 5),
+          W("imaging-gaussian-blur", KernelKind::kGaussianBlur, 48, 4),
+          W("ai-astar", KernelKind::kAstar, 52, 28),
+          W("audio-dft", KernelKind::kFft, 128, 5),
+          W("stanford-crypto-sha256-iterative", KernelKind::kCryptoRounds, 64, 20),
+          W("json-stringify-tinderbox", KernelKind::kJsonStringify, 120, 6),
+          W("audio-oscillator", KernelKind::kNbody, 24, 4),
+          W("stanford-crypto-aes", KernelKind::kAesRounds, 40, 4),
+          W("imaging-desaturate", KernelKind::kPixelMap, 3200, 5),
+      }};
+}
+
+SuiteSpec OctaneSuite() {
+  return SuiteSpec{
+      "octane",
+      {
+          W("Mandreel", KernelKind::kMandel, 30, 2),
+          W("MandreelLatency", KernelKind::kMandel, 20, 2),
+          W("DeltaBlue", KernelKind::kDeltaBlue, 110, 22),
+          W("NavierStokes", KernelKind::kGaussianBlur, 44, 4),
+          W("EarleyBoyer", KernelKind::kCodeLoad, 28, 10),
+          W("SplayLatency", KernelKind::kSplay, 110, 2),
+          W("CodeLoad", KernelKind::kCodeLoad, 36, 8),
+          W("Crypto", KernelKind::kCryptoRounds, 64, 18),
+          W("Splay", KernelKind::kSplay, 150, 2),
+          W("Gameboy", KernelKind::kMachine, 200, 10),
+          W("Typescript", KernelKind::kMachine, 260, 8),
+          W("Box2D", KernelKind::kNbody, 24, 4),
+          W("Richards", KernelKind::kRichards, 26, 6),
+          W("RegExp", KernelKind::kRegexLite, 52, 4),
+          W("PdfJS", KernelKind::kJsonParse, 120, 4),
+          W("zlib", KernelKind::kMachine, 220, 9),
+          W("RayTrace", KernelKind::kRayTrace, 30, 2),
+      }};
+}
+
+SuiteSpec JetStream2Suite() {
+  // Fig. 7's 60 benchmarks; names follow the figure's tick labels. The
+  // JetStream2 corpus overlaps Octane/SunSpider/Kraken heavily (§5.3), so
+  // kernels repeat with varied parameters — exactly like the real suite.
+  return SuiteSpec{
+      "jetstream2",
+      {
+          W("WSL", KernelKind::kMachine, 180, 7),
+          W("UniPoker", KernelKind::kSort, 160, 3),
+          W("uglify-js-wtb", KernelKind::kStringChurn, 24, 2),
+          W("typescript", KernelKind::kMachine, 220, 7),
+          W("tagcloud-SP", KernelKind::kJsonStringify, 90, 5),
+          W("string-unpack-code-SP", KernelKind::kStringChurn, 22, 2),
+          W("stanford-crypto-sha256", KernelKind::kCryptoRounds, 64, 14),
+          W("stanford-crypto-pbkdf2", KernelKind::kCryptoRounds, 64, 18),
+          W("stanford-crypto-aes", KernelKind::kAesRounds, 34, 4),
+          W("splay", KernelKind::kSplay, 130, 2),
+          W("segmentation", KernelKind::kGaussianBlur, 40, 4),
+          W("richards", KernelKind::kRichards, 24, 6),
+          W("regexp", KernelKind::kRegexLite, 48, 4),
+          W("regex-dna-SP", KernelKind::kRegexLite, 56, 3),
+          W("raytrace", KernelKind::kRayTrace, 26, 2),
+          W("prepack-wtb", KernelKind::kCodeLoad, 30, 8),
+          W("pdfjs", KernelKind::kJsonParse, 110, 4),
+          W("OfflineAssembler", KernelKind::kMachine, 190, 7),
+          W("octane-zlib", KernelKind::kMachine, 210, 8),
+          W("octane-code-load", KernelKind::kCodeLoad, 34, 8),
+          W("navier-stokes", KernelKind::kGaussianBlur, 42, 4),
+          W("n-body-SP", KernelKind::kNbody, 24, 4),
+          W("multi-inspector-code-load", KernelKind::kCodeLoad, 26, 8),
+          W("ML", KernelKind::kNbody, 26, 3),
+          W("mandreel", KernelKind::kMandel, 28, 2),
+          W("lebab-wtb", KernelKind::kStringChurn, 20, 2),
+          W("json-stringify-inspector", KernelKind::kJsonStringify, 100, 5),
+          W("json-parse-inspector", KernelKind::kJsonParse, 100, 4),
+          W("jshint-wtb", KernelKind::kStringChurn, 24, 2),
+          W("hash-map", KernelKind::kSplay, 120, 2),
+          W("gbemu", KernelKind::kMachine, 220, 8),
+          W("gaussian-blur", KernelKind::kGaussianBlur, 46, 4),
+          W("float-mm.c", KernelKind::kNbody, 26, 3),
+          W("FlightPlanner", KernelKind::kAstar, 44, 20),
+          W("first-inspector-code-load", KernelKind::kCodeLoad, 24, 8),
+          W("espree-wtb", KernelKind::kJsonParse, 90, 4),
+          W("earley-boyer", KernelKind::kCodeLoad, 28, 9),
+          W("delta-blue", KernelKind::kDeltaBlue, 100, 20),
+          W("date-format-xparb-SP", KernelKind::kStringChurn, 20, 2),
+          W("date-format-tofte-SP", KernelKind::kStringChurn, 18, 2),
+          W("crypto-sha1-SP", KernelKind::kCryptoRounds, 56, 12),
+          W("crypto-md5-SP", KernelKind::kCryptoRounds, 56, 12),
+          W("crypto-aes-SP", KernelKind::kAesRounds, 30, 4),
+          W("crypto", KernelKind::kCryptoRounds, 64, 14),
+          W("coffeescript-wtb", KernelKind::kStringChurn, 22, 2),
+          W("chai-wtb", KernelKind::kCodeLoad, 26, 8),
+          W("cdjs", KernelKind::kAstar, 40, 18),
+          W("Box2D", KernelKind::kNbody, 24, 4),
+          W("bomb-workers", KernelKind::kMachine, 180, 7),
+          W("Basic", KernelKind::kMachine, 160, 7),
+          W("base64-SP", KernelKind::kStringChurn, 22, 2),
+          W("babylon-wtb", KernelKind::kJsonParse, 90, 4),
+          W("Babylon", KernelKind::kJsonParse, 95, 4),
+          W("async-fs", KernelKind::kSort, 150, 3),
+          W("Air", KernelKind::kMachine, 170, 7),
+          W("ai-astar", KernelKind::kAstar, 46, 22),
+          W("acorn-wtb", KernelKind::kJsonParse, 85, 4),
+          W("3d-raytrace-SP", KernelKind::kRayTrace, 26, 2),
+          W("3d-cube-SP", KernelKind::kNbody, 22, 4),
+      }};
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,39 @@
+// Benchmark suite definitions mirroring the paper's evaluation corpus:
+// Dromaeo (5 sub-suites, Table 2 / Fig. 4), Kraken (Fig. 5), Octane
+// (Fig. 6) and JetStream2 (Fig. 7 / Table 3). Every named benchmark maps to
+// a kernel family + parameters; boundary-transition density follows the
+// paper's characterization (dom/jslib are gate-heavy, the rest are compute).
+#ifndef SRC_WORKLOADS_SUITES_H_
+#define SRC_WORKLOADS_SUITES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/kernels.h"
+
+namespace pkrusafe {
+
+struct WorkloadSpec {
+  std::string name;
+  KernelKind kernel;
+  KernelParams params;
+};
+
+struct SuiteSpec {
+  std::string name;
+  std::vector<WorkloadSpec> workloads;
+};
+
+// Dromaeo's five sub-suites: dom, v8, dromaeo(js), sunspider, jslib.
+std::vector<SuiteSpec> DromaeoSubSuites();
+
+SuiteSpec KrakenSuite();
+SuiteSpec OctaneSuite();
+SuiteSpec JetStream2Suite();
+
+// The §5.2 micro-benchmark trio is defined in bench/ directly (it does not
+// go through the script engine).
+
+}  // namespace pkrusafe
+
+#endif  // SRC_WORKLOADS_SUITES_H_

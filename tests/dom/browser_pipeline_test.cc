@@ -1,0 +1,158 @@
+// End-to-end "browser" integration: the trusted DOM + the untrusted script
+// engine, run through the full PKRU-Safe pipeline (paper §5.3 in miniature):
+//
+//   1. profiling run of a script workload that reads document text directly
+//      through cached engine references -> the text-buffer site faults and
+//      lands in the profile;
+//   2. enforcement run with that profile -> text buffers come from M_U, the
+//      workload runs clean, node records stay protected in M_T.
+#include <gtest/gtest.h>
+
+#include "src/dom/bindings.h"
+#include "src/dom/document.h"
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+namespace {
+
+std::unique_ptr<PkruSafeRuntime> MakeRuntime(RuntimeMode mode, SitePolicy policy = {}) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  RuntimeConfig config;
+  config.backend = BackendKind::kSim;
+  config.mode = mode;
+  config.allocator.trusted_pool_bytes = size_t{1} << 30;
+  config.allocator.untrusted_pool_bytes = size_t{1} << 30;
+  config.policy = std::move(policy);
+  auto runtime = PkruSafeRuntime::Create(std::move(config));
+  EXPECT_TRUE(runtime.ok());
+  return std::move(*runtime);
+}
+
+class BrowserPipelineTest : public ::testing::Test {};
+
+// Runs the script workload against a fresh document under `runtime`. The VM
+// itself executes behind a call gate, like SpiderMonkey behind the
+// instrumented mozjs boundary. Returns the script status and the summed
+// byte value via `sum_out`.
+Status RunBrowserWorkload(PkruSafeRuntime& runtime, double* sum_out) {
+  Document document(&runtime);
+  Vm vm(&runtime);
+  DomBindings bindings(&document, &vm);
+
+  // Trusted side builds the page (T code, full access).
+  DomNode* title = nullptr;
+  {
+    auto created = document.ParseHtml(document.root(),
+                                      "<div id=\"title\">Hello Browser</div>");
+    if (!created.ok()) {
+      return created.status();
+    }
+    title = document.GetElementById("title");
+  }
+  const uint32_t text_handle = document.HandleOf(title->first_child);
+
+  const std::string script = StrFormat(R"(
+let sum = dom_text_sum(%u);
+let again = dom_text_sum(%u);
+print(sum);
+)",
+                                       text_handle, text_handle);
+  PS_RETURN_IF_ERROR(vm.Load(script));
+
+  Status script_status = Status::Ok();
+  runtime.gates().CallUntrusted([&] { script_status = vm.Run().status(); });
+  if (!script_status.ok()) {
+    return script_status;
+  }
+  if (sum_out != nullptr && !vm.print_output().empty()) {
+    *sum_out = std::stod(vm.print_output()[0]);
+  }
+  return Status::Ok();
+}
+
+double ExpectedSum() {
+  double sum = 0;
+  for (const char c : std::string("Hello Browser")) {
+    sum += static_cast<unsigned char>(c);
+  }
+  return sum;
+}
+
+TEST_F(BrowserPipelineTest, EnforcementWithoutProfileCrashes) {
+  auto runtime = MakeRuntime(RuntimeMode::kEnforcing);
+  Status status = RunBrowserWorkload(*runtime, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(BrowserPipelineTest, ProfilingDiscoversTextBufferSiteOnly) {
+  auto runtime = MakeRuntime(RuntimeMode::kProfiling);
+  double sum = 0;
+  Status status = RunBrowserWorkload(*runtime, &sum);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_DOUBLE_EQ(sum, ExpectedSum());
+
+  Profile profile = runtime->TakeProfile();
+  EXPECT_TRUE(profile.Contains(kDomTextSite));
+  EXPECT_FALSE(profile.Contains(kDomNodeSite)) << "node records never cross the boundary";
+}
+
+TEST_F(BrowserPipelineTest, EnforcementWithProfileRunsCleanAndStaysProtected) {
+  Profile profile;
+  {
+    auto runtime = MakeRuntime(RuntimeMode::kProfiling);
+    ASSERT_TRUE(RunBrowserWorkload(*runtime, nullptr).ok());
+    profile = runtime->TakeProfile();
+  }
+
+  auto runtime = MakeRuntime(RuntimeMode::kEnforcing, SitePolicy::FromProfile(profile));
+  double sum = 0;
+  Status status = RunBrowserWorkload(*runtime, &sum);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_DOUBLE_EQ(sum, ExpectedSum());
+
+  // Shape statistic from §5.3: only a small fraction of sites move to M_U.
+  const RuntimeStats stats = runtime->stats();
+  EXPECT_EQ(stats.sites_shared, 1u);
+  EXPECT_GE(stats.sites_seen, 2u);
+
+  // Node records are still in M_T and still protected from U.
+  Document document(runtime.get());
+  DomNode* node = document.CreateElement("div");
+  EXPECT_EQ(*runtime->allocator().OwnerOf(node), Domain::kTrusted);
+  Status access;
+  runtime->gates().CallUntrusted([&] {
+    access = runtime->backend().CheckAccess(reinterpret_cast<uintptr_t>(node),
+                                            AccessKind::kRead);
+  });
+  EXPECT_EQ(access.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(BrowserPipelineTest, TransitionsAreCountedAcrossTheBoundary) {
+  auto runtime = MakeRuntime(RuntimeMode::kProfiling);
+  ASSERT_TRUE(RunBrowserWorkload(*runtime, nullptr).ok());
+  // 1 outer gate (in+out) + per dom_text_sum cache-miss trusted entry.
+  EXPECT_GE(runtime->stats().transitions, 4u);
+  EXPECT_EQ(runtime->stats().transitions % 2, 0u) << "gates must balance";
+}
+
+TEST_F(BrowserPipelineTest, MarshalledCopiesNeedNoSharing) {
+  // dom_get_text copies into the engine heap (M_U): works under enforcement
+  // with an empty profile — copying is the alternative to sharing.
+  auto runtime = MakeRuntime(RuntimeMode::kEnforcing);
+  Document document(runtime.get());
+  Vm vm(runtime.get());
+  DomBindings bindings(&document, &vm);
+
+  ASSERT_TRUE(document.ParseHtml(document.root(), "<div id=\"t\">copy me</div>").ok());
+  const uint32_t handle =
+      document.HandleOf(document.GetElementById("t")->first_child);
+  ASSERT_TRUE(vm.Load(StrFormat("print(dom_get_text(%u));", handle)).ok());
+
+  Status status = Status::Ok();
+  runtime->gates().CallUntrusted([&] { status = vm.Run().status(); });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(vm.print_output()[0], "copy me");
+}
+
+}  // namespace
+}  // namespace pkrusafe

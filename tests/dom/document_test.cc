@@ -1,0 +1,176 @@
+#include "src/dom/document.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+class DocumentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    RuntimeConfig config;
+    config.backend = BackendKind::kSim;
+    config.mode = RuntimeMode::kDisabled;
+    config.allocator.trusted_pool_bytes = size_t{1} << 30;
+    config.allocator.untrusted_pool_bytes = size_t{1} << 30;
+    auto runtime = PkruSafeRuntime::Create(std::move(config));
+    ASSERT_TRUE(runtime.ok());
+    runtime_ = std::move(*runtime);
+    document_ = std::make_unique<Document>(runtime_.get());
+  }
+
+  std::unique_ptr<PkruSafeRuntime> runtime_;
+  std::unique_ptr<Document> document_;
+};
+
+TEST_F(DocumentTest, StartsWithHtmlRoot) {
+  ASSERT_NE(document_->root(), nullptr);
+  EXPECT_EQ(document_->root()->tag_view(), "html");
+  EXPECT_EQ(document_->node_count(), 1u);
+}
+
+TEST_F(DocumentTest, BuildsTree) {
+  DomNode* div = document_->CreateElement("div");
+  DomNode* text = document_->CreateTextNode("hello");
+  document_->AppendChild(document_->root(), div);
+  document_->AppendChild(div, text);
+
+  EXPECT_EQ(document_->node_count(), 3u);
+  EXPECT_EQ(document_->root()->first_child, div);
+  EXPECT_EQ(div->first_child, text);
+  EXPECT_EQ(text->parent, div);
+  EXPECT_EQ(text->text_view(), "hello");
+}
+
+TEST_F(DocumentTest, SiblingsChainInOrder) {
+  DomNode* a = document_->CreateElement("a");
+  DomNode* b = document_->CreateElement("b");
+  DomNode* c = document_->CreateElement("c");
+  document_->AppendChild(document_->root(), a);
+  document_->AppendChild(document_->root(), b);
+  document_->AppendChild(document_->root(), c);
+  EXPECT_EQ(document_->root()->first_child, a);
+  EXPECT_EQ(a->next_sibling, b);
+  EXPECT_EQ(b->next_sibling, c);
+  EXPECT_EQ(c->next_sibling, nullptr);
+  EXPECT_EQ(document_->root()->last_child, c);
+}
+
+TEST_F(DocumentTest, GetElementById) {
+  DomNode* div = document_->CreateElement("div");
+  document_->SetIdAttribute(div, "main");
+  document_->AppendChild(document_->root(), div);
+  EXPECT_EQ(document_->GetElementById("main"), div);
+  EXPECT_EQ(document_->GetElementById("missing"), nullptr);
+
+  // Re-assigning an id moves the index entry.
+  document_->SetIdAttribute(div, "other");
+  EXPECT_EQ(document_->GetElementById("main"), nullptr);
+  EXPECT_EQ(document_->GetElementById("other"), div);
+}
+
+TEST_F(DocumentTest, HandlesResolveNodes) {
+  DomNode* div = document_->CreateElement("div");
+  const uint32_t handle = document_->HandleOf(div);
+  EXPECT_EQ(document_->NodeByHandle(handle), div);
+  EXPECT_EQ(document_->NodeByHandle(99999), nullptr);
+}
+
+TEST_F(DocumentTest, RemoveNodeFreesSubtree) {
+  DomNode* div = document_->CreateElement("div");
+  DomNode* inner = document_->CreateElement("span");
+  DomNode* text = document_->CreateTextNode("bye");
+  document_->AppendChild(document_->root(), div);
+  document_->AppendChild(div, inner);
+  document_->AppendChild(inner, text);
+  document_->SetIdAttribute(inner, "gone");
+  const size_t before = document_->node_count();
+
+  document_->RemoveNode(div);
+  EXPECT_EQ(document_->node_count(), before - 3);
+  EXPECT_EQ(document_->GetElementById("gone"), nullptr);
+  EXPECT_EQ(document_->root()->first_child, nullptr);
+}
+
+TEST_F(DocumentTest, SetTextReallocatesBuffer) {
+  DomNode* text = document_->CreateTextNode("short");
+  ASSERT_TRUE(document_->SetText(text, std::string(5000, 'x')));
+  EXPECT_EQ(text->text_len, 5000u);
+  EXPECT_EQ(text->text[0], 'x');
+  EXPECT_EQ(text->text[4999], 'x');
+}
+
+TEST_F(DocumentTest, ParseHtmlBuildsForest) {
+  auto created = document_->ParseHtml(document_->root(),
+                                      "<div id=\"a\">hi<span>there</span></div><p>tail</p>");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(*created, 6u);  // div, #text(hi), span, #text(there), p, #text(tail)
+
+  DomNode* div = document_->GetElementById("a");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->tag_view(), "div");
+  EXPECT_EQ(div->first_child->text_view(), "hi");
+  EXPECT_EQ(div->first_child->next_sibling->tag_view(), "span");
+}
+
+TEST_F(DocumentTest, ParseHtmlSelfClosingTags) {
+  auto created = document_->ParseHtml(document_->root(), "<br/><img/>");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(*created, 2u);
+}
+
+TEST_F(DocumentTest, ParseHtmlRejectsMalformedMarkup) {
+  EXPECT_FALSE(document_->ParseHtml(document_->root(), "<div>").ok());
+  EXPECT_FALSE(document_->ParseHtml(document_->root(), "</div>").ok());
+  EXPECT_FALSE(document_->ParseHtml(document_->root(), "<div></span>").ok());
+  EXPECT_FALSE(document_->ParseHtml(document_->root(), "<div").ok());
+  EXPECT_FALSE(document_->ParseHtml(document_->root(), "<>x</>").ok());
+}
+
+TEST_F(DocumentTest, SerializeRoundTrips) {
+  const std::string html = "<div id=\"a\">hi<span>there</span></div>";
+  ASSERT_TRUE(document_->ParseHtml(document_->root(), html).ok());
+  EXPECT_EQ(document_->Serialize(document_->root()), "<html>" + html + "</html>");
+}
+
+TEST_F(DocumentTest, LayoutStacksBlocks) {
+  ASSERT_TRUE(document_
+                  ->ParseHtml(document_->root(),
+                              "<div>aaaa</div><div>bbbb</div>")
+                  .ok());
+  const int32_t height = document_->Layout(800);
+  EXPECT_EQ(height, 32);  // two 16px text lines
+  DomNode* first = document_->root()->first_child;
+  DomNode* second = first->next_sibling;
+  EXPECT_EQ(first->y, 0);
+  EXPECT_EQ(second->y, 16);
+  EXPECT_EQ(first->width, 800);
+}
+
+TEST_F(DocumentTest, LayoutWrapsLongText) {
+  // 200 chars at 8px in a 400px viewport = 50 chars/line -> 4 lines.
+  DomNode* text = document_->CreateTextNode(std::string(200, 'x'));
+  document_->AppendChild(document_->root(), text);
+  document_->Layout(400);
+  EXPECT_EQ(text->height, 4 * 16);
+}
+
+TEST_F(DocumentTest, TextLengthAggregates) {
+  ASSERT_TRUE(document_->ParseHtml(document_->root(), "<div>abc<span>defg</span></div>").ok());
+  EXPECT_EQ(document_->TextLength(document_->root()), 7u);
+}
+
+TEST_F(DocumentTest, AllNodeDataLivesInTrustedPool) {
+  ASSERT_TRUE(document_->ParseHtml(document_->root(), "<div id=\"x\">payload</div>").ok());
+  DomNode* div = document_->GetElementById("x");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(*runtime_->allocator().OwnerOf(div), Domain::kTrusted);
+  DomNode* text = div->first_child;
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(*runtime_->allocator().OwnerOf(text), Domain::kTrusted);
+  EXPECT_EQ(*runtime_->allocator().OwnerOf(text->text), Domain::kTrusted);
+}
+
+}  // namespace
+}  // namespace pkrusafe

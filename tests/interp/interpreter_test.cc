@@ -1,0 +1,302 @@
+#include "src/interp/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+#include "src/passes/profile_apply_pass.h"
+
+namespace pkrusafe {
+namespace {
+
+std::unique_ptr<PkruSafeRuntime> MakeRuntime(RuntimeMode mode, SitePolicy policy = {}) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  RuntimeConfig config;
+  config.backend = BackendKind::kSim;
+  config.mode = mode;
+  config.allocator.trusted_pool_bytes = size_t{1} << 30;
+  config.allocator.untrusted_pool_bytes = size_t{1} << 30;
+  config.policy = std::move(policy);
+  auto runtime = PkruSafeRuntime::Create(std::move(config));
+  EXPECT_TRUE(runtime.ok());
+  return std::move(*runtime);
+}
+
+IrModule ParseAndPrepare(const char* source, const Profile* profile = nullptr) {
+  auto module = ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  if (profile != nullptr) {
+    pm.Add(std::make_unique<ProfileApplyPass>(*profile));
+  }
+  EXPECT_TRUE(pm.Run(*module).ok());
+  return std::move(*module);
+}
+
+TEST(InterpreterTest, ArithmeticAndControlFlow) {
+  IrModule module = ParseAndPrepare(R"(
+func @sum_to(1) {
+entry:
+  %1 = const 0
+  %2 = const 0
+  br head
+head:
+  %3 = cmplt %2, %0
+  brif %3, body, done
+body:
+  %2 = add %2, 1
+  %1 = add %1, %2
+  br head
+done:
+  ret %1
+}
+)");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  auto result = interp.Call("sum_to", {10});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 55);
+}
+
+TEST(InterpreterTest, BinaryOperatorSemantics) {
+  IrModule module = ParseAndPrepare(R"(
+func @ops(2) {
+e:
+  %2 = mul %0, %1
+  %3 = div %2, 3
+  %4 = mod %3, 7
+  %5 = xor %4, 12
+  %6 = shl %5, 2
+  %7 = shr %6, 1
+  ret %7
+}
+)");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  // 6*9=54; /3=18; %7=4; ^12=8; <<2=32; >>1=16
+  EXPECT_EQ(*interp.Call("ops", {6, 9}), 16);
+}
+
+TEST(InterpreterTest, DivisionByZeroIsAnError) {
+  IrModule module = ParseAndPrepare("func @f(1) {\ne:\n  %1 = div 1, %0\n  ret %1\n}\n");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  EXPECT_FALSE(interp.Call("f", {0}).ok());
+  EXPECT_EQ(*interp.Call("f", {2}), 0);
+}
+
+TEST(InterpreterTest, MemoryRoundTrip) {
+  IrModule module = ParseAndPrepare(R"(
+func @mem(0) {
+e:
+  %0 = alloc 64
+  store %0, 0, 111
+  store %0, 8, 222
+  %1 = load %0, 0
+  %2 = load %0, 8
+  %3 = add %1, %2
+  free %0
+  ret %3
+}
+)");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  EXPECT_EQ(*interp.Call("mem", {}), 333);
+}
+
+TEST(InterpreterTest, IrToIrCallsCarryArguments) {
+  IrModule module = ParseAndPrepare(R"(
+func @twice(1) {
+e:
+  %1 = mul %0, 2
+  ret %1
+}
+func @main(0) {
+e:
+  %0 = call @twice(21)
+  ret %0
+}
+)");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  EXPECT_EQ(*interp.Call("main", {}), 42);
+}
+
+TEST(InterpreterTest, PrintCollectsOutput) {
+  IrModule module = ParseAndPrepare("func @f(0) {\ne:\n  print 7\n  print 8\n  ret\n}\n");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  ASSERT_TRUE(interp.Call("f", {}).ok());
+  ASSERT_EQ(interp.output().size(), 2u);
+  EXPECT_EQ(interp.output()[0], 7);
+  EXPECT_EQ(interp.output()[1], 8);
+}
+
+TEST(InterpreterTest, InstructionBudgetStopsRunaways) {
+  IrModule module = ParseAndPrepare("func @spin(0) {\ne:\n  br e\n}\n");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  InterpreterConfig config;
+  config.max_instructions = 1000;
+  Interpreter interp(&module, rt.get(), {}, config);
+  EXPECT_EQ(interp.Call("spin", {}).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(InterpreterTest, UnknownFunctionAndBadArity) {
+  IrModule module = ParseAndPrepare("func @f(1) {\ne:\n  ret %0\n}\n");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  EXPECT_EQ(interp.Call("ghost", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(interp.Call("f", {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InterpreterTest, ExternWithoutImplementationFails) {
+  IrModule module = ParseAndPrepare("extern @missing(0)\nfunc @f(0) {\ne:\n  call @missing()\n  ret\n}\n");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  Interpreter interp(&module, rt.get(), {});
+  EXPECT_EQ(interp.Call("f", {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterTest, NativeExternReceivesArguments) {
+  IrModule module = ParseAndPrepare("extern @nat(2)\nfunc @f(0) {\ne:\n  %0 = call @nat(3, 4)\n  ret %0\n}\n");
+  auto rt = MakeRuntime(RuntimeMode::kDisabled);
+  ExternRegistry externs;
+  externs.Register("nat", [](Interpreter&, const std::vector<int64_t>& args) -> Result<int64_t> {
+    return args[0] * 10 + args[1];
+  });
+  Interpreter interp(&module, rt.get(), std::move(externs));
+  EXPECT_EQ(*interp.Call("f", {}), 34);
+}
+
+// ---- The full E1 pipeline, end to end over real IR transformations ----
+
+constexpr const char* kPipelineSource = R"(
+module pipeline
+untrusted "clib"
+extern @use_data(1) lib "clib"
+
+func @main(0) {
+entry:
+  %0 = alloc 64          ; shared: passed to the untrusted library
+  %1 = alloc 64          ; private: never crosses the boundary
+  store %0, 0, 42
+  store %1, 0, 777
+  %2 = call @use_data(%0)
+  %3 = load %1, 0
+  ret %2
+}
+)";
+
+// The untrusted library reads the first word of the object and writes 1337
+// back — through checked accesses, like hardware-mediated loads/stores.
+ExternRegistry PipelineExterns() {
+  ExternRegistry externs;
+  externs.Register("use_data",
+                   [](Interpreter& interp, const std::vector<int64_t>& args) -> Result<int64_t> {
+                     PS_ASSIGN_OR_RETURN(int64_t value, interp.LoadChecked(args[0]));
+                     PS_RETURN_IF_ERROR(interp.StoreChecked(args[0], 1337));
+                     return value;
+                   });
+  return externs;
+}
+
+TEST(PipelineTest, Step1EnforcementWithoutProfileFaults) {
+  IrModule module = ParseAndPrepare(kPipelineSource);
+  auto rt = MakeRuntime(RuntimeMode::kEnforcing);
+  Interpreter interp(&module, rt.get(), PipelineExterns());
+  auto result = interp.Call("main", {});
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(PipelineTest, Step2ProfilingObservesSharedSiteOnly) {
+  IrModule module = ParseAndPrepare(kPipelineSource);
+  auto rt = MakeRuntime(RuntimeMode::kProfiling);
+  Interpreter interp(&module, rt.get(), PipelineExterns());
+  auto result = interp.Call("main", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 42);
+
+  Profile profile = rt->TakeProfile();
+  EXPECT_EQ(profile.site_count(), 1u);
+  EXPECT_TRUE(profile.Contains(AllocId{0, 0, 0}));   // %0, the shared object
+  EXPECT_FALSE(profile.Contains(AllocId{0, 0, 1}));  // %1 stays private
+}
+
+TEST(PipelineTest, Step3EnforcementWithProfileRunsClean) {
+  // Profile run.
+  Profile profile;
+  {
+    IrModule module = ParseAndPrepare(kPipelineSource);
+    auto rt = MakeRuntime(RuntimeMode::kProfiling);
+    Interpreter interp(&module, rt.get(), PipelineExterns());
+    ASSERT_TRUE(interp.Call("main", {}).ok());
+    profile = rt->TakeProfile();
+  }
+  // Enforcement build: apply the profile to the IR, then run with denial.
+  IrModule module = ParseAndPrepare(kPipelineSource, &profile);
+  EXPECT_EQ(module.functions[0].blocks[0].instructions[0].opcode, Opcode::kAllocUntrusted);
+  EXPECT_EQ(module.functions[0].blocks[0].instructions[1].opcode, Opcode::kAlloc);
+
+  auto rt = MakeRuntime(RuntimeMode::kEnforcing);
+  Interpreter interp(&module, rt.get(), PipelineExterns());
+  auto result = interp.Call("main", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 42);
+  // And the untrusted write actually landed (E1's "0 changes to 1337").
+  EXPECT_EQ(rt->stats().profile_faults, 0u);
+}
+
+TEST(PipelineTest, GatedCallsTransitionCompartments) {
+  IrModule module = ParseAndPrepare(kPipelineSource);
+  auto rt = MakeRuntime(RuntimeMode::kProfiling);
+
+  bool saw_untrusted_domain = false;
+  ExternRegistry externs;
+  externs.Register("use_data",
+                   [&](Interpreter&, const std::vector<int64_t>&) -> Result<int64_t> {
+                     saw_untrusted_domain =
+                         CompartmentStack::CurrentDomain() == Domain::kUntrusted;
+                     return 0;
+                   });
+  Interpreter interp(&module, rt.get(), std::move(externs));
+  ASSERT_TRUE(interp.Call("main", {}).ok());
+  EXPECT_TRUE(saw_untrusted_domain);
+  EXPECT_EQ(rt->stats().transitions, 2u);
+}
+
+TEST(PipelineTest, CallbackFromUntrustedReentersTrusted) {
+  IrModule module = ParseAndPrepare(R"(
+module cb
+untrusted "clib"
+extern @call_me_back(0) lib "clib"
+
+func @exported(0) {
+e:
+  %0 = const 99
+  ret %0
+}
+func @main(0) {
+e:
+  %0 = call @call_me_back()
+  ret %0
+}
+)");
+  auto rt = MakeRuntime(RuntimeMode::kEnforcing);
+  ExternRegistry externs;
+  externs.Register("call_me_back",
+                   [](Interpreter& interp, const std::vector<int64_t>&) -> Result<int64_t> {
+                     // The untrusted library invokes an exported trusted API.
+                     return interp.CallbackFromUntrusted("exported", {});
+                   });
+  Interpreter interp(&module, rt.get(), std::move(externs));
+  auto result = interp.Call("main", {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 99);
+  EXPECT_EQ(rt->stats().transitions, 4u);  // T->U, U->T, T->U(return), U->T(return)
+}
+
+}  // namespace
+}  // namespace pkrusafe

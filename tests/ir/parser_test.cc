@@ -1,0 +1,137 @@
+#include "src/ir/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr const char* kDemo = R"(
+module demo
+untrusted "clib"
+extern @use_data(1) lib "clib"
+extern @helper(0)
+
+func @main(0) {
+entry:
+  %0 = const 64
+  %1 = alloc %0
+  store %1, 0, 1337
+  %2 = call @use_data(%1)
+  %3 = load %1, 0
+  print %3
+  ret %2
+}
+)";
+
+TEST(ParserTest, ParsesModuleStructure) {
+  auto module = ParseModule(kDemo);
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_EQ(module->name, "demo");
+  EXPECT_TRUE(module->untrusted_libraries.contains("clib"));
+  ASSERT_EQ(module->externs.size(), 2u);
+  EXPECT_EQ(module->externs[0].name, "use_data");
+  EXPECT_EQ(module->externs[0].num_params, 1u);
+  EXPECT_EQ(module->externs[0].library, "clib");
+  EXPECT_TRUE(module->externs[1].library.empty());
+  ASSERT_EQ(module->functions.size(), 1u);
+  EXPECT_EQ(module->functions[0].name, "main");
+  ASSERT_EQ(module->functions[0].blocks.size(), 1u);
+  EXPECT_EQ(module->functions[0].blocks[0].instructions.size(), 7u);
+}
+
+TEST(ParserTest, ClassifiesUntrustedExterns) {
+  auto module = ParseModule(kDemo);
+  ASSERT_TRUE(module.ok());
+  EXPECT_TRUE(module->IsUntrustedExtern("use_data"));
+  EXPECT_FALSE(module->IsUntrustedExtern("helper"));
+  EXPECT_FALSE(module->IsUntrustedExtern("missing"));
+}
+
+TEST(ParserTest, ParsesInstructionShapes) {
+  auto module = ParseModule(kDemo);
+  ASSERT_TRUE(module.ok());
+  const auto& instrs = module->functions[0].blocks[0].instructions;
+  EXPECT_EQ(instrs[0].opcode, Opcode::kConst);
+  EXPECT_EQ(*instrs[0].dest, 0u);
+  EXPECT_EQ(instrs[1].opcode, Opcode::kAlloc);
+  ASSERT_EQ(instrs[2].operands.size(), 3u);
+  EXPECT_EQ(instrs[2].operands[2].value, 1337);
+  EXPECT_EQ(instrs[3].opcode, Opcode::kCall);
+  EXPECT_EQ(instrs[3].callee, "use_data");
+  EXPECT_EQ(instrs[6].opcode, Opcode::kRet);
+}
+
+TEST(ParserTest, ParsesControlFlow) {
+  auto module = ParseModule(R"(
+module cf
+func @loop(1) {
+entry:
+  %1 = const 0
+  br head
+head:
+  %2 = cmplt %1, %0
+  brif %2, body, done
+body:
+  %1 = add %1, 1
+  br head
+done:
+  ret %1
+}
+)");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  const IrFunction& fn = module->functions[0];
+  ASSERT_EQ(fn.blocks.size(), 4u);
+  const Instruction& brif = fn.blocks[1].instructions[1];
+  EXPECT_EQ(brif.opcode, Opcode::kBrIf);
+  ASSERT_EQ(brif.targets.size(), 2u);
+  EXPECT_EQ(brif.targets[0], "body");
+  EXPECT_EQ(brif.targets[1], "done");
+}
+
+TEST(ParserTest, StripsComments) {
+  auto module = ParseModule(
+      "module c ; trailing\n"
+      "; full line comment\n"
+      "func @f(0) {\n"
+      "e:\n"
+      "  ret 0 ; done\n"
+      "}\n");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_EQ(module->functions[0].blocks[0].instructions.size(), 1u);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseModule("nonsense").ok());
+  EXPECT_FALSE(ParseModule("func @f(0) {\ne:\n  bogus %1\n}\n").ok());
+  EXPECT_FALSE(ParseModule("func @f(0) {\ne:\n  ret\n").ok());       // unterminated
+  EXPECT_FALSE(ParseModule("func @f(0) {\n  ret\n}\n").ok());        // instr before label
+  EXPECT_FALSE(ParseModule("func @f(0) {\ne:\n  %x = const 1\n}\n").ok());
+  EXPECT_FALSE(ParseModule("untrusted clib\n").ok());                // missing quotes
+}
+
+TEST(ParserTest, PrintParseFixpoint) {
+  auto module = ParseModule(kDemo);
+  ASSERT_TRUE(module.ok());
+  const std::string printed = PrintModule(*module);
+  auto reparsed = ParseModule(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << printed;
+  EXPECT_EQ(PrintModule(*reparsed), printed);
+}
+
+TEST(ParserTest, ParsedDemoVerifies) {
+  auto module = ParseModule(kDemo);
+  ASSERT_TRUE(module.ok());
+  EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
+TEST(ParserTest, NegativeImmediates) {
+  auto module = ParseModule("func @f(0) {\ne:\n  %0 = const -5\n  ret %0\n}\n");
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(module->functions[0].blocks[0].instructions[0].operands[0].value, -5);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,114 @@
+#include "src/ir/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+
+namespace pkrusafe {
+namespace {
+
+Status VerifySource(const char* source) {
+  auto module = ParseModule(source);
+  if (!module.ok()) {
+    return module.status();
+  }
+  return VerifyModule(*module);
+}
+
+TEST(VerifierTest, AcceptsWellFormedModule) {
+  EXPECT_TRUE(VerifySource(R"(
+module ok
+func @f(1) {
+e:
+  %1 = add %0, 1
+  ret %1
+}
+)")
+                  .ok());
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  auto status = VerifySource("func @f(0) {\ne:\n  %0 = const 1\n}\n");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(VerifierTest, RejectsTerminatorMidBlock) {
+  auto status = VerifySource("func @f(0) {\ne:\n  ret\n  ret\n}\n");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(VerifierTest, RejectsEmptyBlock) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\na:\nb:\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsBranchToUnknownBlock) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  br nowhere\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsDuplicateBlockLabels) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  ret\ne:\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsDuplicateFunctions) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  ret\n}\nfunc @f(0) {\ne:\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsFunctionExternNameCollision) {
+  EXPECT_FALSE(VerifySource("extern @f(0)\nfunc @f(0) {\ne:\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsCallToUnknownSymbol) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  call @ghost()\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsArityMismatch) {
+  EXPECT_FALSE(VerifySource(R"(
+extern @g(2)
+func @f(0) {
+e:
+  call @g(1)
+  ret
+}
+)")
+                   .ok());
+}
+
+TEST(VerifierTest, RejectsWrongOperandCounts) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  %0 = add 1\n  ret\n}\n").ok());
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  store 1, 2\n  ret\n}\n").ok());
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  %0 = load 1\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsMissingDest) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  add 1, 2\n  ret\n}\n").ok());
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  alloc 8\n  ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsDestOnStatements) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  %0 = free 1\n  ret\n}\n").ok());
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  %0 = ret\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsFunctionWithNoBlocks) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\n}\n").ok());
+}
+
+TEST(VerifierTest, AllowsCallToIrFunctionAndExtern) {
+  EXPECT_TRUE(VerifySource(R"(
+extern @native(1)
+func @callee(1) {
+e:
+  ret %0
+}
+func @f(0) {
+e:
+  %0 = call @callee(5)
+  %1 = call @native(%0)
+  ret %1
+}
+)")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace pkrusafe

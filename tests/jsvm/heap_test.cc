@@ -1,0 +1,158 @@
+// Unit tests for the engine's GC'd heap, exercised directly (the VM tests
+// cover it end to end).
+#include "src/jsvm/heap.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+class JsHeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    RuntimeConfig config;
+    config.backend = BackendKind::kSim;
+    config.mode = RuntimeMode::kDisabled;
+    auto runtime = PkruSafeRuntime::Create(std::move(config));
+    ASSERT_TRUE(runtime.ok());
+    runtime_ = std::move(*runtime);
+  }
+
+  // Collects with the given values as the only roots.
+  void CollectWithRoots(JsHeap& heap, const std::vector<Value>& roots) {
+    heap.Collect([&](const std::function<void(const Value&)>& visit) {
+      for (const Value& v : roots) {
+        visit(v);
+      }
+    });
+  }
+
+  std::unique_ptr<PkruSafeRuntime> runtime_;
+};
+
+TEST_F(JsHeapTest, StringsHoldTheirContents) {
+  JsHeap heap(runtime_.get());
+  StringObject* s = heap.NewString("hello world");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->view(), "hello world");
+  EXPECT_EQ(s->length, 11u);
+  EXPECT_EQ(s->data[11], '\0');
+}
+
+TEST_F(JsHeapTest, EmptyStringIsValid) {
+  JsHeap heap(runtime_.get());
+  StringObject* s = heap.NewString("");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->length, 0u);
+}
+
+TEST_F(JsHeapTest, ArraysGrowThroughPush) {
+  JsHeap heap(runtime_.get());
+  ArrayObject* a = heap.NewArray();
+  ASSERT_NE(a, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap.ArrayPush(a, Value::Number(i)));
+  }
+  EXPECT_EQ(a->size, 100u);
+  EXPECT_GE(a->capacity, 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->slots[i].number, i);
+  }
+}
+
+TEST_F(JsHeapTest, AllObjectsLiveInUntrustedPool) {
+  JsHeap heap(runtime_.get());
+  StringObject* s = heap.NewString("where am i");
+  ArrayObject* a = heap.NewArray(4);
+  EXPECT_EQ(*runtime_->allocator().OwnerOf(s), Domain::kUntrusted);
+  EXPECT_EQ(*runtime_->allocator().OwnerOf(a), Domain::kUntrusted);
+  EXPECT_EQ(*runtime_->allocator().OwnerOf(a->slots), Domain::kUntrusted);
+}
+
+TEST_F(JsHeapTest, CollectFreesUnreachableObjects) {
+  JsHeap heap(runtime_.get());
+  StringObject* keep = heap.NewString("keep");
+  (void)heap.NewString("drop1");
+  (void)heap.NewString("drop2");
+  EXPECT_EQ(heap.stats().live_objects, 3u);
+
+  CollectWithRoots(heap, {Value::String(keep)});
+  EXPECT_EQ(heap.stats().live_objects, 1u);
+  EXPECT_EQ(heap.stats().objects_freed, 2u);
+  EXPECT_EQ(keep->view(), "keep");  // survivor intact
+}
+
+TEST_F(JsHeapTest, MarkTraversesNestedArrays) {
+  JsHeap heap(runtime_.get());
+  ArrayObject* outer = heap.NewArray();
+  ArrayObject* inner = heap.NewArray();
+  StringObject* deep = heap.NewString("deep");
+  ASSERT_TRUE(heap.ArrayPush(inner, Value::String(deep)));
+  ASSERT_TRUE(heap.ArrayPush(outer, Value::Array(inner)));
+  (void)heap.NewString("garbage");
+
+  CollectWithRoots(heap, {Value::Array(outer)});
+  EXPECT_EQ(heap.stats().live_objects, 3u);  // outer, inner, deep
+  EXPECT_EQ(inner->slots[0].AsString()->view(), "deep");
+}
+
+TEST_F(JsHeapTest, CyclicArraysAreCollectedWhenUnreachable) {
+  JsHeap heap(runtime_.get());
+  ArrayObject* a = heap.NewArray();
+  ArrayObject* b = heap.NewArray();
+  ASSERT_TRUE(heap.ArrayPush(a, Value::Array(b)));
+  ASSERT_TRUE(heap.ArrayPush(b, Value::Array(a)));  // cycle
+
+  CollectWithRoots(heap, {});
+  EXPECT_EQ(heap.stats().live_objects, 0u);  // tracing GC handles cycles
+}
+
+TEST_F(JsHeapTest, CyclicArraysSurviveWhenRooted) {
+  JsHeap heap(runtime_.get());
+  ArrayObject* a = heap.NewArray();
+  ArrayObject* b = heap.NewArray();
+  ASSERT_TRUE(heap.ArrayPush(a, Value::Array(b)));
+  ASSERT_TRUE(heap.ArrayPush(b, Value::Array(a)));
+
+  CollectWithRoots(heap, {Value::Array(a)});
+  EXPECT_EQ(heap.stats().live_objects, 2u);
+}
+
+TEST_F(JsHeapTest, ShouldCollectTriggersOnThreshold) {
+  JsHeap heap(runtime_.get(), /*gc_threshold=*/1024);
+  EXPECT_FALSE(heap.ShouldCollect());
+  for (int i = 0; i < 40 && !heap.ShouldCollect(); ++i) {
+    (void)heap.NewString(std::string(64, 'x'));
+  }
+  EXPECT_TRUE(heap.ShouldCollect());
+  CollectWithRoots(heap, {});
+  EXPECT_FALSE(heap.ShouldCollect());
+}
+
+TEST_F(JsHeapTest, DestructorReturnsEverythingToTheAllocator) {
+  const HeapStats before = runtime_->allocator().untrusted_stats();
+  {
+    JsHeap heap(runtime_.get());
+    for (int i = 0; i < 50; ++i) {
+      ArrayObject* a = heap.NewArray();
+      heap.ArrayPush(a, Value::Number(i));
+      (void)heap.NewString("transient");
+    }
+  }
+  const HeapStats after = runtime_->allocator().untrusted_stats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST_F(JsHeapTest, StatsCountAllocations) {
+  JsHeap heap(runtime_.get());
+  (void)heap.NewString("one");
+  (void)heap.NewArray(8);
+  const HeapGcStats& stats = heap.stats();
+  EXPECT_EQ(stats.objects_allocated, 2u);
+  EXPECT_GT(stats.bytes_allocated, 0u);
+  EXPECT_EQ(stats.collections, 0u);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,87 @@
+#include "src/jsvm/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+TEST(LexerTest, TokenizesPunctuationAndOperators) {
+  auto tokens = Tokenize("( ) { } [ ] , ; + - * / % ! = == != < <= > >= && ||");
+  ASSERT_TRUE(tokens.ok());
+  const TokenType expected[] = {
+      TokenType::kLParen, TokenType::kRParen, TokenType::kLBrace,  TokenType::kRBrace,
+      TokenType::kLBracket, TokenType::kRBracket, TokenType::kComma, TokenType::kSemicolon,
+      TokenType::kPlus,   TokenType::kMinus,  TokenType::kStar,    TokenType::kSlash,
+      TokenType::kPercent, TokenType::kBang,  TokenType::kAssign,  TokenType::kEq,
+      TokenType::kNe,     TokenType::kLt,     TokenType::kLe,      TokenType::kGt,
+      TokenType::kGe,     TokenType::kAndAnd, TokenType::kOrOr,    TokenType::kEof,
+  };
+  ASSERT_EQ(tokens->size(), std::size(expected));
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ((*tokens)[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, TokenizesNumbers) {
+  auto tokens = Tokenize("0 42 3.5 1e3 2.5e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 1000);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 0.025);
+}
+
+TEST(LexerTest, KeywordsVersusIdentifiers) {
+  auto tokens = Tokenize("let letx fn fnx while whilex");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kLet);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdent);
+  EXPECT_EQ((*tokens)[1].text, "letx");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFn);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kIdent);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kWhile);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kIdent);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize(R"("hello" "a\nb" "q\"q" "t\tt")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "hello");
+  EXPECT_EQ((*tokens)[1].text, "a\nb");
+  EXPECT_EQ((*tokens)[2].text, "q\"q");
+  EXPECT_EQ((*tokens)[3].text, "t\tt");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("1 // comment\n2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // 1, 2, eof
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("1\n2\n\n3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+TEST(LexerTest, RejectsBadInput) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("\"bad\\q\"").ok());
+  EXPECT_FALSE(Tokenize("@").ok());
+  EXPECT_FALSE(Tokenize("&").ok());
+  EXPECT_FALSE(Tokenize("|").ok());
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEof);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,112 @@
+#include "src/memmap/interval_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pkrusafe {
+namespace {
+
+TEST(IntervalMapTest, InsertAndFind) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(100, 200, 1).ok());
+  ASSERT_TRUE(map.Insert(300, 400, 2).ok());
+
+  auto hit = map.Find(150);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->begin, 100u);
+  EXPECT_EQ(hit->end, 200u);
+  EXPECT_EQ(hit->value, 1);
+
+  EXPECT_FALSE(map.Find(99).has_value());
+  EXPECT_FALSE(map.Find(200).has_value());  // end is exclusive
+  EXPECT_TRUE(map.Find(100).has_value());   // begin is inclusive
+  EXPECT_TRUE(map.Find(399).has_value());
+  EXPECT_FALSE(map.Find(250).has_value());
+}
+
+TEST(IntervalMapTest, RejectsEmptyInterval) {
+  IntervalMap<int> map;
+  EXPECT_FALSE(map.Insert(100, 100, 1).ok());
+  EXPECT_FALSE(map.Insert(100, 50, 1).ok());
+}
+
+TEST(IntervalMapTest, RejectsOverlaps) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(100, 200, 1).ok());
+  EXPECT_FALSE(map.Insert(150, 250, 2).ok());  // right overlap
+  EXPECT_FALSE(map.Insert(50, 150, 2).ok());   // left overlap
+  EXPECT_FALSE(map.Insert(120, 180, 2).ok());  // contained
+  EXPECT_FALSE(map.Insert(50, 300, 2).ok());   // containing
+  EXPECT_FALSE(map.Insert(100, 200, 2).ok());  // exact duplicate
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(IntervalMapTest, AdjacentIntervalsAllowed) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(100, 200, 1).ok());
+  EXPECT_TRUE(map.Insert(200, 300, 2).ok());
+  EXPECT_TRUE(map.Insert(0, 100, 3).ok());
+  EXPECT_EQ(map.Find(199)->value, 1);
+  EXPECT_EQ(map.Find(200)->value, 2);
+  EXPECT_EQ(map.Find(99)->value, 3);
+}
+
+TEST(IntervalMapTest, EraseReturnsValue) {
+  IntervalMap<std::string> map;
+  ASSERT_TRUE(map.Insert(10, 20, "x").ok());
+  auto erased = map.Erase(10);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(*erased, "x");
+  EXPECT_FALSE(map.Find(15).has_value());
+  EXPECT_FALSE(map.Erase(10).ok());
+}
+
+TEST(IntervalMapTest, EraseRequiresExactBegin) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(10, 20, 1).ok());
+  EXPECT_FALSE(map.Erase(15).ok());
+  EXPECT_TRUE(map.Erase(10).ok());
+}
+
+TEST(IntervalMapTest, FindValueAllowsMutation) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(10, 20, 1).ok());
+  int* value = map.FindValue(15);
+  ASSERT_NE(value, nullptr);
+  *value = 99;
+  EXPECT_EQ(map.Find(15)->value, 99);
+  EXPECT_EQ(map.FindValue(25), nullptr);
+}
+
+TEST(IntervalMapTest, OverlapsQuery) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(100, 200, 1).ok());
+  EXPECT_TRUE(map.Overlaps(150, 160));
+  EXPECT_TRUE(map.Overlaps(0, 101));
+  EXPECT_FALSE(map.Overlaps(200, 300));
+  EXPECT_FALSE(map.Overlaps(0, 100));
+}
+
+TEST(IntervalMapTest, ForEachIteratesInOrder) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(300, 400, 3).ok());
+  ASSERT_TRUE(map.Insert(100, 200, 1).ok());
+  std::vector<uintptr_t> begins;
+  map.ForEach([&](const IntervalMap<int>::Interval& i) { begins.push_back(i.begin); });
+  ASSERT_EQ(begins.size(), 2u);
+  EXPECT_EQ(begins[0], 100u);
+  EXPECT_EQ(begins[1], 300u);
+}
+
+TEST(IntervalMapTest, ClearEmpties) {
+  IntervalMap<int> map;
+  ASSERT_TRUE(map.Insert(1, 2, 1).ok());
+  EXPECT_FALSE(map.empty());
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,55 @@
+#include "src/memmap/page.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+TEST(PageMathTest, PageDownAligns) {
+  EXPECT_EQ(PageDown(0), 0u);
+  EXPECT_EQ(PageDown(1), 0u);
+  EXPECT_EQ(PageDown(kPageSize - 1), 0u);
+  EXPECT_EQ(PageDown(kPageSize), kPageSize);
+  EXPECT_EQ(PageDown(kPageSize + 5), kPageSize);
+}
+
+TEST(PageMathTest, PageUpAligns) {
+  EXPECT_EQ(PageUp(0), 0u);
+  EXPECT_EQ(PageUp(1), kPageSize);
+  EXPECT_EQ(PageUp(kPageSize), kPageSize);
+  EXPECT_EQ(PageUp(kPageSize + 1), 2 * kPageSize);
+}
+
+TEST(PageMathTest, IsPageAligned) {
+  EXPECT_TRUE(IsPageAligned(0));
+  EXPECT_TRUE(IsPageAligned(kPageSize));
+  EXPECT_TRUE(IsPageAligned(7 * kPageSize));
+  EXPECT_FALSE(IsPageAligned(1));
+  EXPECT_FALSE(IsPageAligned(kPageSize + 8));
+}
+
+TEST(PageMathTest, PageIndex) {
+  EXPECT_EQ(PageIndex(0), 0u);
+  EXPECT_EQ(PageIndex(kPageSize - 1), 0u);
+  EXPECT_EQ(PageIndex(kPageSize), 1u);
+  EXPECT_EQ(PageIndex(10 * kPageSize + 100), 10u);
+}
+
+TEST(PageMathTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 16), 0u);
+  EXPECT_EQ(RoundUp(1, 16), 16u);
+  EXPECT_EQ(RoundUp(16, 16), 16u);
+  EXPECT_EQ(RoundUp(17, 16), 32u);
+}
+
+TEST(PageMathTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(4097));
+}
+
+}  // namespace
+}  // namespace pkrusafe

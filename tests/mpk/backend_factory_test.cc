@@ -1,0 +1,49 @@
+#include "src/mpk/backend_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mpk/hardware_backend.h"
+
+namespace pkrusafe {
+namespace {
+
+TEST(BackendFactoryTest, ParsesKnownNames) {
+  EXPECT_EQ(*ParseBackendKind("sim"), BackendKind::kSim);
+  EXPECT_EQ(*ParseBackendKind("mprotect"), BackendKind::kMprotect);
+  EXPECT_EQ(*ParseBackendKind("hardware"), BackendKind::kHardware);
+  EXPECT_EQ(*ParseBackendKind("auto"), BackendKind::kAuto);
+  EXPECT_FALSE(ParseBackendKind("nope").ok());
+  EXPECT_FALSE(ParseBackendKind("").ok());
+}
+
+TEST(BackendFactoryTest, CreatesSim) {
+  auto backend = CreateMpkBackend(BackendKind::kSim);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ((*backend)->name(), "sim");
+  EXPECT_FALSE((*backend)->enforces_natively());
+}
+
+TEST(BackendFactoryTest, CreatesMprotect) {
+  auto backend = CreateMpkBackend(BackendKind::kMprotect);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ((*backend)->name(), "mprotect");
+  EXPECT_TRUE((*backend)->enforces_natively());
+}
+
+TEST(BackendFactoryTest, AutoAlwaysSucceeds) {
+  auto backend = CreateMpkBackend(BackendKind::kAuto);
+  ASSERT_TRUE(backend.ok());
+  if (HardwareMpkBackend::IsSupported()) {
+    EXPECT_EQ((*backend)->name(), "hardware");
+  } else {
+    EXPECT_EQ((*backend)->name(), "sim");
+  }
+}
+
+TEST(BackendFactoryTest, HardwareMatchesPlatformSupport) {
+  auto backend = CreateMpkBackend(BackendKind::kHardware);
+  EXPECT_EQ(backend.ok(), HardwareMpkBackend::IsSupported());
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,81 @@
+#include "src/mpk/page_key_map.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memmap/page.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr uintptr_t kBase = 0x10000000;
+
+TEST(PageKeyMapTest, UntaggedIsDefaultKey) {
+  PageKeyMap map;
+  EXPECT_EQ(map.KeyFor(kBase), kDefaultPkey);
+  EXPECT_FALSE(map.IsTagged(kBase));
+}
+
+TEST(PageKeyMapTest, TagAndLookup) {
+  PageKeyMap map;
+  ASSERT_TRUE(map.Tag(kBase, 2 * kPageSize, 3).ok());
+  EXPECT_EQ(map.KeyFor(kBase), 3);
+  EXPECT_EQ(map.KeyFor(kBase + kPageSize), 3);
+  EXPECT_EQ(map.KeyFor(kBase + 2 * kPageSize), kDefaultPkey);
+  EXPECT_TRUE(map.IsTagged(kBase + 100));
+}
+
+TEST(PageKeyMapTest, RejectsUnalignedRanges) {
+  PageKeyMap map;
+  EXPECT_FALSE(map.Tag(kBase + 1, kPageSize, 1).ok());
+  EXPECT_FALSE(map.Tag(kBase, kPageSize + 1, 1).ok());
+  EXPECT_FALSE(map.Tag(kBase, 0, 1).ok());
+}
+
+TEST(PageKeyMapTest, RejectsInvalidKey) {
+  PageKeyMap map;
+  EXPECT_FALSE(map.Tag(kBase, kPageSize, 16).ok());
+}
+
+TEST(PageKeyMapTest, ExactRetagChangesKey) {
+  PageKeyMap map;
+  ASSERT_TRUE(map.Tag(kBase, kPageSize, 1).ok());
+  ASSERT_TRUE(map.Tag(kBase, kPageSize, 2).ok());
+  EXPECT_EQ(map.KeyFor(kBase), 2);
+  EXPECT_EQ(map.range_count(), 1u);
+}
+
+TEST(PageKeyMapTest, PartialOverlapRejected) {
+  PageKeyMap map;
+  ASSERT_TRUE(map.Tag(kBase, 2 * kPageSize, 1).ok());
+  EXPECT_FALSE(map.Tag(kBase + kPageSize, 2 * kPageSize, 2).ok());
+}
+
+TEST(PageKeyMapTest, UntagRemoves) {
+  PageKeyMap map;
+  ASSERT_TRUE(map.Tag(kBase, kPageSize, 1).ok());
+  ASSERT_TRUE(map.Untag(kBase).ok());
+  EXPECT_EQ(map.KeyFor(kBase), kDefaultPkey);
+  EXPECT_FALSE(map.Untag(kBase).ok());
+}
+
+TEST(PageKeyMapTest, RangesForKeyFilters) {
+  PageKeyMap map;
+  ASSERT_TRUE(map.Tag(kBase, kPageSize, 1).ok());
+  ASSERT_TRUE(map.Tag(kBase + 4 * kPageSize, kPageSize, 2).ok());
+  ASSERT_TRUE(map.Tag(kBase + 8 * kPageSize, kPageSize, 1).ok());
+
+  auto key1 = map.RangesForKey(1);
+  ASSERT_EQ(key1.size(), 2u);
+  EXPECT_EQ(key1[0].begin, kBase);
+  EXPECT_EQ(key1[1].begin, kBase + 8 * kPageSize);
+
+  auto key2 = map.RangesForKey(2);
+  ASSERT_EQ(key2.size(), 1u);
+  EXPECT_EQ(key2[0].key, 2);
+
+  EXPECT_TRUE(map.RangesForKey(5).empty());
+  EXPECT_EQ(map.AllRanges().size(), 3u);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,83 @@
+#include "src/mpk/pkru.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pkrusafe {
+namespace {
+
+TEST(PkruValueTest, AllowAllPermitsEverything) {
+  const PkruValue pkru = PkruValue::AllowAll();
+  for (int key = 0; key < kNumPkeys; ++key) {
+    EXPECT_TRUE(pkru.allows_read(static_cast<PkeyId>(key)));
+    EXPECT_TRUE(pkru.allows_write(static_cast<PkeyId>(key)));
+  }
+}
+
+TEST(PkruValueTest, AccessDisableBlocksReadsAndWrites) {
+  const PkruValue pkru = PkruValue::AllowAll().WithAccessDisabled(3);
+  EXPECT_FALSE(pkru.allows_read(3));
+  EXPECT_FALSE(pkru.allows_write(3));
+  EXPECT_TRUE(pkru.allows_read(2));
+  EXPECT_TRUE(pkru.allows_write(4));
+}
+
+TEST(PkruValueTest, WriteDisableBlocksOnlyWrites) {
+  const PkruValue pkru = PkruValue::AllowAll().WithWriteDisabled(5);
+  EXPECT_TRUE(pkru.allows_read(5));
+  EXPECT_FALSE(pkru.allows_write(5));
+}
+
+TEST(PkruValueTest, WithKeyAllowedClearsBothBits) {
+  const PkruValue denied = PkruValue::AllowAll().WithAccessDisabled(1).WithWriteDisabled(1);
+  const PkruValue allowed = denied.WithKeyAllowed(1);
+  EXPECT_TRUE(allowed.allows_read(1));
+  EXPECT_TRUE(allowed.allows_write(1));
+}
+
+TEST(PkruValueTest, BitLayoutMatchesIntelSdm) {
+  // AD for key i is bit 2i, WD is bit 2i+1.
+  EXPECT_EQ(PkruValue::AllowAll().WithAccessDisabled(0).raw(), 0x1u);
+  EXPECT_EQ(PkruValue::AllowAll().WithWriteDisabled(0).raw(), 0x2u);
+  EXPECT_EQ(PkruValue::AllowAll().WithAccessDisabled(1).raw(), 0x4u);
+  EXPECT_EQ(PkruValue::AllowAll().WithWriteDisabled(15).raw(), 0x80000000u);
+}
+
+TEST(PkruValueTest, DenyAllButDefault) {
+  const PkruValue pkru = PkruValue::DenyAllButDefault();
+  EXPECT_TRUE(pkru.allows_read(0));
+  EXPECT_TRUE(pkru.allows_write(0));
+  for (int key = 1; key < kNumPkeys; ++key) {
+    EXPECT_FALSE(pkru.allows_read(static_cast<PkeyId>(key)));
+  }
+}
+
+TEST(PkruValueTest, ToStringListsDeniedKeys) {
+  const PkruValue pkru = PkruValue::AllowAll().WithAccessDisabled(1).WithWriteDisabled(2);
+  const std::string s = pkru.ToString();
+  EXPECT_NE(s.find("AD[1]"), std::string::npos);
+  EXPECT_NE(s.find("WD[2]"), std::string::npos);
+}
+
+TEST(ThreadPkruTest, DefaultsToAllowAll) {
+  std::thread t([] { EXPECT_EQ(CurrentThreadPkru(), PkruValue::AllowAll()); });
+  t.join();
+}
+
+TEST(ThreadPkruTest, IsPerThread) {
+  SetCurrentThreadPkru(PkruValue::AllowAll().WithAccessDisabled(1));
+  PkruValue other_thread_value;
+  std::thread t([&] {
+    other_thread_value = CurrentThreadPkru();
+    SetCurrentThreadPkru(PkruValue::AllowAll().WithAccessDisabled(2));
+  });
+  t.join();
+  EXPECT_EQ(other_thread_value, PkruValue::AllowAll());
+  EXPECT_TRUE(CurrentThreadPkru().access_disabled(1));
+  EXPECT_FALSE(CurrentThreadPkru().access_disabled(2));
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+}
+
+}  // namespace
+}  // namespace pkrusafe

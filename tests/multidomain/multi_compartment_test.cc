@@ -1,0 +1,167 @@
+// Tests for the multi-compartment extension (§6 "Number of Compartments"):
+// pairwise isolation between untrusted libraries, shared-pool visibility,
+// and exact PKRU restoration across nested cross-library transitions.
+#include "src/multidomain/multi_compartment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mpk/sim_backend.h"
+
+namespace pkrusafe {
+namespace {
+
+class MultiCompartmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    MultiCompartmentConfig config;
+    config.trusted_pool_bytes = size_t{256} << 20;
+    config.shared_pool_bytes = size_t{256} << 20;
+    config.library_pool_bytes = size_t{256} << 20;
+    auto mc = MultiCompartment::Create(&backend_, config);
+    ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+    mc_ = std::move(*mc);
+    codec_ = *mc_->RegisterLibrary("codec");
+    jsengine_ = *mc_->RegisterLibrary("jsengine");
+  }
+
+  void TearDown() override { SetCurrentThreadPkru(PkruValue::AllowAll()); }
+
+  Status Check(const void* ptr) {
+    return backend_.CheckAccess(reinterpret_cast<uintptr_t>(ptr), AccessKind::kRead);
+  }
+
+  SimMpkBackend backend_;
+  std::unique_ptr<MultiCompartment> mc_;
+  LibraryId codec_ = 0;
+  LibraryId jsengine_ = 0;
+};
+
+TEST_F(MultiCompartmentTest, RegistrationAssignsDistinctKeys) {
+  EXPECT_EQ(mc_->library_count(), 2u);
+  EXPECT_EQ(mc_->library_name(codec_), "codec");
+  EXPECT_EQ(mc_->library_name(jsengine_), "jsengine");
+  EXPECT_NE(mc_->key_of(codec_), mc_->key_of(jsengine_));
+  EXPECT_NE(mc_->key_of(codec_), mc_->trusted_key());
+  EXPECT_NE(mc_->key_of(codec_), kDefaultPkey);
+}
+
+TEST_F(MultiCompartmentTest, PoolsAreKeyTagged) {
+  void* trusted = mc_->AllocateTrusted(64);
+  void* shared = mc_->AllocateShared(64);
+  void* in_codec = mc_->AllocateIn(codec_, 64);
+  EXPECT_EQ(backend_.KeyFor(reinterpret_cast<uintptr_t>(trusted)), mc_->trusted_key());
+  EXPECT_EQ(backend_.KeyFor(reinterpret_cast<uintptr_t>(shared)), kDefaultPkey);
+  EXPECT_EQ(backend_.KeyFor(reinterpret_cast<uintptr_t>(in_codec)), mc_->key_of(codec_));
+  mc_->Free(trusted);
+  mc_->Free(shared);
+  mc_->Free(in_codec);
+}
+
+TEST_F(MultiCompartmentTest, PrivateOwnerReportsPools) {
+  void* trusted = mc_->AllocateTrusted(32);
+  void* shared = mc_->AllocateShared(32);
+  void* in_js = mc_->AllocateIn(jsengine_, 32);
+  int local = 0;
+  EXPECT_EQ(*mc_->PrivateOwnerOf(trusted), kTrustedLibrary);
+  EXPECT_EQ(*mc_->PrivateOwnerOf(in_js), jsengine_);
+  EXPECT_FALSE(mc_->PrivateOwnerOf(shared).has_value());  // shared = everyone's
+  EXPECT_FALSE(mc_->PrivateOwnerOf(&local).has_value());
+  mc_->Free(trusted);
+  mc_->Free(shared);
+  mc_->Free(in_js);
+}
+
+TEST_F(MultiCompartmentTest, PairwiseIsolationMatrix) {
+  // The central property: inside library i, exactly {shared, pool_i} are
+  // accessible; M_T and every other library's pool are denied.
+  void* trusted = mc_->AllocateTrusted(64);
+  void* shared = mc_->AllocateShared(64);
+  void* codec_obj = mc_->AllocateIn(codec_, 64);
+  void* js_obj = mc_->AllocateIn(jsengine_, 64);
+
+  {
+    MultiCompartment::Scope scope(*mc_, codec_);
+    EXPECT_TRUE(Check(shared).ok());
+    EXPECT_TRUE(Check(codec_obj).ok());
+    EXPECT_EQ(Check(trusted).code(), StatusCode::kPermissionDenied);
+    EXPECT_EQ(Check(js_obj).code(), StatusCode::kPermissionDenied);
+  }
+  {
+    MultiCompartment::Scope scope(*mc_, jsengine_);
+    EXPECT_TRUE(Check(shared).ok());
+    EXPECT_TRUE(Check(js_obj).ok());
+    EXPECT_EQ(Check(trusted).code(), StatusCode::kPermissionDenied);
+    EXPECT_EQ(Check(codec_obj).code(), StatusCode::kPermissionDenied);
+  }
+  // Back in T: everything visible.
+  EXPECT_TRUE(Check(trusted).ok());
+  EXPECT_TRUE(Check(codec_obj).ok());
+  EXPECT_TRUE(Check(js_obj).ok());
+
+  mc_->Free(trusted);
+  mc_->Free(shared);
+  mc_->Free(codec_obj);
+  mc_->Free(js_obj);
+}
+
+TEST_F(MultiCompartmentTest, NestedCrossLibraryTransitionsRestoreExactly) {
+  void* codec_obj = mc_->AllocateIn(codec_, 64);
+  const PkruValue at_rest = backend_.ReadPkru();
+
+  mc_->EnterLibrary(codec_);
+  const PkruValue in_codec = backend_.ReadPkru();
+  mc_->EnterLibrary(jsengine_);  // codec calls into the JS engine
+  EXPECT_EQ(Check(codec_obj).code(), StatusCode::kPermissionDenied);
+  mc_->ExitLibrary();
+  EXPECT_EQ(backend_.ReadPkru(), in_codec);
+  EXPECT_TRUE(Check(codec_obj).ok());
+  mc_->ExitLibrary();
+  EXPECT_EQ(backend_.ReadPkru(), at_rest);
+
+  EXPECT_EQ(mc_->transition_count(), 4u);
+  mc_->Free(codec_obj);
+}
+
+TEST_F(MultiCompartmentTest, PolicyForMatchesMatrix) {
+  const PkruValue codec_policy = mc_->PolicyFor(codec_);
+  EXPECT_TRUE(codec_policy.allows_read(kDefaultPkey));
+  EXPECT_TRUE(codec_policy.allows_read(mc_->key_of(codec_)));
+  EXPECT_FALSE(codec_policy.allows_read(mc_->trusted_key()));
+  EXPECT_FALSE(codec_policy.allows_read(mc_->key_of(jsengine_)));
+  EXPECT_EQ(mc_->PolicyFor(kTrustedLibrary), PkruValue::AllowAll());
+}
+
+TEST_F(MultiCompartmentTest, KeysExhaustGracefully) {
+  // 16 keys total, minus default, trusted, codec, jsengine = 12 left.
+  int registered = 0;
+  while (true) {
+    auto id = mc_->RegisterLibrary("extra");
+    if (!id.ok()) {
+      EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++registered;
+    ASSERT_LE(registered, 16);
+  }
+  EXPECT_EQ(registered, 12);
+}
+
+TEST_F(MultiCompartmentTest, SharedDataFlowsBetweenLibraries) {
+  // The supported cross-library channel: shared-pool objects.
+  auto* mailbox = static_cast<int64_t*>(mc_->AllocateShared(sizeof(int64_t)));
+  {
+    MultiCompartment::Scope scope(*mc_, codec_);
+    ASSERT_TRUE(Check(mailbox).ok());
+    *mailbox = 1234;
+  }
+  {
+    MultiCompartment::Scope scope(*mc_, jsengine_);
+    ASSERT_TRUE(Check(mailbox).ok());
+    EXPECT_EQ(*mailbox, 1234);
+  }
+  mc_->Free(mailbox);
+}
+
+}  // namespace
+}  // namespace pkrusafe

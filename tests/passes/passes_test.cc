@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+#include "src/passes/profile_apply_pass.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr const char* kSource = R"(
+module passes_demo
+untrusted "clib"
+extern @sink(1) lib "clib"
+extern @trusted_helper(1)
+
+func @producer(0) {
+entry:
+  %0 = alloc 64
+  %1 = alloc 32
+  br next
+next:
+  %2 = alloc 16
+  call @sink(%0)
+  %3 = call @trusted_helper(%1)
+  ret %3
+}
+
+func @other(0) {
+entry:
+  %0 = alloc 8
+  call @sink(%0)
+  ret
+}
+)";
+
+IrModule Parse() {
+  auto module = ParseModule(kSource);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return std::move(*module);
+}
+
+TEST(AllocIdPassTest, AssignsUniqueDeterministicIds) {
+  IrModule module = Parse();
+  AllocIdPass pass;
+  ASSERT_TRUE(pass.Run(module).ok());
+  EXPECT_EQ(pass.sites_assigned(), 4u);
+
+  const auto& producer = module.functions[0];
+  const AllocId id0 = *producer.blocks[0].instructions[0].alloc_id;
+  const AllocId id1 = *producer.blocks[0].instructions[1].alloc_id;
+  const AllocId id2 = *producer.blocks[1].instructions[0].alloc_id;
+  EXPECT_EQ(id0, (AllocId{0, 0, 0}));
+  EXPECT_EQ(id1, (AllocId{0, 0, 1}));
+  EXPECT_EQ(id2, (AllocId{0, 1, 0}));
+
+  const auto& other = module.functions[1];
+  EXPECT_EQ(*other.blocks[0].instructions[0].alloc_id, (AllocId{1, 0, 0}));
+}
+
+TEST(AllocIdPassTest, RerunReproducesIdenticalIds) {
+  // The property the whole pipeline rests on: ids from the profiling build
+  // match ids in the enforcement build of the same source.
+  IrModule a = Parse();
+  IrModule b = Parse();
+  AllocIdPass pass_a;
+  AllocIdPass pass_b;
+  ASSERT_TRUE(pass_a.Run(a).ok());
+  ASSERT_TRUE(pass_b.Run(b).ok());
+  for (size_t f = 0; f < a.functions.size(); ++f) {
+    for (size_t blk = 0; blk < a.functions[f].blocks.size(); ++blk) {
+      const auto& ia = a.functions[f].blocks[blk].instructions;
+      const auto& ib = b.functions[f].blocks[blk].instructions;
+      for (size_t i = 0; i < ia.size(); ++i) {
+        EXPECT_EQ(ia[i].alloc_id, ib[i].alloc_id);
+      }
+    }
+  }
+}
+
+TEST(GateInsertionPassTest, GatesOnlyAnnotatedLibraryCalls) {
+  IrModule module = Parse();
+  GateInsertionPass pass;
+  ASSERT_TRUE(pass.Run(module).ok());
+  EXPECT_EQ(pass.gates_inserted(), 2u);  // both @sink calls
+
+  const auto& producer = module.functions[0];
+  EXPECT_TRUE(producer.blocks[1].instructions[1].gated);   // call @sink
+  EXPECT_FALSE(producer.blocks[1].instructions[2].gated);  // call @trusted_helper
+}
+
+TEST(GateInsertionPassTest, IdempotentAcrossReruns) {
+  IrModule module = Parse();
+  GateInsertionPass pass;
+  ASSERT_TRUE(pass.Run(module).ok());
+  GateInsertionPass again;
+  ASSERT_TRUE(again.Run(module).ok());
+  EXPECT_EQ(again.gates_inserted(), 0u);  // already gated
+}
+
+TEST(ProfileApplyPassTest, RewritesExactlyProfiledSites) {
+  IrModule module = Parse();
+  AllocIdPass alloc_ids;
+  ASSERT_TRUE(alloc_ids.Run(module).ok());
+
+  Profile profile;
+  profile.Add(AllocId{0, 0, 0});  // producer's %0
+  profile.Add(AllocId{1, 0, 0});  // other's %0
+  ProfileApplyPass pass(profile);
+  ASSERT_TRUE(pass.Run(module).ok());
+  EXPECT_EQ(pass.sites_rewritten(), 2u);
+
+  const auto& producer = module.functions[0];
+  EXPECT_EQ(producer.blocks[0].instructions[0].opcode, Opcode::kAllocUntrusted);
+  EXPECT_EQ(producer.blocks[0].instructions[1].opcode, Opcode::kAlloc);  // untouched
+  EXPECT_EQ(producer.blocks[1].instructions[0].opcode, Opcode::kAlloc);  // untouched
+  EXPECT_EQ(module.functions[1].blocks[0].instructions[0].opcode, Opcode::kAllocUntrusted);
+}
+
+TEST(ProfileApplyPassTest, FailsWithoutAllocIds) {
+  IrModule module = Parse();
+  Profile profile;
+  profile.Add(AllocId{0, 0, 0});
+  ProfileApplyPass pass(profile);
+  EXPECT_FALSE(pass.Run(module).ok());
+}
+
+TEST(ProfileApplyPassTest, EmptyProfileRewritesNothing) {
+  IrModule module = Parse();
+  AllocIdPass alloc_ids;
+  ASSERT_TRUE(alloc_ids.Run(module).ok());
+  ProfileApplyPass pass{Profile{}};
+  ASSERT_TRUE(pass.Run(module).ok());
+  EXPECT_EQ(pass.sites_rewritten(), 0u);
+}
+
+TEST(PassManagerTest, RunsPipelineInOrder) {
+  IrModule module = Parse();
+  Profile profile;
+  profile.Add(AllocId{0, 0, 0});
+
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  pm.Add(std::make_unique<ProfileApplyPass>(profile));
+  ASSERT_TRUE(pm.Run(module).ok());
+
+  EXPECT_EQ(module.functions[0].blocks[0].instructions[0].opcode, Opcode::kAllocUntrusted);
+  EXPECT_TRUE(module.functions[0].blocks[1].instructions[1].gated);
+}
+
+TEST(PassManagerTest, RejectsInvalidModuleUpFront) {
+  IrModule module;  // no functions is fine, but a broken one is not
+  module.functions.push_back(IrFunction{"broken", 0, {}});
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  EXPECT_FALSE(pm.Run(module).ok());
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,138 @@
+#include "src/pkalloc/arena.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pkalloc/span_table.h"
+
+namespace pkrusafe {
+namespace {
+
+TEST(ArenaTest, CreateAlignsBase) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  auto chunk = arena->AllocateChunk(1);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(*chunk & (kArenaChunkGranularity - 1), 0u);
+}
+
+TEST(ArenaTest, RejectsTinyReservation) {
+  EXPECT_FALSE(Arena::Create(1024).ok());
+}
+
+TEST(ArenaTest, ChunksAreDisjoint) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  auto a = arena->AllocateChunk(kArenaChunkGranularity);
+  auto b = arena->AllocateChunk(kArenaChunkGranularity);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(*b, *a + kArenaChunkGranularity);
+}
+
+TEST(ArenaTest, RoundsUpToGranularity) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  auto a = arena->AllocateChunk(1);
+  auto b = arena->AllocateChunk(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b - *a, kArenaChunkGranularity);
+}
+
+TEST(ArenaTest, FreeChunkIsRecycled) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  auto a = arena->AllocateChunk(kArenaChunkGranularity);
+  ASSERT_TRUE(a.ok());
+  arena->FreeChunk(*a, kArenaChunkGranularity);
+  auto b = arena->AllocateChunk(kArenaChunkGranularity);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+}
+
+TEST(ArenaTest, ExhaustsGracefully) {
+  auto arena_result = Arena::Create(kArenaChunkGranularity * 4);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  int got = 0;
+  while (arena->AllocateChunk(kArenaChunkGranularity).ok()) {
+    ++got;
+    ASSERT_LE(got, 8);  // bail out if exhaustion never happens
+  }
+  EXPECT_GE(got, 3);  // alignment slack may cost one chunk
+  auto fail = arena->AllocateChunk(kArenaChunkGranularity);
+  EXPECT_EQ(fail.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ArenaTest, ContainsChecksReservation) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  auto chunk = arena->AllocateChunk(1);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_TRUE(arena->Contains(*chunk));
+  EXPECT_FALSE(arena->Contains(0x10));
+}
+
+TEST(ArenaTest, ChunkMemoryIsWritable) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  auto chunk = arena->AllocateChunk(kArenaChunkGranularity);
+  ASSERT_TRUE(chunk.ok());
+  auto* bytes = reinterpret_cast<unsigned char*>(*chunk);
+  bytes[0] = 1;
+  bytes[kArenaChunkGranularity - 1] = 2;
+  EXPECT_EQ(bytes[0], 1);
+}
+
+TEST(SpanTableTest, InsertFindErase) {
+  auto arena_result = Arena::Create(size_t{16} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  SpanTable table(arena.get());
+
+  EXPECT_EQ(table.Find(0x1000), nullptr);
+  ASSERT_TRUE(table.Insert(0x10000, SpanInfo{3, 65536}).ok());
+  const SpanInfo* info = table.Find(0x10000);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->class_index, 3u);
+  EXPECT_EQ(info->chunk_bytes, 65536u);
+
+  EXPECT_FALSE(table.Insert(0x10000, SpanInfo{4, 1}).ok());
+  ASSERT_TRUE(table.Erase(0x10000).ok());
+  EXPECT_EQ(table.Find(0x10000), nullptr);
+  EXPECT_FALSE(table.Erase(0x10000).ok());
+}
+
+TEST(SpanTableTest, SurvivesGrowthAndChurn) {
+  auto arena_result = Arena::Create(size_t{64} << 20);
+  ASSERT_TRUE(arena_result.ok());
+  auto arena = std::move(*arena_result);
+  SpanTable table(arena.get());
+
+  constexpr size_t kCount = 5000;
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(table.Insert(0x100000 + i * 0x10000, SpanInfo{static_cast<uint32_t>(i), i}).ok());
+  }
+  EXPECT_EQ(table.size(), kCount);
+  for (size_t i = 0; i < kCount; i += 2) {
+    ASSERT_TRUE(table.Erase(0x100000 + i * 0x10000).ok());
+  }
+  for (size_t i = 0; i < kCount; ++i) {
+    const SpanInfo* info = table.Find(0x100000 + i * 0x10000);
+    if (i % 2 == 0) {
+      EXPECT_EQ(info, nullptr);
+    } else {
+      ASSERT_NE(info, nullptr);
+      EXPECT_EQ(info->class_index, i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,167 @@
+#include "src/pkalloc/boundary_tag_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace pkrusafe {
+namespace {
+
+class BoundaryTagHeapTest : public ::testing::Test {
+ protected:
+  BoundaryTagHeapTest() {
+    auto arena = Arena::Create(size_t{256} << 20);
+    arena_ = std::move(*arena);
+    heap_ = std::make_unique<BoundaryTagHeap>(arena_.get());
+  }
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<BoundaryTagHeap> heap_;
+};
+
+TEST_F(BoundaryTagHeapTest, BasicAllocateAndFree) {
+  void* p = heap_->Allocate(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xCD, 100);
+  heap_->Free(p);
+}
+
+TEST_F(BoundaryTagHeapTest, AlignmentIsSixteen) {
+  for (size_t size : {1, 15, 16, 17, 100, 5000, 100000}) {
+    void* p = heap_->Allocate(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u) << "size " << size;
+    heap_->Free(p);
+  }
+}
+
+TEST_F(BoundaryTagHeapTest, UsableSizeCoversRequest) {
+  for (size_t size : {1, 32, 100, 4096, 300000}) {
+    void* p = heap_->Allocate(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(heap_->UsableSize(p), size);
+    heap_->Free(p);
+  }
+}
+
+TEST_F(BoundaryTagHeapTest, SplitsLargeFreeBlock) {
+  void* a = heap_->Allocate(64);
+  void* b = heap_->Allocate(64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Both should come from the same fresh segment, close together.
+  const auto pa = reinterpret_cast<uintptr_t>(a);
+  const auto pb = reinterpret_cast<uintptr_t>(b);
+  EXPECT_LT(pb > pa ? pb - pa : pa - pb, size_t{4096});
+  heap_->Free(a);
+  heap_->Free(b);
+}
+
+TEST_F(BoundaryTagHeapTest, CoalescesNeighbours) {
+  // Allocate three adjacent blocks, free them all; coalescing should leave a
+  // single free block for the segment.
+  void* a = heap_->Allocate(100);
+  void* b = heap_->Allocate(100);
+  void* c = heap_->Allocate(100);
+  ASSERT_NE(c, nullptr);
+  const size_t baseline = heap_->free_block_count();  // the segment tail
+  heap_->Free(a);
+  EXPECT_EQ(heap_->free_block_count(), baseline + 1);  // a is isolated
+  heap_->Free(c);  // c merges with the free segment tail on its right
+  EXPECT_EQ(heap_->free_block_count(), baseline + 1);
+  heap_->Free(b);  // b bridges a and c+tail: everything merges into one block
+  EXPECT_EQ(heap_->free_block_count(), 1u);
+}
+
+TEST_F(BoundaryTagHeapTest, ReusesCoalescedSpace) {
+  void* a = heap_->Allocate(1000);
+  void* b = heap_->Allocate(1000);
+  ASSERT_NE(b, nullptr);
+  heap_->Free(a);
+  heap_->Free(b);
+  // After coalescing, one big allocation fits where two small ones were.
+  void* big = heap_->Allocate(1900);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big, a);  // first fit lands at the segment start
+  heap_->Free(big);
+}
+
+TEST_F(BoundaryTagHeapTest, ContentSurvivesNeighbourChurn) {
+  void* keep = heap_->Allocate(256);
+  std::memset(keep, 0x5A, 256);
+  for (int i = 0; i < 100; ++i) {
+    void* p = heap_->Allocate(64 + static_cast<size_t>(i));
+    heap_->Free(p);
+  }
+  auto* bytes = static_cast<unsigned char*>(keep);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(bytes[i], 0x5A);
+  }
+  heap_->Free(keep);
+}
+
+TEST_F(BoundaryTagHeapTest, HugeAllocationGetsOwnSegment) {
+  void* p = heap_->Allocate(10 << 20);
+  ASSERT_NE(p, nullptr);
+  auto* bytes = static_cast<unsigned char*>(p);
+  bytes[0] = 1;
+  bytes[(10 << 20) - 1] = 2;
+  heap_->Free(p);
+}
+
+TEST_F(BoundaryTagHeapTest, StatsBalance) {
+  const HeapStats before = heap_->stats();
+  void* p = heap_->Allocate(100);
+  void* q = heap_->Allocate(200);
+  heap_->Free(p);
+  heap_->Free(q);
+  const HeapStats after = heap_->stats();
+  EXPECT_EQ(after.alloc_calls - before.alloc_calls, 2u);
+  EXPECT_EQ(after.free_calls - before.free_calls, 2u);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+class BoundaryTagChurnTest : public BoundaryTagHeapTest,
+                             public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BoundaryTagChurnTest, SurvivesRandomChurn) {
+  SplitMix64 rng(GetParam());
+  struct Live {
+    void* ptr;
+    size_t size;
+    unsigned char tag;
+  };
+  std::vector<Live> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 55) {
+      const size_t size = 1 + rng.NextBelow(4096);
+      void* p = heap_->Allocate(size);
+      ASSERT_NE(p, nullptr);
+      const auto tag = static_cast<unsigned char>(rng.Next());
+      std::memset(p, tag, size);
+      live.push_back({p, size, tag});
+    } else {
+      const size_t victim = rng.NextBelow(live.size());
+      auto* bytes = static_cast<unsigned char*>(live[victim].ptr);
+      for (size_t i = 0; i < live[victim].size; i += 61) {
+        ASSERT_EQ(bytes[i], live[victim].tag) << "corruption at step " << step;
+      }
+      heap_->Free(live[victim].ptr);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const Live& entry : live) {
+    heap_->Free(entry.ptr);
+  }
+  EXPECT_EQ(heap_->stats().live_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundaryTagChurnTest, ::testing::Values(7, 21, 99, 4096, 31337));
+
+}  // namespace
+}  // namespace pkrusafe

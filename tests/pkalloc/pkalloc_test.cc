@@ -1,0 +1,181 @@
+#include "src/pkalloc/pkalloc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/memmap/page.h"
+#include "src/mpk/sim_backend.h"
+#include "src/support/rng.h"
+
+namespace pkrusafe {
+namespace {
+
+class PkAllocatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    PkAllocatorConfig config;
+    config.trusted_pool_bytes = size_t{1} << 30;
+    config.untrusted_pool_bytes = size_t{1} << 30;
+    auto alloc = PkAllocator::Create(&backend_, config);
+    ASSERT_TRUE(alloc.ok());
+    alloc_ = std::move(*alloc);
+  }
+
+  SimMpkBackend backend_;
+  std::unique_ptr<PkAllocator> alloc_;
+};
+
+TEST_F(PkAllocatorTest, AllocatesFromCorrectPool) {
+  void* t = alloc_->Allocate(Domain::kTrusted, 100);
+  void* u = alloc_->Allocate(Domain::kUntrusted, 100);
+  ASSERT_NE(t, nullptr);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(*alloc_->OwnerOf(t), Domain::kTrusted);
+  EXPECT_EQ(*alloc_->OwnerOf(u), Domain::kUntrusted);
+  alloc_->Free(t);
+  alloc_->Free(u);
+}
+
+TEST_F(PkAllocatorTest, TrustedPagesCarryTheKey) {
+  void* t = alloc_->Allocate(Domain::kTrusted, 100);
+  void* u = alloc_->Allocate(Domain::kUntrusted, 100);
+  EXPECT_EQ(backend_.KeyFor(reinterpret_cast<uintptr_t>(t)), alloc_->trusted_key());
+  EXPECT_EQ(backend_.KeyFor(reinterpret_cast<uintptr_t>(u)), kDefaultPkey);
+  EXPECT_NE(alloc_->trusted_key(), kDefaultPkey);
+  alloc_->Free(t);
+  alloc_->Free(u);
+}
+
+TEST_F(PkAllocatorTest, DeniedPkruBlocksTrustedPoolOnly) {
+  void* t = alloc_->Allocate(Domain::kTrusted, 64);
+  void* u = alloc_->Allocate(Domain::kUntrusted, 64);
+  backend_.WritePkru(PkruValue::AllowAll().WithAccessDisabled(alloc_->trusted_key()));
+  EXPECT_FALSE(backend_.CheckAccess(reinterpret_cast<uintptr_t>(t), AccessKind::kRead).ok());
+  EXPECT_TRUE(backend_.CheckAccess(reinterpret_cast<uintptr_t>(u), AccessKind::kRead).ok());
+  backend_.WritePkru(PkruValue::AllowAll());
+  alloc_->Free(t);
+  alloc_->Free(u);
+}
+
+TEST_F(PkAllocatorTest, OwnerOfForeignPointerIsNullopt) {
+  int local = 0;
+  EXPECT_FALSE(alloc_->OwnerOf(&local).has_value());
+  EXPECT_FALSE(alloc_->OwnerOf(nullptr).has_value());
+}
+
+TEST_F(PkAllocatorTest, ReallocNullActsAsTrustedAlloc) {
+  void* p = alloc_->Reallocate(nullptr, 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*alloc_->OwnerOf(p), Domain::kTrusted);
+  alloc_->Free(p);
+}
+
+TEST_F(PkAllocatorTest, ReallocPreservesContents) {
+  auto* p = static_cast<unsigned char*>(alloc_->Allocate(Domain::kUntrusted, 64));
+  for (int i = 0; i < 64; ++i) {
+    p[i] = static_cast<unsigned char>(i);
+  }
+  auto* q = static_cast<unsigned char*>(alloc_->Reallocate(p, 4096));
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(q[i], i);
+  }
+  alloc_->Free(q);
+}
+
+TEST_F(PkAllocatorTest, ShrinkReallocReturnsSamePointer) {
+  void* p = alloc_->Allocate(Domain::kTrusted, 1000);
+  void* q = alloc_->Reallocate(p, 100);
+  EXPECT_EQ(p, q);
+  alloc_->Free(q);
+}
+
+// Paper §4.2: realloc must never migrate an object between pools, whatever
+// path execution takes, so provenance decisions stay valid.
+class ReallocPoolPropertyTest : public PkAllocatorTest,
+                                public ::testing::WithParamInterface<std::tuple<int, size_t>> {};
+
+TEST_P(ReallocPoolPropertyTest, ReallocStaysInPool) {
+  const Domain domain = std::get<0>(GetParam()) == 0 ? Domain::kTrusted : Domain::kUntrusted;
+  const size_t new_size = std::get<1>(GetParam());
+  void* p = alloc_->Allocate(domain, 128);
+  ASSERT_NE(p, nullptr);
+  void* q = alloc_->Reallocate(p, new_size);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(*alloc_->OwnerOf(q), domain);
+  alloc_->Free(q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReallocPoolPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(size_t{1}, size_t{64}, size_t{128}, size_t{4096},
+                                         size_t{1} << 20)));
+
+// DESIGN.md invariant 1: pool disjointness under randomized churn — no
+// allocation from one pool ever lands on a page the other pool handed out.
+TEST_F(PkAllocatorTest, PoolPagesNeverOverlapUnderChurn) {
+  SplitMix64 rng(2024);
+  std::vector<std::pair<void*, Domain>> live;
+  std::set<uint64_t> trusted_pages;
+  std::set<uint64_t> untrusted_pages;
+
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 60) {
+      const Domain domain = rng.NextBelow(2) == 0 ? Domain::kTrusted : Domain::kUntrusted;
+      const size_t size = 1 + rng.NextBelow(8192);
+      void* p = alloc_->Allocate(domain, size);
+      ASSERT_NE(p, nullptr);
+      const size_t usable = alloc_->UsableSize(p);
+      for (uintptr_t a = PageDown(reinterpret_cast<uintptr_t>(p));
+           a < reinterpret_cast<uintptr_t>(p) + usable; a += kPageSize) {
+        (domain == Domain::kTrusted ? trusted_pages : untrusted_pages).insert(PageIndex(a));
+      }
+      live.emplace_back(p, domain);
+    } else {
+      const size_t victim = rng.NextBelow(live.size());
+      alloc_->Free(live[victim].first);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  for (uint64_t page : trusted_pages) {
+    ASSERT_EQ(untrusted_pages.count(page), 0u) << "page owned by both pools";
+  }
+  for (auto& [ptr, domain] : live) {
+    alloc_->Free(ptr);
+  }
+}
+
+TEST_F(PkAllocatorTest, AblationUsesFastHeapForUntrusted) {
+  SimMpkBackend backend;
+  PkAllocatorConfig config;
+  config.trusted_pool_bytes = size_t{1} << 30;
+  config.untrusted_pool_bytes = size_t{1} << 30;
+  config.fast_untrusted_heap = true;
+  auto alloc = PkAllocator::Create(&backend, config);
+  ASSERT_TRUE(alloc.ok());
+  void* u = (*alloc)->Allocate(Domain::kUntrusted, 64);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(*(*alloc)->OwnerOf(u), Domain::kUntrusted);
+  // FreeListHeap reuses LIFO; observable signature of the fast heap.
+  (*alloc)->Free(u);
+  void* v = (*alloc)->Allocate(Domain::kUntrusted, 64);
+  EXPECT_EQ(u, v);
+  (*alloc)->Free(v);
+}
+
+TEST_F(PkAllocatorTest, StatsSeparatePools) {
+  const HeapStats t0 = alloc_->trusted_stats();
+  const HeapStats u0 = alloc_->untrusted_stats();
+  void* t = alloc_->Allocate(Domain::kTrusted, 100);
+  EXPECT_EQ(alloc_->trusted_stats().alloc_calls, t0.alloc_calls + 1);
+  EXPECT_EQ(alloc_->untrusted_stats().alloc_calls, u0.alloc_calls);
+  alloc_->Free(t);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,51 @@
+#include "src/pkalloc/size_classes.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+TEST(SizeClassesTest, TableIsSortedAndAligned) {
+  for (size_t i = 0; i < kNumSizeClasses; ++i) {
+    EXPECT_EQ(kSizeClasses[i] % kMinAllocAlignment, 0u) << "class " << i;
+    if (i > 0) {
+      EXPECT_LT(kSizeClasses[i - 1], kSizeClasses[i]);
+    }
+  }
+}
+
+TEST(SizeClassesTest, BoundsAreExpected) {
+  EXPECT_EQ(kSizeClasses.front(), 16u);
+  EXPECT_EQ(kSizeClasses.back(), kMaxSmallSize);
+}
+
+TEST(SizeClassesTest, IndexRoundsUp) {
+  EXPECT_EQ(ClassSize(SizeClassIndex(1)), 16u);
+  EXPECT_EQ(ClassSize(SizeClassIndex(16)), 16u);
+  EXPECT_EQ(ClassSize(SizeClassIndex(17)), 32u);
+  EXPECT_EQ(ClassSize(SizeClassIndex(kMaxSmallSize)), kMaxSmallSize);
+}
+
+// Property sweep: every size in [1, kMaxSmallSize] maps to the smallest class
+// that fits, with bounded internal fragmentation.
+class SizeClassPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeClassPropertyTest, SmallestFittingClass) {
+  const size_t size = GetParam();
+  const size_t index = SizeClassIndex(size);
+  ASSERT_LT(index, kNumSizeClasses);
+  EXPECT_GE(ClassSize(index), size);
+  if (index > 0) {
+    EXPECT_LT(ClassSize(index - 1), size);
+  }
+  // jemalloc-style classes waste at most ~25% + constant.
+  EXPECT_LE(ClassSize(index), size + size / 4 + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SizeClassPropertyTest,
+                         ::testing::Values(1, 8, 16, 17, 31, 32, 100, 128, 129, 200, 256, 257,
+                                           500, 1000, 1024, 1025, 2000, 4096, 5000, 8192, 10000,
+                                           16000, 16384));
+
+}  // namespace
+}  // namespace pkrusafe

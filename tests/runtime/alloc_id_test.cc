@@ -1,0 +1,47 @@
+#include "src/runtime/alloc_id.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace pkrusafe {
+namespace {
+
+TEST(AllocIdTest, RoundTripsThroughString) {
+  const AllocId id{12, 3, 7};
+  EXPECT_EQ(id.ToString(), "12:3:7");
+  auto parsed = AllocId::Parse("12:3:7");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(AllocIdTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(AllocId::Parse("").ok());
+  EXPECT_FALSE(AllocId::Parse("1:2").ok());
+  EXPECT_FALSE(AllocId::Parse("1:2:3:4").ok());
+  EXPECT_FALSE(AllocId::Parse("a:2:3").ok());
+  EXPECT_FALSE(AllocId::Parse("1:2:-3").ok());
+  EXPECT_FALSE(AllocId::Parse("99999999999:0:0").ok());
+}
+
+TEST(AllocIdTest, OrderingIsLexicographic) {
+  EXPECT_LT((AllocId{1, 0, 0}), (AllocId{2, 0, 0}));
+  EXPECT_LT((AllocId{1, 1, 0}), (AllocId{1, 2, 0}));
+  EXPECT_LT((AllocId{1, 1, 1}), (AllocId{1, 1, 2}));
+  EXPECT_EQ((AllocId{1, 1, 1}), (AllocId{1, 1, 1}));
+}
+
+TEST(AllocIdTest, HashSpreadsComponents) {
+  std::unordered_set<AllocId, AllocIdHasher> seen;
+  for (uint32_t f = 0; f < 10; ++f) {
+    for (uint32_t b = 0; b < 10; ++b) {
+      for (uint32_t s = 0; s < 10; ++s) {
+        seen.insert(AllocId{f, b, s});
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,116 @@
+#include "src/runtime/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace pkrusafe {
+namespace {
+
+constexpr AllocId kA{1, 2, 3};
+constexpr AllocId kB{4, 5, 6};
+
+TEST(ProfileTest, AddAndQuery) {
+  Profile profile;
+  EXPECT_TRUE(profile.empty());
+  profile.Add(kA);
+  profile.Add(kA);
+  profile.Add(kB, 10);
+  EXPECT_EQ(profile.site_count(), 2u);
+  EXPECT_EQ(profile.CountFor(kA), 2u);
+  EXPECT_EQ(profile.CountFor(kB), 10u);
+  EXPECT_EQ(profile.CountFor(AllocId{9, 9, 9}), 0u);
+  EXPECT_TRUE(profile.Contains(kA));
+  EXPECT_FALSE(profile.Contains(AllocId{9, 9, 9}));
+}
+
+TEST(ProfileTest, SitesAreSorted) {
+  Profile profile;
+  profile.Add(kB);
+  profile.Add(kA);
+  auto sites = profile.Sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], kA);
+  EXPECT_EQ(sites[1], kB);
+}
+
+TEST(ProfileTest, SerializeRoundTrips) {
+  Profile profile;
+  profile.Add(kA, 3);
+  profile.Add(kB, 7);
+  const std::string text = profile.Serialize();
+  auto restored = Profile::Deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->site_count(), 2u);
+  EXPECT_EQ(restored->CountFor(kA), 3u);
+  EXPECT_EQ(restored->CountFor(kB), 7u);
+}
+
+TEST(ProfileTest, DeserializeRejectsMissingHeader) {
+  EXPECT_FALSE(Profile::Deserialize("1:2:3 4\n").ok());
+}
+
+TEST(ProfileTest, DeserializeRejectsMalformedLines) {
+  EXPECT_FALSE(Profile::Deserialize("# pkru-safe profile v1\n1:2:3\n").ok());
+  EXPECT_FALSE(Profile::Deserialize("# pkru-safe profile v1\nx:y:z 1\n").ok());
+}
+
+TEST(ProfileTest, DeserializeSkipsCommentsAndBlanks) {
+  auto profile = Profile::Deserialize(
+      "# pkru-safe profile v1\n"
+      "\n"
+      "# a comment\n"
+      "1:2:3 4\n");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->CountFor(kA), 4u);
+}
+
+TEST(ProfileTest, MergeAddsCounts) {
+  Profile a;
+  a.Add(kA, 1);
+  Profile b;
+  b.Add(kA, 2);
+  b.Add(kB, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.CountFor(kA), 3u);
+  EXPECT_EQ(a.CountFor(kB), 5u);
+}
+
+TEST(ProfileTest, FileRoundTrip) {
+  Profile profile;
+  profile.Add(kA, 42);
+  const std::string path = ::testing::TempDir() + "/pkru_profile_test.txt";
+  ASSERT_TRUE(profile.SaveToFile(path).ok());
+  auto loaded = Profile::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->CountFor(kA), 42u);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileTest, LoadMissingFileFails) {
+  EXPECT_EQ(Profile::LoadFromFile("/nonexistent/pkru.profile").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProfileRecorderTest, RecordsUniqueSitesWithCounts) {
+  ProfileRecorder recorder;
+  recorder.RecordFault(kA);
+  recorder.RecordFault(kA);
+  recorder.RecordFault(kB);
+  EXPECT_EQ(recorder.total_faults(), 3u);
+  Profile profile = recorder.TakeProfile();
+  EXPECT_EQ(profile.site_count(), 2u);
+  EXPECT_EQ(profile.CountFor(kA), 2u);
+}
+
+TEST(ProfileRecorderTest, ResetClears) {
+  ProfileRecorder recorder;
+  recorder.RecordFault(kA);
+  recorder.Reset();
+  EXPECT_EQ(recorder.total_faults(), 0u);
+  EXPECT_TRUE(recorder.TakeProfile().empty());
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,106 @@
+#include "src/support/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad value");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad value");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad value");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+}
+
+TEST(StatusTest, AllCodeNamesAreDistinct) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,   StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kResourceExhausted, StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kPermissionDenied, StatusCode::kUnavailable,
+  };
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
+    }
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PS_ASSIGN_OR_RETURN(int half, Half(x));
+  PS_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  auto err = Quarter(6);  // 6/2 = 3 which is odd
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status NeedsPositive(int x) {
+  if (x <= 0) {
+    return OutOfRangeError("not positive");
+  }
+  return Status::Ok();
+}
+
+Status Both(int a, int b) {
+  PS_RETURN_IF_ERROR(NeedsPositive(a));
+  PS_RETURN_IF_ERROR(NeedsPositive(b));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorShortCircuits) {
+  EXPECT_TRUE(Both(1, 2).ok());
+  EXPECT_EQ(Both(-1, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Both(1, -2).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pkrusafe

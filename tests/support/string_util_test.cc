@@ -1,0 +1,86 @@
+#include "src/support/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pkrusafe {
+namespace {
+
+TEST(StrSplitTest, SplitsOnSeparator) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  auto parts = StrSplit(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(StrSplitTest, NoSeparatorYieldsWhole) {
+  auto parts = StrSplit("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StrStripTest, StripsBothEnds) {
+  EXPECT_EQ(StrStrip("  hi  "), "hi");
+  EXPECT_EQ(StrStrip("\t\nhi\r "), "hi");
+  EXPECT_EQ(StrStrip("hi"), "hi");
+  EXPECT_EQ(StrStrip("   "), "");
+  EXPECT_EQ(StrStrip(""), "");
+}
+
+TEST(StrPrefixSuffixTest, Matches) {
+  EXPECT_TRUE(StrStartsWith("foobar", "foo"));
+  EXPECT_FALSE(StrStartsWith("foobar", "bar"));
+  EXPECT_TRUE(StrEndsWith("foobar", "bar"));
+  EXPECT_FALSE(StrEndsWith("foobar", "foo"));
+  EXPECT_TRUE(StrStartsWith("x", ""));
+  EXPECT_FALSE(StrStartsWith("", "x"));
+}
+
+TEST(ParseInt64Test, ParsesValidValues) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseUint64Test, ParsesAndRejects) {
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+}
+
+TEST(ParseDoubleTest, ParsesAndRejects) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5z").ok());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,157 @@
+// msrun: runs MiniScript programs on the untrusted engine.
+//
+//   msrun script.ms                  # engine only, no sandbox
+//   msrun script.ms --dom            # with the trusted DOM bindings
+//   msrun script.ms --pipeline       # profile the run, then replay enforced
+//   msrun script.ms --vuln           # enable the CVE-style builtins
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/dom/bindings.h"
+#include "src/dom/document.h"
+#include "src/jsvm/disassembler.h"
+
+namespace {
+
+using namespace pkrusafe;  // NOLINT: tool brevity
+
+Result<std::unique_ptr<PkruSafeRuntime>> MakeRuntime(RuntimeMode mode, SitePolicy policy = {}) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  RuntimeConfig config;
+  config.backend = BackendKind::kSim;
+  config.mode = mode;
+  config.policy = std::move(policy);
+  return PkruSafeRuntime::Create(std::move(config));
+}
+
+Status RunOnce(PkruSafeRuntime& runtime, const std::string& source, bool with_dom, bool vuln,
+               bool echo) {
+  std::unique_ptr<Document> document;
+  VmOptions options;
+  options.enable_vulnerability = vuln;
+  Vm vm(&runtime, options);
+  std::unique_ptr<DomBindings> bindings;
+  if (with_dom) {
+    document = std::make_unique<Document>(&runtime);
+    bindings = std::make_unique<DomBindings>(document.get(), &vm);
+  }
+  PS_RETURN_IF_ERROR(vm.Load(source));
+
+  Status status = Status::Ok();
+  auto body = [&] { status = vm.Run().status(); };
+  if (runtime.gates().enabled()) {
+    runtime.gates().CallUntrusted(body);
+  } else {
+    body();
+  }
+  if (echo) {
+    for (const std::string& line : vm.print_output()) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool with_dom = false;
+  bool vuln = false;
+  bool pipeline = false;
+  bool disasm = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dom") {
+      with_dom = true;
+    } else if (arg == "--vuln") {
+      vuln = true;
+    } else if (arg == "--pipeline") {
+      pipeline = true;
+      with_dom = true;
+    } else if (arg == "--disasm") {
+      disasm = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "usage: msrun <script.ms> [--dom] [--vuln] [--pipeline] [--disasm]\n");
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: msrun <script.ms> [--dom] [--vuln] [--pipeline] [--disasm]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  if (disasm) {
+    // Compile against the DOM host-function names so DOM scripts list too.
+    auto program = CompileSource(source, DomBindings::HostNames());
+    if (!program.ok()) {
+      std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", Disassemble(*program).c_str());
+    return 0;
+  }
+
+  if (!pipeline) {
+    auto runtime = MakeRuntime(RuntimeMode::kDisabled);
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+      return 1;
+    }
+    const Status status = RunOnce(**runtime, source, with_dom, vuln, /*echo=*/true);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  // Pipeline mode: profile the session, then replay it enforced.
+  Profile profile;
+  {
+    auto runtime = MakeRuntime(RuntimeMode::kProfiling);
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[pipeline] profiling run...\n");
+    const Status status = RunOnce(**runtime, source, with_dom, vuln, /*echo=*/false);
+    if (!status.ok()) {
+      std::fprintf(stderr, "profiling run failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    profile = (*runtime)->TakeProfile();
+    std::fprintf(stderr, "[pipeline] %zu shared site(s), %llu fault(s) recorded\n",
+                 profile.site_count(),
+                 static_cast<unsigned long long>((*runtime)->stats().profile_faults));
+  }
+  auto runtime = MakeRuntime(RuntimeMode::kEnforcing, SitePolicy::FromProfile(profile));
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[pipeline] enforced replay...\n");
+  const Status status = RunOnce(**runtime, source, with_dom, vuln, /*echo=*/true);
+  if (!status.ok()) {
+    std::fprintf(stderr, "enforced run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const RuntimeStats stats = (*runtime)->stats();
+  std::fprintf(stderr, "[pipeline] clean: %llu transitions, %zu/%zu sites shared\n",
+               static_cast<unsigned long long>(stats.transitions), stats.sites_shared,
+               stats.sites_seen);
+  return 0;
+}

@@ -1,0 +1,212 @@
+// pkrusafe_run: the toolchain driver for IR programs.
+//
+//   pkrusafe_run prog.ir                        # baseline (no partitioning)
+//   pkrusafe_run prog.ir --mode=profile --emit-profile=prog.profile
+//   pkrusafe_run prog.ir --mode=enforce --profile=prog.profile
+//   pkrusafe_run prog.ir --mode=enforce --static    # profile via static analysis
+//   pkrusafe_run prog.ir --dump-ir                  # print instrumented IR
+//
+// Programs link against a small standard library of externs:
+//   trusted:   @t_print(1)
+//   untrusted (library "clib"): @u_read(1)  @u_write(2)  @u_sum(2)  @u_fill(3)
+// The untrusted externs access memory through MPK-checked loads/stores, so
+// enforcement semantics apply to them exactly as to real unsafe code.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/pkru_safe.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+#include "src/passes/static_sharing_analysis.h"
+#include "src/ir/parser.h"
+
+namespace {
+
+using namespace pkrusafe;  // NOLINT: tool brevity
+
+ExternRegistry StandardExterns(std::vector<int64_t>* prints) {
+  ExternRegistry externs;
+  externs.Register("t_print",
+                   [prints](Interpreter&, const std::vector<int64_t>& args) -> Result<int64_t> {
+                     prints->push_back(args[0]);
+                     std::printf("t_print: %lld\n", static_cast<long long>(args[0]));
+                     return 0;
+                   });
+  externs.Register("u_read",
+                   [](Interpreter& interp, const std::vector<int64_t>& args) -> Result<int64_t> {
+                     return interp.LoadChecked(args[0]);
+                   });
+  externs.Register("u_write",
+                   [](Interpreter& interp, const std::vector<int64_t>& args) -> Result<int64_t> {
+                     PS_RETURN_IF_ERROR(interp.StoreChecked(args[0], args[1]));
+                     return 0;
+                   });
+  externs.Register("u_sum",
+                   [](Interpreter& interp, const std::vector<int64_t>& args) -> Result<int64_t> {
+                     int64_t sum = 0;
+                     for (int64_t i = 0; i < args[1]; ++i) {
+                       PS_ASSIGN_OR_RETURN(int64_t v, interp.LoadChecked(args[0] + i * 8));
+                       sum += v;
+                     }
+                     return sum;
+                   });
+  externs.Register("u_fill",
+                   [](Interpreter& interp, const std::vector<int64_t>& args) -> Result<int64_t> {
+                     for (int64_t i = 0; i < args[1]; ++i) {
+                       PS_RETURN_IF_ERROR(interp.StoreChecked(args[0] + i * 8, args[2]));
+                     }
+                     return args[1];
+                   });
+  return externs;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pkrusafe_run <prog.ir> [--mode=off|profile|enforce]\n"
+               "         [--profile=FILE] [--emit-profile=FILE] [--static]\n"
+               "         [--backend=sim|mprotect|hardware|auto] [--entry=NAME]\n"
+               "         [--dump-ir]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string path;
+  std::string mode = "off";
+  std::string profile_path;
+  std::string emit_profile_path;
+  std::string backend = "sim";
+  std::string entry = "main";
+  bool use_static = false;
+  bool dump_ir = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      return std::strncmp(arg.c_str(), prefix, std::strlen(prefix)) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value_of("--mode=")) {
+      mode = v;
+    } else if (const char* v = value_of("--profile=")) {
+      profile_path = v;
+    } else if (const char* v = value_of("--emit-profile=")) {
+      emit_profile_path = v;
+    } else if (const char* v = value_of("--backend=")) {
+      backend = v;
+    } else if (const char* v = value_of("--entry=")) {
+      entry = v;
+    } else if (arg == "--static") {
+      use_static = true;
+    } else if (arg == "--dump-ir") {
+      dump_ir = true;
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    return Usage();
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  SystemConfig config;
+  auto backend_kind = ParseBackendKind(backend);
+  if (!backend_kind.ok()) {
+    std::fprintf(stderr, "%s\n", backend_kind.status().ToString().c_str());
+    return 1;
+  }
+  config.backend = *backend_kind;
+  if (mode == "off") {
+    config.mode = RuntimeMode::kDisabled;
+  } else if (mode == "profile") {
+    config.mode = RuntimeMode::kProfiling;
+  } else if (mode == "enforce") {
+    config.mode = RuntimeMode::kEnforcing;
+  } else {
+    return Usage();
+  }
+
+  if (!profile_path.empty()) {
+    auto loaded = Profile::LoadFromFile(profile_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    config.profile = *loaded;
+  }
+  if (use_static) {
+    // Compute the profile at compile time instead of loading one.
+    auto module = ParseModule(source);
+    if (!module.ok()) {
+      std::fprintf(stderr, "%s\n", module.status().ToString().c_str());
+      return 1;
+    }
+    PassManager pm;
+    pm.Add(std::make_unique<AllocIdPass>());
+    pm.Add(std::make_unique<GateInsertionPass>());
+    if (auto status = pm.Run(*module); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    StaticSharingAnalysis analysis(&*module);
+    auto static_profile = analysis.Run();
+    if (!static_profile.ok()) {
+      std::fprintf(stderr, "%s\n", static_profile.status().ToString().c_str());
+      return 1;
+    }
+    config.profile.Merge(*static_profile);
+    std::printf("static analysis: %zu shared site(s) in %d iteration(s)\n",
+                static_profile->site_count(), analysis.iterations());
+  }
+
+  std::vector<int64_t> prints;
+  auto system = System::Create(source, config, StandardExterns(&prints));
+  if (!system.ok()) {
+    std::fprintf(stderr, "compile: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("build: mode=%s sites=%zu gates=%zu moved=%zu\n", mode.c_str(),
+              (*system)->total_alloc_sites(), (*system)->gates_inserted(),
+              (*system)->sites_moved_to_untrusted());
+  if (dump_ir) {
+    std::printf("%s", (*system)->DumpIr().c_str());
+  }
+
+  auto result = (*system)->Call(entry);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const int64_t value : (*system)->interpreter().output()) {
+    std::printf("print: %lld\n", static_cast<long long>(value));
+  }
+  std::printf("@%s returned %lld\n", entry.c_str(), static_cast<long long>(*result));
+
+  if (!emit_profile_path.empty()) {
+    const Profile profile = (*system)->TakeProfile();
+    if (auto status = profile.SaveToFile(emit_profile_path); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu site(s) to %s\n", profile.site_count(), emit_profile_path.c_str());
+  }
+  return 0;
+}

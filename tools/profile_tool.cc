@@ -1,0 +1,103 @@
+// profile_tool: inspect and merge PKRU-Safe profiles.
+//
+// The paper's deployment story (§6) merges profiles from many runs/users
+// before the enforcement build ("operating systems and applications often
+// test and profile applications ... using a subset of their installation
+// base"); this tool is that step.
+//
+//   profile_tool show  a.profile
+//   profile_tool merge out.profile a.profile b.profile ...
+//   profile_tool diff  a.profile b.profile
+#include <cstdio>
+#include <cstring>
+
+#include "src/runtime/profile.h"
+
+namespace {
+
+using namespace pkrusafe;  // NOLINT: tool brevity
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: profile_tool show <file>\n"
+               "       profile_tool merge <out> <in>...\n"
+               "       profile_tool diff <a> <b>\n");
+  return 2;
+}
+
+Result<Profile> Load(const char* path) { return Profile::LoadFromFile(path); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+
+  if (command == "show") {
+    auto profile = Load(argv[2]);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu shared site(s):\n", profile->site_count());
+    for (const AllocId& id : profile->Sites()) {
+      std::printf("  %-16s %llu fault(s)\n", id.ToString().c_str(),
+                  static_cast<unsigned long long>(profile->CountFor(id)));
+    }
+    return 0;
+  }
+
+  if (command == "merge") {
+    if (argc < 4) {
+      return Usage();
+    }
+    Profile merged;
+    for (int i = 3; i < argc; ++i) {
+      auto profile = Load(argv[i]);
+      if (!profile.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i], profile.status().ToString().c_str());
+        return 1;
+      }
+      merged.Merge(*profile);
+      std::printf("merged %s (%zu sites)\n", argv[i], profile->site_count());
+    }
+    if (auto status = merged.SaveToFile(argv[2]); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu site(s) to %s\n", merged.site_count(), argv[2]);
+    return 0;
+  }
+
+  if (command == "diff") {
+    if (argc != 4) {
+      return Usage();
+    }
+    auto a = Load(argv[2]);
+    auto b = Load(argv[3]);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "failed to load inputs\n");
+      return 1;
+    }
+    int only_a = 0;
+    int only_b = 0;
+    for (const AllocId& id : a->Sites()) {
+      if (!b->Contains(id)) {
+        std::printf("only in %s: %s\n", argv[2], id.ToString().c_str());
+        ++only_a;
+      }
+    }
+    for (const AllocId& id : b->Sites()) {
+      if (!a->Contains(id)) {
+        std::printf("only in %s: %s\n", argv[3], id.ToString().c_str());
+        ++only_b;
+      }
+    }
+    std::printf("%d site(s) unique to %s, %d unique to %s\n", only_a, argv[2], only_b, argv[3]);
+    return only_a == 0 && only_b == 0 ? 0 : 1;
+  }
+
+  return Usage();
+}
