@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dromaeo"
+  "../bench/bench_dromaeo.pdb"
+  "CMakeFiles/bench_dromaeo.dir/bench_dromaeo.cc.o"
+  "CMakeFiles/bench_dromaeo.dir/bench_dromaeo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dromaeo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

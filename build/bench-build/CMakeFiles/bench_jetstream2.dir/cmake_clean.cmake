@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_jetstream2"
+  "../bench/bench_jetstream2.pdb"
+  "CMakeFiles/bench_jetstream2.dir/bench_jetstream2.cc.o"
+  "CMakeFiles/bench_jetstream2.dir/bench_jetstream2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jetstream2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

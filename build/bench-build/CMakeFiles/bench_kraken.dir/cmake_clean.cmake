@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kraken"
+  "../bench/bench_kraken.pdb"
+  "CMakeFiles/bench_kraken.dir/bench_kraken.cc.o"
+  "CMakeFiles/bench_kraken.dir/bench_kraken.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kraken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_octane"
+  "../bench/bench_octane.pdb"
+  "CMakeFiles/bench_octane.dir/bench_octane.cc.o"
+  "CMakeFiles/bench_octane.dir/bench_octane.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_octane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

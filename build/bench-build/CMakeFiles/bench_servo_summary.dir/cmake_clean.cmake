@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_servo_summary"
+  "../bench/bench_servo_summary.pdb"
+  "CMakeFiles/bench_servo_summary.dir/bench_servo_summary.cc.o"
+  "CMakeFiles/bench_servo_summary.dir/bench_servo_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_servo_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_sandbox.dir/browser_sandbox.cc.o"
+  "CMakeFiles/browser_sandbox.dir/browser_sandbox.cc.o.d"
+  "browser_sandbox"
+  "browser_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callgate_tour.dir/callgate_tour.cc.o"
+  "CMakeFiles/callgate_tour.dir/callgate_tour.cc.o.d"
+  "callgate_tour"
+  "callgate_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callgate_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

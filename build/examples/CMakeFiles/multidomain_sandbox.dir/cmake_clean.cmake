@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidomain_sandbox.dir/multidomain_sandbox.cc.o"
+  "CMakeFiles/multidomain_sandbox.dir/multidomain_sandbox.cc.o.d"
+  "multidomain_sandbox"
+  "multidomain_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidomain_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

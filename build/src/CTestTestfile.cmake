@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("memmap")
+subdirs("mpk")
+subdirs("pkalloc")
+subdirs("runtime")
+subdirs("ir")
+subdirs("passes")
+subdirs("interp")
+subdirs("jsvm")
+subdirs("dom")
+subdirs("workloads")
+subdirs("multidomain")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_core.dir/pkru_safe.cc.o"
+  "CMakeFiles/ps_core.dir/pkru_safe.cc.o.d"
+  "libps_core.a"
+  "libps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_dom.dir/bindings.cc.o"
+  "CMakeFiles/ps_dom.dir/bindings.cc.o.d"
+  "CMakeFiles/ps_dom.dir/document.cc.o"
+  "CMakeFiles/ps_dom.dir/document.cc.o.d"
+  "libps_dom.a"
+  "libps_dom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_interp.dir/interpreter.cc.o"
+  "CMakeFiles/ps_interp.dir/interpreter.cc.o.d"
+  "libps_interp.a"
+  "libps_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/instruction.cc" "src/ir/CMakeFiles/ps_ir.dir/instruction.cc.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/instruction.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/ps_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/ps_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/ps_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/ps_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkalloc/CMakeFiles/ps_pkalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

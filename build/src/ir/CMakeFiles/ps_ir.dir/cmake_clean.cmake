@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_ir.dir/instruction.cc.o"
+  "CMakeFiles/ps_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/ps_ir.dir/parser.cc.o"
+  "CMakeFiles/ps_ir.dir/parser.cc.o.d"
+  "CMakeFiles/ps_ir.dir/printer.cc.o"
+  "CMakeFiles/ps_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ps_ir.dir/verifier.cc.o"
+  "CMakeFiles/ps_ir.dir/verifier.cc.o.d"
+  "libps_ir.a"
+  "libps_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsvm/compiler.cc" "src/jsvm/CMakeFiles/ps_jsvm.dir/compiler.cc.o" "gcc" "src/jsvm/CMakeFiles/ps_jsvm.dir/compiler.cc.o.d"
+  "/root/repo/src/jsvm/disassembler.cc" "src/jsvm/CMakeFiles/ps_jsvm.dir/disassembler.cc.o" "gcc" "src/jsvm/CMakeFiles/ps_jsvm.dir/disassembler.cc.o.d"
+  "/root/repo/src/jsvm/heap.cc" "src/jsvm/CMakeFiles/ps_jsvm.dir/heap.cc.o" "gcc" "src/jsvm/CMakeFiles/ps_jsvm.dir/heap.cc.o.d"
+  "/root/repo/src/jsvm/lexer.cc" "src/jsvm/CMakeFiles/ps_jsvm.dir/lexer.cc.o" "gcc" "src/jsvm/CMakeFiles/ps_jsvm.dir/lexer.cc.o.d"
+  "/root/repo/src/jsvm/parser.cc" "src/jsvm/CMakeFiles/ps_jsvm.dir/parser.cc.o" "gcc" "src/jsvm/CMakeFiles/ps_jsvm.dir/parser.cc.o.d"
+  "/root/repo/src/jsvm/vm.cc" "src/jsvm/CMakeFiles/ps_jsvm.dir/vm.cc.o" "gcc" "src/jsvm/CMakeFiles/ps_jsvm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkalloc/CMakeFiles/ps_pkalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_jsvm.dir/compiler.cc.o"
+  "CMakeFiles/ps_jsvm.dir/compiler.cc.o.d"
+  "CMakeFiles/ps_jsvm.dir/disassembler.cc.o"
+  "CMakeFiles/ps_jsvm.dir/disassembler.cc.o.d"
+  "CMakeFiles/ps_jsvm.dir/heap.cc.o"
+  "CMakeFiles/ps_jsvm.dir/heap.cc.o.d"
+  "CMakeFiles/ps_jsvm.dir/lexer.cc.o"
+  "CMakeFiles/ps_jsvm.dir/lexer.cc.o.d"
+  "CMakeFiles/ps_jsvm.dir/parser.cc.o"
+  "CMakeFiles/ps_jsvm.dir/parser.cc.o.d"
+  "CMakeFiles/ps_jsvm.dir/vm.cc.o"
+  "CMakeFiles/ps_jsvm.dir/vm.cc.o.d"
+  "libps_jsvm.a"
+  "libps_jsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_jsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

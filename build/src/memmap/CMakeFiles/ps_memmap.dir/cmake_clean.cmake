@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_memmap.dir/vm_region.cc.o"
+  "CMakeFiles/ps_memmap.dir/vm_region.cc.o.d"
+  "libps_memmap.a"
+  "libps_memmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_memmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

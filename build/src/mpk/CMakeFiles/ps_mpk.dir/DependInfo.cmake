@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpk/backend_factory.cc" "src/mpk/CMakeFiles/ps_mpk.dir/backend_factory.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/backend_factory.cc.o.d"
+  "/root/repo/src/mpk/fault_signal.cc" "src/mpk/CMakeFiles/ps_mpk.dir/fault_signal.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/fault_signal.cc.o.d"
+  "/root/repo/src/mpk/hardware_backend.cc" "src/mpk/CMakeFiles/ps_mpk.dir/hardware_backend.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/hardware_backend.cc.o.d"
+  "/root/repo/src/mpk/mprotect_backend.cc" "src/mpk/CMakeFiles/ps_mpk.dir/mprotect_backend.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/mprotect_backend.cc.o.d"
+  "/root/repo/src/mpk/page_key_map.cc" "src/mpk/CMakeFiles/ps_mpk.dir/page_key_map.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/page_key_map.cc.o.d"
+  "/root/repo/src/mpk/pkru.cc" "src/mpk/CMakeFiles/ps_mpk.dir/pkru.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/pkru.cc.o.d"
+  "/root/repo/src/mpk/sim_backend.cc" "src/mpk/CMakeFiles/ps_mpk.dir/sim_backend.cc.o" "gcc" "src/mpk/CMakeFiles/ps_mpk.dir/sim_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_mpk.dir/backend_factory.cc.o"
+  "CMakeFiles/ps_mpk.dir/backend_factory.cc.o.d"
+  "CMakeFiles/ps_mpk.dir/fault_signal.cc.o"
+  "CMakeFiles/ps_mpk.dir/fault_signal.cc.o.d"
+  "CMakeFiles/ps_mpk.dir/hardware_backend.cc.o"
+  "CMakeFiles/ps_mpk.dir/hardware_backend.cc.o.d"
+  "CMakeFiles/ps_mpk.dir/mprotect_backend.cc.o"
+  "CMakeFiles/ps_mpk.dir/mprotect_backend.cc.o.d"
+  "CMakeFiles/ps_mpk.dir/page_key_map.cc.o"
+  "CMakeFiles/ps_mpk.dir/page_key_map.cc.o.d"
+  "CMakeFiles/ps_mpk.dir/pkru.cc.o"
+  "CMakeFiles/ps_mpk.dir/pkru.cc.o.d"
+  "CMakeFiles/ps_mpk.dir/sim_backend.cc.o"
+  "CMakeFiles/ps_mpk.dir/sim_backend.cc.o.d"
+  "libps_mpk.a"
+  "libps_mpk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_multidomain.dir/multi_compartment.cc.o"
+  "CMakeFiles/ps_multidomain.dir/multi_compartment.cc.o.d"
+  "libps_multidomain.a"
+  "libps_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

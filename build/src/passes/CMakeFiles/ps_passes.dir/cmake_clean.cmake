@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_passes.dir/alloc_id_pass.cc.o"
+  "CMakeFiles/ps_passes.dir/alloc_id_pass.cc.o.d"
+  "CMakeFiles/ps_passes.dir/gate_insertion_pass.cc.o"
+  "CMakeFiles/ps_passes.dir/gate_insertion_pass.cc.o.d"
+  "CMakeFiles/ps_passes.dir/pass.cc.o"
+  "CMakeFiles/ps_passes.dir/pass.cc.o.d"
+  "CMakeFiles/ps_passes.dir/profile_apply_pass.cc.o"
+  "CMakeFiles/ps_passes.dir/profile_apply_pass.cc.o.d"
+  "CMakeFiles/ps_passes.dir/static_sharing_analysis.cc.o"
+  "CMakeFiles/ps_passes.dir/static_sharing_analysis.cc.o.d"
+  "libps_passes.a"
+  "libps_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

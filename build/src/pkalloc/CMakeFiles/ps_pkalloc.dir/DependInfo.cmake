@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkalloc/arena.cc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/arena.cc.o" "gcc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/arena.cc.o.d"
+  "/root/repo/src/pkalloc/boundary_tag_heap.cc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/boundary_tag_heap.cc.o" "gcc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/boundary_tag_heap.cc.o.d"
+  "/root/repo/src/pkalloc/free_list_heap.cc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/free_list_heap.cc.o" "gcc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/free_list_heap.cc.o.d"
+  "/root/repo/src/pkalloc/pkalloc.cc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/pkalloc.cc.o" "gcc" "src/pkalloc/CMakeFiles/ps_pkalloc.dir/pkalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

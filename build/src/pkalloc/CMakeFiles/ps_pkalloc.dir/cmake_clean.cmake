@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_pkalloc.dir/arena.cc.o"
+  "CMakeFiles/ps_pkalloc.dir/arena.cc.o.d"
+  "CMakeFiles/ps_pkalloc.dir/boundary_tag_heap.cc.o"
+  "CMakeFiles/ps_pkalloc.dir/boundary_tag_heap.cc.o.d"
+  "CMakeFiles/ps_pkalloc.dir/free_list_heap.cc.o"
+  "CMakeFiles/ps_pkalloc.dir/free_list_heap.cc.o.d"
+  "CMakeFiles/ps_pkalloc.dir/pkalloc.cc.o"
+  "CMakeFiles/ps_pkalloc.dir/pkalloc.cc.o.d"
+  "libps_pkalloc.a"
+  "libps_pkalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_pkalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

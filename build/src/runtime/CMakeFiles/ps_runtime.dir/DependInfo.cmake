@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/alloc_id.cc" "src/runtime/CMakeFiles/ps_runtime.dir/alloc_id.cc.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/alloc_id.cc.o.d"
+  "/root/repo/src/runtime/call_gate.cc" "src/runtime/CMakeFiles/ps_runtime.dir/call_gate.cc.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/call_gate.cc.o.d"
+  "/root/repo/src/runtime/profile.cc" "src/runtime/CMakeFiles/ps_runtime.dir/profile.cc.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/profile.cc.o.d"
+  "/root/repo/src/runtime/provenance.cc" "src/runtime/CMakeFiles/ps_runtime.dir/provenance.cc.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/provenance.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/ps_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pkalloc/CMakeFiles/ps_pkalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

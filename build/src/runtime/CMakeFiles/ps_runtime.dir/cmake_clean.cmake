@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_runtime.dir/alloc_id.cc.o"
+  "CMakeFiles/ps_runtime.dir/alloc_id.cc.o.d"
+  "CMakeFiles/ps_runtime.dir/call_gate.cc.o"
+  "CMakeFiles/ps_runtime.dir/call_gate.cc.o.d"
+  "CMakeFiles/ps_runtime.dir/profile.cc.o"
+  "CMakeFiles/ps_runtime.dir/profile.cc.o.d"
+  "CMakeFiles/ps_runtime.dir/provenance.cc.o"
+  "CMakeFiles/ps_runtime.dir/provenance.cc.o.d"
+  "CMakeFiles/ps_runtime.dir/runtime.cc.o"
+  "CMakeFiles/ps_runtime.dir/runtime.cc.o.d"
+  "libps_runtime.a"
+  "libps_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_support.dir/logging.cc.o"
+  "CMakeFiles/ps_support.dir/logging.cc.o.d"
+  "CMakeFiles/ps_support.dir/status.cc.o"
+  "CMakeFiles/ps_support.dir/status.cc.o.d"
+  "CMakeFiles/ps_support.dir/string_util.cc.o"
+  "CMakeFiles/ps_support.dir/string_util.cc.o.d"
+  "libps_support.a"
+  "libps_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_workloads.dir/harness.cc.o"
+  "CMakeFiles/ps_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/ps_workloads.dir/kernels.cc.o"
+  "CMakeFiles/ps_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/ps_workloads.dir/suites.cc.o"
+  "CMakeFiles/ps_workloads.dir/suites.cc.o.d"
+  "libps_workloads.a"
+  "libps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

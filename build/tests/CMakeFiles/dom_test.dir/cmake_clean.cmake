@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_test.dir/dom/bindings_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/bindings_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/browser_pipeline_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/browser_pipeline_test.cc.o.d"
+  "CMakeFiles/dom_test.dir/dom/document_test.cc.o"
+  "CMakeFiles/dom_test.dir/dom/document_test.cc.o.d"
+  "dom_test"
+  "dom_test.pdb"
+  "dom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jsvm/compiler_test.cc" "tests/CMakeFiles/jsvm_test.dir/jsvm/compiler_test.cc.o" "gcc" "tests/CMakeFiles/jsvm_test.dir/jsvm/compiler_test.cc.o.d"
+  "/root/repo/tests/jsvm/exploit_test.cc" "tests/CMakeFiles/jsvm_test.dir/jsvm/exploit_test.cc.o" "gcc" "tests/CMakeFiles/jsvm_test.dir/jsvm/exploit_test.cc.o.d"
+  "/root/repo/tests/jsvm/heap_test.cc" "tests/CMakeFiles/jsvm_test.dir/jsvm/heap_test.cc.o" "gcc" "tests/CMakeFiles/jsvm_test.dir/jsvm/heap_test.cc.o.d"
+  "/root/repo/tests/jsvm/lexer_test.cc" "tests/CMakeFiles/jsvm_test.dir/jsvm/lexer_test.cc.o" "gcc" "tests/CMakeFiles/jsvm_test.dir/jsvm/lexer_test.cc.o.d"
+  "/root/repo/tests/jsvm/parser_test.cc" "tests/CMakeFiles/jsvm_test.dir/jsvm/parser_test.cc.o" "gcc" "tests/CMakeFiles/jsvm_test.dir/jsvm/parser_test.cc.o.d"
+  "/root/repo/tests/jsvm/vm_test.cc" "tests/CMakeFiles/jsvm_test.dir/jsvm/vm_test.cc.o" "gcc" "tests/CMakeFiles/jsvm_test.dir/jsvm/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jsvm/CMakeFiles/ps_jsvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkalloc/CMakeFiles/ps_pkalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm_test.dir/jsvm/compiler_test.cc.o"
+  "CMakeFiles/jsvm_test.dir/jsvm/compiler_test.cc.o.d"
+  "CMakeFiles/jsvm_test.dir/jsvm/exploit_test.cc.o"
+  "CMakeFiles/jsvm_test.dir/jsvm/exploit_test.cc.o.d"
+  "CMakeFiles/jsvm_test.dir/jsvm/heap_test.cc.o"
+  "CMakeFiles/jsvm_test.dir/jsvm/heap_test.cc.o.d"
+  "CMakeFiles/jsvm_test.dir/jsvm/lexer_test.cc.o"
+  "CMakeFiles/jsvm_test.dir/jsvm/lexer_test.cc.o.d"
+  "CMakeFiles/jsvm_test.dir/jsvm/parser_test.cc.o"
+  "CMakeFiles/jsvm_test.dir/jsvm/parser_test.cc.o.d"
+  "CMakeFiles/jsvm_test.dir/jsvm/vm_test.cc.o"
+  "CMakeFiles/jsvm_test.dir/jsvm/vm_test.cc.o.d"
+  "jsvm_test"
+  "jsvm_test.pdb"
+  "jsvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memmap/interval_map_test.cc" "tests/CMakeFiles/memmap_test.dir/memmap/interval_map_test.cc.o" "gcc" "tests/CMakeFiles/memmap_test.dir/memmap/interval_map_test.cc.o.d"
+  "/root/repo/tests/memmap/page_test.cc" "tests/CMakeFiles/memmap_test.dir/memmap/page_test.cc.o" "gcc" "tests/CMakeFiles/memmap_test.dir/memmap/page_test.cc.o.d"
+  "/root/repo/tests/memmap/vm_region_test.cc" "tests/CMakeFiles/memmap_test.dir/memmap/vm_region_test.cc.o" "gcc" "tests/CMakeFiles/memmap_test.dir/memmap/vm_region_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

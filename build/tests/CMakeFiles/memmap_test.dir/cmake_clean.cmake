@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmap_test.dir/memmap/interval_map_test.cc.o"
+  "CMakeFiles/memmap_test.dir/memmap/interval_map_test.cc.o.d"
+  "CMakeFiles/memmap_test.dir/memmap/page_test.cc.o"
+  "CMakeFiles/memmap_test.dir/memmap/page_test.cc.o.d"
+  "CMakeFiles/memmap_test.dir/memmap/vm_region_test.cc.o"
+  "CMakeFiles/memmap_test.dir/memmap/vm_region_test.cc.o.d"
+  "memmap_test"
+  "memmap_test.pdb"
+  "memmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

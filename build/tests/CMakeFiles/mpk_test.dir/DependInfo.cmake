@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpk/backend_factory_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/backend_factory_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/backend_factory_test.cc.o.d"
+  "/root/repo/tests/mpk/fault_signal_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/fault_signal_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/fault_signal_test.cc.o.d"
+  "/root/repo/tests/mpk/hardware_backend_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/hardware_backend_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/hardware_backend_test.cc.o.d"
+  "/root/repo/tests/mpk/mprotect_backend_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/mprotect_backend_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/mprotect_backend_test.cc.o.d"
+  "/root/repo/tests/mpk/page_key_map_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/page_key_map_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/page_key_map_test.cc.o.d"
+  "/root/repo/tests/mpk/pkru_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/pkru_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/pkru_test.cc.o.d"
+  "/root/repo/tests/mpk/sim_backend_test.cc" "tests/CMakeFiles/mpk_test.dir/mpk/sim_backend_test.cc.o" "gcc" "tests/CMakeFiles/mpk_test.dir/mpk/sim_backend_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpk_test.dir/mpk/backend_factory_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/backend_factory_test.cc.o.d"
+  "CMakeFiles/mpk_test.dir/mpk/fault_signal_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/fault_signal_test.cc.o.d"
+  "CMakeFiles/mpk_test.dir/mpk/hardware_backend_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/hardware_backend_test.cc.o.d"
+  "CMakeFiles/mpk_test.dir/mpk/mprotect_backend_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/mprotect_backend_test.cc.o.d"
+  "CMakeFiles/mpk_test.dir/mpk/page_key_map_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/page_key_map_test.cc.o.d"
+  "CMakeFiles/mpk_test.dir/mpk/pkru_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/pkru_test.cc.o.d"
+  "CMakeFiles/mpk_test.dir/mpk/sim_backend_test.cc.o"
+  "CMakeFiles/mpk_test.dir/mpk/sim_backend_test.cc.o.d"
+  "mpk_test"
+  "mpk_test.pdb"
+  "mpk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidomain_test.dir/multidomain/multi_compartment_test.cc.o"
+  "CMakeFiles/multidomain_test.dir/multidomain/multi_compartment_test.cc.o.d"
+  "multidomain_test"
+  "multidomain_test.pdb"
+  "multidomain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidomain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pkalloc/arena_test.cc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/arena_test.cc.o" "gcc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/arena_test.cc.o.d"
+  "/root/repo/tests/pkalloc/boundary_tag_heap_test.cc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/boundary_tag_heap_test.cc.o" "gcc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/boundary_tag_heap_test.cc.o.d"
+  "/root/repo/tests/pkalloc/free_list_heap_test.cc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/free_list_heap_test.cc.o" "gcc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/free_list_heap_test.cc.o.d"
+  "/root/repo/tests/pkalloc/pkalloc_test.cc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/pkalloc_test.cc.o" "gcc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/pkalloc_test.cc.o.d"
+  "/root/repo/tests/pkalloc/size_classes_test.cc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/size_classes_test.cc.o" "gcc" "tests/CMakeFiles/pkalloc_test.dir/pkalloc/size_classes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pkalloc/CMakeFiles/ps_pkalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/ps_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmap/CMakeFiles/ps_memmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

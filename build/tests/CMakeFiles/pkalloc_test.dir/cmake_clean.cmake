@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkalloc_test.dir/pkalloc/arena_test.cc.o"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/arena_test.cc.o.d"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/boundary_tag_heap_test.cc.o"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/boundary_tag_heap_test.cc.o.d"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/free_list_heap_test.cc.o"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/free_list_heap_test.cc.o.d"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/pkalloc_test.cc.o"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/pkalloc_test.cc.o.d"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/size_classes_test.cc.o"
+  "CMakeFiles/pkalloc_test.dir/pkalloc/size_classes_test.cc.o.d"
+  "pkalloc_test"
+  "pkalloc_test.pdb"
+  "pkalloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/runtime/alloc_id_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/alloc_id_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/call_gate_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/call_gate_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/concurrency_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/concurrency_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/profile_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/profile_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/provenance_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/provenance_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/runtime_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/runtime_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+  "runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msrun.dir/msrun.cc.o"
+  "CMakeFiles/msrun.dir/msrun.cc.o.d"
+  "msrun"
+  "msrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkrusafe_run.dir/pkrusafe_run.cc.o"
+  "CMakeFiles/pkrusafe_run.dir/pkrusafe_run.cc.o.d"
+  "pkrusafe_run"
+  "pkrusafe_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkrusafe_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pkrusafe_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pkrusafe_run.
+# This may be replaced when dependencies are built.

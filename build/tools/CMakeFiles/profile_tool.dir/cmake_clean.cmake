@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_tool.dir/profile_tool.cc.o"
+  "CMakeFiles/profile_tool.dir/profile_tool.cc.o.d"
+  "profile_tool"
+  "profile_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
