@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command verification: configure + build + ctest, mirroring what CI (and
+# the tier-1 gate) runs.
+#
+#   scripts/check.sh                # plain RelWithDebInfo build + full ctest
+#   scripts/check.sh --asan         # AddressSanitizer build (build/check-asan)
+#   scripts/check.sh --tsan         # ThreadSanitizer build (build/check-tsan)
+#   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+sanitize=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --asan) sanitize=address; build_dir=build/check-asan; shift ;;
+    --tsan) sanitize=thread;  build_dir=build/check-tsan; shift ;;
+    --) shift; break ;;
+    *) echo "usage: $0 [--asan|--tsan] [-- <ctest args>]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$build_dir" -S . -DPKRUSAFE_SANITIZE="$sanitize"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure "$@"

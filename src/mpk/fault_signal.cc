@@ -8,6 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
 namespace pkrusafe {
 
 namespace {
@@ -22,6 +25,28 @@ constexpr uint64_t kEflagsTrapFlag = 1u << 8;
 std::atomic<FaultSignalDelegate*> g_delegate{nullptr};
 std::atomic<uint64_t> g_serviced_faults{0};
 
+// Metric handles resolved at Install time (registry lookups take a mutex and
+// are not async-signal-safe; the handlers below only touch the cached
+// pointers, which are plain relaxed atomics).
+struct SignalMetrics {
+  telemetry::Counter* serviced = nullptr;
+  telemetry::Counter* denied = nullptr;
+  telemetry::Histogram* service_ns = nullptr;
+};
+SignalMetrics g_metrics;
+
+void ResolveSignalMetrics() {
+  if (g_metrics.serviced != nullptr) {
+    return;
+  }
+  auto& registry = telemetry::MetricsRegistry::Global();
+  g_metrics.serviced = registry.GetOrCreateCounter("mpk.faults.serviced");
+  g_metrics.denied = registry.GetOrCreateCounter("mpk.faults.denied");
+  // Full single-step service time: SIGSEGV entry to SIGTRAP re-protect.
+  g_metrics.service_ns = registry.GetOrCreateHistogram(
+      "mpk.fault_service_ns", telemetry::Histogram::ExponentialBounds(256, 2.0, 20));
+}
+
 struct sigaction g_prev_segv;
 struct sigaction g_prev_trap;
 bool g_installed = false;
@@ -31,6 +56,7 @@ bool g_installed = false;
 struct PendingStep {
   std::atomic<bool> active{false};
   MpkFault fault;
+  uint64_t segv_entry_ns = 0;  // nonzero when tracing timed the SIGSEGV
 };
 PendingStep g_pending;
 
@@ -80,8 +106,16 @@ void SegvHandler(int signo, siginfo_t* info, void* context) {
     return;
   }
 
+  const uint64_t entry_ns = telemetry::Enabled() ? telemetry::NowNs() : 0;
   const FaultResolution resolution = delegate->OnFault(*fault);
   if (resolution == FaultResolution::kDeny) {
+    if (g_metrics.denied != nullptr) {
+      g_metrics.denied->Increment();
+    }
+    if (entry_ns != 0) {
+      telemetry::RecordEventAt(entry_ns, telemetry::TraceEventType::kFaultDenied,
+                               static_cast<uint8_t>(fault->kind), fault->address, fault->key);
+    }
     DieWithViolation(*fault);
     return;  // unreachable
   }
@@ -93,7 +127,15 @@ void SegvHandler(int signo, siginfo_t* info, void* context) {
     expected = false;
   }
   g_pending.fault = *fault;
+  g_pending.segv_entry_ns = entry_ns;
   g_serviced_faults.fetch_add(1, std::memory_order_relaxed);
+  if (g_metrics.serviced != nullptr) {
+    g_metrics.serviced->Increment();
+  }
+  if (entry_ns != 0) {
+    telemetry::RecordEventAt(entry_ns, telemetry::TraceEventType::kFaultServiced,
+                             static_cast<uint8_t>(fault->kind), fault->address, fault->key);
+  }
   delegate->AllowOnce(*fault);
   uc->uc_mcontext.gregs[REG_EFL] |= static_cast<greg_t>(kEflagsTrapFlag);
 #else
@@ -110,6 +152,9 @@ void TrapHandler(int signo, siginfo_t* info, void* context) {
   if (delegate != nullptr && g_pending.active.load(std::memory_order_acquire)) {
     auto* uc = static_cast<ucontext_t*>(context);
     delegate->Reprotect(g_pending.fault);
+    if (g_pending.segv_entry_ns != 0 && g_metrics.service_ns != nullptr) {
+      g_metrics.service_ns->Observe(telemetry::NowNs() - g_pending.segv_entry_ns);
+    }
     uc->uc_mcontext.gregs[REG_EFL] &= ~static_cast<greg_t>(kEflagsTrapFlag);
     g_pending.active.store(false, std::memory_order_release);
     return;
@@ -131,6 +176,8 @@ Status FaultSignalEngine::Install(FaultSignalDelegate* delegate) {
   if (current != nullptr && current != delegate) {
     return FailedPreconditionError("another fault delegate is already installed");
   }
+
+  ResolveSignalMetrics();
 
   struct sigaction sa;
   memset(&sa, 0, sizeof(sa));

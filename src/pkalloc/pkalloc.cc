@@ -3,8 +3,50 @@
 #include <cstring>
 
 #include "src/support/logging.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 
 namespace pkrusafe {
+
+namespace {
+
+// Pool-level traffic counters (process-wide; the per-runtime view comes from
+// the runtime.heap.* callback gauges). Always live: two relaxed fetch_adds
+// per allocation, the same order of cost as the heap's own bookkeeping.
+struct PoolMetrics {
+  telemetry::Counter* alloc_calls;
+  telemetry::Counter* alloc_bytes;
+  telemetry::Counter* free_calls;
+};
+
+struct AllocMetrics {
+  PoolMetrics trusted;
+  PoolMetrics untrusted;
+  telemetry::Histogram* alloc_ns;  // observed only while tracing is enabled
+};
+
+const AllocMetrics& Metrics() {
+  static const AllocMetrics metrics = [] {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    AllocMetrics m;
+    m.trusted.alloc_calls = registry.GetOrCreateCounter("pkalloc.trusted.alloc_calls");
+    m.trusted.alloc_bytes = registry.GetOrCreateCounter("pkalloc.trusted.alloc_bytes");
+    m.trusted.free_calls = registry.GetOrCreateCounter("pkalloc.trusted.free_calls");
+    m.untrusted.alloc_calls = registry.GetOrCreateCounter("pkalloc.untrusted.alloc_calls");
+    m.untrusted.alloc_bytes = registry.GetOrCreateCounter("pkalloc.untrusted.alloc_bytes");
+    m.untrusted.free_calls = registry.GetOrCreateCounter("pkalloc.untrusted.free_calls");
+    m.alloc_ns = registry.GetOrCreateHistogram(
+        "pkalloc.alloc_ns", telemetry::Histogram::ExponentialBounds(16, 2.0, 16));
+    return m;
+  }();
+  return metrics;
+}
+
+const PoolMetrics& MetricsFor(Domain domain) {
+  return domain == Domain::kTrusted ? Metrics().trusted : Metrics().untrusted;
+}
+
+}  // namespace
 
 PkAllocator::PkAllocator(MpkBackend* backend, std::unique_ptr<Arena> trusted_arena,
                          std::unique_ptr<Arena> untrusted_arena, PkeyId key, bool fast_untrusted)
@@ -48,6 +90,23 @@ Result<std::unique_ptr<PkAllocator>> PkAllocator::Create(MpkBackend* backend,
 }
 
 void* PkAllocator::Allocate(Domain domain, size_t size) {
+  void* ptr;
+  if (telemetry::Enabled()) {
+    const uint64_t t0 = telemetry::NowNs();
+    ptr = AllocateFromPool(domain, size);
+    Metrics().alloc_ns->Observe(telemetry::NowNs() - t0);
+  } else {
+    ptr = AllocateFromPool(domain, size);
+  }
+  if (ptr != nullptr) {
+    const PoolMetrics& pool = MetricsFor(domain);
+    pool.alloc_calls->Increment();
+    pool.alloc_bytes->Increment(size);
+  }
+  return ptr;
+}
+
+void* PkAllocator::AllocateFromPool(Domain domain, size_t size) {
   if (domain == Domain::kTrusted) {
     return trusted_heap_->Allocate(size);
   }
@@ -80,6 +139,7 @@ void PkAllocator::Free(void* ptr) {
   }
   const auto owner = OwnerOf(ptr);
   PS_CHECK(owner.has_value()) << "Free of foreign pointer";
+  MetricsFor(*owner).free_calls->Increment();
   if (*owner == Domain::kTrusted) {
     trusted_heap_->Free(ptr);
   } else if (fast_untrusted_heap_ != nullptr) {

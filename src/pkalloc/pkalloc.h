@@ -73,6 +73,9 @@ class PkAllocator {
   PkAllocator(MpkBackend* backend, std::unique_ptr<Arena> trusted_arena,
               std::unique_ptr<Arena> untrusted_arena, PkeyId key, bool fast_untrusted);
 
+  // The raw pool dispatch Allocate() wraps with telemetry accounting.
+  void* AllocateFromPool(Domain domain, size_t size);
+
   MpkBackend* backend_;
   std::unique_ptr<Arena> trusted_arena_;
   std::unique_ptr<Arena> untrusted_arena_;

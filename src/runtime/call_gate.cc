@@ -1,5 +1,8 @@
 #include "src/runtime/call_gate.h"
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
 namespace pkrusafe {
 
 namespace {
@@ -10,6 +13,20 @@ struct StackStorage {
 };
 
 thread_local StackStorage tls_stack;
+
+// Per-crossing PKRU-write latency, pooled across every GateSet. Transition
+// *counts* stay in the per-GateSet atomics (the source of truth Tables 1-2
+// read); the runtime mirrors those into the registry as callback gauges.
+telemetry::Histogram* CrossingHistogram() {
+  static telemetry::Histogram* histogram = telemetry::MetricsRegistry::Global().GetOrCreateHistogram(
+      "gate.crossing_ns", telemetry::Histogram::ExponentialBounds(16, 2.0, 20));
+  return histogram;
+}
+
+constexpr uint8_t kDirToUntrusted =
+    static_cast<uint8_t>(telemetry::TraceDirection::kTrustedToUntrusted);
+constexpr uint8_t kDirToTrusted =
+    static_cast<uint8_t>(telemetry::TraceDirection::kUntrustedToTrusted);
 
 }  // namespace
 
@@ -42,14 +59,28 @@ void GateSet::WriteAndMaybeVerify(PkruValue target) {
   }
 }
 
+// The PKRU-write trace event is recorded by the traced branches below, not
+// here, so the disabled path pays exactly one telemetry::Enabled() check per
+// crossing (the cost contract bench_callgate_micro verifies).
+
 void GateSet::EnterUntrusted() {
   if (!enabled_) {
     return;
   }
   const PkruValue saved = backend_->ReadPkru();
   CompartmentStack::Push({saved, Domain::kUntrusted});
-  transitions_.fetch_add(1, std::memory_order_relaxed);
-  WriteAndMaybeVerify(saved.WithAccessDisabled(trusted_key_));
+  to_untrusted_.fetch_add(1, std::memory_order_relaxed);
+  const PkruValue target = saved.WithAccessDisabled(trusted_key_);
+  if (telemetry::Enabled()) [[unlikely]] {
+    const uint64_t t0 = telemetry::NowNs();
+    telemetry::RecordEventAt(t0, telemetry::TraceEventType::kGateEnter, kDirToUntrusted,
+                             CompartmentStack::Depth(), target.raw());
+    WriteAndMaybeVerify(target);
+    telemetry::RecordEvent(telemetry::TraceEventType::kPkruWrite, 0, target.raw());
+    CrossingHistogram()->Observe(telemetry::NowNs() - t0);
+  } else {
+    WriteAndMaybeVerify(target);
+  }
 }
 
 void GateSet::ExitUntrusted() {
@@ -58,8 +89,19 @@ void GateSet::ExitUntrusted() {
   }
   const CompartmentStack::Frame frame = CompartmentStack::Pop();
   PS_CHECK(frame.entered == Domain::kUntrusted) << "unbalanced compartment transitions";
-  transitions_.fetch_add(1, std::memory_order_relaxed);
-  WriteAndMaybeVerify(frame.saved_pkru);
+  to_trusted_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) [[unlikely]] {
+    const uint64_t t0 = telemetry::NowNs();
+    WriteAndMaybeVerify(frame.saved_pkru);
+    const uint64_t t1 = telemetry::NowNs();
+    CrossingHistogram()->Observe(t1 - t0);
+    telemetry::RecordEventAt(t1, telemetry::TraceEventType::kPkruWrite, 0,
+                             frame.saved_pkru.raw());
+    telemetry::RecordEventAt(t1, telemetry::TraceEventType::kGateExit, kDirToTrusted,
+                             CompartmentStack::Depth(), frame.saved_pkru.raw());
+  } else {
+    WriteAndMaybeVerify(frame.saved_pkru);
+  }
 }
 
 void GateSet::EnterTrusted() {
@@ -68,8 +110,18 @@ void GateSet::EnterTrusted() {
   }
   const PkruValue saved = backend_->ReadPkru();
   CompartmentStack::Push({saved, Domain::kTrusted});
-  transitions_.fetch_add(1, std::memory_order_relaxed);
-  WriteAndMaybeVerify(saved.WithKeyAllowed(trusted_key_));
+  to_trusted_.fetch_add(1, std::memory_order_relaxed);
+  const PkruValue target = saved.WithKeyAllowed(trusted_key_);
+  if (telemetry::Enabled()) [[unlikely]] {
+    const uint64_t t0 = telemetry::NowNs();
+    telemetry::RecordEventAt(t0, telemetry::TraceEventType::kGateEnter, kDirToTrusted,
+                             CompartmentStack::Depth(), target.raw());
+    WriteAndMaybeVerify(target);
+    telemetry::RecordEvent(telemetry::TraceEventType::kPkruWrite, 0, target.raw());
+    CrossingHistogram()->Observe(telemetry::NowNs() - t0);
+  } else {
+    WriteAndMaybeVerify(target);
+  }
 }
 
 void GateSet::ExitTrusted() {
@@ -78,8 +130,19 @@ void GateSet::ExitTrusted() {
   }
   const CompartmentStack::Frame frame = CompartmentStack::Pop();
   PS_CHECK(frame.entered == Domain::kTrusted) << "unbalanced compartment transitions";
-  transitions_.fetch_add(1, std::memory_order_relaxed);
-  WriteAndMaybeVerify(frame.saved_pkru);
+  to_untrusted_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) [[unlikely]] {
+    const uint64_t t0 = telemetry::NowNs();
+    WriteAndMaybeVerify(frame.saved_pkru);
+    const uint64_t t1 = telemetry::NowNs();
+    CrossingHistogram()->Observe(t1 - t0);
+    telemetry::RecordEventAt(t1, telemetry::TraceEventType::kPkruWrite, 0,
+                             frame.saved_pkru.raw());
+    telemetry::RecordEventAt(t1, telemetry::TraceEventType::kGateExit, kDirToUntrusted,
+                             CompartmentStack::Depth(), frame.saved_pkru.raw());
+  } else {
+    WriteAndMaybeVerify(frame.saved_pkru);
+  }
 }
 
 }  // namespace pkrusafe

@@ -8,8 +8,10 @@
 // PKRU value it installed actually took effect and aborts on mismatch,
 // mirroring the paper's WRPKRU call-gate stubs.
 //
-// Transitions in both directions are counted; the evaluation's "Transitions"
-// columns (Tables 1-2) come from these counters.
+// Transitions are counted per direction (T->U and U->T); the evaluation's
+// "Transitions" columns (Tables 1-2) come from these counters, and the
+// telemetry layer mirrors them into the global metrics registry and — when
+// tracing is enabled — emits timestamped gate events per crossing.
 #ifndef SRC_RUNTIME_CALL_GATE_H_
 #define SRC_RUNTIME_CALL_GATE_H_
 
@@ -58,36 +60,33 @@ class GateSet {
   void EnterTrusted();
   void ExitTrusted();
 
-  // Runs `fn` inside the untrusted compartment.
+  // Runs `fn` inside the untrusted compartment. Exception-safe: defined
+  // below on top of UntrustedScope, so a throwing callable still unwinds
+  // the compartment stack and restores the caller's PKRU.
   template <typename Fn, typename... Args>
-  decltype(auto) CallUntrusted(Fn&& fn, Args&&... args) {
-    EnterUntrusted();
-    if constexpr (std::is_void_v<decltype(fn(std::forward<Args>(args)...))>) {
-      fn(std::forward<Args>(args)...);
-      ExitUntrusted();
-    } else {
-      decltype(auto) result = fn(std::forward<Args>(args)...);
-      ExitUntrusted();
-      return result;
-    }
-  }
+  decltype(auto) CallUntrusted(Fn&& fn, Args&&... args);
 
   // Runs `fn` back inside the trusted compartment (callback path).
   template <typename Fn, typename... Args>
-  decltype(auto) CallTrusted(Fn&& fn, Args&&... args) {
-    EnterTrusted();
-    if constexpr (std::is_void_v<decltype(fn(std::forward<Args>(args)...))>) {
-      fn(std::forward<Args>(args)...);
-      ExitTrusted();
-    } else {
-      decltype(auto) result = fn(std::forward<Args>(args)...);
-      ExitTrusted();
-      return result;
-    }
-  }
+  decltype(auto) CallTrusted(Fn&& fn, Args&&... args);
 
-  uint64_t transition_count() const { return transitions_.load(std::memory_order_relaxed); }
-  void ResetTransitionCount() { transitions_.store(0, std::memory_order_relaxed); }
+  // Crossings into U (EnterUntrusted + ExitTrusted) and into T
+  // (EnterTrusted + ExitUntrusted) — the per-direction "Transitions"
+  // columns of Tables 1-2.
+  uint64_t transitions_to_untrusted() const {
+    return to_untrusted_.load(std::memory_order_relaxed);
+  }
+  uint64_t transitions_to_trusted() const {
+    return to_trusted_.load(std::memory_order_relaxed);
+  }
+  // Total crossings in both directions (the historical aggregate API).
+  uint64_t transition_count() const {
+    return transitions_to_untrusted() + transitions_to_trusted();
+  }
+  void ResetTransitionCount() {
+    to_untrusted_.store(0, std::memory_order_relaxed);
+    to_trusted_.store(0, std::memory_order_relaxed);
+  }
 
   // Gate-verification ablation (§3.3: gates verify the written PKRU value).
   void set_verify(bool verify) { verify_ = verify; }
@@ -108,7 +107,8 @@ class GateSet {
   PkeyId trusted_key_;
   bool verify_ = true;
   bool enabled_ = true;
-  std::atomic<uint64_t> transitions_{0};
+  std::atomic<uint64_t> to_untrusted_{0};
+  std::atomic<uint64_t> to_trusted_{0};
 };
 
 // RAII transition guards.
@@ -133,6 +133,21 @@ class TrustedScope {
  private:
   GateSet& gates_;
 };
+
+// The call wrappers ride on the RAII guards so the exit gate runs during
+// unwinding too: a callable that throws leaves the compartment stack
+// balanced and the caller's PKRU restored before the exception escapes.
+template <typename Fn, typename... Args>
+decltype(auto) GateSet::CallUntrusted(Fn&& fn, Args&&... args) {
+  UntrustedScope scope(*this);
+  return std::forward<Fn>(fn)(std::forward<Args>(args)...);
+}
+
+template <typename Fn, typename... Args>
+decltype(auto) GateSet::CallTrusted(Fn&& fn, Args&&... args) {
+  TrustedScope scope(*this);
+  return std::forward<Fn>(fn)(std::forward<Args>(args)...);
+}
 
 }  // namespace pkrusafe
 

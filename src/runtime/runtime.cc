@@ -1,8 +1,45 @@
 #include "src/runtime/runtime.h"
 
 #include "src/support/logging.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 
 namespace pkrusafe {
+
+namespace {
+
+// Fault-outcome counters, shared across runtimes (one chokepoint for every
+// backend: natively-enforcing ones route through the signal engine into
+// OnMpkFault, the sim backend calls it directly).
+telemetry::Counter* ProfiledFaultCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("runtime.faults.profiled");
+  return counter;
+}
+
+telemetry::Counter* DeniedFaultCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("runtime.faults.denied");
+  return counter;
+}
+
+uint8_t AllocDetail(Domain domain, bool has_site) {
+  return static_cast<uint8_t>((domain == Domain::kUntrusted ? 1 : 0) | (has_site ? 2 : 0));
+}
+
+void RecordAllocEvent(Domain domain, size_t size, const AllocId* site) {
+  if (!telemetry::Enabled()) {
+    return;
+  }
+  const uint64_t packed_site =
+      site != nullptr
+          ? (static_cast<uint64_t>(site->function_id) << 32) | static_cast<uint64_t>(site->block_id)
+          : 0;
+  telemetry::RecordEvent(telemetry::TraceEventType::kAlloc, AllocDetail(domain, site != nullptr),
+                         size, packed_site, site != nullptr ? site->site_id : 0);
+}
+
+}  // namespace
 
 PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBackend> backend,
                                  std::unique_ptr<PkAllocator> allocator)
@@ -14,6 +51,34 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
   gates_->set_verify(config.verify_gates);
   // The baseline configuration has no instrumentation: gates become no-ops.
   gates_->set_enabled(mode_ != RuntimeMode::kDisabled);
+
+  // Publish this runtime's live stats into the global registry as pull
+  // gauges: exporters and stats() then read the exact same counters. With
+  // several concurrent runtimes the most recently created one wins the
+  // runtime.* names (each removes only its own on destruction).
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.SetCallbackGauge("runtime.transitions.t_to_u", this, [this] {
+    return static_cast<int64_t>(gates_->transitions_to_untrusted());
+  });
+  registry.SetCallbackGauge("runtime.transitions.u_to_t", this, [this] {
+    return static_cast<int64_t>(gates_->transitions_to_trusted());
+  });
+  registry.SetCallbackGauge("runtime.profile_faults", this, [this] {
+    return static_cast<int64_t>(recorder_.total_faults());
+  });
+  registry.SetCallbackGauge("runtime.sites_seen", this, [this] {
+    std::lock_guard lock(sites_mutex_);
+    return static_cast<int64_t>(sites_seen_.size());
+  });
+  registry.SetCallbackGauge("runtime.sites_shared", this, [this] {
+    return static_cast<int64_t>(policy_.shared_site_count());
+  });
+  registry.SetCallbackGauge("runtime.heap.trusted_bytes", this, [this] {
+    return static_cast<int64_t>(allocator_->trusted_stats().total_bytes);
+  });
+  registry.SetCallbackGauge("runtime.heap.untrusted_bytes", this, [this] {
+    return static_cast<int64_t>(allocator_->untrusted_stats().total_bytes);
+  });
 }
 
 Result<std::unique_ptr<PkruSafeRuntime>> PkruSafeRuntime::Create(RuntimeConfig config) {
@@ -36,13 +101,28 @@ Result<std::unique_ptr<PkruSafeRuntime>> PkruSafeRuntime::Create(RuntimeConfig c
 
 PkruSafeRuntime::~PkruSafeRuntime() {
   // Drop the fault handler before members are destroyed; a late fault must
-  // not call into a half-dead runtime.
+  // not call into a half-dead runtime. Same for the registry callbacks.
   backend_->SetFaultHandler(nullptr);
+  telemetry::MetricsRegistry::Global().RemoveCallbackGauges(this);
 }
 
 FaultResolution PkruSafeRuntime::OnMpkFault(const MpkFault& fault) {
+  // The signal engine records events for natively-enforcing backends (it
+  // also times the single-step); record here only for software-checked
+  // backends so a fault never shows up twice in the trace.
+  const bool native = backend_->enforces_natively();
   if (mode_ != RuntimeMode::kProfiling) {
+    DeniedFaultCounter()->Increment();
+    if (!native) {
+      telemetry::RecordEvent(telemetry::TraceEventType::kFaultDenied,
+                             static_cast<uint8_t>(fault.kind), fault.address, fault.key);
+    }
     return FaultResolution::kDeny;
+  }
+  ProfiledFaultCounter()->Increment();
+  if (!native) {
+    telemetry::RecordEvent(telemetry::TraceEventType::kFaultServiced,
+                           static_cast<uint8_t>(fault.kind), fault.address, fault.key);
   }
   // Permissive profiling (§4.3.2): attribute the fault to the allocation
   // site owning the address, record it once per site, and let the access
@@ -69,6 +149,9 @@ void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
     domain = policy_.DomainFor(site);
   }
   void* ptr = allocator_->Allocate(domain, size);
+  if (ptr != nullptr) {
+    RecordAllocEvent(domain, size, &site);
+  }
   if (ptr != nullptr && mode_ == RuntimeMode::kProfiling && domain == Domain::kTrusted) {
     const size_t usable = allocator_->UsableSize(ptr);
     const Status status = provenance_.OnAlloc(ptr, usable, site);
@@ -78,7 +161,11 @@ void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
 }
 
 void* PkruSafeRuntime::AllocUntrusted(size_t size) {
-  return allocator_->Allocate(Domain::kUntrusted, size);
+  void* ptr = allocator_->Allocate(Domain::kUntrusted, size);
+  if (ptr != nullptr) {
+    RecordAllocEvent(Domain::kUntrusted, size, nullptr);
+  }
+  return ptr;
 }
 
 void* PkruSafeRuntime::Realloc(void* ptr, size_t new_size) {
@@ -89,6 +176,9 @@ void* PkruSafeRuntime::Realloc(void* ptr, size_t new_size) {
       mode_ == RuntimeMode::kProfiling &&
       provenance_.Lookup(reinterpret_cast<uintptr_t>(ptr)).has_value();
   void* fresh = allocator_->Reallocate(ptr, new_size);
+  if (fresh != nullptr) {
+    telemetry::RecordEvent(telemetry::TraceEventType::kRealloc, 0, new_size);
+  }
   if (fresh != nullptr && tracked) {
     const size_t usable = allocator_->UsableSize(fresh);
     const Status status = provenance_.OnRealloc(ptr, fresh, usable);
@@ -101,6 +191,8 @@ void PkruSafeRuntime::Free(void* ptr) {
   if (ptr == nullptr) {
     return;
   }
+  telemetry::RecordEvent(telemetry::TraceEventType::kFree, 0,
+                         reinterpret_cast<uintptr_t>(ptr));
   if (mode_ == RuntimeMode::kProfiling) {
     // Untracked pointers (M_U allocations) are fine; ignore NotFound.
     (void)provenance_.OnFree(ptr);
@@ -110,7 +202,9 @@ void PkruSafeRuntime::Free(void* ptr) {
 
 RuntimeStats PkruSafeRuntime::stats() const {
   RuntimeStats stats;
-  stats.transitions = gates_->transition_count();
+  stats.transitions_to_untrusted = gates_->transitions_to_untrusted();
+  stats.transitions_to_trusted = gates_->transitions_to_trusted();
+  stats.transitions = stats.transitions_to_untrusted + stats.transitions_to_trusted;
   stats.profile_faults = recorder_.total_faults();
   {
     std::lock_guard lock(sites_mutex_);

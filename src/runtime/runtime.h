@@ -55,8 +55,13 @@ struct RuntimeConfig {
   SitePolicy policy;
 };
 
+// Snapshot of the runtime's registry-backed metrics. Every field reads the
+// same counters the global MetricsRegistry exposes (as runtime.* callback
+// gauges), so `stats()`, `--stats=json` and the exporters can never drift.
 struct RuntimeStats {
-  uint64_t transitions = 0;
+  uint64_t transitions = 0;            // both directions summed
+  uint64_t transitions_to_untrusted = 0;  // T -> U crossings
+  uint64_t transitions_to_trusted = 0;    // U -> T crossings
   uint64_t profile_faults = 0;
   size_t sites_seen = 0;        // distinct AllocIds that allocated
   size_t sites_shared = 0;      // sites the policy serves from M_U

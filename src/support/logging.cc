@@ -1,6 +1,7 @@
 #include "src/support/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,23 @@ namespace pkrusafe {
 
 namespace {
 
-std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+// Runs during static initialization, so the environment threshold is in
+// force for any logging that happens before main().
+int InitialSeverity() {
+  const char* env = std::getenv("PKRUSAFE_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    if (const auto severity = ParseLogSeverity(env); severity.has_value()) {
+      return static_cast<int>(*severity);
+    }
+    std::fprintf(stderr,
+                 "[W logging] unrecognized PKRUSAFE_LOG_LEVEL '%s' "
+                 "(expected debug|info|warning|error); using info\n",
+                 env);
+  }
+  return static_cast<int>(LogSeverity::kInfo);
+}
+
+std::atomic<int> g_min_severity{InitialSeverity()};
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -27,6 +44,27 @@ const char* SeverityTag(LogSeverity severity) {
 }
 
 }  // namespace
+
+std::optional<LogSeverity> ParseLogSeverity(std::string_view text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (const char c : text) {
+    lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "debug") {
+    return LogSeverity::kDebug;
+  }
+  if (lowered == "info") {
+    return LogSeverity::kInfo;
+  }
+  if (lowered == "warning") {
+    return LogSeverity::kWarning;
+  }
+  if (lowered == "error") {
+    return LogSeverity::kError;
+  }
+  return std::nullopt;
+}
 
 void SetMinLogSeverity(LogSeverity severity) {
   g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);

@@ -6,8 +6,10 @@
 #ifndef SRC_SUPPORT_LOGGING_H_
 #define SRC_SUPPORT_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pkrusafe {
 
@@ -19,9 +21,15 @@ enum class LogSeverity : int {
   kFatal = 4,
 };
 
-// Global minimum severity; messages below it are discarded. Default kInfo.
+// Global minimum severity; messages below it are discarded. The default is
+// kInfo, overridable at startup with PKRUSAFE_LOG_LEVEL=debug|info|warning|
+// error (parsed once, before main; SetMinLogSeverity wins afterwards).
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+// Case-insensitive parse of a severity name ("debug", "info", "warning",
+// "error"); nullopt for anything else.
+std::optional<LogSeverity> ParseLogSeverity(std::string_view text);
 
 // Internal: emits one formatted line to stderr. Fatal messages abort.
 void EmitLogMessage(LogSeverity severity, const char* file, int line, const std::string& message);

@@ -1,0 +1,238 @@
+#include "src/telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "src/telemetry/telemetry.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+namespace {
+
+const char* AccessKindLabel(uint8_t detail) { return detail == 0 ? "read" : "write"; }
+
+// Formats a nanosecond timestamp as Chrome's microsecond `ts` with the
+// nanosecond fraction kept ("12.345").
+std::string TsMicros(uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buffer;
+}
+
+// One Chrome trace event object. `ph` is the event phase ("B", "E", "i").
+void WriteEventPrefix(std::ostream& out, const TraceEvent& event, const char* name,
+                      const char* cat, const char* ph) {
+  out << "{\"name\":\"" << name << "\",\"cat\":\"" << cat << "\",\"ph\":\"" << ph
+      << "\",\"ts\":" << TsMicros(event.timestamp_ns) << ",\"pid\":1,\"tid\":" << event.tid;
+}
+
+void WriteOneEvent(std::ostream& out, const TraceEvent& event) {
+  switch (event.type) {
+    case TraceEventType::kGateEnter: {
+      // Entering U opens the "untrusted" slice; entering T (callback) opens
+      // a nested "trusted" slice on the same thread track.
+      const bool to_untrusted =
+          event.detail == static_cast<uint8_t>(TraceDirection::kTrustedToUntrusted);
+      WriteEventPrefix(out, event, to_untrusted ? "untrusted" : "trusted", "gate", "B");
+      char pkru[16];
+      std::snprintf(pkru, sizeof(pkru), "0x%08" PRIx64, event.b);
+      out << ",\"args\":{\"depth\":" << event.a << ",\"pkru\":\"" << pkru << "\"}}";
+      return;
+    }
+    case TraceEventType::kGateExit: {
+      // The exit crossing runs opposite to the slice it closes: a U->T exit
+      // closes the "untrusted" slice.
+      const bool closes_untrusted =
+          event.detail == static_cast<uint8_t>(TraceDirection::kUntrustedToTrusted);
+      WriteEventPrefix(out, event, closes_untrusted ? "untrusted" : "trusted", "gate", "E");
+      out << "}";
+      return;
+    }
+    case TraceEventType::kFaultServiced:
+    case TraceEventType::kFaultDenied: {
+      const bool serviced = event.type == TraceEventType::kFaultServiced;
+      WriteEventPrefix(out, event, serviced ? "mpk_fault_serviced" : "mpk_fault_denied",
+                       "fault", "i");
+      char addr[24];
+      std::snprintf(addr, sizeof(addr), "0x%" PRIx64, event.a);
+      out << ",\"s\":\"t\",\"args\":{\"address\":\"" << addr << "\",\"access\":\""
+          << AccessKindLabel(event.detail) << "\",\"pkey\":" << event.b << "}}";
+      return;
+    }
+    case TraceEventType::kAlloc: {
+      WriteEventPrefix(out, event, "alloc", "heap", "i");
+      const bool untrusted_pool = (event.detail & 1) != 0;
+      out << ",\"s\":\"t\",\"args\":{\"pool\":\"" << (untrusted_pool ? "M_U" : "M_T")
+          << "\",\"size\":" << event.a;
+      if ((event.detail & 2) != 0) {
+        out << ",\"site\":\"" << (event.b >> 32) << ":" << (event.b & 0xFFFFFFFFull) << ":"
+            << event.c << "\"";
+      }
+      out << "}}";
+      return;
+    }
+    case TraceEventType::kRealloc: {
+      WriteEventPrefix(out, event, "realloc", "heap", "i");
+      out << ",\"s\":\"t\",\"args\":{\"size\":" << event.a << "}}";
+      return;
+    }
+    case TraceEventType::kFree: {
+      WriteEventPrefix(out, event, "free", "heap", "i");
+      char addr[24];
+      std::snprintf(addr, sizeof(addr), "0x%" PRIx64, event.a);
+      out << ",\"s\":\"t\",\"args\":{\"address\":\"" << addr << "\"}}";
+      return;
+    }
+    case TraceEventType::kPkruWrite: {
+      WriteEventPrefix(out, event, "pkru_write", "pkru", "i");
+      char pkru[16];
+      std::snprintf(pkru, sizeof(pkru), "0x%08" PRIx64, event.a);
+      out << ",\"s\":\"t\",\"args\":{\"value\":\"" << pkru << "\"}}";
+      return;
+    }
+  }
+  // Unknown event type (future reader of an old writer): emit a marker so
+  // the trace stays valid JSON.
+  WriteEventPrefix(out, event, "unknown", "telemetry", "i");
+  out << "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+void WriteChromeTrace(std::ostream& out, const std::vector<TraceEvent>& events) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    WriteOneEvent(out, event);
+  }
+  out << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void WriteStatsJson(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":{\"count\":" << data.count
+        << ",\"sum\":" << data.sum << ",\"buckets\":[";
+    for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+      if (i != 0) {
+        out << ",";
+      }
+      out << "{\"le\":";
+      if (i < data.bounds.size()) {
+        out << data.bounds[i];
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ",\"count\":" << data.bucket_counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}\n";
+}
+
+void WriteStatsText(std::ostream& out, const MetricsSnapshot& snapshot) {
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    out << "histogram " << name << ": count=" << data.count << " sum=" << data.sum;
+    if (data.count > 0) {
+      out << " mean=" << data.sum / data.count;
+    }
+    out << "\n";
+    uint64_t printed = 0;
+    for (size_t i = 0; i < data.bucket_counts.size() && printed < data.count; ++i) {
+      if (data.bucket_counts[i] == 0) {
+        continue;
+      }
+      printed += data.bucket_counts[i];
+      out << "    le ";
+      if (i < data.bounds.size()) {
+        out << data.bounds[i];
+      } else {
+        out << "+Inf";
+      }
+      out << ": " << data.bucket_counts[i] << "\n";
+    }
+  }
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open trace output file: " + path);
+  }
+  WriteChromeTrace(out, CollectTrace());
+  out.flush();
+  if (!out) {
+    return InternalError("failed writing trace to: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

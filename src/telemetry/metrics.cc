@@ -1,0 +1,152 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+Histogram::Histogram(std::string name, std::vector<uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  PS_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  PS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end())) << "histogram bounds must be sorted";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    PS_CHECK_NE(bounds_[i - 1], bounds_[i]) << "duplicate histogram bound";
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  // First bound >= value — "le" bucket semantics; past-the-end is +Inf.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::ExponentialBounds(uint64_t start, double factor, size_t count) {
+  PS_CHECK_GT(start, 0u);
+  PS_CHECK_GT(factor, 1.0);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double bound = static_cast<double>(start);
+  for (size_t i = 0; i < count; ++i) {
+    const auto rounded = static_cast<uint64_t>(bound);
+    if (!bounds.empty() && rounded <= bounds.back()) {
+      break;  // factor rounded into a duplicate; stop early
+    }
+    bounds.push_back(rounded);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetOrCreateCounter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetOrCreateGauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetOrCreateHistogram(std::string_view name,
+                                                 std::vector<uint64_t> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(std::string(name), std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::SetCallbackGauge(std::string_view name, const void* owner,
+                                       std::function<int64_t()> fn) {
+  std::lock_guard lock(mutex_);
+  callback_gauges_.insert_or_assign(std::string(name), CallbackGauge{owner, std::move(fn)});
+}
+
+void MetricsRegistry::RemoveCallbackGauges(const void* owner) {
+  std::lock_guard lock(mutex_);
+  for (auto it = callback_gauges_.begin(); it != callback_gauges_.end();) {
+    if (it->second.owner == owner) {
+      it = callback_gauges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, callback] : callback_gauges_) {
+    snap.gauges.insert_or_assign(name, callback.fn());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.bucket_counts.reserve(data.bounds.size() + 1);
+    for (size_t i = 0; i <= data.bounds.size(); ++i) {
+      data.bucket_counts.push_back(histogram->bucket_count(i));
+    }
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : counters_) {
+    entry.second->Reset();
+  }
+  for (const auto& entry : gauges_) {
+    entry.second->Reset();
+  }
+  for (const auto& entry : histograms_) {
+    entry.second->Reset();
+  }
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

@@ -1,0 +1,156 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The evaluation of a PKU sandbox lives in numbers — transition counts per
+// direction, fault-service totals, per-pool heap traffic (Tables 1-2) — so
+// every one of those is a first-class metric here instead of an ad-hoc field.
+//
+// Design rules:
+//   * Increments are lock-free: one relaxed fetch_add on a stable pointer.
+//     The registry mutex is taken only for registration and snapshots.
+//   * Metric objects are owned by their registry and never deallocated while
+//     it lives, so callers may cache the returned pointer (including in
+//     static storage) and increment from any thread — or from a signal
+//     handler, since fetch_add is async-signal-safe.
+//   * Registration works at static-init time (the global registry is a
+//     function-local static) or at runtime.
+//   * Callback gauges are *pull* metrics: a snapshot evaluates a closure, so
+//     existing sources of truth (GateSet counters, heap stats) surface in the
+//     registry without a second counter on the hot path.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pkrusafe {
+namespace telemetry {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time signed value (set or adjusted).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i] ("le" semantics, as in Prometheus); one
+// implicit +Inf bucket catches the overflow tail. Bounds are fixed at
+// creation so Observe() is a binary search plus three relaxed fetch_adds —
+// safe from signal context.
+class Histogram {
+ public:
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the +Inf bucket.
+  uint64_t bucket_count(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+  void Reset();
+  const std::string& name() const { return name_; }
+
+  // {start, start*factor, start*factor^2, ...}, `count` bounds in total.
+  static std::vector<uint64_t> ExponentialBounds(uint64_t start, double factor, size_t count);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<uint64_t> bounds);
+
+  std::string name_;
+  std::vector<uint64_t> bounds_;  // sorted, strictly increasing
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One coherent read of every metric in a registry (callback gauges are
+// evaluated at snapshot time).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<uint64_t> bounds;
+    std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 entries
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;  // owned and callback gauges merged
+  std::map<std::string, HistogramData> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  // Idempotent: a second call with the same name returns the same object.
+  // For histograms, the bounds of the first registration win.
+  Counter* GetOrCreateCounter(std::string_view name);
+  Gauge* GetOrCreateGauge(std::string_view name);
+  Histogram* GetOrCreateHistogram(std::string_view name, std::vector<uint64_t> bounds);
+
+  // Pull-style gauge backed by `fn`, evaluated on Snapshot(). `owner` scopes
+  // the registration: re-registering a name replaces the callback, and
+  // RemoveCallbackGauges(owner) drops every callback `owner` installed —
+  // call it before `fn`'s captures die.
+  void SetCallbackGauge(std::string_view name, const void* owner, std::function<int64_t()> fn);
+  void RemoveCallbackGauges(const void* owner);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every owned metric (registrations and callback gauges survive).
+  void ResetAll();
+
+ private:
+  struct CallbackGauge {
+    const void* owner = nullptr;
+    std::function<int64_t()> fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, CallbackGauge, std::less<>> callback_gauges_;
+};
+
+}  // namespace telemetry
+}  // namespace pkrusafe
+
+#endif  // SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,160 @@
+#include "src/telemetry/telemetry.h"
+
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/telemetry/metrics.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Statically-allocated ring pool: rings must exist before a signal handler's
+// first record, must never be freed while an exporter might read them, and
+// claiming one must be lock-free. Threads beyond kMaxRings drop events into
+// g_pool_exhausted_drops.
+constexpr size_t kMaxRings = 64;
+
+struct RingPool {
+  TraceRing rings[kMaxRings];
+  std::atomic<uint32_t> next{0};
+};
+
+RingPool g_pool;
+std::atomic<uint64_t> g_pool_exhausted_drops{0};
+
+thread_local TraceRing* tls_ring = nullptr;
+thread_local bool tls_ring_unavailable = false;
+thread_local uint32_t tls_tid = 0;
+
+// Claims a pool slot for the calling thread. Lock-free (single fetch_add),
+// so safe even when the first event of a thread fires in signal context.
+TraceRing* ClaimRing() {
+  const uint32_t index = g_pool.next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= kMaxRings) {
+    tls_ring_unavailable = true;
+    return nullptr;
+  }
+  tls_ring = &g_pool.rings[index];
+  return tls_ring;
+}
+
+// Registered once at static init: the ring-pool accounting is always visible
+// in the global registry, whether or not tracing ever ran.
+[[maybe_unused]] const bool g_metrics_registered = [] {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.SetCallbackGauge("telemetry.rings_claimed", &g_pool, [] {
+    return static_cast<int64_t>(GatherTraceStats().rings_claimed);
+  });
+  registry.SetCallbackGauge("telemetry.events_recorded", &g_pool, [] {
+    return static_cast<int64_t>(GatherTraceStats().events_recorded);
+  });
+  registry.SetCallbackGauge("telemetry.events_overwritten", &g_pool, [] {
+    return static_cast<int64_t>(GatherTraceStats().events_overwritten);
+  });
+  registry.SetCallbackGauge("telemetry.events_dropped", &g_pool, [] {
+    return static_cast<int64_t>(GatherTraceStats().events_dropped);
+  });
+  return true;
+}();
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+uint32_t CurrentTid() {
+  if (tls_tid == 0) {
+#if defined(SYS_gettid)
+    tls_tid = static_cast<uint32_t>(syscall(SYS_gettid));
+#else
+    tls_tid = static_cast<uint32_t>(getpid());
+#endif
+  }
+  return tls_tid;
+}
+
+void RecordEventAt(uint64_t timestamp_ns, TraceEventType type, uint8_t detail, uint64_t a,
+                   uint64_t b, uint64_t c) {
+  if (!Enabled()) {
+    return;
+  }
+  TraceRing* ring = tls_ring;
+  if (ring == nullptr) {
+    if (tls_ring_unavailable || (ring = ClaimRing()) == nullptr) {
+      g_pool_exhausted_drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  TraceEvent event;
+  event.type = type;
+  event.detail = detail;
+  event.tid = CurrentTid();
+  event.timestamp_ns = timestamp_ns;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  ring->Record(event);
+}
+
+void RecordEvent(TraceEventType type, uint8_t detail, uint64_t a, uint64_t b, uint64_t c) {
+  if (!Enabled()) {
+    return;
+  }
+  RecordEventAt(NowNs(), type, detail, a, b, c);
+}
+
+std::vector<TraceEvent> CollectTrace() {
+  std::vector<TraceEvent> events;
+  const uint32_t claimed =
+      std::min<uint32_t>(g_pool.next.load(std::memory_order_acquire), kMaxRings);
+  for (uint32_t i = 0; i < claimed; ++i) {
+    g_pool.rings[i].Snapshot(&events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& lhs, const TraceEvent& rhs) {
+                     return lhs.timestamp_ns < rhs.timestamp_ns;
+                   });
+  return events;
+}
+
+TraceStats GatherTraceStats() {
+  TraceStats stats;
+  const uint32_t claimed =
+      std::min<uint32_t>(g_pool.next.load(std::memory_order_acquire), kMaxRings);
+  stats.rings_claimed = claimed;
+  for (uint32_t i = 0; i < claimed; ++i) {
+    stats.events_recorded += g_pool.rings[i].recorded();
+    stats.events_overwritten += g_pool.rings[i].overwritten();
+  }
+  stats.events_dropped = g_pool_exhausted_drops.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetForTesting() {
+  SetEnabled(false);
+  const uint32_t claimed =
+      std::min<uint32_t>(g_pool.next.load(std::memory_order_acquire), kMaxRings);
+  for (uint32_t i = 0; i < claimed; ++i) {
+    g_pool.rings[i].Reset();
+  }
+  g_pool_exhausted_drops.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

@@ -1,0 +1,61 @@
+#include "src/telemetry/trace_ring.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+void TraceRing::Record(const TraceEvent& event) {
+  const uint64_t pos = write_pos_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[pos & (kCapacity - 1)];
+  // Seqlock write: mark in-progress, fill fields, publish. The release store
+  // on `seq` orders the field stores before a reader's acquire load.
+  slot.seq.store(2 * pos + 1, std::memory_order_relaxed);
+  const uint64_t header = static_cast<uint64_t>(event.type) |
+                          (static_cast<uint64_t>(event.detail) << 8) |
+                          (static_cast<uint64_t>(event.tid) << 32);
+  slot.header.store(header, std::memory_order_relaxed);
+  slot.timestamp_ns.store(event.timestamp_ns, std::memory_order_relaxed);
+  slot.a.store(event.a, std::memory_order_relaxed);
+  slot.b.store(event.b, std::memory_order_relaxed);
+  slot.c.store(event.c, std::memory_order_relaxed);
+  slot.seq.store(2 * pos + 2, std::memory_order_release);
+}
+
+size_t TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
+  const uint64_t end = write_pos_.load(std::memory_order_acquire);
+  const uint64_t begin = end > kCapacity ? end - kCapacity : 0;
+  size_t appended = 0;
+  for (uint64_t pos = begin; pos < end; ++pos) {
+    const Slot& slot = slots_[pos & (kCapacity - 1)];
+    const uint64_t expected = 2 * pos + 2;
+    if (slot.seq.load(std::memory_order_acquire) != expected) {
+      continue;  // mid-write, or already overwritten by a newer event
+    }
+    TraceEvent event;
+    const uint64_t header = slot.header.load(std::memory_order_relaxed);
+    event.type = static_cast<TraceEventType>(header & 0xFF);
+    event.detail = static_cast<uint8_t>((header >> 8) & 0xFF);
+    event.tid = static_cast<uint32_t>(header >> 32);
+    event.timestamp_ns = slot.timestamp_ns.load(std::memory_order_relaxed);
+    event.a = slot.a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    event.c = slot.c.load(std::memory_order_relaxed);
+    // Validate: if the writer lapped us mid-read, the sequence moved on.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expected) {
+      continue;
+    }
+    out->push_back(event);
+    ++appended;
+  }
+  return appended;
+}
+
+void TraceRing::Reset() {
+  write_pos_.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

@@ -1,0 +1,105 @@
+// Per-thread bounded ring buffer of typed trace events.
+//
+// Requirements that shape the design:
+//   * The record path must be async-signal-safe: the SIGSEGV/SIGTRAP fault
+//     engine emits events from signal context. So: no locks, no allocation,
+//     only atomics, and ring storage that exists before the first record.
+//   * Exporters read rings while owner threads may still be recording, and
+//     the lock-free tests run under TSan, so slots use a per-slot sequence
+//     number (seqlock) over relaxed atomic fields — a reader either gets a
+//     consistent event or skips the slot, and no access is a data race.
+//   * Memory is bounded: each ring keeps the most recent kCapacity events;
+//     older ones are overwritten and accounted in overwritten().
+//
+// Each ring has exactly one writer (its owning thread — a signal handler
+// interrupting that thread is reentrancy, not concurrency, and claims a
+// fresh slot via the same monotonic write position).
+#ifndef SRC_TELEMETRY_TRACE_RING_H_
+#define SRC_TELEMETRY_TRACE_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace pkrusafe {
+namespace telemetry {
+
+// What happened. `detail` and the a/b/c payload words are event-specific;
+// the layout per type is documented next to the record helpers in
+// telemetry.h and decoded by the exporters.
+enum class TraceEventType : uint8_t {
+  kGateEnter = 1,      // detail = TraceDirection entered
+  kGateExit = 2,       // detail = TraceDirection of the return crossing
+  kFaultServiced = 3,  // detail = access kind (0 read / 1 write); a=addr b=key
+  kFaultDenied = 4,    // detail/a/b as kFaultServiced
+  kAlloc = 5,          // detail = pool|site flag; a=size b=fn:block c=site
+  kRealloc = 6,        // a=new size
+  kFree = 7,           // a=address
+  kPkruWrite = 8,      // a=new PKRU value
+};
+
+// Direction of a compartment crossing.
+enum class TraceDirection : uint8_t {
+  kTrustedToUntrusted = 0,  // T -> U
+  kUntrustedToTrusted = 1,  // U -> T
+};
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kGateEnter;
+  uint8_t detail = 0;
+  uint32_t tid = 0;
+  uint64_t timestamp_ns = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 1024;  // events kept per thread (power of two)
+
+  TraceRing() = default;
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Writer side (owning thread only; async-signal-safe).
+  void Record(const TraceEvent& event);
+
+  // Total events ever recorded into this ring.
+  uint64_t recorded() const { return write_pos_.load(std::memory_order_relaxed); }
+  // Events overwritten because the ring wrapped (the dropped-event count).
+  uint64_t overwritten() const {
+    const uint64_t pos = recorded();
+    return pos > kCapacity ? pos - kCapacity : 0;
+  }
+
+  // Reader side: appends every consistently-readable retained event to
+  // `out` and returns how many were appended. Safe concurrently with the
+  // writer; slots mid-write are skipped.
+  size_t Snapshot(std::vector<TraceEvent>* out) const;
+
+  // Drops all retained events (for tests / between workload runs). Only
+  // call while the owning thread is not recording.
+  void Reset();
+
+ private:
+  struct Slot {
+    // 2*pos+1 while the event at `pos` is being written, 2*pos+2 once
+    // complete. Fields are relaxed atomics so concurrent reads are races
+    // only in the benign seqlock sense, not the C++-UB sense.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> header{0};  // type | detail<<8 | tid<<32
+    std::atomic<uint64_t> timestamp_ns{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> c{0};
+  };
+
+  std::atomic<uint64_t> write_pos_{0};
+  Slot slots_[kCapacity];
+};
+
+}  // namespace telemetry
+}  // namespace pkrusafe
+
+#endif  // SRC_TELEMETRY_TRACE_RING_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "src/memmap/page.h"
@@ -84,6 +85,46 @@ TEST_F(CallGateTest, TransitionsAreCounted) {
   EXPECT_EQ(gates_->transition_count(), 2u);
   gates_->CallUntrusted([] {});
   EXPECT_EQ(gates_->transition_count(), 4u);
+}
+
+TEST_F(CallGateTest, TransitionsAreCountedPerDirection) {
+  // Table 1 in the paper reports T->U and U->T separately; each Enter/Exit
+  // pair contributes one crossing in each direction.
+  gates_->ResetTransitionCount();
+  gates_->EnterUntrusted();  // T -> U
+  EXPECT_EQ(gates_->transitions_to_untrusted(), 1u);
+  EXPECT_EQ(gates_->transitions_to_trusted(), 0u);
+  gates_->EnterTrusted();  // U -> T (callback)
+  gates_->ExitTrusted();   // T -> U (return to callback's caller)
+  gates_->ExitUntrusted();  // U -> T
+  EXPECT_EQ(gates_->transitions_to_untrusted(), 2u);
+  EXPECT_EQ(gates_->transitions_to_trusted(), 2u);
+  EXPECT_EQ(gates_->transition_count(), 4u);
+}
+
+TEST_F(CallGateTest, CallUntrustedUnwindsOnException) {
+  // A throwing untrusted callable must not leak the untrusted PKRU or a
+  // compartment-stack frame: the exception propagates through the gate the
+  // same way a return does.
+  gates_->ResetTransitionCount();
+  EXPECT_THROW(gates_->CallUntrusted([]() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  EXPECT_EQ(CompartmentStack::Depth(), 0u);
+  EXPECT_EQ(backend_.ReadPkru(), PkruValue::AllowAll());
+  EXPECT_TRUE(backend_.CheckAccess(kTrustedAddr, AccessKind::kRead).ok());
+  EXPECT_EQ(gates_->transition_count(), 2u);  // enter + unwind both counted
+}
+
+TEST_F(CallGateTest, CallTrustedUnwindsOnExceptionInsideUntrusted) {
+  gates_->CallUntrusted([&] {
+    EXPECT_THROW(gates_->CallTrusted([]() { throw std::logic_error("inner"); }),
+                 std::logic_error);
+    // Back in the untrusted frame: trusted memory is inaccessible again.
+    EXPECT_EQ(CompartmentStack::CurrentDomain(), Domain::kUntrusted);
+    EXPECT_FALSE(backend_.CheckAccess(kTrustedAddr, AccessKind::kRead).ok());
+  });
+  EXPECT_EQ(CompartmentStack::Depth(), 0u);
+  EXPECT_EQ(backend_.ReadPkru(), PkruValue::AllowAll());
 }
 
 TEST_F(CallGateTest, CallUntrustedForwardsResult) {

@@ -1,0 +1,75 @@
+#include "src/support/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pkrusafe {
+namespace {
+
+// Restores the global threshold so these tests do not leak state into the
+// rest of the binary (support_test shares one process).
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = MinLogSeverity(); }
+  void TearDown() override { SetMinLogSeverity(previous_); }
+
+  LogSeverity previous_ = LogSeverity::kInfo;
+};
+
+TEST_F(LoggingTest, ParseLogSeverityAcceptsKnownNames) {
+  EXPECT_EQ(ParseLogSeverity("debug"), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("info"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("warning"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("error"), LogSeverity::kError);
+}
+
+TEST_F(LoggingTest, ParseLogSeverityIsCaseInsensitive) {
+  EXPECT_EQ(ParseLogSeverity("DEBUG"), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("Info"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("WaRnInG"), LogSeverity::kWarning);
+}
+
+TEST_F(LoggingTest, ParseLogSeverityRejectsUnknownNames) {
+  EXPECT_EQ(ParseLogSeverity(""), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("fatal"), std::nullopt);  // not settable as a threshold
+  EXPECT_EQ(ParseLogSeverity("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("warn"), std::nullopt);  // exact names only
+  EXPECT_EQ(ParseLogSeverity("info "), std::nullopt);
+}
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreDiscarded) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  testing::internal::CaptureStderr();
+  PS_LOG(Debug) << "quiet-debug";
+  PS_LOG(Info) << "quiet-info";
+  PS_LOG(Warning) << "loud-warning";
+  PS_LOG(Error) << "loud-error";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("quiet-debug"), std::string::npos);
+  EXPECT_EQ(captured.find("quiet-info"), std::string::npos);
+  EXPECT_NE(captured.find("loud-warning"), std::string::npos);
+  EXPECT_NE(captured.find("loud-error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugThresholdLetsEverythingThrough) {
+  SetMinLogSeverity(LogSeverity::kDebug);
+  testing::internal::CaptureStderr();
+  PS_LOG(Debug) << "dbg-msg";
+  PS_LOG(Info) << "info-msg";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("dbg-msg"), std::string::npos);
+  EXPECT_NE(captured.find("info-msg"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EmittedLinesCarrySeverityTagAndLocation) {
+  SetMinLogSeverity(LogSeverity::kDebug);
+  testing::internal::CaptureStderr();
+  PS_LOG(Warning) << "tagged";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[W logging_test.cc:"), std::string::npos);
+  EXPECT_NE(captured.find("tagged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,187 @@
+#include "src/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pkrusafe {
+namespace telemetry {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetOrCreateCounter("c");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+  counter->Reset();
+  EXPECT_EQ(counter->value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetOrCreateGauge("g");
+  gauge->Set(10);
+  gauge->Add(-25);
+  EXPECT_EQ(gauge->value(), -15);
+}
+
+TEST(RegistryTest, GetOrCreateIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetOrCreateCounter("same");
+  Counter* b = registry.GetOrCreateCounter("same");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetOrCreateHistogram("h", {1, 2, 3});
+  Histogram* h2 = registry.GetOrCreateHistogram("h", {10, 20});  // first bounds win
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 3u);
+}
+
+TEST(RegistryTest, NamesAreNamespacedByKind) {
+  // A counter and a gauge may share a name without aliasing each other.
+  MetricsRegistry registry;
+  registry.GetOrCreateCounter("x")->Increment(7);
+  registry.GetOrCreateGauge("x")->Set(-1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("x"), 7u);
+  EXPECT_EQ(snapshot.gauges.at("x"), -1);
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  MetricsRegistry registry;
+  // Buckets: (-inf,10] (10,20] (20,30] (30,+inf)
+  Histogram* h = registry.GetOrCreateHistogram("lat", {10, 20, 30});
+  h->Observe(0);
+  h->Observe(10);  // boundary value lands in its own bucket ("le")
+  h->Observe(11);
+  h->Observe(20);
+  h->Observe(30);
+  h->Observe(31);  // +Inf bucket
+  h->Observe(1000000);
+  EXPECT_EQ(h->bucket_count(0), 2u);  // 0, 10
+  EXPECT_EQ(h->bucket_count(1), 2u);  // 11, 20
+  EXPECT_EQ(h->bucket_count(2), 1u);  // 30
+  EXPECT_EQ(h->bucket_count(3), 2u);  // 31, 1000000
+  EXPECT_EQ(h->count(), 7u);
+  EXPECT_EQ(h->sum(), 0u + 10 + 11 + 20 + 30 + 31 + 1000000);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetOrCreateHistogram("r", {5});
+  h->Observe(1);
+  h->Observe(100);
+  h->Reset();
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0u);
+  EXPECT_EQ(h->bucket_count(0), 0u);
+  EXPECT_EQ(h->bucket_count(1), 0u);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const std::vector<uint64_t> bounds = Histogram::ExponentialBounds(16, 2.0, 4);
+  EXPECT_EQ(bounds, (std::vector<uint64_t>{16, 32, 64, 128}));
+}
+
+TEST(RegistryTest, CallbackGaugesEvaluateAtSnapshot) {
+  MetricsRegistry registry;
+  int64_t source = 5;
+  const int owner = 0;
+  registry.SetCallbackGauge("cb", &owner, [&source] { return source; });
+  EXPECT_EQ(registry.Snapshot().gauges.at("cb"), 5);
+  source = 9;
+  EXPECT_EQ(registry.Snapshot().gauges.at("cb"), 9);
+}
+
+TEST(RegistryTest, CallbackGaugeReRegistrationReplaces) {
+  MetricsRegistry registry;
+  const int owner_a = 0;
+  const int owner_b = 0;
+  registry.SetCallbackGauge("cb", &owner_a, [] { return int64_t{1}; });
+  registry.SetCallbackGauge("cb", &owner_b, [] { return int64_t{2}; });
+  EXPECT_EQ(registry.Snapshot().gauges.at("cb"), 2);
+  // Removing the replaced owner must not resurrect or drop the new callback.
+  registry.RemoveCallbackGauges(&owner_a);
+  EXPECT_EQ(registry.Snapshot().gauges.at("cb"), 2);
+  registry.RemoveCallbackGauges(&owner_b);
+  EXPECT_EQ(registry.Snapshot().gauges.count("cb"), 0u);
+}
+
+TEST(RegistryTest, RemoveCallbackGaugesDropsOnlyThatOwner) {
+  MetricsRegistry registry;
+  const int owner_a = 0;
+  const int owner_b = 0;
+  registry.SetCallbackGauge("a.one", &owner_a, [] { return int64_t{1}; });
+  registry.SetCallbackGauge("a.two", &owner_a, [] { return int64_t{2}; });
+  registry.SetCallbackGauge("b.one", &owner_b, [] { return int64_t{3}; });
+  registry.RemoveCallbackGauges(&owner_a);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.gauges.count("a.one"), 0u);
+  EXPECT_EQ(snapshot.gauges.count("a.two"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("b.one"), 3);
+}
+
+TEST(RegistryTest, ResetAllZeroesOwnedMetrics) {
+  MetricsRegistry registry;
+  registry.GetOrCreateCounter("c")->Increment(3);
+  registry.GetOrCreateGauge("g")->Set(4);
+  registry.GetOrCreateHistogram("h", {1})->Observe(2);
+  registry.ResetAll();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("g"), 0);
+  EXPECT_EQ(snapshot.histograms.at("h").count, 0u);
+}
+
+TEST(RegistryTest, SnapshotCapturesHistogramShape) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetOrCreateHistogram("h", {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const auto& data = snapshot.histograms.at("h");
+  EXPECT_EQ(data.bounds, (std::vector<uint64_t>{10, 100}));
+  EXPECT_EQ(data.bucket_counts, (std::vector<uint64_t>{1, 1, 1}));
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_EQ(data.sum, 555u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetOrCreateCounter("mt.counter");
+  Histogram* histogram = registry.GetOrCreateHistogram("mt.hist", {8, 64, 512});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<uint64_t>((t * kPerThread + i) % 1024));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram->count(), static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= histogram->bounds().size(); ++i) {
+    bucket_total += histogram->bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, histogram->count());
+}
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace pkrusafe

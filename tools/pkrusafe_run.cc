@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "src/core/pkru_safe.h"
@@ -22,6 +23,9 @@
 #include "src/passes/pass.h"
 #include "src/passes/static_sharing_analysis.h"
 #include "src/ir/parser.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
 
 namespace {
 
@@ -68,7 +72,11 @@ int Usage() {
                "usage: pkrusafe_run <prog.ir> [--mode=off|profile|enforce]\n"
                "         [--profile=FILE] [--emit-profile=FILE] [--static]\n"
                "         [--backend=sim|mprotect|hardware|auto] [--entry=NAME]\n"
-               "         [--dump-ir]\n");
+               "         [--dump-ir] [--trace-out=FILE] [--stats[=json|text]]\n"
+               "  --trace-out=FILE  enable telemetry tracing; write Chrome-trace\n"
+               "                    JSON (open in Perfetto / chrome://tracing)\n"
+               "  --stats[=text]    dump the metrics registry after the run\n"
+               "  --stats=json      ... as one machine-readable JSON object\n");
   return 2;
 }
 
@@ -84,6 +92,8 @@ int main(int argc, char** argv) {
   std::string emit_profile_path;
   std::string backend = "sim";
   std::string entry = "main";
+  std::string trace_out;
+  std::string stats_format;  // "", "json" or "text"
   bool use_static = false;
   bool dump_ir = false;
 
@@ -104,6 +114,15 @@ int main(int argc, char** argv) {
       backend = v;
     } else if (const char* v = value_of("--entry=")) {
       entry = v;
+    } else if (const char* v = value_of("--trace-out=")) {
+      trace_out = v;
+    } else if (const char* v = value_of("--stats=")) {
+      stats_format = v;
+      if (stats_format != "json" && stats_format != "text") {
+        return Usage();
+      }
+    } else if (arg == "--stats") {
+      stats_format = "text";
     } else if (arg == "--static") {
       use_static = true;
     } else if (arg == "--dump-ir") {
@@ -134,14 +153,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.backend = *backend_kind;
-  if (mode == "off") {
+  if (mode == "off" || mode == "disabled") {
     config.mode = RuntimeMode::kDisabled;
-  } else if (mode == "profile") {
+  } else if (mode == "profile" || mode == "profiling") {
     config.mode = RuntimeMode::kProfiling;
-  } else if (mode == "enforce") {
+  } else if (mode == "enforce" || mode == "enforcing") {
     config.mode = RuntimeMode::kEnforcing;
   } else {
     return Usage();
+  }
+
+  if (!trace_out.empty()) {
+    telemetry::SetEnabled(true);
   }
 
   if (!profile_path.empty()) {
@@ -207,6 +230,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %zu site(s) to %s\n", profile.site_count(), emit_profile_path.c_str());
+  }
+
+  if (!trace_out.empty()) {
+    if (auto status = telemetry::WriteChromeTraceFile(trace_out); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    const telemetry::TraceStats trace_stats = telemetry::GatherTraceStats();
+    std::printf("wrote %llu trace event(s) to %s (%llu overwritten, %llu dropped)\n",
+                static_cast<unsigned long long>(trace_stats.events_recorded -
+                                               trace_stats.events_overwritten),
+                trace_out.c_str(),
+                static_cast<unsigned long long>(trace_stats.events_overwritten),
+                static_cast<unsigned long long>(trace_stats.events_dropped));
+  }
+  if (!stats_format.empty()) {
+    // Snapshot while the system is alive so the runtime.* callback gauges
+    // still read the real counters.
+    const auto snapshot = telemetry::MetricsRegistry::Global().Snapshot();
+    if (stats_format == "json") {
+      telemetry::WriteStatsJson(std::cout, snapshot);
+    } else {
+      telemetry::WriteStatsText(std::cout, snapshot);
+    }
   }
   return 0;
 }

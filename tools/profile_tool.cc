@@ -5,13 +5,22 @@
 // test and profile applications ... using a subset of their installation
 // base"); this tool is that step.
 //
-//   profile_tool show  a.profile
+//   profile_tool show  a.profile [--stats=json|text]
 //   profile_tool merge out.profile a.profile b.profile ...
 //   profile_tool diff  a.profile b.profile
+//
+// --stats renders the profile's aggregate numbers (site count, fault totals,
+// per-site fault counts) through the telemetry stats formats, so profiling
+// pipelines can consume `show` output the same way they consume
+// `pkrusafe_run --stats=json`.
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <string>
 
 #include "src/runtime/profile.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
 
 namespace {
 
@@ -19,10 +28,25 @@ using namespace pkrusafe;  // NOLINT: tool brevity
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: profile_tool show <file>\n"
+               "usage: profile_tool show <file> [--stats[=json|text]]\n"
                "       profile_tool merge <out> <in>...\n"
                "       profile_tool diff <a> <b>\n");
   return 2;
+}
+
+// Builds a throwaway registry describing `profile` so the standard stats
+// exporters can render it.
+telemetry::MetricsSnapshot ProfileSnapshot(const Profile& profile) {
+  telemetry::MetricsRegistry registry;
+  uint64_t total_faults = 0;
+  for (const AllocId& id : profile.Sites()) {
+    const uint64_t count = profile.CountFor(id);
+    total_faults += count;
+    registry.GetOrCreateCounter("profile.site." + id.ToString() + ".faults")->Increment(count);
+  }
+  registry.GetOrCreateGauge("profile.sites")->Set(static_cast<int64_t>(profile.site_count()));
+  registry.GetOrCreateCounter("profile.faults.total")->Increment(total_faults);
+  return registry.Snapshot();
 }
 
 Result<Profile> Load(const char* path) { return Profile::LoadFromFile(path); }
@@ -36,10 +60,30 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
 
   if (command == "show") {
+    std::string stats_format;  // "", "json" or "text"
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--stats" || arg == "--stats=text") {
+        stats_format = "text";
+      } else if (arg == "--stats=json") {
+        stats_format = "json";
+      } else {
+        return Usage();
+      }
+    }
     auto profile = Load(argv[2]);
     if (!profile.ok()) {
       std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
       return 1;
+    }
+    if (!stats_format.empty()) {
+      const auto snapshot = ProfileSnapshot(*profile);
+      if (stats_format == "json") {
+        telemetry::WriteStatsJson(std::cout, snapshot);
+      } else {
+        telemetry::WriteStatsText(std::cout, snapshot);
+      }
+      return 0;
     }
     std::printf("%zu shared site(s):\n", profile->site_count());
     for (const AllocId& id : profile->Sites()) {
