@@ -3,24 +3,43 @@
 # the tier-1 gate) runs.
 #
 #   scripts/check.sh                # plain RelWithDebInfo build + full ctest
-#   scripts/check.sh --asan         # AddressSanitizer build (build/check-asan)
-#   scripts/check.sh --tsan         # ThreadSanitizer build (build/check-tsan)
+#   scripts/check.sh asan           # AddressSanitizer build (build/check-asan)
+#   scripts/check.sh tsan           # ThreadSanitizer build (build/check-tsan)
+#   scripts/check.sh matrix         # plain + asan + tsan, one after another
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
+#
+# --asan/--tsan are accepted as aliases of asan/tsan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-build_dir=build
-sanitize=""
+mode=plain
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --asan) sanitize=address; build_dir=build/check-asan; shift ;;
-    --tsan) sanitize=thread;  build_dir=build/check-tsan; shift ;;
+    asan|--asan) mode=asan; shift ;;
+    tsan|--tsan) mode=tsan; shift ;;
+    matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [--asan|--tsan] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
-cmake -B "$build_dir" -S . -DPKRUSAFE_SANITIZE="$sanitize"
-cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure "$@"
+run_one() {
+  local sanitize="$1" build_dir="$2"
+  shift 2
+  echo "== check: ${sanitize:-plain} (${build_dir}) =="
+  cmake -B "$build_dir" -S . -DPKRUSAFE_SANITIZE="$sanitize"
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure "$@"
+}
+
+case "$mode" in
+  plain) run_one "" build "$@" ;;
+  asan)  run_one address build/check-asan "$@" ;;
+  tsan)  run_one thread build/check-tsan "$@" ;;
+  matrix)
+    run_one "" build "$@"
+    run_one address build/check-asan "$@"
+    run_one thread build/check-tsan "$@"
+    ;;
+esac

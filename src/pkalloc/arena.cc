@@ -43,6 +43,7 @@ Result<uintptr_t> Arena::AllocateChunk(size_t bytes) {
   if (it != free_chunks_.end() && !it->second.empty()) {
     const uintptr_t addr = it->second.back();
     it->second.pop_back();
+    outstanding_ += rounded;
     return addr;
   }
 
@@ -53,6 +54,7 @@ Result<uintptr_t> Arena::AllocateChunk(size_t bytes) {
   }
   const uintptr_t addr = region_.base() + bump_;
   bump_ += rounded;
+  outstanding_ += rounded;
   return addr;
 }
 
@@ -61,12 +63,19 @@ void Arena::FreeChunk(uintptr_t addr, size_t bytes) {
   PS_CHECK(Contains(addr)) << "FreeChunk of foreign pointer";
   PS_CHECK_EQ(addr & (kArenaChunkGranularity - 1), 0u);
   std::lock_guard lock(mutex_);
+  PS_CHECK_GE(outstanding_, rounded);
+  outstanding_ -= rounded;
   free_chunks_[rounded].push_back(addr);
 }
 
 size_t Arena::used_bytes() const {
   std::lock_guard lock(mutex_);
   return bump_;
+}
+
+size_t Arena::outstanding_bytes() const {
+  std::lock_guard lock(mutex_);
+  return outstanding_;
 }
 
 }  // namespace pkrusafe

@@ -43,15 +43,27 @@ class Arena {
   // High-water mark of chunk space handed out (free chunks included).
   size_t used_bytes() const;
 
+  // Chunk bytes currently handed out (allocated minus returned). Falls when
+  // a heap releases an empty span back to the arena.
+  size_t outstanding_bytes() const;
+
  private:
   explicit Arena(VmRegion region) : region_(std::move(region)) {}
 
   VmRegion region_;
   mutable std::mutex mutex_;
   size_t bump_ = 0;  // offset of the next never-used byte
+  size_t outstanding_ = 0;  // chunk bytes handed out and not yet returned
   // Recycled chunks, bucketed by rounded size.
   std::map<size_t, std::vector<uintptr_t>> free_chunks_;
 };
+
+// All chunks are granularity-aligned, so any interior pointer maps to its
+// chunk base with a mask.
+inline uintptr_t ChunkBaseOf(uintptr_t addr) { return addr & ~(kArenaChunkGranularity - 1); }
+inline uintptr_t ChunkBaseOf(const void* ptr) {
+  return ChunkBaseOf(reinterpret_cast<uintptr_t>(ptr));
+}
 
 }  // namespace pkrusafe
 

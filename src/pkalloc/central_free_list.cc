@@ -1,0 +1,236 @@
+#include "src/pkalloc/central_free_list.h"
+
+#include "src/memmap/page.h"
+#include "src/pkalloc/thread_cache.h"
+#include "src/support/logging.h"
+#include "src/telemetry/metrics.h"
+
+namespace pkrusafe {
+
+namespace {
+
+telemetry::Counter* SpansReleasedCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("pkalloc.spans.released");
+  return counter;
+}
+
+std::atomic<uint64_t> g_next_central_id{1};
+
+}  // namespace
+
+CentralFreeListSet::CentralFreeListSet(Arena* arena)
+    : id_(g_next_central_id.fetch_add(1, std::memory_order_relaxed)),
+      arena_(arena),
+      map_base_(RoundUp(arena->base(), kArenaChunkGranularity)),
+      map_end_(arena->base() + arena->reserved_bytes()),
+      shards_(new Shard[kNumSizeClasses]) {
+  const size_t slots =
+      map_end_ > map_base_ ? (map_end_ - map_base_) / kArenaChunkGranularity : 0;
+  chunk_map_.reset(new std::atomic<uint8_t>[slots]);
+  for (size_t i = 0; i < slots; ++i) {
+    chunk_map_[i].store(kNoClass, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kNumSizeClasses; ++i) {
+    shards_[i].spans.set_arena(arena);
+  }
+}
+
+CentralFreeListSet::~CentralFreeListSet() {
+  // Detach every thread cache still pointing here. The contract forbids
+  // concurrent allocator use during destruction, so the owning threads are
+  // either joined or past their last use; their TLS entries are keyed by
+  // id() and can never resolve to a later set at this address.
+  std::lock_guard lock(caches_mutex_);
+  for (ThreadCache* cache : caches_) {
+    cache->Invalidate();
+  }
+  caches_.clear();
+}
+
+uintptr_t CentralFreeListSet::CarveSpanLocked(Shard& shard, size_t class_index) {
+  auto chunk = arena_->AllocateChunk(kArenaChunkGranularity);
+  if (!chunk.ok()) {
+    return 0;
+  }
+  SpanInfo info;
+  info.class_index = static_cast<uint32_t>(class_index);
+  info.chunk_bytes = kArenaChunkGranularity;
+  info.block_count = static_cast<uint32_t>(kArenaChunkGranularity / ClassSize(class_index));
+  if (!shard.spans.Insert(*chunk, info).ok()) {
+    arena_->FreeChunk(*chunk, kArenaChunkGranularity);
+    return 0;
+  }
+  LinkNonempty(shard.spans, &shard.nonempty, *chunk, shard.spans.FindMutable(*chunk));
+  chunk_map_[(*chunk - map_base_) / kArenaChunkGranularity].store(
+      static_cast<uint8_t>(class_index), std::memory_order_release);
+  ++shard.spans_allocated;
+  return *chunk;
+}
+
+size_t CentralFreeListSet::FetchBatch(size_t class_index, FreeNode** out_head, size_t want) {
+  Shard& shard = shards_[class_index];
+  const size_t block_size = ClassSize(class_index);
+  std::lock_guard lock(shard.mutex);
+  FreeNode* head = nullptr;
+  size_t got = 0;
+  while (got < want) {
+    uintptr_t base = shard.nonempty;
+    if (base == 0 && shard.retained != 0) {
+      base = shard.retained;
+      shard.retained = 0;
+      LinkNonempty(shard.spans, &shard.nonempty, base, shard.spans.FindMutable(base));
+    }
+    if (base == 0) {
+      base = CarveSpanLocked(shard, class_index);
+      if (base == 0) {
+        break;  // arena exhausted
+      }
+    }
+    SpanInfo* span = shard.spans.FindMutable(base);
+    while (got < want && span->HasAvailableBlock()) {
+      void* block;
+      if (span->free_head != nullptr) {
+        auto* node = static_cast<FreeNode*>(span->free_head);
+        span->free_head = node->next;
+        --span->free_count;
+        block = node;
+      } else {
+        block = reinterpret_cast<void*>(base + size_t{span->carved} * block_size);
+        ++span->carved;
+      }
+      auto* node = static_cast<FreeNode*>(block);
+      node->next = head;
+      head = node;
+      ++got;
+    }
+    if (!span->HasAvailableBlock()) {
+      UnlinkNonempty(shard.spans, &shard.nonempty, base, span);
+    }
+  }
+  *out_head = head;
+  return got;
+}
+
+void CentralFreeListSet::ReleaseBatch(size_t class_index, FreeNode* head, size_t count) {
+  Shard& shard = shards_[class_index];
+  std::lock_guard lock(shard.mutex);
+  size_t released = 0;
+  while (head != nullptr) {
+    FreeNode* next = head->next;
+    const uintptr_t base = ChunkBaseOf(head);
+    SpanInfo* span = shard.spans.FindMutable(base);
+    PS_CHECK(span != nullptr) << "central release of block without a span";
+    const bool was_exhausted = !span->HasAvailableBlock();
+    head->next = static_cast<FreeNode*>(span->free_head);
+    span->free_head = head;
+    ++span->free_count;
+    PS_CHECK_LE(span->free_count, span->carved) << "central list overfull: double free?";
+    if (was_exhausted) {
+      LinkNonempty(shard.spans, &shard.nonempty, base, span);
+    }
+    if (span->FullyFree()) {
+      RetireSpanLocked(shard, class_index, base, span);
+    }
+    head = next;
+    ++released;
+  }
+  PS_CHECK_EQ(released, count);
+}
+
+void CentralFreeListSet::RetireSpanLocked(Shard& shard, size_t class_index, uintptr_t base,
+                                          SpanInfo* span) {
+  UnlinkNonempty(shard.spans, &shard.nonempty, base, span);
+  if (shard.retained == 0) {
+    shard.retained = base;
+    return;
+  }
+  // A fully-free span is already retained for this class: give this one back.
+  chunk_map_[(base - map_base_) / kArenaChunkGranularity].store(kNoClass,
+                                                               std::memory_order_release);
+  PS_CHECK(shard.spans.Erase(base).ok());
+  arena_->FreeChunk(base, kArenaChunkGranularity);
+  ++shard.spans_released;
+  SpansReleasedCounter()->Increment();
+  (void)class_index;
+}
+
+bool CentralFreeListSet::ContainsFreeBlock(size_t class_index, const void* ptr) {
+  Shard& shard = shards_[class_index];
+  std::lock_guard lock(shard.mutex);
+  const SpanInfo* span = shard.spans.Find(ChunkBaseOf(ptr));
+  if (span == nullptr) {
+    return false;
+  }
+  for (const auto* node = static_cast<const FreeNode*>(span->free_head); node != nullptr;
+       node = node->next) {
+    if (node == ptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CentralFreeListSet::SetTrafficCounters(telemetry::Counter* alloc_calls,
+                                            telemetry::Counter* alloc_bytes,
+                                            telemetry::Counter* free_calls) {
+  counter_alloc_calls_ = alloc_calls;
+  counter_alloc_bytes_ = alloc_bytes;
+  counter_free_calls_ = free_calls;
+}
+
+void CentralFreeListSet::PublishTraffic(const CachedTraffic& traffic) {
+  traffic_alloc_calls_.fetch_add(traffic.alloc_calls, std::memory_order_relaxed);
+  traffic_free_calls_.fetch_add(traffic.free_calls, std::memory_order_relaxed);
+  traffic_alloc_bytes_.fetch_add(traffic.alloc_bytes, std::memory_order_relaxed);
+  traffic_freed_bytes_.fetch_add(traffic.freed_bytes, std::memory_order_relaxed);
+  if (counter_alloc_calls_ != nullptr) {
+    counter_alloc_calls_->Increment(traffic.alloc_calls);
+    counter_alloc_bytes_->Increment(traffic.alloc_bytes);
+    counter_free_calls_->Increment(traffic.free_calls);
+  }
+}
+
+CachedTraffic CentralFreeListSet::traffic_totals() const {
+  CachedTraffic traffic;
+  traffic.alloc_calls = traffic_alloc_calls_.load(std::memory_order_relaxed);
+  traffic.free_calls = traffic_free_calls_.load(std::memory_order_relaxed);
+  traffic.alloc_bytes = traffic_alloc_bytes_.load(std::memory_order_relaxed);
+  traffic.freed_bytes = traffic_freed_bytes_.load(std::memory_order_relaxed);
+  return traffic;
+}
+
+void CentralFreeListSet::RegisterCache(ThreadCache* cache) {
+  std::lock_guard lock(caches_mutex_);
+  caches_.push_back(cache);
+}
+
+void CentralFreeListSet::UnregisterCache(ThreadCache* cache) {
+  std::lock_guard lock(caches_mutex_);
+  for (auto it = caches_.begin(); it != caches_.end(); ++it) {
+    if (*it == cache) {
+      caches_.erase(it);
+      return;
+    }
+  }
+}
+
+uint64_t CentralFreeListSet::spans_allocated() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumSizeClasses; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    total += shards_[i].spans_allocated;
+  }
+  return total;
+}
+
+uint64_t CentralFreeListSet::spans_released() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumSizeClasses; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    total += shards_[i].spans_released;
+  }
+  return total;
+}
+
+}  // namespace pkrusafe

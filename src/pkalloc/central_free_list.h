@@ -1,0 +1,146 @@
+// Sharded central free lists: the middle layer of the thread-caching
+// allocator front end (one instance per compartment pool).
+//
+// One shard per size class, each with its own mutex, its own span directory
+// and its own nonempty-span list, so refills and flushes of different
+// classes never contend. Thread caches move blocks in batches:
+//   * FetchBatch pops up to N blocks, lazily carving fresh 64 KiB spans from
+//     the arena when every span of the class is exhausted;
+//   * ReleaseBatch returns blocks to their spans and hands fully-free spans
+//     back to the arena (retaining one per class as hysteresis), so a
+//     free-everything workload gives its memory back instead of holding the
+//     peak forever.
+//
+// Dispatch (is this pointer a cached small block, and of which class?) is a
+// lock-free chunk map: one atomic byte per 64 KiB chunk of the arena
+// reservation, written when a span is created or released and read on every
+// Free/UsableSize. Span metadata itself lives in arena-backed SpanTables,
+// following the paper's metadata-in-pool rule (§3.4); the chunk map is the
+// one index kept outside the pool (like the arena's own free-chunk map).
+#ifndef SRC_PKALLOC_CENTRAL_FREE_LIST_H_
+#define SRC_PKALLOC_CENTRAL_FREE_LIST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/pkalloc/arena.h"
+#include "src/pkalloc/size_classes.h"
+#include "src/pkalloc/small_block.h"
+#include "src/pkalloc/span_table.h"
+
+namespace pkrusafe {
+
+namespace telemetry {
+class Counter;
+}  // namespace telemetry
+
+class ThreadCache;
+
+// Cached-front-end traffic, accumulated per thread in plain counters and
+// published to the owning central set at batch boundaries.
+struct CachedTraffic {
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t alloc_bytes = 0;  // usable bytes
+  uint64_t freed_bytes = 0;
+};
+
+class CentralFreeListSet {
+ public:
+  // Chunk-map value for "not a cached small-object span".
+  static constexpr uint8_t kNoClass = 0xFF;
+
+  // The arena must outlive this set. Destroying the set invalidates every
+  // thread cache attached to it; no thread may be using the allocator
+  // concurrently with destruction (the usual heap-destruction contract).
+  explicit CentralFreeListSet(Arena* arena);
+  ~CentralFreeListSet();
+
+  CentralFreeListSet(const CentralFreeListSet&) = delete;
+  CentralFreeListSet& operator=(const CentralFreeListSet&) = delete;
+
+  // Process-unique id; thread caches key their TLS slots by it so a new set
+  // reusing a dead set's address can never alias a stale cache.
+  uint64_t id() const { return id_; }
+  Arena* arena() const { return arena_; }
+
+  // Pops up to `want` blocks of `class_index`, chained through FreeNode.
+  // Returns the number fetched (0 when the arena is exhausted).
+  size_t FetchBatch(size_t class_index, FreeNode** out_head, size_t want);
+
+  // Returns `count` blocks chained from `head` to their spans.
+  void ReleaseBatch(size_t class_index, FreeNode* head, size_t count);
+
+  // Lock-free: the size class of the span owning `chunk_base`, or kNoClass
+  // if the chunk is not a cached small-object span.
+  uint8_t ClassOfChunk(uintptr_t chunk_base) const {
+    if (chunk_base < map_base_ || chunk_base >= map_end_) {
+      return kNoClass;
+    }
+    return chunk_map_[(chunk_base - map_base_) / kArenaChunkGranularity].load(
+        std::memory_order_acquire);
+  }
+
+  // Authoritative double-free confirmation: whether `ptr` is currently on
+  // its span's central free list. Takes the shard lock.
+  bool ContainsFreeBlock(size_t class_index, const void* ptr);
+
+  // Thread-cache registry, used to invalidate caches at destruction.
+  void RegisterCache(ThreadCache* cache);
+  void UnregisterCache(ThreadCache* cache);
+
+  // Telemetry counters the published traffic is mirrored into (the owning
+  // allocator's domain-tagged pkalloc.* counters). Optional.
+  void SetTrafficCounters(telemetry::Counter* alloc_calls, telemetry::Counter* alloc_bytes,
+                          telemetry::Counter* free_calls);
+  // Folds a thread cache's pending traffic into the set-wide totals (and the
+  // mirrored telemetry counters). Called at batch boundaries.
+  void PublishTraffic(const CachedTraffic& traffic);
+  // Set-wide published traffic. Excludes traffic still pending in thread
+  // caches; callers wanting same-thread exactness add their own pending.
+  CachedTraffic traffic_totals() const;
+
+  uint64_t spans_allocated() const;
+  uint64_t spans_released() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    SpanTable spans;          // spans of this class only
+    uintptr_t nonempty = 0;   // spans with available blocks
+    uintptr_t retained = 0;   // one fully-free span kept back
+    uint64_t spans_allocated = 0;
+    uint64_t spans_released = 0;
+  };
+
+  // Carves a fresh span for `class_index`; returns its base or 0 on arena
+  // exhaustion. Shard mutex must be held.
+  uintptr_t CarveSpanLocked(Shard& shard, size_t class_index);
+  // Handles a span that just became fully free. Shard mutex must be held.
+  void RetireSpanLocked(Shard& shard, size_t class_index, uintptr_t base, SpanInfo* span);
+
+  const uint64_t id_;
+  Arena* arena_;
+  uintptr_t map_base_;  // first chunk-aligned address of the reservation
+  uintptr_t map_end_;
+  std::unique_ptr<std::atomic<uint8_t>[]> chunk_map_;
+  std::unique_ptr<Shard[]> shards_;  // kNumSizeClasses entries
+
+  std::atomic<uint64_t> traffic_alloc_calls_{0};
+  std::atomic<uint64_t> traffic_free_calls_{0};
+  std::atomic<uint64_t> traffic_alloc_bytes_{0};
+  std::atomic<uint64_t> traffic_freed_bytes_{0};
+  telemetry::Counter* counter_alloc_calls_ = nullptr;
+  telemetry::Counter* counter_alloc_bytes_ = nullptr;
+  telemetry::Counter* counter_free_calls_ = nullptr;
+
+  std::mutex caches_mutex_;
+  std::vector<ThreadCache*> caches_;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PKALLOC_CENTRAL_FREE_LIST_H_

@@ -1,10 +1,14 @@
 // Segregated-fit heap: the stand-in for the paper's modified jemalloc, used
 // for the trusted pool M_T.
 //
-// Small allocations are served from spans — 64 KiB chunks carved into
-// equal-size blocks threaded onto per-class intrusive free lists. Large
-// allocations map directly to chunks. All metadata (free-list links inside
-// free blocks, the span directory) lives inside the owning arena (§3.4).
+// Small allocations are served from spans — 64 KiB chunks lazily carved into
+// equal-size blocks, each span keeping its own intrusive free list and
+// occupancy count so a span whose blocks have all come back is returned to
+// the arena (one fully-free span per class is retained as hysteresis).
+// Large allocations map directly to chunks. All metadata (free-list links
+// inside free blocks, the span directory) lives inside the owning arena
+// (§3.4). Double frees of small blocks are detected via the free canary
+// (see small_block.h) and abort.
 #ifndef SRC_PKALLOC_FREE_LIST_HEAP_H_
 #define SRC_PKALLOC_FREE_LIST_HEAP_H_
 
@@ -14,6 +18,7 @@
 
 #include "src/pkalloc/arena.h"
 #include "src/pkalloc/size_classes.h"
+#include "src/pkalloc/small_block.h"
 #include "src/pkalloc/span_table.h"
 
 namespace pkrusafe {
@@ -24,6 +29,7 @@ struct HeapStats {
   uint64_t live_bytes = 0;   // sum of usable sizes of live allocations
   uint64_t peak_bytes = 0;
   uint64_t total_bytes = 0;  // cumulative usable bytes ever allocated
+  uint64_t spans_released = 0;  // empty small-object spans returned to the arena
 };
 
 class FreeListHeap {
@@ -52,18 +58,17 @@ class FreeListHeap {
   HeapStats stats() const;
 
  private:
-  // A free block's in-place link.
-  struct FreeNode {
-    FreeNode* next;
-  };
-
   void* AllocateSmall(size_t class_index);
   void* AllocateLarge(size_t size);
+  void FreeSmall(uintptr_t chunk_base, SpanInfo* span, void* ptr);
 
   Arena* arena_;
   mutable std::mutex mutex_;
   SpanTable spans_;
-  std::array<FreeNode*, kNumSizeClasses> free_lists_{};
+  // Per class: spans with available blocks, plus one retained fully-free
+  // span so an alloc/free ping-pong does not thrash the arena.
+  std::array<uintptr_t, kNumSizeClasses> nonempty_{};
+  std::array<uintptr_t, kNumSizeClasses> retained_{};
   HeapStats stats_;
 };
 

@@ -48,15 +48,31 @@ inline constexpr size_t kNumSizeClasses = size_class_detail::kClassCount;
 inline constexpr std::array<size_t, kNumSizeClasses> kSizeClasses =
     size_class_detail::BuildTable();
 
-// Smallest class index whose size is >= `size`. `size` must be
-// <= kMaxSmallSize and > 0.
-constexpr size_t SizeClassIndex(size_t size) {
-  for (size_t i = 0; i < kNumSizeClasses; ++i) {
-    if (kSizeClasses[i] >= size) {
-      return i;
+namespace size_class_detail {
+
+// Direct-mapped lookup: sizes are bucketed by 16-byte quantum, so the class
+// of any small size is one table load instead of a scan over the classes.
+constexpr std::array<uint8_t, kMaxSmallSize / 16> BuildIndexTable() {
+  std::array<uint8_t, kMaxSmallSize / 16> table{};
+  size_t cls = 0;
+  for (size_t q = 1; q <= table.size(); ++q) {
+    const size_t size = q * 16;  // largest size mapping to table[q - 1]
+    while (kSizeClasses[cls] < size) {
+      ++cls;
     }
+    table[q - 1] = static_cast<uint8_t>(cls);
   }
-  return kNumSizeClasses;  // unreachable for valid input
+  return table;
+}
+
+inline constexpr std::array<uint8_t, kMaxSmallSize / 16> kIndexByQuantum = BuildIndexTable();
+
+}  // namespace size_class_detail
+
+// Smallest class index whose size is >= `size`. `size` must be
+// <= kMaxSmallSize and > 0. O(1): one shift and one table load.
+constexpr size_t SizeClassIndex(size_t size) {
+  return size_class_detail::kIndexByQuantum[(size - 1) >> 4];
 }
 
 constexpr size_t ClassSize(size_t index) { return kSizeClasses[index]; }

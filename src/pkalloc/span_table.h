@@ -22,6 +22,25 @@ struct SpanInfo {
   uint32_t class_index = 0;
   // Rounded byte size of the underlying chunk (needed to return it).
   uint64_t chunk_bytes = 0;
+
+  // Small-span occupancy (unused for large spans). Blocks are carved lazily:
+  // `carved` is the bump progress through the chunk, `free_count`/`free_head`
+  // track blocks that came back. Live blocks = carved - free_count; a span
+  // whose free_count equals its carved count has no outstanding blocks and
+  // can be returned to the arena.
+  uint32_t block_count = 0;  // capacity in blocks
+  uint32_t carved = 0;       // blocks handed out at least once
+  uint32_t free_count = 0;   // blocks currently on free_head
+  void* free_head = nullptr;  // intrusive LIFO of returned blocks
+
+  // Links (chunk bases, 0 = none) threading spans with available blocks into
+  // their owner's nonempty list. Bases stay valid across table rehashes,
+  // unlike slot pointers.
+  uintptr_t next = 0;
+  uintptr_t prev = 0;
+
+  bool HasAvailableBlock() const { return free_count > 0 || carved < block_count; }
+  bool FullyFree() const { return free_count == carved; }
 };
 
 class SpanTable {
@@ -29,6 +48,10 @@ class SpanTable {
   // Storage comes from `arena`; the table grows by allocating a bigger
   // chunk and rehashing. The arena must outlive the table.
   explicit SpanTable(Arena* arena) : arena_(arena) {}
+  // Deferred-attach form for arrays of tables (central free-list shards);
+  // call set_arena() before the first Insert.
+  SpanTable() = default;
+  void set_arena(Arena* arena) { arena_ = arena; }
 
   SpanTable(const SpanTable&) = delete;
   SpanTable& operator=(const SpanTable&) = delete;
@@ -56,6 +79,16 @@ class SpanTable {
       return nullptr;
     }
     const Slot* slot = Probe(chunk_base);
+    return slot->state == kLive ? &slot->info : nullptr;
+  }
+
+  // Mutable lookup for occupancy updates. The pointer is invalidated by the
+  // next Insert (which may rehash); do not hold it across one.
+  SpanInfo* FindMutable(uintptr_t chunk_base) {
+    if (slots_ == nullptr) {
+      return nullptr;
+    }
+    Slot* slot = Probe(chunk_base);
     return slot->state == kLive ? &slot->info : nullptr;
   }
 
@@ -143,12 +176,38 @@ class SpanTable {
     return Status::Ok();
   }
 
-  Arena* arena_;
+  Arena* arena_ = nullptr;
   Slot* slots_ = nullptr;
   size_t capacity_ = 0;
   size_t used_ = 0;  // live + tombstones
   size_t live_ = 0;
 };
+
+// Nonempty-list maintenance shared by FreeListHeap and the central free
+// lists: spans with available blocks hang off a per-class head, doubly
+// linked through SpanInfo::{next,prev} by chunk base.
+inline void LinkNonempty(SpanTable& table, uintptr_t* head, uintptr_t base, SpanInfo* span) {
+  span->next = *head;
+  span->prev = 0;
+  if (*head != 0) {
+    table.FindMutable(*head)->prev = base;
+  }
+  *head = base;
+}
+
+inline void UnlinkNonempty(SpanTable& table, uintptr_t* head, uintptr_t base, SpanInfo* span) {
+  if (span->prev != 0) {
+    table.FindMutable(span->prev)->next = span->next;
+  } else {
+    PS_CHECK_EQ(*head, base);
+    *head = span->next;
+  }
+  if (span->next != 0) {
+    table.FindMutable(span->next)->prev = span->prev;
+  }
+  span->next = 0;
+  span->prev = 0;
+}
 
 }  // namespace pkrusafe
 

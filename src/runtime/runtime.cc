@@ -175,7 +175,7 @@ void* PkruSafeRuntime::Realloc(void* ptr, size_t new_size) {
   const bool tracked =
       mode_ == RuntimeMode::kProfiling &&
       provenance_.Lookup(reinterpret_cast<uintptr_t>(ptr)).has_value();
-  void* fresh = allocator_->Reallocate(ptr, new_size);
+  void* fresh = allocator_->Reallocate(Domain::kTrusted, ptr, new_size);
   if (fresh != nullptr) {
     telemetry::RecordEvent(telemetry::TraceEventType::kRealloc, 0, new_size);
   }

@@ -1,0 +1,144 @@
+// Multithreaded allocator stress: mixed small/large alloc/free/realloc
+// traffic across both domains, including cross-thread frees (thread A frees
+// what thread B allocated, exercising the central-list return path). Run
+// under PKRUSAFE_SANITIZE=thread to prove the thread-cache front end and
+// the sharded central lists are race-free.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/mpk/sim_backend.h"
+#include "src/pkalloc/pkalloc.h"
+#include "src/support/rng.h"
+
+namespace pkrusafe {
+namespace {
+
+struct Allocation {
+  void* ptr = nullptr;
+  size_t size = 0;
+  unsigned char tag = 0;
+};
+
+// A mutex-protected handoff queue per thread; peers push allocations they
+// want this thread to free.
+struct Mailbox {
+  std::mutex mutex;
+  std::vector<Allocation> inbox;
+};
+
+class AllocStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    PkAllocatorConfig config;
+    config.trusted_pool_bytes = size_t{1} << 30;
+    config.untrusted_pool_bytes = size_t{1} << 30;
+    auto alloc = PkAllocator::Create(&backend_, config);
+    ASSERT_TRUE(alloc.ok());
+    alloc_ = std::move(*alloc);
+  }
+
+  SimMpkBackend backend_;
+  std::unique_ptr<PkAllocator> alloc_;
+};
+
+TEST_F(AllocStressTest, MixedTrafficAcrossThreadsBalancesToZero) {
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 4000;
+  std::vector<Mailbox> mailboxes(kThreads);
+
+  auto worker = [&](int me, uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<Allocation> live;
+
+    auto verify_and_free = [&](const Allocation& a) {
+      const auto* bytes = static_cast<const unsigned char*>(a.ptr);
+      for (size_t i = 0; i < a.size; i += 129) {
+        ASSERT_EQ(bytes[i], a.tag) << "corruption in " << a.size << "-byte block";
+      }
+      alloc_->Free(a.ptr);
+    };
+
+    for (int step = 0; step < kSteps; ++step) {
+      // Drain a couple of peer handoffs each round.
+      {
+        std::lock_guard lock(mailboxes[me].mutex);
+        while (!mailboxes[me].inbox.empty()) {
+          live.push_back(mailboxes[me].inbox.back());
+          mailboxes[me].inbox.pop_back();
+        }
+      }
+      const uint64_t op = rng.NextBelow(100);
+      if (live.empty() || op < 50) {
+        const Domain domain = rng.NextBelow(2) == 0 ? Domain::kTrusted : Domain::kUntrusted;
+        const size_t size =
+            rng.NextBelow(100) < 90 ? 1 + rng.NextBelow(8192) : 1 + rng.NextBelow(100000);
+        void* p = alloc_->Allocate(domain, size);
+        ASSERT_NE(p, nullptr);
+        const auto tag = static_cast<unsigned char>(rng.Next());
+        std::memset(p, tag, size);
+        live.push_back({p, size, tag});
+      } else if (op < 80) {
+        const size_t victim = rng.NextBelow(live.size());
+        verify_and_free(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      } else if (op < 90) {
+        // Realloc keeps the original pool whatever domain we pass.
+        const size_t victim = rng.NextBelow(live.size());
+        Allocation& a = live[victim];
+        const size_t new_size = 1 + rng.NextBelow(16384);
+        const Domain requested = rng.NextBelow(2) == 0 ? Domain::kTrusted : Domain::kUntrusted;
+        void* q = alloc_->Reallocate(requested, a.ptr, new_size);
+        ASSERT_NE(q, nullptr);
+        a.ptr = q;
+        a.size = std::min(a.size, new_size);  // surviving verified prefix
+        if (new_size > a.size) {
+          std::memset(q, a.tag, new_size);
+          a.size = new_size;
+        }
+      } else {
+        // Hand a block to a peer: it will be freed by a different thread
+        // than the one that allocated it.
+        const size_t victim = rng.NextBelow(live.size());
+        const int peer = static_cast<int>(rng.NextBelow(kThreads));
+        {
+          std::lock_guard lock(mailboxes[peer].mutex);
+          mailboxes[peer].inbox.push_back(live[victim]);
+        }
+        live[victim] = live.back();
+        live.pop_back();
+      }
+    }
+    for (const Allocation& a : live) {
+      verify_and_free(a);
+    }
+    alloc_->FlushThisThreadCache();
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, t, uint64_t{0x5EED} + t);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Workers have exited, so any block still parked in a mailbox is freed
+  // here — another batch of cross-thread frees.
+  for (Mailbox& mailbox : mailboxes) {
+    for (const Allocation& a : mailbox.inbox) {
+      alloc_->Free(a.ptr);
+    }
+  }
+  alloc_->FlushThisThreadCache();
+
+  EXPECT_EQ(alloc_->trusted_stats().live_bytes, 0u);
+  EXPECT_EQ(alloc_->untrusted_stats().live_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace pkrusafe

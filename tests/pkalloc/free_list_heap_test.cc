@@ -117,6 +117,52 @@ TEST_F(FreeListHeapTest, StatsTrackLiveBytes) {
   EXPECT_GE(after.peak_bytes, during.live_bytes);
 }
 
+// Regression: the heap used to keep every small-object span forever — a
+// free-everything workload held its peak footprint until process exit. Empty
+// spans (all but one retained per class) must go back to the arena.
+TEST_F(FreeListHeapTest, EmptySmallSpansReturnToArena) {
+  const size_t block = 4096;  // 16 blocks per 64 KiB span
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 64; ++i) {  // 4 spans' worth
+    void* p = heap_->Allocate(block);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  const size_t outstanding_full = arena_->outstanding_bytes();
+  const uint64_t released_before = heap_->stats().spans_released;
+  for (void* p : ptrs) {
+    heap_->Free(p);
+  }
+  EXPECT_GE(heap_->stats().spans_released, released_before + 3);
+  // At least three chunks' worth of address space went back (one span stays
+  // retained as hysteresis).
+  EXPECT_LE(arena_->outstanding_bytes(), outstanding_full - 3 * kArenaChunkGranularity);
+}
+
+TEST_F(FreeListHeapTest, RetainedSpanAbsorbsAllocFreePingPong) {
+  void* p = heap_->Allocate(64);
+  const uint64_t released_before = heap_->stats().spans_released;
+  for (int i = 0; i < 100; ++i) {
+    heap_->Free(p);
+    p = heap_->Allocate(64);
+  }
+  heap_->Free(p);
+  // The single span ping-pongs between retained and nonempty; it is never
+  // given back to the arena.
+  EXPECT_EQ(heap_->stats().spans_released, released_before);
+}
+
+using FreeListHeapDeathTest = FreeListHeapTest;
+
+// Regression: a double free used to splice the block onto the free list
+// twice, so two later allocations aliased each other. Now it aborts.
+TEST_F(FreeListHeapDeathTest, DoubleFreeOfSmallBlockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  void* p = heap_->Allocate(64);
+  heap_->Free(p);
+  EXPECT_DEATH(heap_->Free(p), "double free");
+}
+
 // Randomized churn: interleaved allocs and frees of mixed sizes, with content
 // checking. Catches free-list corruption, span misclassification and reuse
 // bugs.

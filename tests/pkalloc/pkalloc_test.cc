@@ -8,6 +8,7 @@
 #include "src/memmap/page.h"
 #include "src/mpk/sim_backend.h"
 #include "src/support/rng.h"
+#include "src/telemetry/metrics.h"
 
 namespace pkrusafe {
 namespace {
@@ -66,10 +67,19 @@ TEST_F(PkAllocatorTest, OwnerOfForeignPointerIsNullopt) {
   EXPECT_FALSE(alloc_->OwnerOf(nullptr).has_value());
 }
 
-TEST_F(PkAllocatorTest, ReallocNullActsAsTrustedAlloc) {
-  void* p = alloc_->Reallocate(nullptr, 100);
+TEST_F(PkAllocatorTest, ReallocNullActsAsAllocInRequestedDomain) {
+  void* p = alloc_->Reallocate(Domain::kTrusted, nullptr, 100);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(*alloc_->OwnerOf(p), Domain::kTrusted);
+  alloc_->Free(p);
+}
+
+// Regression: Reallocate(nullptr) used to hardcode the trusted pool, so an
+// untrusted-classified realloc-from-null landed secrets-adjacent in M_T.
+TEST_F(PkAllocatorTest, ReallocNullUntrustedLandsInSharedPool) {
+  void* p = alloc_->Reallocate(Domain::kUntrusted, nullptr, 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*alloc_->OwnerOf(p), Domain::kUntrusted);
   alloc_->Free(p);
 }
 
@@ -78,7 +88,7 @@ TEST_F(PkAllocatorTest, ReallocPreservesContents) {
   for (int i = 0; i < 64; ++i) {
     p[i] = static_cast<unsigned char>(i);
   }
-  auto* q = static_cast<unsigned char*>(alloc_->Reallocate(p, 4096));
+  auto* q = static_cast<unsigned char*>(alloc_->Reallocate(Domain::kUntrusted, p, 4096));
   ASSERT_NE(q, nullptr);
   for (int i = 0; i < 64; ++i) {
     EXPECT_EQ(q[i], i);
@@ -88,7 +98,7 @@ TEST_F(PkAllocatorTest, ReallocPreservesContents) {
 
 TEST_F(PkAllocatorTest, ShrinkReallocReturnsSamePointer) {
   void* p = alloc_->Allocate(Domain::kTrusted, 1000);
-  void* q = alloc_->Reallocate(p, 100);
+  void* q = alloc_->Reallocate(Domain::kTrusted, p, 100);
   EXPECT_EQ(p, q);
   alloc_->Free(q);
 }
@@ -100,10 +110,13 @@ class ReallocPoolPropertyTest : public PkAllocatorTest,
 
 TEST_P(ReallocPoolPropertyTest, ReallocStaysInPool) {
   const Domain domain = std::get<0>(GetParam()) == 0 ? Domain::kTrusted : Domain::kUntrusted;
+  // The requested domain deliberately contradicts the owner: the original
+  // pool must still win.
+  const Domain requested = domain == Domain::kTrusted ? Domain::kUntrusted : Domain::kTrusted;
   const size_t new_size = std::get<1>(GetParam());
   void* p = alloc_->Allocate(domain, 128);
   ASSERT_NE(p, nullptr);
-  void* q = alloc_->Reallocate(p, new_size);
+  void* q = alloc_->Reallocate(requested, p, new_size);
   ASSERT_NE(q, nullptr);
   EXPECT_EQ(*alloc_->OwnerOf(q), domain);
   alloc_->Free(q);
@@ -175,6 +188,102 @@ TEST_F(PkAllocatorTest, StatsSeparatePools) {
   EXPECT_EQ(alloc_->trusted_stats().alloc_calls, t0.alloc_calls + 1);
   EXPECT_EQ(alloc_->untrusted_stats().alloc_calls, u0.alloc_calls);
   alloc_->Free(t);
+}
+
+// Regression: the pkalloc.*.alloc_bytes counters used to record the
+// *requested* size while HeapStats recorded *usable* bytes, so the two
+// telemetry views of the same traffic disagreed. Both now report usable.
+TEST_F(PkAllocatorTest, AllocBytesCounterMatchesUsableBytes) {
+  auto* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("pkalloc.trusted.alloc_bytes");
+  alloc_->FlushThisThreadCache();  // cached traffic reaches counters at flush
+  const uint64_t before_counter = counter->value();
+  const HeapStats before_stats = alloc_->trusted_stats();
+
+  void* small = alloc_->Allocate(Domain::kTrusted, 100);   // rounds up to a size class
+  void* large = alloc_->Allocate(Domain::kTrusted, 40000);  // heap path, header-rounded
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(large, nullptr);
+  const uint64_t usable = alloc_->UsableSize(small) + alloc_->UsableSize(large);
+  EXPECT_GT(alloc_->UsableSize(small), 100u);  // the rounding the bug hid
+
+  alloc_->FlushThisThreadCache();
+  EXPECT_EQ(counter->value() - before_counter, usable);
+  EXPECT_EQ(alloc_->trusted_stats().total_bytes - before_stats.total_bytes, usable);
+  alloc_->Free(small);
+  alloc_->Free(large);
+}
+
+TEST_F(PkAllocatorTest, CachedBlocksReportClassUsableSize) {
+  ASSERT_NE(alloc_->central_lists(Domain::kTrusted), nullptr);
+  void* p = alloc_->Allocate(Domain::kTrusted, 100);
+  EXPECT_EQ(alloc_->UsableSize(p), ClassSize(SizeClassIndex(100)));
+  alloc_->Free(p);
+}
+
+TEST_F(PkAllocatorTest, CacheCountersTrackHitsAndMisses) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  auto* hits = registry.GetOrCreateCounter("pkalloc.cache.hits");
+  auto* misses = registry.GetOrCreateCounter("pkalloc.cache.misses");
+  alloc_->FlushThisThreadCache();  // publish any pending traffic first
+  const uint64_t hits0 = hits->value();
+  const uint64_t misses0 = misses->value();
+
+  // First allocation of a never-used class misses; the refilled batch then
+  // serves hits until it drains.
+  const size_t size = 48;
+  void* first = alloc_->Allocate(Domain::kTrusted, size);
+  void* second = alloc_->Allocate(Domain::kTrusted, size);
+  alloc_->Free(first);
+  alloc_->Free(second);
+  alloc_->FlushThisThreadCache();
+
+  EXPECT_GE(misses->value() - misses0, 1u);
+  EXPECT_GE(hits->value() - hits0, 1u);
+}
+
+TEST_F(PkAllocatorTest, CacheReusesFreedBlockLifo) {
+  void* p = alloc_->Allocate(Domain::kTrusted, 64);
+  alloc_->Free(p);
+  void* q = alloc_->Allocate(Domain::kTrusted, 64);
+  EXPECT_EQ(p, q);
+  alloc_->Free(q);
+}
+
+TEST_F(PkAllocatorTest, EmptySpansReturnToArenaThroughCentralLists) {
+  // Drive enough small traffic through one class to carve several spans,
+  // then free everything: all spans but the retained one must go back.
+  const size_t size = 4096;  // 16 blocks per 64 KiB span
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) {  // 4 spans' worth
+    void* p = alloc_->Allocate(Domain::kTrusted, size);
+    ASSERT_NE(p, nullptr);
+    blocks.push_back(p);
+  }
+  const uint64_t released_before = alloc_->central_lists(Domain::kTrusted)->spans_released();
+  const size_t outstanding_before = alloc_->trusted_arena().outstanding_bytes();
+  for (void* p : blocks) {
+    alloc_->Free(p);
+  }
+  alloc_->FlushThisThreadCache();
+  EXPECT_GT(alloc_->central_lists(Domain::kTrusted)->spans_released(), released_before);
+  EXPECT_LT(alloc_->trusted_arena().outstanding_bytes(), outstanding_before);
+}
+
+using PkAllocatorDeathTest = PkAllocatorTest;
+
+TEST_F(PkAllocatorDeathTest, DoubleFreeOfCachedBlockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  void* p = alloc_->Allocate(Domain::kTrusted, 64);
+  alloc_->Free(p);
+  EXPECT_DEATH(alloc_->Free(p), "double free");
+}
+
+TEST_F(PkAllocatorDeathTest, InteriorPointerFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto* p = static_cast<char*>(alloc_->Allocate(Domain::kTrusted, 64));
+  EXPECT_DEATH(alloc_->Free(p + 8), "interior");
+  alloc_->Free(p);
 }
 
 }  // namespace
