@@ -5,7 +5,9 @@
 #   scripts/check.sh                # plain RelWithDebInfo build + full ctest
 #   scripts/check.sh asan           # AddressSanitizer build (build/check-asan)
 #   scripts/check.sh tsan           # ThreadSanitizer build (build/check-tsan)
-#   scripts/check.sh matrix         # plain + asan + tsan, one after another
+#   scripts/check.sh lint           # pkrusafe_lint over examples/ir/ + WRPKRU
+#                                   # gadget scan of the built tools
+#   scripts/check.sh matrix         # plain + asan + tsan + lint
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
 #
 # --asan/--tsan are accepted as aliases of asan/tsan.
@@ -18,9 +20,10 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     asan|--asan) mode=asan; shift ;;
     tsan|--tsan) mode=tsan; shift ;;
+    lint|--lint) mode=lint; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -33,13 +36,30 @@ run_one() {
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 }
 
+run_lint() {
+  echo "== check: lint (build) =="
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" \
+    --target pkrusafe_lint pkrusafe_run profile_tool msrun
+  local lint=build/tools/pkrusafe_lint
+  for ir in examples/ir/*.ir; do
+    echo "-- lint: $ir"
+    "$lint" "$ir" --format=json
+  done
+  echo "-- gadget scan: built tools"
+  "$lint" --scan=build/tools/pkrusafe_run --scan=build/tools/profile_tool \
+          --scan=build/tools/msrun --scan-self
+}
+
 case "$mode" in
   plain) run_one "" build "$@" ;;
   asan)  run_one address build/check-asan "$@" ;;
   tsan)  run_one thread build/check-tsan "$@" ;;
+  lint)  run_lint ;;
   matrix)
     run_one "" build "$@"
     run_one address build/check-asan "$@"
     run_one thread build/check-tsan "$@"
+    run_lint
     ;;
 esac

@@ -1,0 +1,169 @@
+#include "src/analysis/diagnostics.h"
+
+#include <ostream>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+namespace analysis {
+
+namespace {
+
+std::string JsonEscape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          escaped += StrFormat("\\u%04x", c);
+        } else {
+          escaped += c;
+        }
+        break;
+    }
+  }
+  return escaped;
+}
+
+std::string Location(const Finding& f) {
+  if (f.function.empty()) {
+    return "";
+  }
+  std::string loc = "@" + f.function;
+  if (!f.block.empty()) {
+    loc += "/" + f.block;
+  }
+  if (f.instr_index >= 0) {
+    loc += StrFormat("#%d", f.instr_index);
+  }
+  return loc;
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+size_t DiagnosticSink::CountAtLeast(Severity severity) const {
+  size_t n = 0;
+  for (const Finding& f : findings_) {
+    if (f.severity >= severity) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void RenderFindingsText(std::ostream& out, const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    out << SeverityName(f.severity) << "[" << f.rule << "]";
+    const std::string loc = Location(f);
+    if (!loc.empty()) {
+      out << " " << loc;
+    }
+    out << ": " << f.message;
+    if (f.site.has_value()) {
+      out << " (site " << f.site->ToString() << ")";
+    }
+    out << "\n";
+    if (!f.fix_hint.empty()) {
+      out << "  hint: " << f.fix_hint << "\n";
+    }
+  }
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+  for (const Finding& f : findings) {
+    switch (f.severity) {
+      case Severity::kError:
+        ++errors;
+        break;
+      case Severity::kWarning:
+        ++warnings;
+        break;
+      case Severity::kNote:
+        ++notes;
+        break;
+    }
+  }
+  out << StrFormat("%zu finding(s): %zu error(s), %zu warning(s), %zu note(s)\n", findings.size(),
+                   errors, warnings, notes);
+}
+
+void RenderFindingsJson(std::ostream& out, const std::vector<Finding>& findings,
+                        const std::string& extra_summary) {
+  out << "{\"findings\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"severity\":\"" << SeverityName(f.severity) << "\"";
+    out << ",\"rule\":\"" << JsonEscape(f.rule) << "\"";
+    if (!f.function.empty()) {
+      out << ",\"function\":\"" << JsonEscape(f.function) << "\"";
+    }
+    if (!f.block.empty()) {
+      out << ",\"block\":\"" << JsonEscape(f.block) << "\"";
+    }
+    if (f.instr_index >= 0) {
+      out << ",\"instr\":" << f.instr_index;
+    }
+    if (f.site.has_value()) {
+      out << ",\"site\":\"" << f.site->ToString() << "\"";
+    }
+    out << ",\"message\":\"" << JsonEscape(f.message) << "\"";
+    if (!f.fix_hint.empty()) {
+      out << ",\"hint\":\"" << JsonEscape(f.fix_hint) << "\"";
+    }
+    out << "}";
+  }
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+  for (const Finding& f : findings) {
+    switch (f.severity) {
+      case Severity::kError:
+        ++errors;
+        break;
+      case Severity::kWarning:
+        ++warnings;
+        break;
+      case Severity::kNote:
+        ++notes;
+        break;
+    }
+  }
+  out << "],\"summary\":{\"errors\":" << errors << ",\"warnings\":" << warnings
+      << ",\"notes\":" << notes;
+  if (!extra_summary.empty()) {
+    out << "," << extra_summary;
+  }
+  out << "}}\n";
+}
+
+}  // namespace analysis
+}  // namespace pkrusafe

@@ -1,0 +1,152 @@
+#include "src/analysis/gadget_scan.h"
+
+#include <elf.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+namespace analysis {
+
+namespace {
+
+bool MarkerFollows(const uint8_t* data, size_t size, size_t pos) {
+  if (pos + sizeof(kWrpkruGateMarker) > size) {
+    return false;
+  }
+  return std::memcmp(data + pos, kWrpkruGateMarker, sizeof(kWrpkruGateMarker)) == 0;
+}
+
+}  // namespace
+
+std::vector<GadgetHit> ScanBuffer(const uint8_t* data, size_t size, size_t base_offset,
+                                  const std::string& section) {
+  std::vector<GadgetHit> hits;
+  if (size < 3) {
+    return hits;
+  }
+  for (size_t i = 0; i + 2 < size; ++i) {
+    if (data[i] != 0x0f) {
+      continue;
+    }
+    if (data[i + 1] == 0x01 && data[i + 2] == 0xef) {
+      GadgetHit hit;
+      hit.kind = GadgetHit::Kind::kWrpkru;
+      hit.offset = base_offset + i;
+      hit.section = section;
+      hit.sanctioned = MarkerFollows(data, size, i + 3);
+      hits.push_back(std::move(hit));
+    } else if (data[i + 1] == 0xae) {
+      const uint8_t modrm = data[i + 2];
+      const uint8_t mod = modrm >> 6;
+      const uint8_t reg = (modrm >> 3) & 7;
+      // xrstor is 0F AE /5 with a memory operand; mod==3 /5 is lfence.
+      if (reg == 5 && mod != 3) {
+        GadgetHit hit;
+        hit.kind = GadgetHit::Kind::kXrstor;
+        hit.offset = base_offset + i;
+        hit.section = section;
+        hits.push_back(std::move(hit));
+      }
+    }
+  }
+  return hits;
+}
+
+Result<std::vector<GadgetHit>> ScanFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  const auto* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  const size_t size = bytes.size();
+
+  // Not an ELF64 file: scan everything (raw mode).
+  if (size < sizeof(Elf64_Ehdr) || std::memcmp(data, ELFMAG, SELFMAG) != 0 ||
+      data[EI_CLASS] != ELFCLASS64) {
+    return ScanBuffer(data, size, 0, "(raw)");
+  }
+
+  Elf64_Ehdr header;
+  std::memcpy(&header, data, sizeof(header));
+  if (header.e_shoff == 0 || header.e_shentsize < sizeof(Elf64_Shdr) ||
+      header.e_shoff + static_cast<uint64_t>(header.e_shnum) * header.e_shentsize > size) {
+    return InvalidArgumentError(path + ": malformed ELF section table");
+  }
+
+  std::vector<Elf64_Shdr> sections(header.e_shnum);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    std::memcpy(&sections[i], data + header.e_shoff + i * header.e_shentsize,
+                sizeof(Elf64_Shdr));
+  }
+
+  // Section names, if the string table is intact (best effort).
+  const char* shstrtab = nullptr;
+  size_t shstrtab_size = 0;
+  if (header.e_shstrndx < sections.size()) {
+    const Elf64_Shdr& strs = sections[header.e_shstrndx];
+    if (strs.sh_offset + strs.sh_size <= size) {
+      shstrtab = bytes.data() + strs.sh_offset;
+      shstrtab_size = strs.sh_size;
+    }
+  }
+
+  std::vector<GadgetHit> hits;
+  for (const Elf64_Shdr& section : sections) {
+    if ((section.sh_flags & SHF_EXECINSTR) == 0 || section.sh_type == SHT_NOBITS) {
+      continue;
+    }
+    if (section.sh_offset + section.sh_size > size) {
+      return InvalidArgumentError(path + ": executable section extends past end of file");
+    }
+    std::string name = "(exec)";
+    if (shstrtab != nullptr && section.sh_name < shstrtab_size) {
+      name = std::string(shstrtab + section.sh_name);
+    }
+    auto section_hits =
+        ScanBuffer(data + section.sh_offset, section.sh_size, section.sh_offset, name);
+    hits.insert(hits.end(), section_hits.begin(), section_hits.end());
+  }
+  return hits;
+}
+
+void ReportGadgets(const std::vector<GadgetHit>& hits, const std::string& origin,
+                   DiagnosticSink& sink) {
+  for (const GadgetHit& hit : hits) {
+    Finding finding;
+    finding.function = origin;
+    if (hit.kind == GadgetHit::Kind::kWrpkru && hit.sanctioned) {
+      finding.severity = Severity::kNote;
+      finding.rule = "sanctioned-wrpkru";
+      finding.message = StrFormat("sanctioned call-gate wrpkru at %s+0x%zx", hit.section.c_str(),
+                                  hit.offset);
+    } else if (hit.kind == GadgetHit::Kind::kWrpkru) {
+      finding.severity = Severity::kError;
+      finding.rule = "wrpkru-gadget";
+      finding.message = StrFormat("stray wrpkru (0f 01 ef) at %s+0x%zx outside any sanctioned "
+                                  "gate",
+                                  hit.section.c_str(), hit.offset);
+      finding.fix_hint = "escaped control flow can execute this byte sequence to lift the "
+                         "compartment boundary; rebuild to displace it or route it through the "
+                         "gate marker";
+    } else {
+      finding.severity = Severity::kWarning;
+      finding.rule = "xrstor-gadget";
+      finding.message = StrFormat("xrstor (0f ae /5) at %s+0x%zx can rewrite PKRU via XSAVE "
+                                  "state",
+                                  hit.section.c_str(), hit.offset);
+      finding.fix_hint = "confirm the instruction's feature mask cannot carry the PKRU bit, or "
+                         "compile with xsave disabled";
+    }
+    sink.Report(std::move(finding));
+  }
+}
+
+}  // namespace analysis
+}  // namespace pkrusafe

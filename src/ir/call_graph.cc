@@ -1,0 +1,97 @@
+#include "src/ir/call_graph.h"
+
+namespace pkrusafe {
+
+namespace {
+
+CallKind ClassifyCallee(const IrModule& module, const std::string& callee) {
+  if (module.FindFunction(callee) != nullptr) {
+    return CallKind::kInternal;
+  }
+  if (module.FindExtern(callee) != nullptr) {
+    return module.IsUntrustedExtern(callee) ? CallKind::kUntrustedExtern
+                                            : CallKind::kTrustedExtern;
+  }
+  return CallKind::kUnknown;
+}
+
+}  // namespace
+
+CallGraph CallGraph::Build(const IrModule& module) {
+  CallGraph graph;
+  for (const IrFunction& fn : module.functions) {
+    // Ensure every defined function has (possibly empty) adjacency entries.
+    graph.callees_[fn.name];
+    graph.callers_[fn.name];
+  }
+  for (const IrFunction& fn : module.functions) {
+    for (const BasicBlock& block : fn.blocks) {
+      for (size_t i = 0; i < block.instructions.size(); ++i) {
+        const Instruction& instr = block.instructions[i];
+        if (instr.opcode != Opcode::kCall) {
+          continue;
+        }
+        CallSite site;
+        site.caller = fn.name;
+        site.callee = instr.callee;
+        site.block = block.label;
+        site.instr_index = static_cast<int>(i);
+        site.kind = ClassifyCallee(module, instr.callee);
+        site.gated = instr.gated;
+        if (site.kind == CallKind::kInternal) {
+          graph.callees_[fn.name].insert(instr.callee);
+          graph.callers_[instr.callee].insert(fn.name);
+        }
+        if (site.kind == CallKind::kUntrustedExtern || instr.gated) {
+          graph.direct_boundary_fns_.insert(fn.name);
+          ++graph.boundary_sites_;
+        }
+        graph.sites_.push_back(std::move(site));
+      }
+    }
+  }
+  return graph;
+}
+
+const std::set<std::string>& CallGraph::Callees(const std::string& fn) const {
+  static const std::set<std::string> kEmpty;
+  auto it = callees_.find(fn);
+  return it == callees_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& CallGraph::Callers(const std::string& fn) const {
+  static const std::set<std::string> kEmpty;
+  auto it = callers_.find(fn);
+  return it == callers_.end() ? kEmpty : it->second;
+}
+
+std::set<std::string> CallGraph::ReachableFrom(const std::vector<std::string>& roots) const {
+  std::set<std::string> reachable;
+  std::vector<std::string> worklist;
+  for (const std::string& root : roots) {
+    if (callees_.contains(root) && reachable.insert(root).second) {
+      worklist.push_back(root);
+    }
+  }
+  while (!worklist.empty()) {
+    const std::string fn = std::move(worklist.back());
+    worklist.pop_back();
+    for (const std::string& callee : Callees(fn)) {
+      if (reachable.insert(callee).second) {
+        worklist.push_back(callee);
+      }
+    }
+  }
+  return reachable;
+}
+
+bool CallGraph::CrossesBoundary(const std::string& fn) const {
+  for (const std::string& reached : ReachableFrom({fn})) {
+    if (direct_boundary_fns_.contains(reached)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pkrusafe

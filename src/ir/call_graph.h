@@ -1,0 +1,66 @@
+// Call graph over an IR module.
+//
+// Classifies every direct call site by what it crosses: an internal edge
+// stays inside T, a trusted-extern edge enters the TCB's native helpers, and
+// an untrusted-extern edge crosses the compartment boundary into U. The
+// points-to analysis and the lint rules consume this instead of re-deriving
+// callee kinds at every call site.
+#ifndef SRC_IR_CALL_GRAPH_H_
+#define SRC_IR_CALL_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace pkrusafe {
+
+enum class CallKind : uint8_t {
+  kInternal,         // callee is a defined IR function
+  kTrustedExtern,    // extern with no untrusted library annotation
+  kUntrustedExtern,  // extern of an `untrusted "lib"` library (boundary edge)
+  kUnknown,          // unresolved symbol (verifier rejects these)
+};
+
+struct CallSite {
+  std::string caller;
+  std::string callee;
+  std::string block;
+  int instr_index = 0;
+  CallKind kind = CallKind::kUnknown;
+  bool gated = false;
+};
+
+class CallGraph {
+ public:
+  static CallGraph Build(const IrModule& module);
+
+  const std::vector<CallSite>& call_sites() const { return sites_; }
+
+  // Direct callees / callers of a defined function (internal edges only).
+  const std::set<std::string>& Callees(const std::string& fn) const;
+  const std::set<std::string>& Callers(const std::string& fn) const;
+
+  // Defined functions reachable from `roots` via internal edges (the roots
+  // themselves included, when defined).
+  std::set<std::string> ReachableFrom(const std::vector<std::string>& roots) const;
+
+  // True if `fn` (or anything it transitively calls) contains a call that
+  // crosses into U.
+  bool CrossesBoundary(const std::string& fn) const;
+
+  size_t boundary_site_count() const { return boundary_sites_; }
+
+ private:
+  std::vector<CallSite> sites_;
+  std::map<std::string, std::set<std::string>> callees_;
+  std::map<std::string, std::set<std::string>> callers_;
+  std::set<std::string> direct_boundary_fns_;  // functions with a U call site
+  size_t boundary_sites_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_CALL_GRAPH_H_

@@ -124,6 +124,11 @@ Status VerifyFunction(const IrModule& module, const IrFunction& fn) {
           return Err(fn, StrFormat("call to @%s expects %u args, got %zu", instr.callee.c_str(),
                                    arity, instr.operands.size()));
         }
+        // Gates wrap compartment crossings; an IR-to-IR call never leaves T,
+        // so a gate mark there would drop M_T rights around trusted code.
+        if (instr.gated && callee_fn != nullptr) {
+          return Err(fn, "gate mark on call to defined trusted function @" + instr.callee);
+        }
       }
     }
   }
@@ -146,6 +151,20 @@ Status VerifyModule(const IrModule& module) {
   }
   for (const IrFunction& fn : module.functions) {
     PS_RETURN_IF_ERROR(VerifyFunction(module, fn));
+  }
+  // Profiles key on AllocIds, so two sites sharing one id would alias in
+  // every profile and policy. AllocIdPass assigns unique ids; reject modules
+  // (hand-built or corrupted) that violate that.
+  std::set<AllocId> alloc_ids;
+  for (const IrFunction& fn : module.functions) {
+    for (const BasicBlock& block : fn.blocks) {
+      for (const Instruction& instr : block.instructions) {
+        if (instr.alloc_id.has_value() && !alloc_ids.insert(*instr.alloc_id).second) {
+          return InvalidArgumentError("@" + fn.name + ": duplicate AllocId " +
+                                      instr.alloc_id->ToString());
+        }
+      }
+    }
   }
   return Status::Ok();
 }

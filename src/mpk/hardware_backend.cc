@@ -40,7 +40,15 @@ void WrPkru(uint32_t value) {
   const uint32_t eax = value;
   const uint32_t ecx = 0;
   const uint32_t edx = 0;
-  __asm__ volatile(".byte 0x0f,0x01,0xef" : : "a"(eax), "c"(ecx), "d"(edx));
+  // The trailing `nopl 0xe1(%rax)` is the sanctioned-gate marker the ERIM-
+  // style gadget scanner looks for (src/analysis/gadget_scan.h): a wrpkru
+  // immediately followed by this signature is this gate; any other wrpkru
+  // byte sequence in .text is a reportable gadget.
+  __asm__ volatile(
+      ".byte 0x0f,0x01,0xef\n\t"
+      ".byte 0x0f,0x1f,0x40,0xe1"
+      :
+      : "a"(eax), "c"(ecx), "d"(edx));
 }
 #else
 uint32_t RdPkru() { return 0; }

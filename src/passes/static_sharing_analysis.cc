@@ -4,6 +4,9 @@
 #include <set>
 #include <vector>
 
+#include "src/analysis/points_to.h"
+#include "src/telemetry/metrics.h"
+
 namespace pkrusafe {
 
 namespace {
@@ -43,7 +46,45 @@ uint32_t MaxRegister(const IrFunction& fn) {
 
 }  // namespace
 
+void StaticSharingAnalysis::PublishStats(size_t shared_sites) const {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetOrCreateCounter("analysis.static_sharing.runs")->Increment();
+  registry.GetOrCreateCounter("analysis.static_sharing.iterations_total")
+      ->Increment(static_cast<uint64_t>(iterations_));
+  registry.GetOrCreateGauge("analysis.static_sharing.iterations")->Set(iterations_);
+  registry.GetOrCreateGauge("analysis.static_sharing.shared_sites")
+      ->Set(static_cast<int64_t>(shared_sites));
+  if (model_ == SharingModel::kPointsTo) {
+    registry.GetOrCreateGauge("analysis.points_to.objects")
+        ->Set(static_cast<int64_t>(abstract_objects_));
+    registry.GetOrCreateGauge("analysis.points_to.edges")
+        ->Set(static_cast<int64_t>(points_to_edges_));
+  }
+}
+
 Result<Profile> StaticSharingAnalysis::Run() {
+  if (model_ == SharingModel::kOneCell) {
+    return RunOneCell();
+  }
+  analysis::PointsToAnalysis points_to(module_);
+  PS_RETURN_IF_ERROR(points_to.Run());
+  iterations_ = points_to.iterations();
+  abstract_objects_ = points_to.object_count();
+  points_to_edges_ = points_to.edge_count();
+
+  Profile profile;
+  for (const AllocId& id : points_to.SharedSites()) {
+    profile.Add(id);
+  }
+  PublishStats(profile.site_count());
+  return profile;
+}
+
+// The original analysis: flow-insensitive taint with a single global memory
+// abstraction. Every load returns every site ever stored anywhere — the
+// worst-case over-sharing the paper warns about (§6), preserved verbatim as
+// the precision baseline the points-to model is measured against.
+Result<Profile> StaticSharingAnalysis::RunOneCell() {
   std::map<std::string, FunctionState> states;
   for (const IrFunction& fn : module_->functions) {
     FunctionState state;
@@ -161,10 +202,13 @@ Result<Profile> StaticSharingAnalysis::Run() {
     }
   }
 
+  abstract_objects_ = 0;
+  points_to_edges_ = 0;
   Profile profile;
   for (const AllocId& id : shared) {
     profile.Add(id);
   }
+  PublishStats(profile.site_count());
   return profile;
 }
 

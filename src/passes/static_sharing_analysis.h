@@ -3,25 +3,27 @@
 // static analysis in principle, which we tested using various small
 // programs").
 //
-// A flow-insensitive, context-insensitive interprocedural taint analysis
-// over the IR. Allocation sites are taint sources; arguments of gated
-// (untrusted) call sites are sinks. The result is a Profile usable exactly
-// like a dynamically collected one: feed it to ProfileApplyPass /
-// SitePolicy.
+// Two memory models, same interface:
 //
-// Soundness model (deliberately over-approximate, mirroring the paper's
-// observation that sound static analyses over-share):
-//   * arithmetic on a tainted value stays tainted (pointer arithmetic);
-//   * calls propagate argument taints to parameters and return taints back;
-//   * a pointer stored *into* a shared object becomes shared itself
-//     (transitive reachability from U);
-//   * loads return anything that was ever stored anywhere (one global memory
-//     abstraction) — the price of flow-insensitivity.
-// Trusted externs are assumed not to leak trusted pointers to U (they are
-// part of T's TCB, like the standard library in the paper's partitioning).
+//   * SharingModel::kPointsTo (default) — Andersen-style, field-insensitive,
+//     per-allocation-site points-to analysis (src/analysis/points_to.h). A
+//     store into a private object no longer taints unrelated loads, so the
+//     static profile shrinks toward the dynamic one while staying a sound
+//     superset of it.
+//   * SharingModel::kOneCell — the original flow-insensitive taint analysis
+//     with a single global memory abstraction (every load returns everything
+//     ever stored). Kept as the precision baseline: the corpus property
+//     tests and `pkrusafe_lint --precision` compare the two.
 //
-// Guaranteed relationship, tested as a property: the static profile is a
-// superset of any dynamic profile of the same module.
+// Both models share the soundness contract, tested as a property over
+// examples/ir/: the static profile is a superset of any dynamic profile of
+// the same module. Trusted externs are assumed not to leak trusted pointers
+// to U (they are part of T's TCB, like the standard library in the paper's
+// partitioning).
+//
+// Each Run() publishes its cost to the telemetry metrics registry
+// (analysis.* gauges/counters — see docs/static_analysis.md), so
+// `--stats=json` covers analysis cost alongside runtime cost.
 #ifndef SRC_PASSES_STATIC_SHARING_ANALYSIS_H_
 #define SRC_PASSES_STATIC_SHARING_ANALYSIS_H_
 
@@ -31,22 +33,39 @@
 
 namespace pkrusafe {
 
+enum class SharingModel : uint8_t {
+  kPointsTo,  // per-allocation-site points-to (precise)
+  kOneCell,   // legacy single-global-memory taint (baseline)
+};
+
 class StaticSharingAnalysis {
  public:
   // The module must already carry AllocIds (run AllocIdPass) and gate marks
   // (run GateInsertionPass).
-  explicit StaticSharingAnalysis(const IrModule* module) : module_(module) {}
+  explicit StaticSharingAnalysis(const IrModule* module,
+                                 SharingModel model = SharingModel::kPointsTo)
+      : module_(module), model_(model) {}
 
   // Computes the set of allocation sites that may flow into U. Each site is
   // reported with count 1 (static analysis has no fault counts).
   Result<Profile> Run();
 
-  // Number of global fixed-point iterations the last Run took.
+  SharingModel model() const { return model_; }
+
+  // Cost of the last Run (also published to telemetry).
   int iterations() const { return iterations_; }
+  size_t abstract_objects() const { return abstract_objects_; }
+  size_t points_to_edges() const { return points_to_edges_; }
 
  private:
+  Result<Profile> RunOneCell();
+  void PublishStats(size_t shared_sites) const;
+
   const IrModule* module_;
+  SharingModel model_;
   int iterations_ = 0;
+  size_t abstract_objects_ = 0;
+  size_t points_to_edges_ = 0;
 };
 
 }  // namespace pkrusafe

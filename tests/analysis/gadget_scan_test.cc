@@ -1,0 +1,143 @@
+#include "src/analysis/gadget_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pkrusafe {
+namespace analysis {
+namespace {
+
+// Fixture bytes pass through an XOR with this volatile zero so the compiler
+// cannot fold them into instruction immediates: otherwise the wrpkru pattern
+// itself lands in this binary's .text and SelfScanFindsNoStrayWrpkru
+// (correctly) flags the fixtures.
+volatile uint8_t g_opaque_zero = 0;
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> raw) {
+  std::vector<uint8_t> out;
+  for (uint8_t b : raw) {
+    out.push_back(b ^ g_opaque_zero);
+  }
+  return out;
+}
+
+std::vector<GadgetHit> Scan(const std::vector<uint8_t>& bytes) {
+  return ScanBuffer(bytes.data(), bytes.size(), 0, "(raw)");
+}
+
+TEST(GadgetScanTest, FindsWrpkruAtAnyOffset) {
+  // 0F 01 EF buried mid-buffer, deliberately not instruction-aligned with
+  // anything around it — the unaligned-gadget case ERIM scans for.
+  const std::vector<uint8_t> bytes = Bytes({0x90, 0x48, 0x0f, 0x01, 0xef, 0xc3});
+  auto hits = Scan(bytes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].kind, GadgetHit::Kind::kWrpkru);
+  EXPECT_EQ(hits[0].offset, 2u);
+  EXPECT_FALSE(hits[0].sanctioned);
+}
+
+TEST(GadgetScanTest, MarkerMakesWrpkruSanctioned) {
+  std::vector<uint8_t> bytes = Bytes({0x0f, 0x01, 0xef});
+  bytes.insert(bytes.end(), kWrpkruGateMarker, kWrpkruGateMarker + 4);
+  auto hits = Scan(bytes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].sanctioned);
+}
+
+TEST(GadgetScanTest, MarkerMustBeImmediate) {
+  std::vector<uint8_t> bytes = Bytes({0x0f, 0x01, 0xef, 0x90});  // nop in between
+  bytes.insert(bytes.end(), kWrpkruGateMarker, kWrpkruGateMarker + 4);
+  auto hits = Scan(bytes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_FALSE(hits[0].sanctioned);
+}
+
+TEST(GadgetScanTest, FindsXrstorWithMemoryOperand) {
+  // 0F AE 2F = xrstor (%rdi): mod=00, reg=101, rm=111.
+  const std::vector<uint8_t> bytes = Bytes({0x0f, 0xae, 0x2f});
+  auto hits = Scan(bytes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].kind, GadgetHit::Kind::kXrstor);
+}
+
+TEST(GadgetScanTest, IgnoresLfence) {
+  // 0F AE E8 = lfence: same /5 opcode extension but mod=11 (register form).
+  const std::vector<uint8_t> bytes = Bytes({0x0f, 0xae, 0xe8});
+  EXPECT_TRUE(Scan(bytes).empty());
+}
+
+TEST(GadgetScanTest, IgnoresOtherGroup15Instructions) {
+  // 0F AE 38 = clflush (%rax): reg=111, not /5.
+  const std::vector<uint8_t> bytes = Bytes({0x0f, 0xae, 0x38});
+  EXPECT_TRUE(Scan(bytes).empty());
+}
+
+TEST(GadgetScanTest, ReportsEveryOccurrenceWithBaseOffset) {
+  const std::vector<uint8_t> bytes = Bytes({0x0f, 0x01, 0xef, 0x90, 0x0f, 0x01, 0xef});
+  auto hits = ScanBuffer(bytes.data(), bytes.size(), 0x1000, ".text");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].offset, 0x1000u);
+  EXPECT_EQ(hits[1].offset, 0x1004u);
+  EXPECT_EQ(hits[0].section, ".text");
+}
+
+TEST(GadgetScanTest, RawFileScanFlagsSyntheticGadgetBinary) {
+  // A non-ELF blob with a stray wrpkru: the acceptance fixture for the
+  // scanner — it must be flagged.
+  const std::string path = ::testing::TempDir() + "/stray_wrpkru.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::vector<uint8_t> blob = Bytes({'p', 'a', 'y', 0x0f, 0x01, 0xef, 't', 'l'});
+    out.write(reinterpret_cast<const char*>(blob.data()), blob.size());
+  }
+  auto hits = ScanFile(path);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].kind, GadgetHit::Kind::kWrpkru);
+  EXPECT_FALSE((*hits)[0].sanctioned);
+  EXPECT_EQ((*hits)[0].section, "(raw)");
+  std::remove(path.c_str());
+}
+
+TEST(GadgetScanTest, MissingFileIsAnError) {
+  EXPECT_FALSE(ScanFile("/nonexistent/definitely-not-here").ok());
+}
+
+TEST(GadgetScanTest, SelfScanFindsNoStrayWrpkru) {
+  // This test binary links no MPK backend, so its executable sections must
+  // contain no unsanctioned wrpkru. (Exercises the ELF section walk on a
+  // real binary.)
+  auto hits = ScanFile("/proc/self/exe");
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  for (const GadgetHit& hit : *hits) {
+    if (hit.kind == GadgetHit::Kind::kWrpkru) {
+      EXPECT_TRUE(hit.sanctioned) << "stray wrpkru at offset " << hit.offset << " in "
+                                  << hit.section;
+    }
+  }
+}
+
+TEST(GadgetScanTest, ReportGadgetsMapsSeverities) {
+  std::vector<GadgetHit> hits;
+  hits.push_back({GadgetHit::Kind::kWrpkru, 0x10, ".text", false});
+  hits.push_back({GadgetHit::Kind::kWrpkru, 0x20, ".text", true});
+  hits.push_back({GadgetHit::Kind::kXrstor, 0x30, ".text", false});
+  DiagnosticSink sink;
+  ReportGadgets(hits, "libfoo.so", sink);
+  ASSERT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.findings()[0].rule, "wrpkru-gadget");
+  EXPECT_EQ(sink.findings()[0].severity, Severity::kError);
+  EXPECT_EQ(sink.findings()[0].function, "libfoo.so");
+  EXPECT_EQ(sink.findings()[1].rule, "sanctioned-wrpkru");
+  EXPECT_EQ(sink.findings()[1].severity, Severity::kNote);
+  EXPECT_EQ(sink.findings()[2].rule, "xrstor-gadget");
+  EXPECT_EQ(sink.findings()[2].severity, Severity::kWarning);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pkrusafe

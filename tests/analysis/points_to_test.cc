@@ -1,0 +1,254 @@
+#include "src/analysis/points_to.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+
+namespace pkrusafe {
+namespace analysis {
+namespace {
+
+IrModule Prepare(const char* source) {
+  auto module = ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  EXPECT_TRUE(pm.Run(*module).ok());
+  return std::move(*module);
+}
+
+// The analysis must stay valid while the module is alive, so tests hold both.
+struct Analyzed {
+  IrModule module;
+  PointsToAnalysis pts;
+
+  explicit Analyzed(const char* source) : module(Prepare(source)), pts(&module) {
+    auto status = pts.Run();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+};
+
+ObjectId ObjectForSite(const PointsToAnalysis& pts, AllocId site) {
+  for (ObjectId i = 0; i < pts.objects().size(); ++i) {
+    if (!pts.objects()[i].external && pts.objects()[i].site == site) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "no abstract object for site " << site.ToString();
+  return kExternalObject;
+}
+
+bool SharesSite(const PointsToAnalysis& pts, AllocId site) {
+  for (const AllocId& id : pts.SharedSites()) {
+    if (id == site) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(PointsToTest, AllocationSitesBecomeDistinctObjects) {
+  Analyzed a(R"(
+func @main(0) {
+e:
+  %0 = alloc 8
+  %1 = alloc 8
+  ret
+}
+)");
+  // external + two sites.
+  EXPECT_EQ(a.pts.object_count(), 3u);
+  EXPECT_TRUE(a.pts.objects()[kExternalObject].external);
+  const ObjectSet& r0 = a.pts.RegPointsTo("main", 0);
+  const ObjectSet& r1 = a.pts.RegPointsTo("main", 1);
+  ASSERT_EQ(r0.size(), 1u);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_NE(*r0.begin(), *r1.begin());
+}
+
+TEST(PointsToTest, LoadResolvesToStoredContentsOnly) {
+  // w holds p; a load from w yields exactly p, and a load from the unrelated
+  // q yields nothing — the precision the one-cell model lacks.
+  Analyzed a(R"(
+func @main(0) {
+e:
+  %0 = alloc 8     ; w
+  %1 = alloc 8     ; p
+  %2 = alloc 8     ; q
+  store %0, 0, %1
+  %3 = load %0, 0
+  %4 = load %2, 0
+  ret
+}
+)");
+  const ObjectId p = ObjectForSite(a.pts, AllocId{0, 0, 1});
+  const ObjectSet& via_w = a.pts.RegPointsTo("main", 3);
+  EXPECT_TRUE(via_w.contains(p));
+  EXPECT_EQ(via_w.size(), 1u);
+  EXPECT_TRUE(a.pts.RegPointsTo("main", 4).empty());
+}
+
+TEST(PointsToTest, PointerArithmeticKeepsPointees) {
+  Analyzed a(R"(
+func @main(0) {
+e:
+  %0 = alloc 64
+  %1 = add %0, 16
+  %2 = sub %1, 8
+  ret
+}
+)");
+  const ObjectId obj = ObjectForSite(a.pts, AllocId{0, 0, 0});
+  EXPECT_TRUE(a.pts.RegPointsTo("main", 2).contains(obj));
+}
+
+TEST(PointsToTest, InterproceduralParamAndReturnFlow) {
+  Analyzed a(R"(
+func @make(0) {
+e:
+  %0 = alloc 8
+  ret %0
+}
+func @wrap(1) {
+e:
+  ret %0
+}
+func @main(0) {
+e:
+  %0 = call @make()
+  %1 = call @wrap(%0)
+  ret
+}
+)");
+  const ObjectId obj = ObjectForSite(a.pts, AllocId{0, 0, 0});
+  EXPECT_TRUE(a.pts.RegPointsTo("main", 1).contains(obj));
+}
+
+TEST(PointsToTest, BoundaryCallMakesArgumentsUReachable) {
+  Analyzed a(R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 8
+  %1 = alloc 8
+  call @sink(%0)
+  ret
+}
+)");
+  EXPECT_TRUE(SharesSite(a.pts, AllocId{0, 0, 0}));
+  EXPECT_FALSE(SharesSite(a.pts, AllocId{0, 0, 1}));
+}
+
+TEST(PointsToTest, SharingClosesOverContents) {
+  // The chain head is shared; everything stored inside it (transitively)
+  // follows, but the disjoint private object does not.
+  Analyzed a(R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 16    ; head
+  %1 = alloc 16    ; second
+  %2 = alloc 16    ; private
+  store %0, 8, %1
+  call @sink(%0)
+  ret
+}
+)");
+  EXPECT_TRUE(SharesSite(a.pts, AllocId{0, 0, 0}));
+  EXPECT_TRUE(SharesSite(a.pts, AllocId{0, 0, 1}));
+  EXPECT_FALSE(SharesSite(a.pts, AllocId{0, 0, 2}));
+}
+
+TEST(PointsToTest, BoundaryCallResultPointsIntoUUniverse) {
+  Analyzed a(R"(
+untrusted "u"
+extern @give(0) lib "u"
+func @main(0) {
+e:
+  %0 = call @give()
+  ret
+}
+)");
+  EXPECT_TRUE(a.pts.RegPointsTo("main", 0).contains(kExternalObject));
+}
+
+TEST(PointsToTest, UMayStorePointersIntoSharedMemory) {
+  // Once an object is U-reachable its contents include the external object:
+  // loading from shared memory may yield a U-fabricated pointer, and storing
+  // through it leaks.
+  Analyzed a(R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 8
+  call @sink(%0)
+  %1 = load %0, 0
+  %2 = alloc 8
+  store %1, 0, %2
+  ret
+}
+)");
+  const ObjectId shared = ObjectForSite(a.pts, AllocId{0, 0, 0});
+  EXPECT_TRUE(a.pts.Contents(shared).contains(kExternalObject));
+  EXPECT_TRUE(a.pts.RegPointsTo("main", 1).contains(kExternalObject));
+  // Storing through the U-controlled pointer shares the second allocation.
+  EXPECT_TRUE(SharesSite(a.pts, AllocId{0, 0, 1}));
+}
+
+TEST(PointsToTest, PrivateStoreDoesNotTaintUnrelatedLoads) {
+  // The regression the whole layer exists for: a pointer stored into one
+  // private object must not leak out of a load from a *different* shared
+  // object (the one-cell model shares `p` here).
+  Analyzed a(R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 8     ; w (private)
+  %1 = alloc 8     ; p (private payload)
+  store %0, 0, %1
+  %2 = alloc 8     ; buf (shared)
+  %3 = load %2, 0
+  call @sink(%3)
+  call @sink(%2)
+  ret
+}
+)");
+  EXPECT_TRUE(SharesSite(a.pts, AllocId{0, 0, 2}));
+  EXPECT_FALSE(SharesSite(a.pts, AllocId{0, 0, 0}));
+  EXPECT_FALSE(SharesSite(a.pts, AllocId{0, 0, 1}));
+}
+
+TEST(PointsToTest, RequiresAllocIds) {
+  auto module = ParseModule("func @f(0) {\ne:\n  %0 = alloc 8\n  ret\n}\n");
+  ASSERT_TRUE(module.ok());
+  PointsToAnalysis pts(&*module);
+  EXPECT_EQ(pts.Run().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PointsToTest, ReportsCostMetrics) {
+  Analyzed a(R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 8
+  call @sink(%0)
+  ret
+}
+)");
+  EXPECT_GE(a.pts.iterations(), 1);
+  EXPECT_EQ(a.pts.object_count(), 2u);
+  EXPECT_GT(a.pts.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pkrusafe

@@ -1,0 +1,121 @@
+#include "src/ir/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+
+namespace pkrusafe {
+namespace {
+
+IrModule Parse(const char* source) {
+  auto module = ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return std::move(*module);
+}
+
+constexpr char kModule[] = R"(
+untrusted "u"
+extern @t_helper(1)
+extern @u_sink(1) lib "u"
+func @leaf(1) {
+e:
+  %1 = call @u_sink(%0)
+  ret %1
+}
+func @middle(1) {
+e:
+  %1 = call @leaf(%0)
+  %2 = call @t_helper(%1)
+  ret %2
+}
+func @pure(1) {
+e:
+  %1 = add %0, 1
+  ret %1
+}
+func @main(0) {
+e:
+  %0 = call @middle(3)
+  %1 = call @pure(%0)
+  ret %1
+}
+)";
+
+TEST(CallGraphTest, ClassifiesCallSites) {
+  IrModule module = Parse(kModule);
+  CallGraph cg = CallGraph::Build(module);
+  ASSERT_EQ(cg.call_sites().size(), 5u);
+  int internal = 0, trusted = 0, untrusted = 0;
+  for (const CallSite& site : cg.call_sites()) {
+    switch (site.kind) {
+      case CallKind::kInternal: ++internal; break;
+      case CallKind::kTrustedExtern: ++trusted; break;
+      case CallKind::kUntrustedExtern: ++untrusted; break;
+      case CallKind::kUnknown: ADD_FAILURE() << "unknown callee " << site.callee;
+    }
+  }
+  EXPECT_EQ(internal, 3);
+  EXPECT_EQ(trusted, 1);
+  EXPECT_EQ(untrusted, 1);
+  EXPECT_EQ(cg.boundary_site_count(), 1u);
+}
+
+TEST(CallGraphTest, TracksDirectEdges) {
+  IrModule module = Parse(kModule);
+  CallGraph cg = CallGraph::Build(module);
+  EXPECT_TRUE(cg.Callees("main").contains("middle"));
+  EXPECT_TRUE(cg.Callees("main").contains("pure"));
+  EXPECT_TRUE(cg.Callees("middle").contains("leaf"));
+  EXPECT_TRUE(cg.Callers("leaf").contains("middle"));
+  EXPECT_TRUE(cg.Callees("leaf").empty());
+}
+
+TEST(CallGraphTest, ReachabilityFollowsInternalEdges) {
+  IrModule module = Parse(kModule);
+  CallGraph cg = CallGraph::Build(module);
+  auto reach = cg.ReachableFrom({"main"});
+  EXPECT_EQ(reach.size(), 4u);  // main, middle, pure, leaf
+  EXPECT_TRUE(reach.contains("leaf"));
+  auto from_pure = cg.ReachableFrom({"pure"});
+  EXPECT_EQ(from_pure.size(), 1u);
+}
+
+TEST(CallGraphTest, BoundaryCrossingIsTransitive) {
+  IrModule module = Parse(kModule);
+  CallGraph cg = CallGraph::Build(module);
+  EXPECT_TRUE(cg.CrossesBoundary("leaf"));
+  EXPECT_TRUE(cg.CrossesBoundary("middle"));
+  EXPECT_TRUE(cg.CrossesBoundary("main"));
+  EXPECT_FALSE(cg.CrossesBoundary("pure"));
+}
+
+TEST(CallGraphTest, GatedCallsToUntrustedExternsCountAsBoundary) {
+  // Even without the untrusted annotation resolving (e.g. a future indirect
+  // gate), an explicitly gated site is a boundary site.
+  IrModule module = Parse(R"(
+untrusted "u"
+extern @u_sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = const 1
+  %1 = call @u_sink(%0)
+  ret
+}
+)");
+  for (auto& fn : module.functions) {
+    for (auto& block : fn.blocks) {
+      for (auto& instr : block.instructions) {
+        if (instr.opcode == Opcode::kCall) {
+          instr.gated = true;
+        }
+      }
+    }
+  }
+  CallGraph cg = CallGraph::Build(module);
+  ASSERT_EQ(cg.call_sites().size(), 1u);
+  EXPECT_TRUE(cg.call_sites()[0].gated);
+  EXPECT_EQ(cg.boundary_site_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pkrusafe

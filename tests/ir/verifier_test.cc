@@ -93,6 +93,93 @@ TEST(VerifierTest, RejectsFunctionWithNoBlocks) {
   EXPECT_FALSE(VerifySource("func @f(0) {\n}\n").ok());
 }
 
+TEST(VerifierTest, RejectsRetWithTwoOperands) {
+  EXPECT_FALSE(VerifySource("func @f(0) {\ne:\n  ret 1, 2\n}\n").ok());
+}
+
+TEST(VerifierTest, RejectsDuplicateAllocIds) {
+  auto module = ParseModule(R"(
+func @f(0) {
+e:
+  %0 = alloc 8
+  %1 = alloc 8
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  auto& instrs = module->functions[0].blocks[0].instructions;
+  instrs[0].alloc_id = AllocId{0, 0, 0};
+  instrs[1].alloc_id = AllocId{0, 0, 0};  // collides
+  auto status = VerifyModule(*module);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("duplicate AllocId"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsDistinctAllocIds) {
+  auto module = ParseModule(R"(
+func @f(0) {
+e:
+  %0 = alloc 8
+  %1 = alloc 8
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  auto& instrs = module->functions[0].blocks[0].instructions;
+  instrs[0].alloc_id = AllocId{0, 0, 0};
+  instrs[1].alloc_id = AllocId{0, 0, 1};
+  EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
+TEST(VerifierTest, RejectsGateMarkOnCallToDefinedFunction) {
+  // Gates belong on boundary crossings only: a gated call to a trusted IR
+  // function would drop privileges around trusted code.
+  auto module = ParseModule(R"(
+func @callee(0) {
+e:
+  ret
+}
+func @f(0) {
+e:
+  call @callee()
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  ASSERT_TRUE(VerifyModule(*module).ok());
+  for (auto& block : module->FindFunction("f")->blocks) {
+    for (auto& instr : block.instructions) {
+      if (instr.opcode == Opcode::kCall) {
+        instr.gated = true;
+      }
+    }
+  }
+  auto status = VerifyModule(*module);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("gate mark"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsGateMarkOnExternCall) {
+  auto module = ParseModule(R"(
+untrusted "u"
+extern @sink(0) lib "u"
+func @f(0) {
+e:
+  call @sink()
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  for (auto& block : module->FindFunction("f")->blocks) {
+    for (auto& instr : block.instructions) {
+      if (instr.opcode == Opcode::kCall) {
+        instr.gated = true;
+      }
+    }
+  }
+  EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
 TEST(VerifierTest, AllowsCallToIrFunctionAndExtern) {
   EXPECT_TRUE(VerifySource(R"(
 extern @native(1)

@@ -4,6 +4,7 @@
 
 #include "src/core/pkru_safe.h"
 #include "src/ir/parser.h"
+#include "src/telemetry/metrics.h"
 #include "src/passes/alloc_id_pass.h"
 #include "src/passes/gate_insertion_pass.h"
 #include "src/passes/pass.h"
@@ -217,6 +218,61 @@ done:
     EXPECT_TRUE(static_profile.Contains(id)) << id.ToString();
   }
   EXPECT_GT(static_profile.site_count(), dynamic_profile.site_count());
+}
+
+TEST(StaticSharingTest, PublishesAnalysisMetricsToTelemetry) {
+  Analyze(R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 8
+  call @sink(%0)
+  ret
+}
+)");
+  const auto snapshot = telemetry::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snapshot.counters.at("analysis.static_sharing.runs"), 1u);
+  EXPECT_GE(snapshot.counters.at("analysis.static_sharing.iterations_total"), 1u);
+  EXPECT_GE(snapshot.gauges.at("analysis.static_sharing.iterations"), 1);
+  EXPECT_GT(snapshot.gauges.at("analysis.points_to.objects"), 0);
+  EXPECT_GT(snapshot.gauges.at("analysis.points_to.edges"), 0);
+}
+
+TEST(StaticSharingTest, OneCellModelStaysAvailableAsBaseline) {
+  // The pre-points-to abstraction is kept for precision comparisons: it must
+  // still over-approximate (here: sharing the never-stored p because SOME
+  // store put SOME pointer somewhere).
+  const char* source = R"(
+untrusted "u"
+extern @sink(1) lib "u"
+func @main(0) {
+e:
+  %0 = alloc 8
+  %1 = alloc 8
+  store %0, 0, %1
+  %2 = alloc 8
+  %3 = load %2, 0
+  call @sink(%3)
+  call @sink(%2)
+  ret
+}
+)";
+  IrModule module = Prepare(source);
+  StaticSharingAnalysis one_cell(&module, SharingModel::kOneCell);
+  auto coarse = one_cell.Run();
+  ASSERT_TRUE(coarse.ok());
+  StaticSharingAnalysis points_to(&module, SharingModel::kPointsTo);
+  auto tight = points_to.Run();
+  ASSERT_TRUE(tight.ok());
+  // Both share the boundary-crossing buffer; only one-cell drags in the
+  // private chain through the unrelated load.
+  EXPECT_TRUE(coarse->Contains(AllocId{0, 0, 2}));
+  EXPECT_TRUE(tight->Contains(AllocId{0, 0, 2}));
+  EXPECT_LT(tight->site_count(), coarse->site_count());
+  for (const AllocId& id : tight->Sites()) {
+    EXPECT_TRUE(coarse->Contains(id)) << id.ToString();
+  }
 }
 
 TEST(StaticSharingTest, StaticProfileDrivesEnforcementBuild) {

@@ -1,0 +1,200 @@
+// pkrusafe_lint: static compartment diagnostics for IR modules and built
+// binaries.
+//
+//   pkrusafe_lint prog.ir                         # instrument + lint
+//   pkrusafe_lint prog.ir --profile=p.profile     # + stale-site check and
+//                                                 #   precision metric
+//   pkrusafe_lint prog.ir --no-gates              # lint the ungated module
+//                                                 #   (missing-gate demo)
+//   pkrusafe_lint --scan=build/tools/pkrusafe_run # WRPKRU/XRSTOR gadget scan
+//   pkrusafe_lint --scan-self                     # scan this very binary
+//   pkrusafe_lint prog.ir --format=json           # machine-readable output
+//
+// Exit codes: 0 clean (below --fail-on, default error), 1 findings at or
+// above the threshold, 2 usage/load errors.
+//
+// The precision metric (printed with --profile, and in the JSON summary) is
+// `static sites ÷ dynamic sites` — how far the static over-approximation
+// over-shares relative to an observed profile (paper §6: sound static
+// analyses over-share; the points-to model narrows the gap).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/gadget_scan.h"
+#include "src/analysis/lint.h"
+#include "src/analysis/points_to.h"
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+#include "src/passes/static_sharing_analysis.h"
+#include "src/support/string_util.h"
+
+namespace {
+
+using namespace pkrusafe;  // NOLINT: tool brevity
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pkrusafe_lint [<module.ir>] [options]\n"
+               "  --profile=FILE       check the module against a recorded profile and\n"
+               "                       report the static/dynamic precision ratio\n"
+               "  --no-gates           skip GateInsertionPass before linting (shows\n"
+               "                       missing-gate findings on annotated modules)\n"
+               "  --scan=BINARY        WRPKRU/XRSTOR gadget-scan a built binary\n"
+               "                       (repeatable)\n"
+               "  --scan-self          gadget-scan this pkrusafe_lint binary\n"
+               "  --format=text|json   output format (default text)\n"
+               "  --fail-on=error|warning|note   exit-1 threshold (default error)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string module_path;
+  std::string profile_path;
+  std::string format = "text";
+  std::string fail_on = "error";
+  std::vector<std::string> scan_paths;
+  bool apply_gates = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      return std::strncmp(arg.c_str(), prefix, std::strlen(prefix)) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value_of("--profile=")) {
+      profile_path = v;
+    } else if (const char* v = value_of("--scan=")) {
+      scan_paths.push_back(v);
+    } else if (arg == "--scan-self") {
+      scan_paths.push_back("/proc/self/exe");
+    } else if (const char* v = value_of("--format=")) {
+      format = v;
+      if (format != "text" && format != "json") {
+        return Usage();
+      }
+    } else if (const char* v = value_of("--fail-on=")) {
+      fail_on = v;
+      if (fail_on != "error" && fail_on != "warning" && fail_on != "note") {
+        return Usage();
+      }
+    } else if (arg == "--no-gates") {
+      apply_gates = false;
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else if (module_path.empty()) {
+      module_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (module_path.empty() && scan_paths.empty()) {
+    return Usage();
+  }
+
+  analysis::DiagnosticSink sink;
+  std::string extra_summary;
+
+  if (!module_path.empty()) {
+    std::ifstream in(module_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", module_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    auto module = ParseModule(buffer.str());
+    if (!module.ok()) {
+      std::fprintf(stderr, "parse: %s\n", module.status().ToString().c_str());
+      return 2;
+    }
+    PassManager pm;
+    pm.Add(std::make_unique<AllocIdPass>());
+    if (apply_gates) {
+      pm.Add(std::make_unique<GateInsertionPass>());
+    }
+    if (auto status = pm.Run(*module); !status.ok()) {
+      std::fprintf(stderr, "instrument: %s\n", status.ToString().c_str());
+      return 2;
+    }
+
+    analysis::PointsToAnalysis points_to(&*module);
+    if (auto status = points_to.Run(); !status.ok()) {
+      std::fprintf(stderr, "points-to: %s\n", status.ToString().c_str());
+      return 2;
+    }
+
+    Profile profile;
+    bool have_profile = false;
+    if (!profile_path.empty()) {
+      auto loaded = Profile::LoadFromFile(profile_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "profile: %s\n", loaded.status().ToString().c_str());
+        return 2;
+      }
+      profile = std::move(*loaded);
+      have_profile = true;
+    }
+    analysis::RunAllLints(*module, points_to, have_profile ? &profile : nullptr, sink);
+
+    const size_t static_sites = points_to.SharedSites().size();
+    if (have_profile) {
+      const size_t dynamic_sites = profile.site_count();
+      const double ratio = dynamic_sites == 0 ? 0.0
+                                              : static_cast<double>(static_sites) /
+                                                    static_cast<double>(dynamic_sites);
+      extra_summary = StrFormat(
+          "\"precision\":{\"static_sites\":%zu,\"dynamic_sites\":%zu,\"ratio\":%.3f}",
+          static_sites, dynamic_sites, ratio);
+      if (format == "text") {
+        if (dynamic_sites == 0) {
+          std::printf("precision: %zu static site(s), empty dynamic profile\n", static_sites);
+        } else {
+          std::printf("precision: %zu static / %zu dynamic site(s) = %.3f\n", static_sites,
+                      dynamic_sites, ratio);
+        }
+      }
+    } else {
+      extra_summary = StrFormat("\"precision\":{\"static_sites\":%zu}", static_sites);
+      if (format == "text") {
+        std::printf("static profile: %zu shared site(s), %zu abstract object(s), %d "
+                    "iteration(s)\n",
+                    static_sites, points_to.object_count(), points_to.iterations());
+      }
+    }
+  }
+
+  for (const std::string& path : scan_paths) {
+    auto hits = analysis::ScanFile(path);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "scan: %s\n", hits.status().ToString().c_str());
+      return 2;
+    }
+    analysis::ReportGadgets(*hits, path, sink);
+    if (format == "text") {
+      std::printf("scanned %s: %zu wrpkru/xrstor occurrence(s)\n", path.c_str(), hits->size());
+    }
+  }
+
+  if (format == "json") {
+    analysis::RenderFindingsJson(std::cout, sink.findings(), extra_summary);
+  } else {
+    analysis::RenderFindingsText(std::cout, sink.findings());
+  }
+
+  const analysis::Severity threshold = fail_on == "note"      ? analysis::Severity::kNote
+                                       : fail_on == "warning" ? analysis::Severity::kWarning
+                                                              : analysis::Severity::kError;
+  return sink.CountAtLeast(threshold) > 0 ? 1 : 0;
+}

@@ -8,16 +8,30 @@
 //   profile_tool show  a.profile [--stats=json|text]
 //   profile_tool merge out.profile a.profile b.profile ...
 //   profile_tool diff  a.profile b.profile
+//   profile_tool check module.ir a.profile
 //
 // --stats renders the profile's aggregate numbers (site count, fault totals,
 // per-site fault counts) through the telemetry stats formats, so profiling
 // pipelines can consume `show` output the same way they consume
 // `pkrusafe_run --stats=json`.
+//
+// `check` runs the stale/unknown-site lint against a module about to receive
+// the profile in an enforcement build: any profile entry naming an AllocId
+// the module does not contain is reported and the exit code is nonzero
+// (previously stale profiles were silently accepted and their sites simply
+// never matched).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/lint.h"
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/pass.h"
 #include "src/runtime/profile.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
@@ -30,7 +44,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: profile_tool show <file> [--stats[=json|text]]\n"
                "       profile_tool merge <out> <in>...\n"
-               "       profile_tool diff <a> <b>\n");
+               "       profile_tool diff <a> <b>\n"
+               "       profile_tool check <module.ir> <profile>\n");
   return 2;
 }
 
@@ -140,7 +155,50 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%d site(s) unique to %s, %d unique to %s\n", only_a, argv[2], only_b, argv[3]);
+    // Precision read: with a static profile as <a> and a dynamic one as <b>,
+    // this is the over-sharing factor (static sites / dynamic sites).
+    if (b->site_count() > 0) {
+      std::printf("precision: %zu / %zu site(s) = %.3f\n", a->site_count(), b->site_count(),
+                  static_cast<double>(a->site_count()) / static_cast<double>(b->site_count()));
+    }
     return only_a == 0 && only_b == 0 ? 0 : 1;
+  }
+
+  if (command == "check") {
+    if (argc != 4) {
+      return Usage();
+    }
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto module = ParseModule(buffer.str());
+    if (!module.ok()) {
+      std::fprintf(stderr, "parse: %s\n", module.status().ToString().c_str());
+      return 1;
+    }
+    PassManager pm;
+    pm.Add(std::make_unique<AllocIdPass>());
+    if (auto status = pm.Run(*module); !status.ok()) {
+      std::fprintf(stderr, "instrument: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto profile = Load(argv[3]);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 1;
+    }
+    analysis::DiagnosticSink sink;
+    analysis::LintStaleProfileSites(*module, *profile, sink);
+    analysis::RenderFindingsText(std::cout, sink.findings());
+    if (!sink.empty()) {
+      return 1;
+    }
+    std::printf("all %zu profile site(s) resolve in %s\n", profile->site_count(), argv[2]);
+    return 0;
   }
 
   return Usage();
