@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/mpk/sim_backend.h"
 #include "src/pkalloc/pkalloc.h"
 #include "src/support/rng.h"
@@ -81,11 +82,16 @@ int main() {
   (void)MeasureOpsPerSec(false, 1);
   (void)MeasureOpsPerSec(true, 1);
 
+  bench::BenchJsonWriter out("alloc_mt");
   for (const int threads : {1, 2, 4, 8}) {
     const double baseline = MeasureOpsPerSec(false, threads);
     const double cached = MeasureOpsPerSec(true, threads);
     std::printf("%-8d %16.0f %16.0f %9.2fx\n", threads, baseline, cached, cached / baseline);
+    const std::string suffix = "/threads:" + std::to_string(threads);
+    out.Add("mutex_ops_per_sec" + suffix, baseline, "ops/s");
+    out.Add("cached_ops_per_sec" + suffix, cached, "ops/s");
+    out.Add("speedup" + suffix, cached / baseline, "x");
   }
   std::printf("\n# acceptance: cached >= 2x mutex at 8 threads, no regression at 1 thread.\n");
-  return 0;
+  return out.Write() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // over more work / the callback does relatively more) is the shape to check.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/mpk/sim_backend.h"
 #include "src/pkalloc/pkalloc.h"
 #include "src/runtime/call_gate.h"
@@ -106,4 +107,6 @@ BENCHMARK(BM_Callback_Gated);
 }  // namespace
 }  // namespace pkrusafe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pkrusafe::bench::RunBenchmarksWithJson("callgate_micro", argc, argv);
+}

@@ -5,6 +5,7 @@
 // knobs, plus the cost of nesting depth, using google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/mpk/sim_backend.h"
 #include "src/pkalloc/pkalloc.h"
 #include "src/runtime/call_gate.h"
@@ -100,4 +101,6 @@ BENCHMARK(BM_PkruWriteOnly);
 }  // namespace
 }  // namespace pkrusafe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pkrusafe::bench::RunBenchmarksWithJson("gate_ablation", argc, argv);
+}

@@ -7,7 +7,9 @@
 #   scripts/check.sh tsan           # ThreadSanitizer build (build/check-tsan)
 #   scripts/check.sh lint           # pkrusafe_lint over examples/ir/ + WRPKRU
 #                                   # gadget scan of the built tools
-#   scripts/check.sh matrix         # plain + asan + tsan + lint
+#   scripts/check.sh crash          # end-to-end crash forensics: an enforced
+#                                   # violation must leave a parseable report
+#   scripts/check.sh matrix         # plain + asan + tsan + lint + crash
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
 #
 # --asan/--tsan are accepted as aliases of asan/tsan.
@@ -21,9 +23,10 @@ while [[ $# -gt 0 ]]; do
     asan|--asan) mode=asan; shift ;;
     tsan|--tsan) mode=tsan; shift ;;
     lint|--lint) mode=lint; shift ;;
+    crash|--crash) mode=crash; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -51,15 +54,50 @@ run_lint() {
           --scan=build/tools/msrun --scan-self
 }
 
+run_crash() {
+  echo "== check: crash forensics (build) =="
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" \
+    --target pkrusafe_run profile_tool integration_test
+  # The in-tree fork-based e2e first.
+  ctest --test-dir build --output-on-failure -R CrashForensicsTest
+
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+
+  echo "-- crash: enforced violation writes a postmortem report"
+  local rc=0
+  build/tools/pkrusafe_run examples/ir/callbacks.ir \
+    --mode=enforce --backend=mprotect \
+    --crash-report="$out/crash.json" >/dev/null 2>&1 || rc=$?
+  # 128 + SIGSEGV: the violation must actually kill the process.
+  if [[ "$rc" -ne 139 ]]; then
+    echo "expected death by SIGSEGV (rc 139), got rc $rc" >&2
+    exit 1
+  fi
+  grep -q '"reason":"mpk-violation"' "$out/crash.json"
+  build/tools/profile_tool report "$out/crash.json" | grep -q "mpk-violation"
+
+  echo "-- crash: sampler writes parseable JSONL rows"
+  build/tools/pkrusafe_run examples/ir/telemetry_demo.ir \
+    --mode=profile --sample-out="$out/samples.jsonl" --sample-ms=5 >/dev/null
+  [[ -s "$out/samples.jsonl" ]]
+  grep -q '"counters"' "$out/samples.jsonl"
+  echo "crash forensics check OK"
+}
+
 case "$mode" in
   plain) run_one "" build "$@" ;;
   asan)  run_one address build/check-asan "$@" ;;
   tsan)  run_one thread build/check-tsan "$@" ;;
   lint)  run_lint ;;
+  crash) run_crash ;;
   matrix)
     run_one "" build "$@"
     run_one address build/check-asan "$@"
     run_one thread build/check-tsan "$@"
     run_lint
+    run_crash
     ;;
 esac

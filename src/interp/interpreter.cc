@@ -177,7 +177,8 @@ Result<int64_t> Interpreter::Execute(const IrFunction& fn, const std::vector<int
       }
       case Opcode::kAllocUntrusted: {
         const auto size = static_cast<size_t>(value_of(instr.operands[0]));
-        void* ptr = runtime_->AllocUntrusted(size);
+        void* ptr = instr.alloc_id.has_value() ? runtime_->AllocUntrusted(*instr.alloc_id, size)
+                                               : runtime_->AllocUntrusted(size);
         if (ptr == nullptr) {
           return ResourceExhaustedError("untrusted allocation failed");
         }
@@ -201,7 +202,8 @@ Result<int64_t> Interpreter::Execute(const IrFunction& fn, const std::vector<int
       }
       case Opcode::kStackAllocUntrusted: {
         const auto size = static_cast<size_t>(value_of(instr.operands[0]));
-        void* ptr = runtime_->AllocUntrusted(size);
+        void* ptr = instr.alloc_id.has_value() ? runtime_->AllocUntrusted(*instr.alloc_id, size)
+                                               : runtime_->AllocUntrusted(size);
         if (ptr == nullptr) {
           return ResourceExhaustedError("untrusted stack allocation failed");
         }

@@ -52,6 +52,13 @@ enum class FaultResolution : uint8_t {
 // Invoked on every protection-key violation the backend detects.
 using FaultHandlerFn = std::function<FaultResolution(const MpkFault&)>;
 
+// A tagged page range, as reported by TaggedRangesNear for crash forensics.
+struct TaggedRangeInfo {
+  uintptr_t begin = 0;
+  uintptr_t end = 0;
+  PkeyId key = kDefaultPkey;
+};
+
 class MpkBackend {
  public:
   virtual ~MpkBackend() = default;
@@ -73,6 +80,12 @@ class MpkBackend {
 
   // The key tagging `addr` (kDefaultPkey when untagged).
   virtual PkeyId KeyFor(uintptr_t addr) const = 0;
+
+  // Async-signal-safe: copies up to `max` tagged ranges around `addr` into
+  // `out` (address order) and returns how many were written. The crash
+  // reporter calls this from inside SIGSEGV to show the page-key interval
+  // map near the faulting address; backends must not allocate or lock here.
+  virtual size_t TaggedRangesNear(uintptr_t addr, TaggedRangeInfo* out, size_t max) const = 0;
 
   // Reads / writes the calling thread's PKRU.
   virtual PkruValue ReadPkru() const = 0;

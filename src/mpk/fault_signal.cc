@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 
@@ -72,13 +73,43 @@ void ChainToPrevious(const struct sigaction& prev, int signo, siginfo_t* info, v
     prev.sa_handler(signo);
     return;
   }
-  // Default disposition: restore and re-raise so the kernel terminates us
-  // with the original signal.
+  // Default disposition: the process is about to be terminated by the
+  // kernel with the original signal. An unserviceable SIGSEGV (wild pointer,
+  // not an MPK fault — or one while no delegate was installed) is exactly
+  // what the flight recorder exists for; capture it before re-raising.
+  if (signo == SIGSEGV) {
+    telemetry::FatalFaultInfo fatal;
+    fatal.reason = "segv";
+    fatal.signo = signo;
+    if (info != nullptr) {
+      fatal.has_fault_address = true;
+      fatal.fault_address = reinterpret_cast<uint64_t>(info->si_addr);
+    }
+    const PkruValue pkru = CurrentThreadPkru();
+    fatal.has_pkru = true;
+    fatal.pkru = pkru.raw();
+    telemetry::FlightRecorder::Global().WriteFatalReport(fatal);
+  }
   signal(signo, SIG_DFL);
   raise(signo);
 }
 
 void DieWithViolation(const MpkFault& fault) {
+  // Postmortem first: the flight recorder formats into a static arena and
+  // writes to a pre-opened fd, so this is async-signal-safe (no-op when the
+  // recorder is not configured).
+  telemetry::FatalFaultInfo fatal;
+  fatal.reason = "mpk-violation";
+  fatal.signo = SIGSEGV;
+  fatal.has_fault_address = true;
+  fatal.fault_address = fault.address;
+  fatal.access_kind = fault.kind == AccessKind::kWrite ? 1 : 0;
+  fatal.has_pkey = true;
+  fatal.pkey = fault.key;
+  fatal.has_pkru = true;
+  fatal.pkru = fault.pkru.raw();
+  telemetry::FlightRecorder::Global().WriteFatalReport(fatal);
+
   // Async-signal-safe-ish reporting: fixed buffer + write(2) via fprintf is
   // tolerated here because we are about to terminate anyway.
   std::fprintf(stderr,

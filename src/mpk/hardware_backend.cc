@@ -104,6 +104,17 @@ Status HardwareMpkBackend::UntagRange(uintptr_t addr) {
 
 PkeyId HardwareMpkBackend::KeyFor(uintptr_t addr) const { return page_keys_.KeyFor(addr); }
 
+size_t HardwareMpkBackend::TaggedRangesNear(uintptr_t addr, TaggedRangeInfo* out,
+                                            size_t max) const {
+  constexpr size_t kMaxWindow = 64;
+  PageKeyMap::TaggedRange buffer[kMaxWindow];
+  const size_t n = page_keys_.RangesAround(addr, buffer, max < kMaxWindow ? max : kMaxWindow);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = TaggedRangeInfo{buffer[i].begin, buffer[i].end, buffer[i].key};
+  }
+  return n;
+}
+
 PkruValue HardwareMpkBackend::ReadPkru() const { return PkruValue(RdPkru()); }
 
 void HardwareMpkBackend::WritePkru(PkruValue value) {

@@ -45,6 +45,17 @@ Status MprotectMpkBackend::UntagRange(uintptr_t addr) { return page_keys_.Untag(
 
 PkeyId MprotectMpkBackend::KeyFor(uintptr_t addr) const { return page_keys_.KeyFor(addr); }
 
+size_t MprotectMpkBackend::TaggedRangesNear(uintptr_t addr, TaggedRangeInfo* out,
+                                            size_t max) const {
+  constexpr size_t kMaxWindow = 64;
+  PageKeyMap::TaggedRange buffer[kMaxWindow];
+  const size_t n = page_keys_.RangesAround(addr, buffer, max < kMaxWindow ? max : kMaxWindow);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = TaggedRangeInfo{buffer[i].begin, buffer[i].end, buffer[i].key};
+  }
+  return n;
+}
+
 void MprotectMpkBackend::ApplyKeyProtection(PkeyId key, PkruValue pkru) {
   const int prot = ProtFor(pkru, key);
   for (const auto& range : page_keys_.RangesForKey(key)) {

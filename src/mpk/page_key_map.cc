@@ -1,9 +1,28 @@
 #include "src/mpk/page_key_map.h"
 
+#include <algorithm>
+
 #include "src/memmap/page.h"
 #include "src/support/string_util.h"
 
 namespace pkrusafe {
+
+PageKeyMap::~PageKeyMap() {
+  delete snapshot_.load(std::memory_order_relaxed);
+  // retired_ frees the rest.
+}
+
+void PageKeyMap::PublishLocked() {
+  auto fresh = std::make_unique<Snapshot>();
+  fresh->ranges.reserve(ranges_.size());
+  ranges_.ForEach([&](const IntervalMap<PkeyId>::Interval& interval) {
+    fresh->ranges.push_back(TaggedRange{interval.begin, interval.end, interval.value});
+  });
+  const Snapshot* old = snapshot_.exchange(fresh.release(), std::memory_order_acq_rel);
+  if (old != nullptr) {
+    retired_.emplace_back(old);
+  }
+}
 
 Status PageKeyMap::Tag(uintptr_t addr, size_t length, PkeyId key) {
   if (!IsPageAligned(addr) || !IsPageAligned(length) || length == 0) {
@@ -12,60 +31,104 @@ Status PageKeyMap::Tag(uintptr_t addr, size_t length, PkeyId key) {
   if (key >= kNumPkeys) {
     return InvalidArgumentError(StrFormat("pkey %d out of range", key));
   }
-  std::unique_lock lock(mutex_);
+  std::lock_guard lock(mutex_);
   // Allow exact retagging: pkey_mprotect may be called repeatedly on the same
   // mapping with a different key.
   auto existing = ranges_.Find(addr);
   if (existing.has_value() && existing->begin == addr && existing->end == addr + length) {
     (void)ranges_.Erase(addr);
-    return ranges_.Insert(addr, addr + length, key);
   }
-  return ranges_.Insert(addr, addr + length, key);
+  PS_RETURN_IF_ERROR(ranges_.Insert(addr, addr + length, key));
+  PublishLocked();
+  return Status::Ok();
 }
 
 Status PageKeyMap::Untag(uintptr_t addr) {
-  std::unique_lock lock(mutex_);
+  std::lock_guard lock(mutex_);
   auto result = ranges_.Erase(addr);
   if (!result.ok()) {
     return result.status();
   }
+  PublishLocked();
   return Status::Ok();
 }
 
+namespace {
+
+// First range whose end is past `addr` (the containing range if tagged,
+// otherwise the nearest range above).
+const PageKeyMap::TaggedRange* LowerBoundRange(const std::vector<PageKeyMap::TaggedRange>& ranges,
+                                               uintptr_t addr) {
+  auto it = std::upper_bound(ranges.begin(), ranges.end(), addr,
+                             [](uintptr_t value, const PageKeyMap::TaggedRange& range) {
+                               return value < range.end;
+                             });
+  return it == ranges.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
 PkeyId PageKeyMap::KeyFor(uintptr_t addr) const {
-  std::shared_lock lock(mutex_);
-  auto interval = ranges_.Find(addr);
-  return interval.has_value() ? interval->value : kDefaultPkey;
+  const Snapshot* snap = LoadSnapshot();
+  if (snap == nullptr) {
+    return kDefaultPkey;
+  }
+  const TaggedRange* range = LowerBoundRange(snap->ranges, addr);
+  return range != nullptr && range->begin <= addr ? range->key : kDefaultPkey;
 }
 
 bool PageKeyMap::IsTagged(uintptr_t addr) const {
-  std::shared_lock lock(mutex_);
-  return ranges_.Find(addr).has_value();
+  const Snapshot* snap = LoadSnapshot();
+  if (snap == nullptr) {
+    return false;
+  }
+  const TaggedRange* range = LowerBoundRange(snap->ranges, addr);
+  return range != nullptr && range->begin <= addr;
+}
+
+size_t PageKeyMap::RangesAround(uintptr_t addr, TaggedRange* out, size_t max) const {
+  const Snapshot* snap = LoadSnapshot();
+  if (snap == nullptr || max == 0 || snap->ranges.empty()) {
+    return 0;
+  }
+  const std::vector<TaggedRange>& ranges = snap->ranges;
+  const TaggedRange* pivot = LowerBoundRange(ranges, addr);
+  size_t index = pivot == nullptr ? ranges.size() : static_cast<size_t>(pivot - ranges.data());
+  // Center the window on the pivot: up to half the budget below it, the rest
+  // above (shifted when the address sits near either end of the map).
+  size_t begin = index > max / 2 ? index - max / 2 : 0;
+  if (ranges.size() - begin < max && ranges.size() > max) {
+    begin = ranges.size() - max;
+  }
+  size_t written = 0;
+  for (size_t i = begin; i < ranges.size() && written < max; ++i) {
+    out[written++] = ranges[i];
+  }
+  return written;
 }
 
 std::vector<PageKeyMap::TaggedRange> PageKeyMap::RangesForKey(PkeyId key) const {
-  std::shared_lock lock(mutex_);
   std::vector<TaggedRange> out;
-  ranges_.ForEach([&](const IntervalMap<PkeyId>::Interval& interval) {
-    if (interval.value == key) {
-      out.push_back(TaggedRange{interval.begin, interval.end, interval.value});
+  const Snapshot* snap = LoadSnapshot();
+  if (snap == nullptr) {
+    return out;
+  }
+  for (const TaggedRange& range : snap->ranges) {
+    if (range.key == key) {
+      out.push_back(range);
     }
-  });
+  }
   return out;
 }
 
 std::vector<PageKeyMap::TaggedRange> PageKeyMap::AllRanges() const {
-  std::shared_lock lock(mutex_);
-  std::vector<TaggedRange> out;
-  ranges_.ForEach([&](const IntervalMap<PkeyId>::Interval& interval) {
-    out.push_back(TaggedRange{interval.begin, interval.end, interval.value});
-  });
-  return out;
+  const Snapshot* snap = LoadSnapshot();
+  return snap == nullptr ? std::vector<TaggedRange>() : snap->ranges;
 }
 
 size_t PageKeyMap::range_count() const {
-  std::shared_lock lock(mutex_);
-  return ranges_.size();
+  const Snapshot* snap = LoadSnapshot();
+  return snap == nullptr ? 0 : snap->ranges.size();
 }
 
 }  // namespace pkrusafe

@@ -1,19 +1,31 @@
 // Thread-safe map from page ranges to protection keys.
 //
 // This models the protection-key field of the page tables: the sim backend
-// consults it on every checked access, and the mprotect backend uses it to
-// translate PKRU writes into mprotect calls over the affected ranges.
+// consults it on every checked access, the mprotect backend uses it to
+// translate PKRU writes into mprotect calls over the affected ranges, and
+// the crash-forensics path queries it from inside SIGSEGV.
+//
+// The read path is lock-free: mutations (Tag/Untag — rare, on region
+// creation/teardown) rebuild an immutable sorted snapshot under a writer
+// mutex and publish it with one release store. Readers load the snapshot
+// pointer (acquire) and binary-search it — no lock, no allocation, so
+// KeyFor/IsTagged/RangesAround are async-signal-safe and cheap on the sim
+// backend's per-access check. Retired snapshots are kept until the map is
+// destroyed (readers — including signal handlers — may still hold a pointer;
+// the count is bounded by the number of mutations, which is proportional to
+// region churn, not accesses).
 #ifndef SRC_MPK_PAGE_KEY_MAP_H_
 #define SRC_MPK_PAGE_KEY_MAP_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
-#include <optional>
-#include <shared_mutex>
 #include <vector>
 
 #include "src/memmap/interval_map.h"
 #include "src/mpk/pkey.h"
+#include "src/support/async_signal.h"
 #include "src/support/status.h"
 
 namespace pkrusafe {
@@ -26,6 +38,11 @@ class PageKeyMap {
     PkeyId key;
   };
 
+  PageKeyMap() = default;
+  ~PageKeyMap();
+  PageKeyMap(const PageKeyMap&) = delete;
+  PageKeyMap& operator=(const PageKeyMap&) = delete;
+
   // Tags [addr, addr+length) with `key`. Both bounds must be page-aligned.
   // Retagging an identical existing range is allowed (pkey_mprotect
   // semantics); partially overlapping ranges are rejected.
@@ -34,11 +51,17 @@ class PageKeyMap {
   // Removes the tag for the range starting at `addr` (e.g. on unmap).
   Status Untag(uintptr_t addr);
 
-  // The key governing `addr`; kDefaultPkey when untagged.
-  PkeyId KeyFor(uintptr_t addr) const;
+  // The key governing `addr`; kDefaultPkey when untagged. Lock-free.
+  PKRUSAFE_AS_SAFE PkeyId KeyFor(uintptr_t addr) const;
 
-  // Whether `addr` lies in any explicitly tagged range.
-  bool IsTagged(uintptr_t addr) const;
+  // Whether `addr` lies in any explicitly tagged range. Lock-free.
+  PKRUSAFE_AS_SAFE bool IsTagged(uintptr_t addr) const;
+
+  // Async-signal-safe neighborhood query for the crash reporter: copies up
+  // to `max` tagged ranges around `addr` (the containing/nearest range plus
+  // its neighbors, in address order) into `out` and returns how many were
+  // written.
+  PKRUSAFE_AS_SAFE size_t RangesAround(uintptr_t addr, TaggedRange* out, size_t max) const;
 
   // Snapshot of all ranges tagged with `key`.
   std::vector<TaggedRange> RangesForKey(PkeyId key) const;
@@ -46,11 +69,24 @@ class PageKeyMap {
   // Snapshot of every tagged range.
   std::vector<TaggedRange> AllRanges() const;
 
-  size_t range_count() const;
+  PKRUSAFE_AS_SAFE size_t range_count() const;
 
  private:
-  mutable std::shared_mutex mutex_;
+  // Immutable once published; `ranges` is sorted by begin.
+  struct Snapshot {
+    std::vector<TaggedRange> ranges;
+  };
+
+  PKRUSAFE_AS_SAFE const Snapshot* LoadSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  // Rebuilds and publishes a snapshot from `ranges_`; caller holds mutex_.
+  void PublishLocked();
+
+  mutable std::mutex mutex_;  // serializes writers; readers never take it
   IntervalMap<PkeyId> ranges_;
+  std::atomic<const Snapshot*> snapshot_{nullptr};
+  std::vector<std::unique_ptr<const Snapshot>> retired_;
 };
 
 }  // namespace pkrusafe

@@ -20,6 +20,16 @@ Status SimMpkBackend::UntagRange(uintptr_t addr) { return page_keys_.Untag(addr)
 
 PkeyId SimMpkBackend::KeyFor(uintptr_t addr) const { return page_keys_.KeyFor(addr); }
 
+size_t SimMpkBackend::TaggedRangesNear(uintptr_t addr, TaggedRangeInfo* out, size_t max) const {
+  constexpr size_t kMaxWindow = 64;
+  PageKeyMap::TaggedRange buffer[kMaxWindow];
+  const size_t n = page_keys_.RangesAround(addr, buffer, max < kMaxWindow ? max : kMaxWindow);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = TaggedRangeInfo{buffer[i].begin, buffer[i].end, buffer[i].key};
+  }
+  return n;
+}
+
 Status SimMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
   const PkeyId key = page_keys_.KeyFor(addr);
   const PkruValue pkru = CurrentThreadPkru();

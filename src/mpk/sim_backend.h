@@ -26,6 +26,7 @@ class SimMpkBackend final : public MpkBackend {
   Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
   Status UntagRange(uintptr_t addr) override;
   PkeyId KeyFor(uintptr_t addr) const override;
+  size_t TaggedRangesNear(uintptr_t addr, TaggedRangeInfo* out, size_t max) const override;
 
   PkruValue ReadPkru() const override { return CurrentThreadPkru(); }
   void WritePkru(PkruValue value) override { SetCurrentThreadPkru(value); }

@@ -41,6 +41,20 @@ std::optional<ProvenanceTracker::Record> ProvenanceTracker::Lookup(uintptr_t add
   return interval->value;
 }
 
+bool ProvenanceTracker::LookupForSignal(uintptr_t addr, bool* found, Record* record) const {
+  *found = false;
+  if (!mutex_.try_lock()) {
+    return false;
+  }
+  auto interval = objects_.Find(addr);
+  if (interval.has_value()) {
+    *found = true;
+    *record = interval->value;
+  }
+  mutex_.unlock();
+  return true;
+}
+
 size_t ProvenanceTracker::live_count() const {
   std::lock_guard lock(mutex_);
   return objects_.size();

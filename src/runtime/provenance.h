@@ -40,6 +40,13 @@ class ProvenanceTracker {
   // The record owning `addr` (any interior address), if tracked.
   std::optional<Record> Lookup(uintptr_t addr) const;
 
+  // Crash-path variant: attempts the lookup with try_lock so it cannot
+  // deadlock when the faulting thread died inside OnAlloc/OnFree holding the
+  // mutex. Returns false when the lock was unavailable (provenance then reads
+  // "unavailable" in the report); sets `found`/`record` on success. Does not
+  // allocate.
+  bool LookupForSignal(uintptr_t addr, bool* found, Record* record) const;
+
   size_t live_count() const;
   void Clear();
 

@@ -1,12 +1,58 @@
 #include "src/runtime/runtime.h"
 
+#include "src/runtime/site_stats.h"
 #include "src/support/logging.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 
 namespace pkrusafe {
 
 namespace {
+
+// --- Flight-recorder resolver thunks (async-signal-safe) -------------------
+// The recorder lives below the mpk/runtime layers; these C-style callbacks
+// give it crash-time access to the page-key map and the provenance table
+// without a layering inversion.
+
+size_t CrashRangeResolver(void* ctx, uint64_t addr, telemetry::CrashRange* out, size_t max) {
+  auto* backend = static_cast<MpkBackend*>(ctx);
+  constexpr size_t kWindow = 16;
+  TaggedRangeInfo ranges[kWindow];
+  const size_t n =
+      backend->TaggedRangesNear(static_cast<uintptr_t>(addr), ranges, max < kWindow ? max : kWindow);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].begin = ranges[i].begin;
+    out[i].end = ranges[i].end;
+    out[i].key = ranges[i].key;
+  }
+  return n;
+}
+
+void CrashProvenanceResolver(void* ctx, uint64_t addr, telemetry::CrashProvenance* out) {
+  auto* tracker = static_cast<ProvenanceTracker*>(ctx);
+  ProvenanceTracker::Record record;
+  bool found = false;
+  if (!tracker->LookupForSignal(static_cast<uintptr_t>(addr), &found, &record)) {
+    out->status = 2;  // lock unavailable (held by the dying thread)
+    return;
+  }
+  if (!found) {
+    out->status = 0;
+    return;
+  }
+  out->status = 1;
+  out->base = record.base;
+  out->size = record.size;
+  out->function_id = record.id.function_id;
+  out->block_id = record.id.block_id;
+  out->site_id = record.id.site_id;
+}
+
+uint32_t CrashPkruReader(void* ctx) {
+  (void)ctx;
+  return CurrentThreadPkru().raw();
+}
 
 // Fault-outcome counters, shared across runtimes (one chokepoint for every
 // backend: natively-enforcing ones route through the signal engine into
@@ -79,6 +125,28 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
   registry.SetCallbackGauge("runtime.heap.untrusted_bytes", this, [this] {
     return static_cast<int64_t>(allocator_->untrusted_stats().total_bytes);
   });
+  // Live (not cumulative) per-domain heap occupancy, for the sampler's
+  // time-series rows.
+  registry.SetCallbackGauge("runtime.heap.trusted_live_bytes", this, [this] {
+    return static_cast<int64_t>(allocator_->trusted_stats().live_bytes);
+  });
+  registry.SetCallbackGauge("runtime.heap.untrusted_live_bytes", this, [this] {
+    return static_cast<int64_t>(allocator_->untrusted_stats().live_bytes);
+  });
+
+  // Force the lazily-created fault counters into existence now, then refresh
+  // the flight recorder's crash-time handle table so a report taken before
+  // the first fault still lists them.
+  (void)ProfiledFaultCounter();
+  (void)DeniedFaultCounter();
+
+  // Crash forensics wiring: let the recorder reach the page-key map, the
+  // provenance table and the thread PKRU from signal context.
+  auto& recorder = telemetry::FlightRecorder::Global();
+  recorder.SetBackendName(backend_->name().data());
+  recorder.SetRangeResolver(&CrashRangeResolver, backend_.get());
+  recorder.SetProvenanceResolver(&CrashProvenanceResolver, &provenance_);
+  recorder.SetPkruReader(&CrashPkruReader, this);
 }
 
 Result<std::unique_ptr<PkruSafeRuntime>> PkruSafeRuntime::Create(RuntimeConfig config) {
@@ -96,14 +164,28 @@ Result<std::unique_ptr<PkruSafeRuntime>> PkruSafeRuntime::Create(RuntimeConfig c
   if (runtime->backend_->enforces_natively()) {
     PS_RETURN_IF_ERROR(runtime->backend_->PrepareNativeEnforcement());
   }
+  // Refresh after native enforcement is prepared: installing the signal
+  // engine registers the mpk.faults.* counters, and a crash report taken
+  // before the first fault should still list them.
+  telemetry::FlightRecorder::Global().RefreshMetricHandles();
   return runtime;
 }
 
 PkruSafeRuntime::~PkruSafeRuntime() {
   // Drop the fault handler before members are destroyed; a late fault must
-  // not call into a half-dead runtime. Same for the registry callbacks.
+  // not call into a half-dead runtime. Same for the registry callbacks and
+  // the flight-recorder resolvers.
   backend_->SetFaultHandler(nullptr);
+  auto& recorder = telemetry::FlightRecorder::Global();
+  recorder.ClearResolversFor(backend_.get());
+  recorder.ClearResolversFor(&provenance_);
+  recorder.ClearResolversFor(this);
   telemetry::MetricsRegistry::Global().RemoveCallbackGauges(this);
+}
+
+bool PkruSafeRuntime::TracksProvenance() const {
+  return mode_ == RuntimeMode::kProfiling ||
+         telemetry::FlightRecorder::Global().configured() || SiteHeapStats::Global().enabled();
 }
 
 FaultResolution PkruSafeRuntime::OnMpkFault(const MpkFault& fault) {
@@ -149,13 +231,22 @@ void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
     domain = policy_.DomainFor(site);
   }
   void* ptr = allocator_->Allocate(domain, size);
-  if (ptr != nullptr) {
-    RecordAllocEvent(domain, size, &site);
+  if (ptr == nullptr) {
+    return nullptr;
   }
-  if (ptr != nullptr && mode_ == RuntimeMode::kProfiling && domain == Domain::kTrusted) {
+  RecordAllocEvent(domain, size, &site);
+  if (TracksProvenance()) {
     const size_t usable = allocator_->UsableSize(ptr);
     const Status status = provenance_.OnAlloc(ptr, usable, site);
     PS_CHECK(status.ok()) << "provenance registration failed: " << status.ToString();
+    provenance_active_.store(true, std::memory_order_relaxed);
+    SiteHeapStats& site_stats = SiteHeapStats::Global();
+    if (site_stats.enabled()) {
+      site_stats.NoteAlloc(site,
+                           domain == Domain::kUntrusted ? SiteHeapStats::kUntrusted
+                                                        : SiteHeapStats::kTrusted,
+                           usable);
+    }
   }
   return ptr;
 }
@@ -168,21 +259,54 @@ void* PkruSafeRuntime::AllocUntrusted(size_t size) {
   return ptr;
 }
 
+void* PkruSafeRuntime::AllocUntrusted(AllocId site, size_t size) {
+  {
+    std::lock_guard lock(sites_mutex_);
+    sites_seen_.insert(site);
+  }
+  void* ptr = allocator_->Allocate(Domain::kUntrusted, size);
+  if (ptr == nullptr) {
+    return nullptr;
+  }
+  RecordAllocEvent(Domain::kUntrusted, size, &site);
+  if (TracksProvenance()) {
+    const size_t usable = allocator_->UsableSize(ptr);
+    const Status status = provenance_.OnAlloc(ptr, usable, site);
+    PS_CHECK(status.ok()) << "provenance registration failed: " << status.ToString();
+    provenance_active_.store(true, std::memory_order_relaxed);
+    SiteHeapStats& site_stats = SiteHeapStats::Global();
+    if (site_stats.enabled()) {
+      site_stats.NoteAlloc(site, SiteHeapStats::kUntrusted, usable);
+    }
+  }
+  return ptr;
+}
+
 void* PkruSafeRuntime::Realloc(void* ptr, size_t new_size) {
   if (ptr == nullptr) {
     return allocator_->Allocate(Domain::kTrusted, new_size);
   }
-  const bool tracked =
-      mode_ == RuntimeMode::kProfiling &&
-      provenance_.Lookup(reinterpret_cast<uintptr_t>(ptr)).has_value();
+  const auto old_record = provenance_active_.load(std::memory_order_relaxed)
+                              ? provenance_.Lookup(reinterpret_cast<uintptr_t>(ptr))
+                              : std::nullopt;
   void* fresh = allocator_->Reallocate(Domain::kTrusted, ptr, new_size);
   if (fresh != nullptr) {
     telemetry::RecordEvent(telemetry::TraceEventType::kRealloc, 0, new_size);
   }
-  if (fresh != nullptr && tracked) {
+  if (fresh != nullptr && old_record.has_value()) {
     const size_t usable = allocator_->UsableSize(fresh);
     const Status status = provenance_.OnRealloc(ptr, fresh, usable);
     PS_CHECK(status.ok()) << "provenance realloc failed: " << status.ToString();
+    SiteHeapStats& site_stats = SiteHeapStats::Global();
+    if (site_stats.enabled()) {
+      // Pool (and thus domain) never changes across realloc.
+      const auto owner = allocator_->OwnerOf(fresh);
+      const int domain = owner.has_value() && *owner == Domain::kUntrusted
+                             ? SiteHeapStats::kUntrusted
+                             : SiteHeapStats::kTrusted;
+      site_stats.NoteFree(old_record->id, domain, old_record->size);
+      site_stats.NoteAlloc(old_record->id, domain, usable);
+    }
   }
   return fresh;
 }
@@ -193,9 +317,22 @@ void PkruSafeRuntime::Free(void* ptr) {
   }
   telemetry::RecordEvent(telemetry::TraceEventType::kFree, 0,
                          reinterpret_cast<uintptr_t>(ptr));
-  if (mode_ == RuntimeMode::kProfiling) {
-    // Untracked pointers (M_U allocations) are fine; ignore NotFound.
-    (void)provenance_.OnFree(ptr);
+  // provenance_active_ latches once any registration happened, so records
+  // are balanced even when profiling/forensics is toggled off mid-run.
+  if (provenance_active_.load(std::memory_order_relaxed)) {
+    const auto record = provenance_.Lookup(reinterpret_cast<uintptr_t>(ptr));
+    // Untracked pointers (M_U allocations, pre-tracking objects) are fine.
+    if (record.has_value()) {
+      (void)provenance_.OnFree(ptr);
+      SiteHeapStats& site_stats = SiteHeapStats::Global();
+      if (site_stats.enabled()) {
+        const auto owner = allocator_->OwnerOf(ptr);
+        const int domain = owner.has_value() && *owner == Domain::kUntrusted
+                               ? SiteHeapStats::kUntrusted
+                               : SiteHeapStats::kTrusted;
+        site_stats.NoteFree(record->id, domain, record->size);
+      }
+    }
   }
   allocator_->Free(ptr);
 }

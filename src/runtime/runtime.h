@@ -14,6 +14,7 @@
 #ifndef SRC_RUNTIME_RUNTIME_H_
 #define SRC_RUNTIME_RUNTIME_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
@@ -93,6 +94,11 @@ class PkruSafeRuntime {
   // __rust_untrusted_alloc analogue: memory explicitly destined for U.
   void* AllocUntrusted(size_t size);
 
+  // Sited variant: instrumented IR keeps AllocIds on alloc_untrusted
+  // instructions (including sites the ProfileApplyPass moved), so forensics
+  // and per-site attribution can follow M_U objects too.
+  void* AllocUntrusted(AllocId site, size_t size);
+
   // __rust_realloc analogue: stays in the pool of `ptr`; provenance follows.
   void* Realloc(void* ptr, size_t new_size);
 
@@ -119,6 +125,12 @@ class PkruSafeRuntime {
 
   FaultResolution OnMpkFault(const MpkFault& fault);
 
+  // Whether trusted allocations should register provenance records: always
+  // in profiling mode (the paper's pipeline), and additionally whenever the
+  // flight recorder or site attribution needs pointer→site resolution in
+  // enforcement mode.
+  bool TracksProvenance() const;
+
   RuntimeMode mode_;
   SitePolicy policy_;
   std::unique_ptr<MpkBackend> backend_;
@@ -126,6 +138,10 @@ class PkruSafeRuntime {
   std::unique_ptr<GateSet> gates_;
   ProvenanceTracker provenance_;
   ProfileRecorder recorder_;
+  // Latches true once any provenance record was registered; the free path
+  // then always consults the tracker so records stay balanced even when the
+  // enabling feature (profiling, recorder, site stats) toggles off mid-run.
+  std::atomic<bool> provenance_active_{false};
 
   mutable std::mutex sites_mutex_;
   std::unordered_set<AllocId, AllocIdHasher> sites_seen_;

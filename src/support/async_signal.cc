@@ -1,0 +1,38 @@
+#include "src/support/async_signal.h"
+
+#include <string.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace pkrusafe {
+
+namespace {
+// Depth, not a bool: fatal paths can nest (e.g. the SIGABRT hook firing
+// while a SIGSEGV report is being written).
+thread_local int tls_async_signal_depth = 0;
+}  // namespace
+
+bool InAsyncSignalContext() { return tls_async_signal_depth > 0; }
+
+ScopedAsyncSignalContext::ScopedAsyncSignalContext() { ++tls_async_signal_depth; }
+
+ScopedAsyncSignalContext::~ScopedAsyncSignalContext() { --tls_async_signal_depth; }
+
+namespace internal {
+
+void AssertNotInAsyncSignalContext(const char* what) {
+  if (tls_async_signal_depth == 0) {
+    return;
+  }
+  // Dying anyway; report with raw write(2) — no allocation, no stdio locks.
+  const char prefix[] = "pkru-safe: async-signal-safety violation: ";
+  const char suffix[] = " called from signal context\n";
+  (void)!write(STDERR_FILENO, prefix, sizeof(prefix) - 1);
+  (void)!write(STDERR_FILENO, what, strlen(what));
+  (void)!write(STDERR_FILENO, suffix, sizeof(suffix) - 1);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pkrusafe

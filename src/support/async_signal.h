@@ -1,0 +1,57 @@
+// Async-signal-safety annotations and runtime enforcement.
+//
+// The fatal-fault forensics path (flight recorder) and the MPK fault engine
+// run inside SIGSEGV/SIGTRAP/SIGABRT handlers, where calling anything that
+// allocates or takes a non-reentrant lock can deadlock or corrupt state. The
+// contract is enforced two ways:
+//   * PKRUSAFE_AS_SAFE marks a function as safe to call from signal context.
+//     It is documentation (it expands to nothing), but greppable, and every
+//     marked function is covered by the AS-safety audit in
+//     docs/observability.md.
+//   * PKRUSAFE_AS_UNSAFE_POINT(what) is placed at the top of functions that
+//     are *not* signal-safe (registry snapshots, blocking map lookups,
+//     trace collection into vectors). While a ScopedAsyncSignalContext is
+//     active — the flight recorder's fatal path, or a test — hitting one of
+//     these points aborts with a diagnostic, turning a latent deadlock into
+//     a deterministic test failure.
+//
+// The context flag is a plain thread-local; reading and writing it is itself
+// async-signal-safe.
+#ifndef SRC_SUPPORT_ASYNC_SIGNAL_H_
+#define SRC_SUPPORT_ASYNC_SIGNAL_H_
+
+// Marks a function as async-signal-safe: no allocation, no non-reentrant
+// locks, no unbounded recursion; only relaxed atomics, TLS, stack buffers
+// and AS-safe syscalls (write, clock_gettime, ...).
+#define PKRUSAFE_AS_SAFE
+
+// Aborts with `what` when executed while the calling thread is inside an
+// async-signal context (see ScopedAsyncSignalContext).
+#define PKRUSAFE_AS_UNSAFE_POINT(what) \
+  ::pkrusafe::internal::AssertNotInAsyncSignalContext(what)
+
+namespace pkrusafe {
+
+// True while the calling thread is inside a declared async-signal context.
+PKRUSAFE_AS_SAFE bool InAsyncSignalContext();
+
+// Declares the enclosed scope as async-signal context. The flight recorder's
+// fatal path enters one; tests enter one to verify functions trip the
+// unsafe-point assert. Nestable.
+class ScopedAsyncSignalContext {
+ public:
+  PKRUSAFE_AS_SAFE ScopedAsyncSignalContext();
+  PKRUSAFE_AS_SAFE ~ScopedAsyncSignalContext();
+  ScopedAsyncSignalContext(const ScopedAsyncSignalContext&) = delete;
+  ScopedAsyncSignalContext& operator=(const ScopedAsyncSignalContext&) = delete;
+};
+
+namespace internal {
+// Writes a diagnostic with write(2) and aborts if the calling thread is in
+// async-signal context; returns silently otherwise.
+PKRUSAFE_AS_SAFE void AssertNotInAsyncSignalContext(const char* what);
+}  // namespace internal
+
+}  // namespace pkrusafe
+
+#endif  // SRC_SUPPORT_ASYNC_SIGNAL_H_

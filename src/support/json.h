@@ -1,0 +1,82 @@
+// Minimal JSON value model and recursive-descent parser.
+//
+// The observability layer emits JSON in several places (crash reports,
+// sampler JSONL rows, site-attribution dumps, stats snapshots) and the tools
+// and tests need to read it back without an external dependency. This parser
+// covers the full JSON grammar the emitters use: objects, arrays, strings
+// with the common escapes, integer/double numbers, booleans and null.
+//
+// Numbers are kept in three views (int64/uint64/double) because the crash
+// reporter writes full 64-bit addresses and counters that do not round-trip
+// through double.
+#ifndef SRC_SUPPORT_JSON_H_
+#define SRC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace pkrusafe {
+namespace json {
+
+enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return double_; }
+  int64_t AsInt() const { return int_; }
+  uint64_t AsUint() const { return uint_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::map<std::string, Value>& AsObject() const { return object_; }
+
+  // Object member access; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  // Convenience typed getters with defaults (missing/mistyped → fallback).
+  uint64_t GetUint(std::string_view key, uint64_t fallback = 0) const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+// Parses exactly one JSON value (leading/trailing whitespace tolerated;
+// trailing garbage is an error).
+Result<Value> Parse(std::string_view text);
+
+// Parses one JSON value from the front of `text`, returning how many bytes
+// were consumed via `consumed` — the JSONL helper ("one object per line").
+Result<Value> ParsePrefix(std::string_view text, size_t* consumed);
+
+}  // namespace json
+}  // namespace pkrusafe
+
+#endif  // SRC_SUPPORT_JSON_H_

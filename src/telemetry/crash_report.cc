@@ -1,0 +1,152 @@
+#include "src/telemetry/crash_report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+Result<json::Value> ParseCrashReport(std::string_view text) {
+  PS_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
+  if (!root.is_object()) {
+    return InvalidArgumentError("crash report: top level is not an object");
+  }
+  if (root.GetString("kind") != "pkru_safe_crash_report") {
+    return InvalidArgumentError("crash report: wrong or missing kind");
+  }
+  return root;
+}
+
+Result<json::Value> LoadCrashReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("crash report: cannot open " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return ParseCrashReport(contents.str());
+}
+
+namespace {
+
+// PKRU decode: two bits per key, AD = bit 2k, WD = bit 2k+1.
+void AppendPkruDecode(std::string* out, uint64_t pkru) {
+  out->append(StrFormat("0x%08llx (", static_cast<unsigned long long>(pkru)));
+  bool first = true;
+  for (int key = 0; key < 16; ++key) {
+    const bool ad = (pkru >> (2 * key)) & 1;
+    const bool wd = (pkru >> (2 * key + 1)) & 1;
+    if (!ad && !wd) {
+      continue;
+    }
+    if (!first) {
+      out->append(", ");
+    }
+    first = false;
+    out->append(StrFormat("key %d: %s", key, ad ? "no-access" : "read-only"));
+  }
+  if (first) {
+    out->append("all keys open");
+  }
+  out->append(")");
+}
+
+}  // namespace
+
+std::string RenderCrashReportText(const json::Value& report) {
+  std::string out;
+  out.append("=== PKRU-safe crash report ===\n");
+  out.append(StrFormat("reason:   %s (signal %lld)\n", report.GetString("reason", "?").c_str(),
+                       static_cast<long long>(report.GetInt("signal"))));
+  out.append(StrFormat("backend:  %s\n", report.GetString("backend", "unknown").c_str()));
+
+  if (const json::Value* thread = report.Find("thread"); thread != nullptr) {
+    out.append(StrFormat("thread:   tid %llu",
+                         static_cast<unsigned long long>(thread->GetUint("tid"))));
+    if (thread->Find("pkru") != nullptr) {
+      out.append(", pkru ");
+      AppendPkruDecode(&out, thread->GetUint("pkru"));
+    }
+    out.append("\n");
+  }
+
+  if (const json::Value* fault = report.Find("fault"); fault != nullptr) {
+    if (fault->Find("address") != nullptr) {
+      out.append(StrFormat("fault:    %s of %s (pkey %llu)\n",
+                           fault->GetString("access", "access").c_str(),
+                           fault->GetString("address_hex", "?").c_str(),
+                           static_cast<unsigned long long>(fault->GetUint("pkey"))));
+      if (fault->Find("pkru") != nullptr) {
+        out.append("          pkru at fault ");
+        AppendPkruDecode(&out, fault->GetUint("pkru"));
+        out.append("\n");
+      }
+    } else {
+      out.append("fault:    no faulting address (non-SEGV fatal)\n");
+    }
+  }
+
+  if (const json::Value* prov = report.Find("provenance"); prov != nullptr) {
+    const std::string status = prov->GetString("status", "no_resolver");
+    if (status == "found") {
+      out.append(StrFormat(
+          "object:   alloc site %s, object [0x%llx, 0x%llx) (%llu bytes)\n",
+          prov->GetString("alloc_id", "?").c_str(),
+          static_cast<unsigned long long>(prov->GetUint("base")),
+          static_cast<unsigned long long>(prov->GetUint("base") + prov->GetUint("size")),
+          static_cast<unsigned long long>(prov->GetUint("size"))));
+    } else {
+      out.append(StrFormat("object:   provenance %s\n", status.c_str()));
+    }
+  }
+
+  if (const json::Value* ranges = report.Find("page_key_map");
+      ranges != nullptr && ranges->is_array() && !ranges->AsArray().empty()) {
+    out.append("page-key map near fault:\n");
+    for (const json::Value& range : ranges->AsArray()) {
+      const bool hit = range.Find("contains_fault") != nullptr &&
+                       range.Find("contains_fault")->is_bool() &&
+                       range.Find("contains_fault")->AsBool();
+      out.append(StrFormat("  %c [0x%llx, 0x%llx) key %llu\n", hit ? '*' : ' ',
+                           static_cast<unsigned long long>(range.GetUint("begin")),
+                           static_cast<unsigned long long>(range.GetUint("end")),
+                           static_cast<unsigned long long>(range.GetUint("key"))));
+    }
+  }
+
+  if (const json::Value* counters = report.Find("counters");
+      counters != nullptr && counters->is_object() && !counters->AsObject().empty()) {
+    out.append("counters:\n");
+    for (const auto& [name, value] : counters->AsObject()) {
+      if (value.is_number() && value.AsUint() != 0) {
+        out.append(StrFormat("  %-40s %llu\n", name.c_str(),
+                             static_cast<unsigned long long>(value.AsUint())));
+      }
+    }
+  }
+
+  if (const json::Value* trace = report.Find("trace");
+      trace != nullptr && trace->is_array() && !trace->AsArray().empty()) {
+    out.append(StrFormat("trace tail (%zu events):\n", trace->AsArray().size()));
+    for (const json::Value& event : trace->AsArray()) {
+      out.append(StrFormat("  tid %-7llu %-15s ts=%llu a=0x%llx b=0x%llx c=0x%llx\n",
+                           static_cast<unsigned long long>(event.GetUint("tid")),
+                           event.GetString("type", "?").c_str(),
+                           static_cast<unsigned long long>(event.GetUint("ts_ns")),
+                           static_cast<unsigned long long>(event.GetUint("a")),
+                           static_cast<unsigned long long>(event.GetUint("b")),
+                           static_cast<unsigned long long>(event.GetUint("c"))));
+    }
+  }
+
+  if (report.Find("truncated") != nullptr && report.Find("truncated")->is_bool() &&
+      report.Find("truncated")->AsBool()) {
+    out.append("(report truncated: crash arena was full)\n");
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

@@ -1,0 +1,33 @@
+// Reading side of the flight recorder: parse and render postmortem reports.
+//
+// The writer (flight_recorder.cc) runs in signal context and emits one JSON
+// object; this file is the normal-context counterpart used by profile_tool
+// and the tests — load a report file, validate its shape, and render it for
+// humans.
+#ifndef SRC_TELEMETRY_CRASH_REPORT_H_
+#define SRC_TELEMETRY_CRASH_REPORT_H_
+
+#include <string>
+
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+// Loads and parses a crash report. Fails when the file is unreadable, not
+// JSON, or not a pkru_safe_crash_report.
+Result<json::Value> LoadCrashReport(const std::string& path);
+
+// Parses report text (the file contents) with the same validation.
+Result<json::Value> ParseCrashReport(std::string_view text);
+
+// Multi-line human-readable rendering: the headline (reason, signal,
+// faulting address, pkey, PKRU with per-key decode), the page-key map
+// window, the provenance verdict, notable counters and the trace tail.
+std::string RenderCrashReportText(const json::Value& report);
+
+}  // namespace telemetry
+}  // namespace pkrusafe
+
+#endif  // SRC_TELEMETRY_CRASH_REPORT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/async_signal.h"
 #include "src/support/logging.h"
 
 namespace pkrusafe {
@@ -109,7 +110,32 @@ void MetricsRegistry::RemoveCallbackGauges(const void* owner) {
   }
 }
 
+size_t MetricsRegistry::CollectCounterHandles(const Counter** out, size_t max) const {
+  std::lock_guard lock(mutex_);
+  size_t written = 0;
+  for (const auto& [name, counter] : counters_) {
+    if (written >= max) {
+      break;
+    }
+    out[written++] = counter.get();
+  }
+  return written;
+}
+
+size_t MetricsRegistry::CollectGaugeHandles(const Gauge** out, size_t max) const {
+  std::lock_guard lock(mutex_);
+  size_t written = 0;
+  for (const auto& [name, gauge] : gauges_) {
+    if (written >= max) {
+      break;
+    }
+    out[written++] = gauge.get();
+  }
+  return written;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  PKRUSAFE_AS_UNSAFE_POINT("MetricsRegistry::Snapshot");
   MetricsSnapshot snap;
   std::lock_guard lock(mutex_);
   for (const auto& [name, counter] : counters_) {
@@ -146,6 +172,34 @@ void MetricsRegistry::ResetAll() {
   for (const auto& entry : histograms_) {
     entry.second->Reset();
   }
+}
+
+double HistogramPercentile(const MetricsSnapshot::HistogramData& data, double q) {
+  if (data.count == 0 || data.bucket_counts.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(data.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < data.bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = data.bucket_counts[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // +Inf bucket: no finite upper edge, clamp to the last bound.
+      if (i >= data.bounds.size()) {
+        return static_cast<double>(data.bounds.empty() ? 0 : data.bounds.back());
+      }
+      const double upper = static_cast<double>(data.bounds[i]);
+      const double lower = i == 0 ? 0.0 : static_cast<double>(data.bounds[i - 1]);
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(data.bounds.empty() ? 0 : data.bounds.back());
 }
 
 }  // namespace telemetry

@@ -132,7 +132,20 @@ class MetricsRegistry {
   void SetCallbackGauge(std::string_view name, const void* owner, std::function<int64_t()> fn);
   void RemoveCallbackGauges(const void* owner);
 
+  // Full coherent snapshot. Allocates and evaluates callback gauges under
+  // the registry lock — not callable from signal context (enforced by
+  // PKRUSAFE_AS_UNSAFE_POINT). The crash path uses pre-collected handles
+  // instead.
   MetricsSnapshot Snapshot() const;
+
+  // Copies up to `max` stable metric pointers into `out`, returning how many
+  // were written. Takes the registry lock, so call ahead of time (the flight
+  // recorder refreshes its handle table from a normal context); the handles
+  // themselves stay valid for the registry's lifetime and reading
+  // value()/name() through them is async-signal-safe. Callback gauges are
+  // excluded — their closures are not signal-safe.
+  size_t CollectCounterHandles(const Counter** out, size_t max) const;
+  size_t CollectGaugeHandles(const Gauge** out, size_t max) const;
 
   // Zeroes every owned metric (registrations and callback gauges survive).
   void ResetAll();
@@ -149,6 +162,13 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, CallbackGauge, std::less<>> callback_gauges_;
 };
+
+// Estimated value at quantile q in [0, 1] from "le"-bucketed counts, with
+// linear interpolation inside the winning bucket (the +Inf bucket clamps to
+// the last finite bound, as Prometheus' histogram_quantile does). Returns 0
+// when the histogram is empty. The sampler uses this on *interval deltas* to
+// report per-sample p50/p99.
+double HistogramPercentile(const MetricsSnapshot::HistogramData& data, double q);
 
 }  // namespace telemetry
 }  // namespace pkrusafe

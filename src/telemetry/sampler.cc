@@ -1,0 +1,175 @@
+#include "src/telemetry/sampler.h"
+
+#include <chrono>
+
+#include "src/support/string_util.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/telemetry.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+namespace {
+
+// Trims "%f"-style output: JSON numbers don't need trailing zeros.
+std::string FormatDouble(double value) {
+  std::string s = StrFormat("%.6f", value);
+  while (!s.empty() && s.back() == '0') {
+    s.pop_back();
+  }
+  if (!s.empty() && s.back() == '.') {
+    s.push_back('0');
+  }
+  return s;
+}
+
+// Interval histogram: current minus previous, bucket-wise. Bounds must match
+// (same metric object); mismatches fall back to the current snapshot.
+MetricsSnapshot::HistogramData HistogramDelta(const MetricsSnapshot::HistogramData& current,
+                                              const MetricsSnapshot::HistogramData* previous) {
+  if (previous == nullptr || previous->bounds != current.bounds ||
+      previous->bucket_counts.size() != current.bucket_counts.size()) {
+    return current;
+  }
+  MetricsSnapshot::HistogramData delta;
+  delta.bounds = current.bounds;
+  delta.bucket_counts.reserve(current.bucket_counts.size());
+  for (size_t i = 0; i < current.bucket_counts.size(); ++i) {
+    const uint64_t prev = previous->bucket_counts[i];
+    delta.bucket_counts.push_back(current.bucket_counts[i] >= prev
+                                      ? current.bucket_counts[i] - prev
+                                      : current.bucket_counts[i]);
+  }
+  delta.count = current.count >= previous->count ? current.count - previous->count : current.count;
+  delta.sum = current.sum >= previous->sum ? current.sum - previous->sum : current.sum;
+  return delta;
+}
+
+}  // namespace
+
+std::string Sampler::FormatSampleLine(uint64_t ts_ms, double interval_s,
+                                      const MetricsSnapshot& previous,
+                                      const MetricsSnapshot& current) {
+  std::string out;
+  out.append(StrFormat("{\"ts_ms\":%llu,\"interval_s\":%s",
+                       static_cast<unsigned long long>(ts_ms),
+                       FormatDouble(interval_s).c_str()));
+
+  out.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, total] : current.counters) {
+    uint64_t prev = 0;
+    if (auto it = previous.counters.find(name); it != previous.counters.end()) {
+      prev = it->second;
+    }
+    const uint64_t delta = total >= prev ? total - prev : total;
+    const double rate = interval_s > 0 ? static_cast<double>(delta) / interval_s : 0.0;
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(StrFormat("\"%s\":{\"total\":%llu,\"rate\":%s}", JsonEscape(name).c_str(),
+                         static_cast<unsigned long long>(total), FormatDouble(rate).c_str()));
+  }
+  out.append("}");
+
+  out.append(",\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : current.gauges) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(StrFormat("\"%s\":%lld", JsonEscape(name).c_str(), static_cast<long long>(value)));
+  }
+  out.append("}");
+
+  out.append(",\"histograms\":{");
+  first = true;
+  for (const auto& [name, data] : current.histograms) {
+    const MetricsSnapshot::HistogramData* prev = nullptr;
+    if (auto it = previous.histograms.find(name); it != previous.histograms.end()) {
+      prev = &it->second;
+    }
+    const MetricsSnapshot::HistogramData delta = HistogramDelta(data, prev);
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(StrFormat("\"%s\":{\"count\":%llu,\"p50\":%s,\"p90\":%s,\"p99\":%s}",
+                         JsonEscape(name).c_str(),
+                         static_cast<unsigned long long>(delta.count),
+                         FormatDouble(HistogramPercentile(delta, 0.50)).c_str(),
+                         FormatDouble(HistogramPercentile(delta, 0.90)).c_str(),
+                         FormatDouble(HistogramPercentile(delta, 0.99)).c_str()));
+  }
+  out.append("}}");
+  return out;
+}
+
+Status Sampler::Start(const Options& options) {
+  if (running()) {
+    return FailedPreconditionError("sampler already running");
+  }
+  if (options.period_ms == 0) {
+    return InvalidArgumentError("sampler period must be positive");
+  }
+  out_.open(options.path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    return InternalError("sampler: cannot open " + options.path);
+  }
+  period_ms_ = options.period_ms;
+  samples_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(stop_mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void Sampler::Stop() {
+  if (!running()) {
+    return;
+  }
+  {
+    std::lock_guard lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  out_.close();
+  running_.store(false, std::memory_order_release);
+}
+
+void Sampler::Loop() {
+  MetricsSnapshot previous = MetricsRegistry::Global().Snapshot();
+  uint64_t previous_ns = NowNs();
+  for (;;) {
+    {
+      std::unique_lock lock(stop_mutex_);
+      if (stop_cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                            [this] { return stop_requested_; })) {
+        // Final row captures whatever accumulated since the last tick.
+      }
+    }
+    const MetricsSnapshot current = MetricsRegistry::Global().Snapshot();
+    const uint64_t now_ns = NowNs();
+    const double interval_s = static_cast<double>(now_ns - previous_ns) / 1e9;
+    out_ << FormatSampleLine(now_ns / 1000000, interval_s, previous, current) << "\n";
+    out_.flush();
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    previous = current;
+    previous_ns = now_ns;
+    std::lock_guard lock(stop_mutex_);
+    if (stop_requested_) {
+      return;
+    }
+  }
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

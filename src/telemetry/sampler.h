@@ -1,0 +1,83 @@
+// Live time-series sampler: periodic JSONL snapshots of the metrics registry.
+//
+// A background thread wakes every `period_ms`, takes a MetricsSnapshot, and
+// appends one JSON object per line to the output file:
+//
+//   {"ts_ms":..., "interval_s":0.1,
+//    "counters":{"gate.enter_untrusted":{"total":1234,"rate":120.0}, ...},
+//    "gauges":{"runtime.heap.trusted_live_bytes":65536, ...},
+//    "histograms":{"mpk.fault_service_ns":
+//        {"count":17,"p50":2048.0,"p90":6144.0,"p99":14336.0}, ...}}
+//
+// Counter rates and histogram percentiles are computed over the *interval*
+// (delta between consecutive snapshots), so a row answers "what happened in
+// the last period", not "since process start". Totals are included so
+// consumers can integrate without joining rows.
+//
+// Overhead: one registry snapshot per period on a background thread; the hot
+// paths are untouched, so a 100 ms period costs well under 1% of any
+// workload that matters.
+#ifndef SRC_TELEMETRY_SAMPLER_H_
+#define SRC_TELEMETRY_SAMPLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/support/status.h"
+#include "src/telemetry/metrics.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+class Sampler {
+ public:
+  struct Options {
+    std::string path;         // output JSONL file (created/truncated)
+    uint64_t period_ms = 100; // sampling period
+  };
+
+  Sampler() = default;
+  ~Sampler() { Stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Opens the output file and starts the background thread. Fails when
+  // already running or the file cannot be opened.
+  Status Start(const Options& options);
+
+  // Writes one final row, joins the thread and closes the file. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint64_t samples_written() const { return samples_.load(std::memory_order_relaxed); }
+
+  // Formats one JSONL row (no trailing newline) from consecutive snapshots.
+  // Exposed so tests can validate the framing and the delta math without a
+  // thread or a file.
+  static std::string FormatSampleLine(uint64_t ts_ms, double interval_s,
+                                      const MetricsSnapshot& previous,
+                                      const MetricsSnapshot& current);
+
+ private:
+  void Loop();
+
+  std::thread thread_;
+  std::ofstream out_;
+  uint64_t period_ms_ = 100;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> samples_{0};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace telemetry
+}  // namespace pkrusafe
+
+#endif  // SRC_TELEMETRY_SAMPLER_H_

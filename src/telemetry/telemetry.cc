@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "src/support/async_signal.h"
 #include "src/telemetry/metrics.h"
 
 namespace pkrusafe {
@@ -120,6 +121,7 @@ void RecordEvent(TraceEventType type, uint8_t detail, uint64_t a, uint64_t b, ui
 }
 
 std::vector<TraceEvent> CollectTrace() {
+  PKRUSAFE_AS_UNSAFE_POINT("telemetry::CollectTrace");
   std::vector<TraceEvent> events;
   const uint32_t claimed =
       std::min<uint32_t>(g_pool.next.load(std::memory_order_acquire), kMaxRings);
@@ -131,6 +133,17 @@ std::vector<TraceEvent> CollectTrace() {
                      return lhs.timestamp_ns < rhs.timestamp_ns;
                    });
   return events;
+}
+
+size_t ClaimedRingCount() {
+  return std::min<uint32_t>(g_pool.next.load(std::memory_order_acquire), kMaxRings);
+}
+
+size_t CollectRecentTrace(size_t ring_index, TraceEvent* out, size_t max) {
+  if (ring_index >= ClaimedRingCount()) {
+    return 0;
+  }
+  return g_pool.rings[ring_index].SnapshotInto(out, max);
 }
 
 TraceStats GatherTraceStats() {

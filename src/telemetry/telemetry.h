@@ -63,8 +63,19 @@ void RecordEventAt(uint64_t timestamp_ns, TraceEventType type, uint8_t detail, u
                    uint64_t b = 0, uint64_t c = 0);
 
 // Drains every claimed ring into one timestamp-sorted vector. Safe while
-// other threads keep recording (in-flight slots are skipped).
+// other threads keep recording (in-flight slots are skipped). Allocates —
+// not callable from signal context (enforced by PKRUSAFE_AS_UNSAFE_POINT).
 std::vector<TraceEvent> CollectTrace();
+
+// Number of rings threads have claimed so far (capped at the pool size).
+// Async-signal-safe.
+size_t ClaimedRingCount();
+
+// Async-signal-safe per-ring drain for the crash-forensics path: copies the
+// most recent events of ring `ring_index` (in [0, ClaimedRingCount())) into
+// the caller's buffer, oldest first, and returns how many were written.
+// Returns 0 for out-of-range indexes.
+size_t CollectRecentTrace(size_t ring_index, TraceEvent* out, size_t max);
 
 // Ring-pool accounting, also mirrored as telemetry.* metrics in the global
 // registry.

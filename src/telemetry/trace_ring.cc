@@ -50,6 +50,40 @@ size_t TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
   return appended;
 }
 
+size_t TraceRing::SnapshotInto(TraceEvent* out, size_t max) const {
+  if (max == 0) {
+    return 0;
+  }
+  const uint64_t end = write_pos_.load(std::memory_order_acquire);
+  uint64_t begin = end > kCapacity ? end - kCapacity : 0;
+  if (end - begin > max) {
+    begin = end - max;
+  }
+  size_t written = 0;
+  for (uint64_t pos = begin; pos < end; ++pos) {
+    const Slot& slot = slots_[pos & (kCapacity - 1)];
+    const uint64_t expected = 2 * pos + 2;
+    if (slot.seq.load(std::memory_order_acquire) != expected) {
+      continue;
+    }
+    TraceEvent event;
+    const uint64_t header = slot.header.load(std::memory_order_relaxed);
+    event.type = static_cast<TraceEventType>(header & 0xFF);
+    event.detail = static_cast<uint8_t>((header >> 8) & 0xFF);
+    event.tid = static_cast<uint32_t>(header >> 32);
+    event.timestamp_ns = slot.timestamp_ns.load(std::memory_order_relaxed);
+    event.a = slot.a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    event.c = slot.c.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expected) {
+      continue;
+    }
+    out[written++] = event;
+  }
+  return written;
+}
+
 void TraceRing::Reset() {
   write_pos_.store(0, std::memory_order_relaxed);
   for (size_t i = 0; i < kCapacity; ++i) {

@@ -78,6 +78,13 @@ class TraceRing {
   // writer; slots mid-write are skipped.
   size_t Snapshot(std::vector<TraceEvent>* out) const;
 
+  // Async-signal-safe reader: copies the most recent retained events into
+  // the caller-provided buffer (oldest first) and returns how many were
+  // written. No allocation; inconsistent slots are skipped, so fewer than
+  // min(max, retained) events may come back. The crash-forensics path uses
+  // this to dump "last N events per thread" from inside SIGSEGV.
+  size_t SnapshotInto(TraceEvent* out, size_t max) const;
+
   // Drops all retained events (for tests / between workload runs). Only
   // call while the owning thread is not recording.
   void Reset();

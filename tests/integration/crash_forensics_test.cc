@@ -1,0 +1,163 @@
+// End-to-end crash forensics (the paper's "what did the unsafe library
+// touch" postmortem): a forked child arms the flight recorder, creates an
+// enforcing runtime on the mprotect backend, and dies writing trusted memory
+// from untrusted context. The parent then reads the postmortem report the
+// child left behind and checks it names the domain key, the PKRU state, and
+// the allocation site of the violated object.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/runtime/call_gate.h"
+#include "src/runtime/runtime.h"
+#include "src/support/json.h"
+#include "src/telemetry/crash_report.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/telemetry.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr AllocId kVictimSite{1, 2, 3};
+
+// Runs in the forked child. Never returns normally: either the enforced MPK
+// violation kills the process with SIGSEGV, or we _exit with a diagnostic
+// code the parent turns into a test failure.
+[[noreturn]] void ChildCrashWithReport(const std::string& report_path,
+                                       const std::string& facts_path) {
+  telemetry::SetEnabled(true);  // tracing feeds the report's trace tail
+  if (!telemetry::FlightRecorder::Global().Configure(report_path).ok()) {
+    _exit(10);
+  }
+
+  RuntimeConfig config;
+  config.backend = BackendKind::kMprotect;
+  config.mode = RuntimeMode::kEnforcing;
+  auto runtime = PkruSafeRuntime::Create(std::move(config));
+  if (!runtime.ok()) {
+    _exit(11);
+  }
+
+  void* victim = (*runtime)->AllocTrusted(kVictimSite, 64);
+  if (victim == nullptr) {
+    _exit(12);
+  }
+
+  // Tell the parent what to expect before dying: the object's address and
+  // the pkey guarding the trusted pool.
+  std::FILE* facts = std::fopen(facts_path.c_str(), "w");
+  if (facts == nullptr) {
+    _exit(13);
+  }
+  std::fprintf(facts, "%llu %u", static_cast<unsigned long long>(
+                                     reinterpret_cast<uintptr_t>(victim)),
+               static_cast<unsigned>((*runtime)->trusted_key()));
+  std::fclose(facts);
+
+  UntrustedScope scope((*runtime)->gates());
+  *static_cast<volatile unsigned char*>(victim) = 0x5A;  // MPK violation
+  _exit(14);  // enforcement failed to kill us
+}
+
+TEST(CrashForensicsTest, EnforcedViolationLeavesAttributedReport) {
+  const std::string report_path = ::testing::TempDir() + "/crash_forensics_report.json";
+  const std::string facts_path = ::testing::TempDir() + "/crash_forensics_facts.txt";
+  std::remove(report_path.c_str());
+  std::remove(facts_path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+  if (pid == 0) {
+    ChildCrashWithReport(report_path, facts_path);
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child did not die by signal; exit code "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1);
+  EXPECT_EQ(WTERMSIG(wstatus), SIGSEGV);
+
+  unsigned long long victim_addr = 0;
+  unsigned trusted_key = 0;
+  {
+    std::FILE* facts = std::fopen(facts_path.c_str(), "r");
+    ASSERT_NE(facts, nullptr) << "child never reached the fault point";
+    ASSERT_EQ(std::fscanf(facts, "%llu %u", &victim_addr, &trusted_key), 2);
+    std::fclose(facts);
+  }
+
+  auto report = telemetry::LoadCrashReport(report_path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->GetString("reason"), "mpk-violation");
+  EXPECT_EQ(report->GetString("backend"), "mprotect");
+  EXPECT_EQ(report->GetInt("signal"), SIGSEGV);
+
+  // The fault names the write, the address, and the trusted domain's pkey.
+  const json::Value* fault = report->Find("fault");
+  ASSERT_NE(fault, nullptr);
+  EXPECT_EQ(fault->GetString("access"), "write");
+  EXPECT_EQ(fault->GetUint("address"), victim_addr);
+  EXPECT_EQ(fault->GetUint("pkey"), trusted_key);
+  // The faulting thread had the trusted key fully disabled: its PKRU
+  // access-disable bit (bit 2k, denying reads and writes alike) is set.
+  const uint64_t pkru = fault->GetUint("pkru");
+  EXPECT_EQ((pkru >> (2 * trusted_key)) & 0x1, 0x1u);
+
+  // Provenance attributes the object back to its allocation site.
+  const json::Value* provenance = report->Find("provenance");
+  ASSERT_NE(provenance, nullptr);
+  EXPECT_EQ(provenance->GetString("status"), "found");
+  EXPECT_EQ(provenance->GetString("alloc_id"), kVictimSite.ToString());
+  EXPECT_EQ(provenance->GetUint("size"), 64u);
+  const uint64_t base = provenance->GetUint("base");
+  EXPECT_GE(victim_addr, base);
+  EXPECT_LT(victim_addr, base + provenance->GetUint("size"));
+
+  // The page-key map window marks the faulting range with the trusted key.
+  const json::Value* ranges = report->Find("page_key_map");
+  ASSERT_NE(ranges, nullptr);
+  bool fault_range_seen = false;
+  for (const json::Value& range : ranges->AsArray()) {
+    const json::Value* hit = range.Find("contains_fault");
+    if (hit != nullptr && hit->is_bool() && hit->AsBool()) {
+      fault_range_seen = true;
+      EXPECT_EQ(range.GetUint("key"), trusted_key);
+    }
+  }
+  EXPECT_TRUE(fault_range_seen);
+
+  // The denial made it into the metrics snapshot embedded in the report.
+  const json::Value* counters = report->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetUint("mpk.faults.denied"), 1u);
+
+  // And into the trace tail.
+  const json::Value* trace = report->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  bool saw_denied = false;
+  for (const json::Value& event : trace->AsArray()) {
+    if (event.GetString("type") == "fault_denied") {
+      saw_denied = true;
+    }
+  }
+  EXPECT_TRUE(saw_denied);
+
+  // The human rendering of the same report names all three essentials.
+  const std::string text = telemetry::RenderCrashReportText(*report);
+  EXPECT_NE(text.find("mpk-violation"), std::string::npos);
+  EXPECT_NE(text.find(kVictimSite.ToString()), std::string::npos);
+  EXPECT_NE(text.find("pkey"), std::string::npos);
+
+  std::remove(report_path.c_str());
+  std::remove(facts_path.c_str());
+}
+
+}  // namespace
+}  // namespace pkrusafe

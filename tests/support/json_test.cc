@@ -1,0 +1,106 @@
+#include "src/support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace pkrusafe {
+namespace json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_EQ(Parse("42")->AsInt(), 42);
+  EXPECT_EQ(Parse("-7")->AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Parse("2.5")->AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, FullUint64RoundTrips) {
+  // Crash reports carry 64-bit addresses; doubles would lose the low bits.
+  auto value = Parse("18446744073709551615");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsUint(), UINT64_MAX);
+}
+
+TEST(JsonTest, Int64MinRoundTrips) {
+  auto value = Parse("-9223372036854775808");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsInt(), INT64_MIN);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  auto value = Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, UnicodeEscapeBecomesUtf8) {
+  auto value = Parse(R"("\u00e9")");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "\xc3\xa9");
+}
+
+TEST(JsonTest, ParsesNestedObject) {
+  auto value = Parse(R"({"a":{"b":[1,2,3]},"c":"x"})");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  const Value* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  const Value* b = a->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->AsArray().size(), 3u);
+  EXPECT_EQ(b->AsArray()[1].AsInt(), 2);
+  EXPECT_EQ(value->GetString("c"), "x");
+}
+
+TEST(JsonTest, TypedGettersFallBack) {
+  auto value = Parse(R"({"n":3,"s":"t"})");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->GetUint("n"), 3u);
+  EXPECT_EQ(value->GetUint("missing", 9), 9u);
+  EXPECT_EQ(value->GetString("n", "fb"), "fb");  // mistyped -> fallback
+  EXPECT_EQ(value->GetInt("s", -1), -1);
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(Parse("{}")->AsObject().empty());
+  EXPECT_TRUE(Parse("[]")->AsArray().empty());
+  EXPECT_TRUE(Parse(" { } ")->is_object());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Parse("nan").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonTest, ParsePrefixFramesJsonl) {
+  const std::string two_rows = "{\"a\":1}\n{\"a\":2}\n";
+  size_t consumed = 0;
+  auto first = ParsePrefix(two_rows, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->GetInt("a"), 1);
+  auto second = ParsePrefix(std::string_view(two_rows).substr(consumed), &consumed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->GetInt("a"), 2);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace pkrusafe

@@ -1,0 +1,165 @@
+#include "src/telemetry/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/support/json.h"
+#include "src/telemetry/metrics.h"
+
+namespace pkrusafe {
+namespace telemetry {
+namespace {
+
+MetricsSnapshot::HistogramData MakeHistogram(std::vector<uint64_t> bounds,
+                                             std::vector<uint64_t> buckets) {
+  MetricsSnapshot::HistogramData data;
+  data.bounds = std::move(bounds);
+  data.bucket_counts = std::move(buckets);
+  for (const uint64_t c : data.bucket_counts) {
+    data.count += c;
+  }
+  return data;
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  const auto data = MakeHistogram({10, 20, 30}, {0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.5), 0.0);
+}
+
+TEST(HistogramPercentileTest, InterpolatesWithinBucket) {
+  // 100 observations, all in (10, 20]: the median sits mid-bucket.
+  const auto data = MakeHistogram({10, 20, 30}, {0, 100, 0, 0});
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.5), 15.0);
+  EXPECT_NEAR(HistogramPercentile(data, 0.9), 19.0, 1e-9);
+}
+
+TEST(HistogramPercentileTest, WalksBuckets) {
+  // 50 in (0,10], 30 in (10,20], 20 in (20,30].
+  const auto data = MakeHistogram({10, 20, 30}, {50, 30, 20, 0});
+  // p50 lands exactly at the end of the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.5), 10.0);
+  // p90 -> rank 90, 10 into the third bucket of 20 -> 20 + 10/20*10 = 25.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.9), 25.0);
+}
+
+TEST(HistogramPercentileTest, InfBucketClampsToLastBound) {
+  const auto data = MakeHistogram({10, 20}, {0, 0, 5});
+  EXPECT_DOUBLE_EQ(HistogramPercentile(data, 0.99), 20.0);
+}
+
+TEST(SamplerFormatTest, LineIsValidJsonWithDeltas) {
+  MetricsSnapshot previous;
+  previous.counters["gate.crossings"] = 100;
+  MetricsSnapshot current;
+  current.counters["gate.crossings"] = 160;
+  current.gauges["heap.live"] = 4096;
+  current.histograms["lat"] = MakeHistogram({10, 20}, {6, 4, 0});
+
+  const std::string line = Sampler::FormatSampleLine(1234, 2.0, previous, current);
+  auto row = json::Parse(line);
+  ASSERT_TRUE(row.ok()) << row.status().ToString() << " in: " << line;
+  EXPECT_EQ(row->GetUint("ts_ms"), 1234u);
+  EXPECT_DOUBLE_EQ(row->GetDouble("interval_s"), 2.0);
+
+  const json::Value* counter = row->Find("counters")->Find("gate.crossings");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->GetUint("total"), 160u);
+  // 60 new events over 2 s.
+  EXPECT_DOUBLE_EQ(counter->GetDouble("rate"), 30.0);
+
+  EXPECT_EQ(row->Find("gauges")->GetInt("heap.live"), 4096);
+
+  const json::Value* hist = row->Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetUint("count"), 10u);
+  EXPECT_GT(hist->GetDouble("p50"), 0.0);
+}
+
+TEST(SamplerFormatTest, HistogramDeltaIsPerInterval) {
+  // Previous snapshot had 6 observations in the first bucket; the interval
+  // added 4 in the second. The row's percentiles must describe only the 4.
+  MetricsSnapshot previous;
+  previous.histograms["lat"] = MakeHistogram({10, 20}, {6, 0, 0});
+  MetricsSnapshot current;
+  current.histograms["lat"] = MakeHistogram({10, 20}, {6, 4, 0});
+
+  const std::string line = Sampler::FormatSampleLine(0, 1.0, previous, current);
+  auto row = json::Parse(line);
+  ASSERT_TRUE(row.ok());
+  const json::Value* hist = row->Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetUint("count"), 4u);
+  // All interval observations are in (10, 20].
+  EXPECT_GT(hist->GetDouble("p50"), 10.0);
+  EXPECT_LE(hist->GetDouble("p50"), 20.0);
+}
+
+TEST(SamplerFormatTest, CounterResetFallsBackToTotal) {
+  MetricsSnapshot previous;
+  previous.counters["c"] = 500;
+  MetricsSnapshot current;
+  current.counters["c"] = 20;  // registry was reset between rows
+  const std::string line = Sampler::FormatSampleLine(0, 1.0, previous, current);
+  auto row = json::Parse(line);
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ(row->Find("counters")->Find("c")->GetDouble("rate"), 20.0);
+}
+
+TEST(SamplerTest, WritesParseableJsonlRows) {
+  Counter* counter = MetricsRegistry::Global().GetOrCreateCounter("sampler_test.ticks");
+  const std::string path = ::testing::TempDir() + "/sampler_test.jsonl";
+
+  Sampler sampler;
+  Sampler::Options options;
+  options.path = path;
+  options.period_ms = 5;
+  ASSERT_TRUE(sampler.Start(options).ok());
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.Start(options).ok());  // double-start refused
+
+  for (int i = 0; i < 50; ++i) {
+    counter->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples_written(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t rows = 0;
+  uint64_t last_total = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto row = json::Parse(line);
+    ASSERT_TRUE(row.ok()) << row.status().ToString() << " in: " << line;
+    const json::Value* c = row->Find("counters")->Find("sampler_test.ticks");
+    ASSERT_NE(c, nullptr);
+    const uint64_t total = c->GetUint("total");
+    EXPECT_GE(total, last_total);  // totals are monotonic across rows
+    last_total = total;
+    ++rows;
+  }
+  EXPECT_EQ(rows, sampler.samples_written());
+  EXPECT_EQ(last_total, 50u);  // final row captured everything
+  std::remove(path.c_str());
+}
+
+TEST(SamplerTest, StopWithoutStartIsSafe) {
+  Sampler sampler;
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace pkrusafe

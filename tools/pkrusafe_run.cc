@@ -12,6 +12,7 @@
 // The untrusted externs access memory through MPK-checked loads/stores, so
 // enforcement semantics apply to them exactly as to real unsafe code.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,8 +24,11 @@
 #include "src/passes/pass.h"
 #include "src/passes/static_sharing_analysis.h"
 #include "src/ir/parser.h"
+#include "src/runtime/site_stats.h"
 #include "src/telemetry/export.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry.h"
 
 namespace {
@@ -73,10 +77,21 @@ int Usage() {
                "         [--profile=FILE] [--emit-profile=FILE] [--static]\n"
                "         [--backend=sim|mprotect|hardware|auto] [--entry=NAME]\n"
                "         [--dump-ir] [--trace-out=FILE] [--stats[=json|text]]\n"
+               "         [--crash-report=FILE] [--sample-out=FILE] [--sample-ms=N]\n"
+               "         [--site-stats[=FILE]]\n"
                "  --trace-out=FILE  enable telemetry tracing; write Chrome-trace\n"
                "                    JSON (open in Perfetto / chrome://tracing)\n"
                "  --stats[=text]    dump the metrics registry after the run\n"
-               "  --stats=json      ... as one machine-readable JSON object\n");
+               "  --stats=json      ... as one machine-readable JSON object\n"
+               "  --crash-report=FILE  arm the flight recorder: if the run dies\n"
+               "                    on an MPK violation, SIGSEGV or abort, a\n"
+               "                    postmortem JSON report lands in FILE\n"
+               "                    (render with `profile_tool report FILE`)\n"
+               "  --sample-out=FILE write live JSONL metric samples to FILE\n"
+               "  --sample-ms=N     sampling period in ms (default 100)\n"
+               "  --site-stats[=FILE]  per-site heap attribution: print the top\n"
+               "                    sites by live bytes; with =FILE also write\n"
+               "                    the full table as JSON for `profile_tool sites`\n");
   return 2;
 }
 
@@ -94,6 +109,11 @@ int main(int argc, char** argv) {
   std::string entry = "main";
   std::string trace_out;
   std::string stats_format;  // "", "json" or "text"
+  std::string crash_report_path;
+  std::string sample_out;
+  uint64_t sample_ms = 100;
+  std::string site_stats_path;
+  bool site_stats = false;
   bool use_static = false;
   bool dump_ir = false;
 
@@ -123,6 +143,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats") {
       stats_format = "text";
+    } else if (const char* v = value_of("--crash-report=")) {
+      crash_report_path = v;
+    } else if (const char* v = value_of("--sample-out=")) {
+      sample_out = v;
+    } else if (const char* v = value_of("--sample-ms=")) {
+      sample_ms = std::strtoull(v, nullptr, 10);
+      if (sample_ms == 0) {
+        return Usage();
+      }
+    } else if (const char* v = value_of("--site-stats=")) {
+      site_stats = true;
+      site_stats_path = v;
+    } else if (arg == "--site-stats") {
+      site_stats = true;
     } else if (arg == "--static") {
       use_static = true;
     } else if (arg == "--dump-ir") {
@@ -165,6 +199,18 @@ int main(int argc, char** argv) {
 
   if (!trace_out.empty()) {
     telemetry::SetEnabled(true);
+  }
+  if (!crash_report_path.empty()) {
+    // Tracing feeds the report's trace tail; arm it even without --trace-out.
+    telemetry::SetEnabled(true);
+    if (auto status = telemetry::FlightRecorder::Global().Configure(crash_report_path);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (site_stats) {
+    SiteHeapStats::Global().SetEnabled(true);
   }
 
   if (!profile_path.empty()) {
@@ -213,6 +259,17 @@ int main(int argc, char** argv) {
     std::printf("%s", (*system)->DumpIr().c_str());
   }
 
+  telemetry::Sampler sampler;
+  if (!sample_out.empty()) {
+    telemetry::Sampler::Options options;
+    options.path = sample_out;
+    options.period_ms = sample_ms;
+    if (auto status = sampler.Start(options); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
   auto result = (*system)->Call(entry);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
@@ -244,6 +301,36 @@ int main(int argc, char** argv) {
                 trace_out.c_str(),
                 static_cast<unsigned long long>(trace_stats.events_overwritten),
                 static_cast<unsigned long long>(trace_stats.events_dropped));
+  }
+  if (sampler.running()) {
+    sampler.Stop();
+    std::printf("wrote %llu sample(s) to %s\n",
+                static_cast<unsigned long long>(sampler.samples_written()), sample_out.c_str());
+  }
+  if (site_stats) {
+    SiteHeapStats& stats = SiteHeapStats::Global();
+    stats.FlushThisThread();
+    const auto top = stats.TopKByLiveBytes(10, SiteHeapStats::kUntrusted);
+    std::printf("top sites by M_U live bytes:\n");
+    std::printf("  %-16s %12s %8s %12s %8s\n", "site", "U bytes", "U objs", "T bytes",
+                "T objs");
+    for (const auto& totals : top) {
+      std::printf("  %-16s %12lld %8lld %12lld %8lld\n", totals.site.ToString().c_str(),
+                  static_cast<long long>(totals.live_bytes[SiteHeapStats::kUntrusted]),
+                  static_cast<long long>(totals.live_objects[SiteHeapStats::kUntrusted]),
+                  static_cast<long long>(totals.live_bytes[SiteHeapStats::kTrusted]),
+                  static_cast<long long>(totals.live_objects[SiteHeapStats::kTrusted]));
+    }
+    if (!site_stats_path.empty()) {
+      const auto all = stats.Snapshot();
+      std::ofstream site_out(site_stats_path, std::ios::trunc);
+      if (!site_out) {
+        std::fprintf(stderr, "cannot open %s\n", site_stats_path.c_str());
+        return 1;
+      }
+      site_out << SiteStatsToJson(all) << '\n';
+      std::printf("wrote %zu site record(s) to %s\n", all.size(), site_stats_path.c_str());
+    }
   }
   if (!stats_format.empty()) {
     // Snapshot while the system is alive so the runtime.* callback gauges

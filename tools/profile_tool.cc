@@ -20,19 +20,27 @@
 // the module does not contain is reported and the exit code is nonzero
 // (previously stale profiles were silently accepted and their sites simply
 // never matched).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/lint.h"
 #include "src/ir/parser.h"
 #include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
 #include "src/passes/pass.h"
+#include "src/passes/static_sharing_analysis.h"
 #include "src/runtime/profile.h"
+#include "src/support/json.h"
+#include "src/telemetry/crash_report.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
 
@@ -45,7 +53,17 @@ int Usage() {
                "usage: profile_tool show <file> [--stats[=json|text]]\n"
                "       profile_tool merge <out> <in>...\n"
                "       profile_tool diff <a> <b>\n"
-               "       profile_tool check <module.ir> <profile>\n");
+               "       profile_tool check <module.ir> <profile>\n"
+               "       profile_tool report <crash.json> [--json]\n"
+               "       profile_tool sites <sites.json> [--top=N]\n"
+               "           [--domain=trusted|untrusted] [--module=FILE]\n"
+               "  report  render a flight-recorder crash report for humans\n"
+               "          (--json echoes the validated raw JSON instead)\n"
+               "  sites   top-K heap-attribution table from a\n"
+               "          `pkrusafe_run --site-stats=FILE` dump; with --module,\n"
+               "          cross-check each site against the static points-to\n"
+               "          sharing analysis (dynamic M_U traffic the analyzer\n"
+               "          missed is an error)\n");
   return 2;
 }
 
@@ -65,6 +83,55 @@ telemetry::MetricsSnapshot ProfileSnapshot(const Profile& profile) {
 }
 
 Result<Profile> Load(const char* path) { return Profile::LoadFromFile(path); }
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError(std::string("cannot open ") + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// One row of a `pkrusafe_run --site-stats=FILE` dump.
+struct SiteRow {
+  AllocId id;
+  int64_t live_bytes[2] = {0, 0};    // [0]=trusted, [1]=untrusted
+  int64_t live_objects[2] = {0, 0};
+  uint64_t total_bytes[2] = {0, 0};
+  uint64_t total_objects[2] = {0, 0};
+};
+
+Result<std::vector<SiteRow>> ParseSiteStats(std::string_view text) {
+  PS_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
+  if (!root.is_object() || root.GetString("kind") != "pkru_safe_site_stats") {
+    return InvalidArgumentError("not a pkru_safe_site_stats dump");
+  }
+  const json::Value* sites = root.Find("sites");
+  if (sites == nullptr || !sites->is_array()) {
+    return InvalidArgumentError("site stats dump has no sites array");
+  }
+  std::vector<SiteRow> rows;
+  rows.reserve(sites->AsArray().size());
+  for (const json::Value& entry : sites->AsArray()) {
+    SiteRow row;
+    PS_ASSIGN_OR_RETURN(row.id, AllocId::Parse(entry.GetString("id")));
+    static constexpr const char* kDomainNames[2] = {"trusted", "untrusted"};
+    for (int d = 0; d < 2; ++d) {
+      const json::Value* domain = entry.Find(kDomainNames[d]);
+      if (domain == nullptr) {
+        continue;
+      }
+      row.live_bytes[d] = domain->GetInt("live_bytes");
+      row.live_objects[d] = domain->GetInt("live_objects");
+      row.total_bytes[d] = domain->GetUint("total_bytes");
+      row.total_objects[d] = domain->GetUint("total_objects");
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
 
 }  // namespace
 
@@ -162,6 +229,157 @@ int main(int argc, char** argv) {
                   static_cast<double>(a->site_count()) / static_cast<double>(b->site_count()));
     }
     return only_a == 0 && only_b == 0 ? 0 : 1;
+  }
+
+  if (command == "report") {
+    bool raw_json = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        raw_json = true;
+      } else {
+        return Usage();
+      }
+    }
+    auto text = ReadFile(argv[2]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto report = telemetry::ParseCrashReport(*text);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    if (raw_json) {
+      std::printf("%s", text->c_str());
+      if (text->empty() || text->back() != '\n') {
+        std::printf("\n");
+      }
+      return 0;
+    }
+    std::printf("%s", telemetry::RenderCrashReportText(*report).c_str());
+    return 0;
+  }
+
+  if (command == "sites") {
+    size_t top_k = 10;
+    std::string domain_name = "untrusted";
+    std::string module_path;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--top=", 0) == 0) {
+        top_k = static_cast<size_t>(std::strtoull(arg.c_str() + 6, nullptr, 10));
+      } else if (arg.rfind("--domain=", 0) == 0) {
+        domain_name = arg.substr(9);
+        if (domain_name != "trusted" && domain_name != "untrusted") {
+          return Usage();
+        }
+      } else if (arg.rfind("--module=", 0) == 0) {
+        module_path = arg.substr(9);
+      } else {
+        return Usage();
+      }
+    }
+    auto text = ReadFile(argv[2]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto rows = ParseSiteStats(*text);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+      return 1;
+    }
+    const int d = domain_name == "untrusted" ? 1 : 0;
+    std::stable_sort(rows->begin(), rows->end(), [d](const SiteRow& lhs, const SiteRow& rhs) {
+      if (lhs.live_bytes[d] != rhs.live_bytes[d]) {
+        return lhs.live_bytes[d] > rhs.live_bytes[d];
+      }
+      return lhs.total_bytes[d] > rhs.total_bytes[d];
+    });
+
+    // Optional cross-check: the static points-to analysis predicts which
+    // sites flow to the untrusted library; dynamic attribution records which
+    // sites actually allocated from M_U. Every dynamic M_U site the analyzer
+    // missed is unsound (it would fault under enforcement); static-only
+    // sites measure over-sharing.
+    Profile static_profile;
+    bool have_static = false;
+    if (!module_path.empty()) {
+      auto module_text = ReadFile(module_path.c_str());
+      if (!module_text.ok()) {
+        std::fprintf(stderr, "%s\n", module_text.status().ToString().c_str());
+        return 1;
+      }
+      auto module = ParseModule(*module_text);
+      if (!module.ok()) {
+        std::fprintf(stderr, "parse: %s\n", module.status().ToString().c_str());
+        return 1;
+      }
+      PassManager pm;
+      pm.Add(std::make_unique<AllocIdPass>());
+      pm.Add(std::make_unique<GateInsertionPass>());
+      if (auto status = pm.Run(*module); !status.ok()) {
+        std::fprintf(stderr, "instrument: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      StaticSharingAnalysis analysis(&*module);
+      auto analyzed = analysis.Run();
+      if (!analyzed.ok()) {
+        std::fprintf(stderr, "analysis: %s\n", analyzed.status().ToString().c_str());
+        return 1;
+      }
+      static_profile = *analyzed;
+      have_static = true;
+    }
+
+    std::printf("top %zu site(s) by %s live bytes (%zu total):\n",
+                std::min(top_k, rows->size()), domain_name.c_str(), rows->size());
+    std::printf("  %-16s %12s %8s %12s %8s%s\n", "site", "live B", "live #", "total B",
+                "total #", have_static ? "  static" : "");
+    for (size_t i = 0; i < rows->size() && i < top_k; ++i) {
+      const SiteRow& row = (*rows)[i];
+      std::printf("  %-16s %12lld %8lld %12llu %8llu", row.id.ToString().c_str(),
+                  static_cast<long long>(row.live_bytes[d]),
+                  static_cast<long long>(row.live_objects[d]),
+                  static_cast<unsigned long long>(row.total_bytes[d]),
+                  static_cast<unsigned long long>(row.total_objects[d]));
+      if (have_static) {
+        std::printf("  %s", static_profile.Contains(row.id) ? "shared" : "private");
+      }
+      std::printf("\n");
+    }
+
+    if (!have_static) {
+      return 0;
+    }
+    int missed = 0;
+    int over_shared = 0;
+    for (const SiteRow& row : *rows) {
+      if (row.total_bytes[1] > 0 && !static_profile.Contains(row.id)) {
+        std::printf("analyzer MISS: site %s allocated %llu byte(s) from M_U but is "
+                    "statically private\n",
+                    row.id.ToString().c_str(),
+                    static_cast<unsigned long long>(row.total_bytes[1]));
+        ++missed;
+      }
+    }
+    for (const AllocId& id : static_profile.Sites()) {
+      bool dynamic_untrusted = false;
+      for (const SiteRow& row : *rows) {
+        if (row.id == id && row.total_bytes[1] > 0) {
+          dynamic_untrusted = true;
+          break;
+        }
+      }
+      if (!dynamic_untrusted) {
+        ++over_shared;
+      }
+    }
+    std::printf("cross-check: %d analyzer miss(es), %d statically-shared site(s) with no "
+                "dynamic M_U traffic\n",
+                missed, over_shared);
+    return missed == 0 ? 0 : 1;
   }
 
   if (command == "check") {
