@@ -9,7 +9,10 @@
 #                                   # gadget scan of the built tools
 #   scripts/check.sh crash          # end-to-end crash forensics: an enforced
 #                                   # violation must leave a parseable report
+#   scripts/check.sh faultstress    # multithreaded profiling-fault stress
+#                                   # (mprotect backend) under ThreadSanitizer
 #   scripts/check.sh matrix         # plain + asan + tsan + lint + crash
+#                                   # + faultstress
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
 #
 # --asan/--tsan are accepted as aliases of asan/tsan.
@@ -24,9 +27,10 @@ while [[ $# -gt 0 ]]; do
     tsan|--tsan) mode=tsan; shift ;;
     lint|--lint) mode=lint; shift ;;
     crash|--crash) mode=crash; shift ;;
+    faultstress|--faultstress) mode=faultstress; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|crash|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -87,17 +91,31 @@ run_crash() {
   echo "crash forensics check OK"
 }
 
+run_faultstress() {
+  echo "== check: faultstress (build/check-tsan) =="
+  # The concurrency-sensitive fault-engine tests (per-thread single-step,
+  # same-thread re-entrant faults, snapshot reclamation, AS-safe recording)
+  # on the mprotect backend, under ThreadSanitizer. See docs/faults.md.
+  cmake -B build/check-tsan -S . -DPKRUSAFE_SANITIZE=thread
+  cmake --build build/check-tsan -j "$(nproc)" --target mpk_test runtime_test
+  ctest --test-dir build/check-tsan --output-on-failure \
+    -R 'FaultConcurrency|FaultSignal|Churn|ProfileRecorder|ConcurrencyTest'
+  echo "faultstress check OK"
+}
+
 case "$mode" in
   plain) run_one "" build "$@" ;;
   asan)  run_one address build/check-asan "$@" ;;
   tsan)  run_one thread build/check-tsan "$@" ;;
   lint)  run_lint ;;
   crash) run_crash ;;
+  faultstress) run_faultstress ;;
   matrix)
     run_one "" build "$@"
     run_one address build/check-asan "$@"
     run_one thread build/check-tsan "$@"
     run_lint
     run_crash
+    run_faultstress
     ;;
 esac

@@ -31,6 +31,8 @@ struct SystemConfig {
   // runtime's site policy, so both mechanisms agree.
   Profile profile;
   bool verify_gates = true;
+  // Profiling-mode first-fault latching (see RuntimeConfig::latch_sites).
+  bool latch_sites = false;
   size_t trusted_pool_bytes = size_t{2} << 30;
   size_t untrusted_pool_bytes = size_t{2} << 30;
 };

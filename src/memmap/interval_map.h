@@ -87,6 +87,27 @@ class IntervalMap {
     }
   }
 
+  // Ordered iteration over the intervals overlapping [lo, hi). Does not
+  // allocate, so it is usable from signal context (under the caller's
+  // synchronization).
+  template <typename Fn>
+  void ForEachIn(uintptr_t lo, uintptr_t hi, Fn&& fn) const {
+    if (lo >= hi) {
+      return;
+    }
+    auto it = entries_.upper_bound(lo);
+    if (it != entries_.begin()) {
+      auto prev = it;
+      --prev;
+      if (prev->second.end > lo) {
+        fn(Interval{prev->first, prev->second.end, prev->second.value});
+      }
+    }
+    for (; it != entries_.end() && it->first < hi; ++it) {
+      fn(Interval{it->first, it->second.end, it->second.value});
+    }
+  }
+
  private:
   struct Entry {
     uintptr_t end;

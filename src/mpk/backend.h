@@ -47,6 +47,11 @@ struct MpkFault {
 enum class FaultResolution : uint8_t {
   kDeny,          // propagate the violation (terminate / report an error)
   kRetryAllowed,  // permit exactly this access, then restore protections
+  // Permit the access and leave the page(s) the handler latched (via
+  // NoteLatchedRange) downgraded to the shared key for the rest of the run:
+  // first-fault site latching — the profile stays site-exact but becomes
+  // count-approximate for the latched pages.
+  kRetryAndLatch,
 };
 
 // Invoked on every protection-key violation the backend detects.
@@ -100,6 +105,33 @@ class MpkBackend {
   // Installs the handler consulted on violations. Pass nullptr to reset to
   // the default (deny).
   virtual void SetFaultHandler(FaultHandlerFn handler) = 0;
+
+  // --- First-fault latching (profiling mode) ---
+
+  // Marks the page-aligned range [begin, end) as latched: permanently opened
+  // to the faulting domain for the remainder of the run. Called by the
+  // profiling fault handler from signal context, so implementations must be
+  // async-signal-safe (lock-free insert into a fixed-size set). Backends
+  // without latch support ignore the call (the page simply keeps faulting).
+  virtual void NoteLatchedRange(uintptr_t begin, uintptr_t end) {
+    (void)begin;
+    (void)end;
+  }
+
+  // Whether the page containing `addr` has been latched.
+  virtual bool IsLatched(uintptr_t addr) const {
+    (void)addr;
+    return false;
+  }
+
+  virtual size_t latched_page_count() const { return 0; }
+
+  // True when AllowOnce opens the faulting page to the whole process (the
+  // mprotect backend's process-wide protections, or hardware's shared page
+  // tags), so concurrent accesses by other threads slip through the step
+  // window unrecorded. The profiling handler compensates by re-recording
+  // co-located sites at latch time (fault.step_window_miss).
+  virtual bool has_process_wide_step_window() const { return false; }
 
   // Performs any one-time setup native enforcement needs (the signal-based
   // backends register their SIGSEGV/SIGTRAP handlers here). No-op for the

@@ -132,7 +132,23 @@ Status HardwareMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
 
 void HardwareMpkBackend::SetFaultHandler(FaultHandlerFn handler) {
   std::lock_guard lock(handler_mutex_);
-  handler_ = std::move(handler);
+  FaultHandlerFn* fresh = handler ? new FaultHandlerFn(std::move(handler)) : nullptr;
+  FaultHandlerFn* old = handler_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    retired_handlers_.emplace_back(old);
+  }
+}
+
+void HardwareMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
+  for (uintptr_t page = PageDown(begin); page < end; page += kPageSize) {
+    if (!latched_.Insert(page)) {
+      break;  // set saturated: the pages keep single-stepping instead
+    }
+    // Downgrade to the always-accessible default key now; Reprotect will
+    // skip the page from here on. pkey_mprotect is a plain syscall, safe
+    // from the SIGSEGV handler.
+    (void)PkeyMprotect(page, kPageSize, PROT_READ | PROT_WRITE, kDefaultPkey);
+  }
 }
 
 Status HardwareMpkBackend::InstallSignalHandlers() { return FaultSignalEngine::Install(this); }
@@ -158,12 +174,8 @@ std::optional<MpkFault> HardwareMpkBackend::Classify(uintptr_t addr, bool is_wri
 }
 
 FaultResolution HardwareMpkBackend::OnFault(const MpkFault& fault) {
-  FaultHandlerFn handler;
-  {
-    std::lock_guard lock(handler_mutex_);
-    handler = handler_;
-  }
-  return handler ? handler(fault) : FaultResolution::kDeny;
+  FaultHandlerFn* handler = handler_.load(std::memory_order_acquire);
+  return handler != nullptr && *handler ? (*handler)(fault) : FaultResolution::kDeny;
 }
 
 void HardwareMpkBackend::AllowOnce(const MpkFault& fault) {
@@ -180,7 +192,7 @@ void HardwareMpkBackend::Reprotect(const MpkFault& fault) {
   const uintptr_t page = PageDown(fault.address);
   for (int i = 0; i < 2; ++i) {
     const uintptr_t p = page + static_cast<uintptr_t>(i) * kPageSize;
-    if (page_keys_.IsTagged(p)) {
+    if (page_keys_.IsTagged(p) && !latched_.Contains(p)) {
       const PkeyId key = page_keys_.KeyFor(p);
       (void)PkeyMprotect(p, kPageSize, PROT_READ | PROT_WRITE, key);
     }

@@ -8,10 +8,14 @@
 #ifndef SRC_MPK_HARDWARE_BACKEND_H_
 #define SRC_MPK_HARDWARE_BACKEND_H_
 
+#include <atomic>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/mpk/backend.h"
 #include "src/mpk/fault_signal.h"
+#include "src/mpk/latched_page_set.h"
 #include "src/mpk/page_key_map.h"
 
 namespace pkrusafe {
@@ -39,6 +43,15 @@ class HardwareMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   Status CheckAccess(uintptr_t addr, AccessKind kind) override;
   void SetFaultHandler(FaultHandlerFn handler) override;
 
+  // First-fault latching: latched pages are re-tagged to the default key
+  // (pkey 0, always accessible) for the rest of the run.
+  void NoteLatchedRange(uintptr_t begin, uintptr_t end) override;
+  bool IsLatched(uintptr_t addr) const override { return latched_.Contains(addr); }
+  size_t latched_page_count() const override { return latched_.size(); }
+  // Page tags are process-wide (only the PKRU is per-thread), so the
+  // single-step window is visible to every thread, like mprotect's.
+  bool has_process_wide_step_window() const override { return true; }
+
   Status PrepareNativeEnforcement() override { return InstallSignalHandlers(); }
 
   Status InstallSignalHandlers();
@@ -55,8 +68,14 @@ class HardwareMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   // /proc/self/smaps.
   PageKeyMap page_keys_;
 
+  // Same atomic-pointer scheme as the mprotect backend: OnFault runs inside
+  // SIGSEGV and must not copy a std::function (allocation) or block on a
+  // mutex held by the interrupted thread.
   std::mutex handler_mutex_;
-  FaultHandlerFn handler_;
+  std::atomic<FaultHandlerFn*> handler_{nullptr};
+  std::vector<std::unique_ptr<FaultHandlerFn>> retired_handlers_;
+
+  LatchedPageSet latched_;
 };
 
 }  // namespace pkrusafe

@@ -1,0 +1,93 @@
+// Lock-free fixed-capacity set of latched pages.
+//
+// First-fault site latching (docs/faults.md) downgrades a profiled page to
+// the shared key for the remainder of the run. The set is written from the
+// SIGSEGV handler (NoteLatchedRange) and read from both signal context
+// (Reprotect deciding which pages to leave open) and the hot CheckAccess
+// path of the sim backend, so everything is an open-addressed table of
+// atomics: CAS insert, acquire-load probe, no allocation, no locks.
+//
+// Pages are never removed — a latch lasts for the run by design, and latch
+// mode only exists in profiling runs where the approximation is acceptable.
+// When the table fills up (load factor 1/2) it refuses further inserts; the
+// caller then simply keeps single-stepping those pages and surfaces the
+// saturation through a metric.
+#ifndef SRC_MPK_LATCHED_PAGE_SET_H_
+#define SRC_MPK_LATCHED_PAGE_SET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/memmap/page.h"
+#include "src/support/async_signal.h"
+
+namespace pkrusafe {
+
+class LatchedPageSet {
+ public:
+  // 4096 slots / max 2048 latched pages = 8 MiB of latched heap; plenty for
+  // the profiling corpus, and saturation degrades to plain single-stepping.
+  static constexpr size_t kCapacity = 4096;
+
+  LatchedPageSet() = default;
+  LatchedPageSet(const LatchedPageSet&) = delete;
+  LatchedPageSet& operator=(const LatchedPageSet&) = delete;
+
+  // Inserts the page containing `addr`. Returns false when the set is full
+  // (the page then keeps faulting — safe, just slower). Idempotent.
+  PKRUSAFE_AS_SAFE bool Insert(uintptr_t addr) {
+    const uintptr_t page = PageDown(addr);
+    if (page == 0) {
+      return false;  // 0 is the empty sentinel
+    }
+    if (size_.load(std::memory_order_relaxed) >= kCapacity / 2) {
+      return Contains(page);
+    }
+    size_t index = Hash(page);
+    for (size_t probe = 0; probe < kCapacity; ++probe) {
+      uintptr_t expected = 0;
+      if (slots_[index].compare_exchange_strong(expected, page, std::memory_order_acq_rel)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (expected == page) {
+        return true;
+      }
+      index = (index + 1) & (kCapacity - 1);
+    }
+    return false;
+  }
+
+  PKRUSAFE_AS_SAFE bool Contains(uintptr_t addr) const {
+    const uintptr_t page = PageDown(addr);
+    size_t index = Hash(page);
+    for (size_t probe = 0; probe < kCapacity; ++probe) {
+      const uintptr_t slot = slots_[index].load(std::memory_order_acquire);
+      if (slot == page) {
+        return true;
+      }
+      if (slot == 0) {
+        return false;
+      }
+      index = (index + 1) & (kCapacity - 1);
+    }
+    return false;
+  }
+
+  PKRUSAFE_AS_SAFE size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  static size_t Hash(uintptr_t page) {
+    // Fibonacci hash over the page number.
+    return static_cast<size_t>(((page >> 12) * UINT64_C(0x9E3779B97F4A7C15)) >> 40) &
+           (kCapacity - 1);
+  }
+
+  std::atomic<uintptr_t> slots_[kCapacity] = {};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_MPK_LATCHED_PAGE_SET_H_

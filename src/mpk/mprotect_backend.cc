@@ -29,12 +29,7 @@ int MprotectMpkBackend::ProtFor(PkruValue pkru, PkeyId key) {
 
 Status MprotectMpkBackend::TagRange(uintptr_t addr, size_t length, PkeyId key) {
   PS_RETURN_IF_ERROR(page_keys_.Tag(addr, length, key));
-  PkruValue pkru;
-  {
-    std::lock_guard lock(pkru_mutex_);
-    pkru = effective_pkru_;
-  }
-  if (::mprotect(reinterpret_cast<void*>(addr), length, ProtFor(pkru, key)) != 0) {
+  if (::mprotect(reinterpret_cast<void*>(addr), length, ProtFor(EffectivePkru(), key)) != 0) {
     (void)page_keys_.Untag(addr);
     return InternalError("mprotect while tagging range failed");
   }
@@ -61,18 +56,26 @@ void MprotectMpkBackend::ApplyKeyProtection(PkeyId key, PkruValue pkru) {
   for (const auto& range : page_keys_.RangesForKey(key)) {
     if (::mprotect(reinterpret_cast<void*>(range.begin), range.end - range.begin, prot) != 0) {
       PS_LOG(Error) << "mprotect failed while applying pkru to key " << static_cast<int>(key);
+      continue;
+    }
+    if (prot == (PROT_READ | PROT_WRITE) || latched_.size() == 0) {
+      continue;
+    }
+    // The sweep just closed every page of the range; latched pages must stay
+    // open for the rest of the profiling run.
+    for (uintptr_t page = range.begin; page < range.end; page += kPageSize) {
+      if (latched_.Contains(page)) {
+        (void)::mprotect(reinterpret_cast<void*>(page), kPageSize, PROT_READ | PROT_WRITE);
+      }
     }
   }
 }
 
 void MprotectMpkBackend::WritePkru(PkruValue value) {
   SetCurrentThreadPkru(value);
-  PkruValue previous;
-  {
-    std::lock_guard lock(pkru_mutex_);
-    previous = effective_pkru_;
-    effective_pkru_ = value;
-  }
+  std::lock_guard lock(pkru_mutex_);
+  const PkruValue previous = EffectivePkru();
+  effective_pkru_.store(value.raw(), std::memory_order_release);
   if (previous == value) {
     return;
   }
@@ -94,7 +97,21 @@ Status MprotectMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
 
 void MprotectMpkBackend::SetFaultHandler(FaultHandlerFn handler) {
   std::lock_guard lock(handler_mutex_);
-  handler_ = std::move(handler);
+  FaultHandlerFn* fresh = handler ? new FaultHandlerFn(std::move(handler)) : nullptr;
+  FaultHandlerFn* old = handler_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    // Retire rather than delete: a fault on another thread may still be
+    // mid-call through the old pointer.
+    retired_handlers_.emplace_back(old);
+  }
+}
+
+void MprotectMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
+  for (uintptr_t page = PageDown(begin); page < end; page += kPageSize) {
+    if (!latched_.Insert(page)) {
+      break;  // set saturated: the pages keep single-stepping instead
+    }
+  }
 }
 
 Status MprotectMpkBackend::InstallSignalHandlers() { return FaultSignalEngine::Install(this); }
@@ -110,11 +127,7 @@ std::optional<MpkFault> MprotectMpkBackend::Classify(uintptr_t addr, bool is_wri
     return std::nullopt;  // not ours: chain to the application's handler
   }
   const PkeyId key = page_keys_.KeyFor(addr);
-  PkruValue pkru;
-  {
-    std::lock_guard lock(pkru_mutex_);
-    pkru = effective_pkru_;
-  }
+  const PkruValue pkru = EffectivePkru();
   const AccessKind kind = is_write ? AccessKind::kWrite : AccessKind::kRead;
   const bool allowed = kind == AccessKind::kRead ? pkru.allows_read(key) : pkru.allows_write(key);
   if (allowed) {
@@ -125,12 +138,8 @@ std::optional<MpkFault> MprotectMpkBackend::Classify(uintptr_t addr, bool is_wri
 }
 
 FaultResolution MprotectMpkBackend::OnFault(const MpkFault& fault) {
-  FaultHandlerFn handler;
-  {
-    std::lock_guard lock(handler_mutex_);
-    handler = handler_;
-  }
-  return handler ? handler(fault) : FaultResolution::kDeny;
+  FaultHandlerFn* handler = handler_.load(std::memory_order_acquire);
+  return handler != nullptr && *handler ? (*handler)(fault) : FaultResolution::kDeny;
 }
 
 void MprotectMpkBackend::AllowOnce(const MpkFault& fault) {
@@ -147,17 +156,13 @@ void MprotectMpkBackend::AllowOnce(const MpkFault& fault) {
 }
 
 void MprotectMpkBackend::Reprotect(const MpkFault& fault) {
-  PkruValue pkru;
-  {
-    std::lock_guard lock(pkru_mutex_);
-    pkru = effective_pkru_;
-  }
+  const PkruValue pkru = EffectivePkru();
   const uintptr_t page = PageDown(fault.address);
   // Restore each page according to its own key (they may differ at a pool
-  // boundary).
+  // boundary). Latched pages stay open for the rest of the run.
   for (int i = 0; i < 2; ++i) {
     const uintptr_t p = page + static_cast<uintptr_t>(i) * kPageSize;
-    if (page_keys_.IsTagged(p)) {
+    if (page_keys_.IsTagged(p) && !latched_.Contains(p)) {
       const PkeyId key = page_keys_.KeyFor(p);
       (void)::mprotect(reinterpret_cast<void*>(p), kPageSize, ProtFor(pkru, key));
     }

@@ -8,15 +8,26 @@
 //
 // Divergence from hardware (documented in DESIGN.md): page protections are
 // process-wide, so the effective PKRU is a process-wide value; per-thread
-// PKRU reads still reflect the last value the thread wrote.
+// PKRU reads still reflect the last value the thread wrote. A consequence is
+// the process-wide step window: while AllowOnce holds a faulting page open,
+// accesses by *other* threads to that page slip through unrecorded — the
+// profiling handler compensates at latch time (docs/faults.md).
+//
+// The delegate methods (Classify/OnFault/AllowOnce/Reprotect) run inside
+// SIGSEGV/SIGTRAP and are async-signal-safe: the effective PKRU is a plain
+// atomic, the fault handler is reached through an atomic pointer (never
+// copied in signal context), and the latched-page set is lock-free.
 #ifndef SRC_MPK_MPROTECT_BACKEND_H_
 #define SRC_MPK_MPROTECT_BACKEND_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/mpk/backend.h"
 #include "src/mpk/fault_signal.h"
+#include "src/mpk/latched_page_set.h"
 #include "src/mpk/page_key_map.h"
 
 namespace pkrusafe {
@@ -43,6 +54,13 @@ class MprotectMpkBackend final : public MpkBackend, public FaultSignalDelegate {
 
   void SetFaultHandler(FaultHandlerFn handler) override;
 
+  // First-fault latching: latched pages stay PROT_READ|PROT_WRITE across
+  // Reprotect and subsequent PKRU writes for the rest of the run.
+  void NoteLatchedRange(uintptr_t begin, uintptr_t end) override;
+  bool IsLatched(uintptr_t addr) const override { return latched_.Contains(addr); }
+  size_t latched_page_count() const override { return latched_.size(); }
+  bool has_process_wide_step_window() const override { return true; }
+
   // Registers the SIGSEGV/SIGTRAP handlers (chaining any existing ones).
   // Must be called before violations are expected; idempotent.
   Status PrepareNativeEnforcement() override { return InstallSignalHandlers(); }
@@ -60,17 +78,28 @@ class MprotectMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   // Effective protection for pages tagged `key` under PKRU `pkru`.
   static int ProtFor(PkruValue pkru, PkeyId key);
 
-  // mprotects every range tagged with `key` per `pkru`.
+  // mprotects every range tagged with `key` per `pkru`, then re-opens any
+  // latched pages the sweep closed.
   void ApplyKeyProtection(PkeyId key, PkruValue pkru);
+
+  PkruValue EffectivePkru() const {
+    return PkruValue(effective_pkru_.load(std::memory_order_acquire));
+  }
 
   PageKeyMap page_keys_;
   std::atomic<uint16_t> next_key_{1};
 
-  std::mutex pkru_mutex_;
-  PkruValue effective_pkru_;  // process-wide value protections currently reflect
+  std::mutex pkru_mutex_;  // serializes WritePkru's read-modify-mprotect sweep
+  std::atomic<uint32_t> effective_pkru_{0};  // process-wide value protections reflect
 
+  // The handler is reached from SIGSEGV through one atomic pointer load.
+  // Replaced handlers are retired (not freed) so a racing fault can finish
+  // its call; bounded by the number of SetFaultHandler calls.
   std::mutex handler_mutex_;
-  FaultHandlerFn handler_;
+  std::atomic<FaultHandlerFn*> handler_{nullptr};
+  std::vector<std::unique_ptr<FaultHandlerFn>> retired_handlers_;
+
+  LatchedPageSet latched_;
 };
 
 }  // namespace pkrusafe

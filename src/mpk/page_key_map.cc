@@ -4,12 +4,121 @@
 
 #include "src/memmap/page.h"
 #include "src/support/string_util.h"
+#include "src/telemetry/telemetry.h"
 
 namespace pkrusafe {
 
+// ---------------------------------------------------------------------------
+// Epoch-based snapshot reclamation.
+//
+// Readers (KeyFor/IsTagged/... — possibly from SIGSEGV context) claim a slot
+// in a fixed global pool and stamp the current epoch into it for the duration
+// of the read. A writer retires the superseded snapshot at the epoch it
+// advances past and may free any retired snapshot whose retire epoch precedes
+// every stamped reader epoch: a reader stamps BEFORE loading the snapshot
+// pointer, so (seq_cst throughout) a reader that observed the old pointer has
+// a stamp ≤ that snapshot's retire epoch visible to the writer's scan.
+//
+// The protocol is reentrant for nested signal readers on the same thread:
+// depth is incremented before the stamp check, so a handler interrupting a
+// read either inherits the outer stamp or installs one the resuming outer
+// read can keep (an older overwrite is merely conservative); the stamp is
+// cleared only when the outermost read exits.
+//
+// Everything here is a fixed-size static — no allocation on any reader path,
+// including a thread's first read from inside a signal handler.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kIdleEpoch = ~0ull;
+
+// Monotonic grace-period clock, advanced by writers on every publish.
+std::atomic<uint64_t> g_epoch{1};
+
+struct alignas(64) ReaderSlot {
+  std::atomic<uint64_t> tid{0};              // 0 = unclaimed
+  std::atomic<uint64_t> epoch{kIdleEpoch};   // kIdleEpoch = no read in flight
+  std::atomic<uint32_t> depth{0};            // owner-thread only (signal nesting)
+};
+
+constexpr size_t kMaxReaderSlots = 128;
+ReaderSlot g_reader_slots[kMaxReaderSlots];
+
+// Readers that could not claim a slot park here; any nonzero value stalls
+// reclamation entirely (never correctness).
+std::atomic<uint64_t> g_overflow_readers{0};
+
+thread_local ReaderSlot* t_reader_slot = nullptr;
+
+PKRUSAFE_AS_SAFE ReaderSlot* ClaimReaderSlot() {
+  if (t_reader_slot != nullptr) {
+    return t_reader_slot;
+  }
+  const uint64_t tid = static_cast<uint64_t>(telemetry::CurrentTid());
+  const size_t start = (tid * 0x9E3779B97F4A7C15ull) >> 57 & (kMaxReaderSlots - 1);
+  for (size_t i = 0; i < kMaxReaderSlots; ++i) {
+    ReaderSlot* slot = &g_reader_slots[(start + i) & (kMaxReaderSlots - 1)];
+    uint64_t expected = 0;
+    if (slot->tid.compare_exchange_strong(expected, tid, std::memory_order_acq_rel)) {
+      t_reader_slot = slot;
+      return slot;
+    }
+    if (expected == tid) {
+      // The kernel recycled a dead thread's tid; its slot (idle by scoping of
+      // EpochReadGuard) is ours to adopt.
+      t_reader_slot = slot;
+      return slot;
+    }
+  }
+  return nullptr;
+}
+
+// RAII reader registration. Async-signal-safe and reentrant.
+class EpochReadGuard {
+ public:
+  PKRUSAFE_AS_SAFE EpochReadGuard() : slot_(ClaimReaderSlot()) {
+    if (slot_ == nullptr) {
+      g_overflow_readers.fetch_add(1, std::memory_order_seq_cst);
+      return;
+    }
+    slot_->depth.fetch_add(1, std::memory_order_relaxed);
+    if (slot_->epoch.load(std::memory_order_relaxed) == kIdleEpoch) {
+      slot_->epoch.store(g_epoch.load(std::memory_order_seq_cst), std::memory_order_seq_cst);
+    }
+  }
+  PKRUSAFE_AS_SAFE ~EpochReadGuard() {
+    if (slot_ == nullptr) {
+      g_overflow_readers.fetch_sub(1, std::memory_order_seq_cst);
+      return;
+    }
+    if (slot_->depth.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      slot_->epoch.store(kIdleEpoch, std::memory_order_seq_cst);
+    }
+  }
+  EpochReadGuard(const EpochReadGuard&) = delete;
+  EpochReadGuard& operator=(const EpochReadGuard&) = delete;
+
+ private:
+  ReaderSlot* slot_;
+};
+
+uint64_t MinActiveReaderEpoch() {
+  uint64_t min_epoch = kIdleEpoch;
+  for (const ReaderSlot& slot : g_reader_slots) {
+    const uint64_t epoch = slot.epoch.load(std::memory_order_seq_cst);
+    min_epoch = epoch < min_epoch ? epoch : min_epoch;
+  }
+  return min_epoch;
+}
+
+}  // namespace
+
 PageKeyMap::~PageKeyMap() {
   delete snapshot_.load(std::memory_order_relaxed);
-  // retired_ frees the rest.
+  for (const RetiredSnapshot& retired : retired_) {
+    delete retired.snapshot;
+  }
 }
 
 void PageKeyMap::PublishLocked() {
@@ -18,9 +127,18 @@ void PageKeyMap::PublishLocked() {
   ranges_.ForEach([&](const IntervalMap<PkeyId>::Interval& interval) {
     fresh->ranges.push_back(TaggedRange{interval.begin, interval.end, interval.value});
   });
-  const Snapshot* old = snapshot_.exchange(fresh.release(), std::memory_order_acq_rel);
+  const Snapshot* old = snapshot_.exchange(fresh.release(), std::memory_order_seq_cst);
   if (old != nullptr) {
-    retired_.emplace_back(old);
+    const uint64_t retire_epoch = g_epoch.fetch_add(1, std::memory_order_seq_cst);
+    retired_.push_back(RetiredSnapshot{old, retire_epoch});
+  }
+  if (g_overflow_readers.load(std::memory_order_seq_cst) != 0) {
+    return;  // a slotless reader is in flight; retry reclamation next publish
+  }
+  const uint64_t min_active = MinActiveReaderEpoch();
+  while (!retired_.empty() && retired_.front().retire_epoch < min_active) {
+    delete retired_.front().snapshot;
+    retired_.pop_front();
   }
 }
 
@@ -69,6 +187,7 @@ const PageKeyMap::TaggedRange* LowerBoundRange(const std::vector<PageKeyMap::Tag
 }  // namespace
 
 PkeyId PageKeyMap::KeyFor(uintptr_t addr) const {
+  EpochReadGuard guard;
   const Snapshot* snap = LoadSnapshot();
   if (snap == nullptr) {
     return kDefaultPkey;
@@ -78,6 +197,7 @@ PkeyId PageKeyMap::KeyFor(uintptr_t addr) const {
 }
 
 bool PageKeyMap::IsTagged(uintptr_t addr) const {
+  EpochReadGuard guard;
   const Snapshot* snap = LoadSnapshot();
   if (snap == nullptr) {
     return false;
@@ -87,6 +207,7 @@ bool PageKeyMap::IsTagged(uintptr_t addr) const {
 }
 
 size_t PageKeyMap::RangesAround(uintptr_t addr, TaggedRange* out, size_t max) const {
+  EpochReadGuard guard;
   const Snapshot* snap = LoadSnapshot();
   if (snap == nullptr || max == 0 || snap->ranges.empty()) {
     return 0;
@@ -108,6 +229,7 @@ size_t PageKeyMap::RangesAround(uintptr_t addr, TaggedRange* out, size_t max) co
 }
 
 std::vector<PageKeyMap::TaggedRange> PageKeyMap::RangesForKey(PkeyId key) const {
+  EpochReadGuard guard;
   std::vector<TaggedRange> out;
   const Snapshot* snap = LoadSnapshot();
   if (snap == nullptr) {
@@ -122,13 +244,20 @@ std::vector<PageKeyMap::TaggedRange> PageKeyMap::RangesForKey(PkeyId key) const 
 }
 
 std::vector<PageKeyMap::TaggedRange> PageKeyMap::AllRanges() const {
+  EpochReadGuard guard;
   const Snapshot* snap = LoadSnapshot();
   return snap == nullptr ? std::vector<TaggedRange>() : snap->ranges;
 }
 
 size_t PageKeyMap::range_count() const {
+  EpochReadGuard guard;
   const Snapshot* snap = LoadSnapshot();
   return snap == nullptr ? 0 : snap->ranges.size();
+}
+
+size_t PageKeyMap::retired_snapshot_count() const {
+  std::lock_guard lock(mutex_);
+  return retired_.size();
 }
 
 }  // namespace pkrusafe

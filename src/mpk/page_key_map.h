@@ -10,15 +10,23 @@
 // mutex and publish it with one release store. Readers load the snapshot
 // pointer (acquire) and binary-search it — no lock, no allocation, so
 // KeyFor/IsTagged/RangesAround are async-signal-safe and cheap on the sim
-// backend's per-access check. Retired snapshots are kept until the map is
-// destroyed (readers — including signal handlers — may still hold a pointer;
-// the count is bounded by the number of mutations, which is proportional to
-// region churn, not accesses).
+// backend's per-access check.
+//
+// Retired snapshots are reclaimed with a global epoch / grace-period scheme
+// (see page_key_map.cc): every reader stamps the current epoch into a
+// per-thread slot for the duration of its read; a writer retires the old
+// snapshot at the epoch it advances to and frees any retired snapshot whose
+// retire epoch precedes every active reader's stamp. This bounds retired_
+// (pkalloc span churn used to leak every superseded snapshot for process
+// lifetime) while keeping signal-context readers safe: the stamp protocol is
+// reentrant, so a SIGSEGV arriving mid-read extends the outer read's grace
+// period instead of ending it.
 #ifndef SRC_MPK_PAGE_KEY_MAP_H_
 #define SRC_MPK_PAGE_KEY_MAP_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -71,22 +79,37 @@ class PageKeyMap {
 
   PKRUSAFE_AS_SAFE size_t range_count() const;
 
+  // Superseded snapshots currently awaiting their grace period. Bounded by
+  // the number of concurrently active readers (plus a small constant), never
+  // by the mutation count — the regression test churns Tag/Untag and asserts
+  // this stays flat.
+  size_t retired_snapshot_count() const;
+
  private:
   // Immutable once published; `ranges` is sorted by begin.
   struct Snapshot {
     std::vector<TaggedRange> ranges;
   };
 
+  struct RetiredSnapshot {
+    const Snapshot* snapshot;
+    uint64_t retire_epoch;
+  };
+
+  // Loads the current snapshot under the caller's reader stamp (the caller
+  // must hold an EpochReadGuard, see page_key_map.cc).
   PKRUSAFE_AS_SAFE const Snapshot* LoadSnapshot() const {
-    return snapshot_.load(std::memory_order_acquire);
+    return snapshot_.load(std::memory_order_seq_cst);
   }
-  // Rebuilds and publishes a snapshot from `ranges_`; caller holds mutex_.
+  // Rebuilds and publishes a snapshot from `ranges_`, retiring the old one
+  // and freeing every retired snapshot past its grace period; caller holds
+  // mutex_.
   void PublishLocked();
 
   mutable std::mutex mutex_;  // serializes writers; readers never take it
   IntervalMap<PkeyId> ranges_;
   std::atomic<const Snapshot*> snapshot_{nullptr};
-  std::vector<std::unique_ptr<const Snapshot>> retired_;
+  std::deque<RetiredSnapshot> retired_;
 };
 
 }  // namespace pkrusafe

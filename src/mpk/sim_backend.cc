@@ -37,20 +37,22 @@ Status SimMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
   if (allowed) {
     return Status::Ok();
   }
+  if (latched_.size() != 0 && latched_.Contains(addr)) {
+    // The page was latched open by an earlier profiling fault: the model of
+    // "downgraded to the shared key" is that accesses no longer fault.
+    return Status::Ok();
+  }
 
   fault_count_.fetch_add(1, std::memory_order_relaxed);
   const MpkFault fault{addr, kind, key, pkru};
 
-  FaultHandlerFn handler;
-  {
-    std::lock_guard lock(handler_mutex_);
-    handler = handler_;
-  }
-  if (handler) {
-    const FaultResolution resolution = handler(fault);
-    if (resolution == FaultResolution::kRetryAllowed) {
+  FaultHandlerFn* handler = handler_.load(std::memory_order_acquire);
+  if (handler != nullptr && *handler) {
+    const FaultResolution resolution = (*handler)(fault);
+    if (resolution != FaultResolution::kDeny) {
       // Single-step semantics: exactly this access succeeds; the thread PKRU
-      // is untouched, so the next denied access faults again.
+      // is untouched, so the next denied access faults again (unless the
+      // handler latched the page via NoteLatchedRange).
       return Status::Ok();
     }
   }
@@ -61,7 +63,19 @@ Status SimMpkBackend::CheckAccess(uintptr_t addr, AccessKind kind) {
 
 void SimMpkBackend::SetFaultHandler(FaultHandlerFn handler) {
   std::lock_guard lock(handler_mutex_);
-  handler_ = std::move(handler);
+  FaultHandlerFn* fresh = handler ? new FaultHandlerFn(std::move(handler)) : nullptr;
+  FaultHandlerFn* old = handler_.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    retired_handlers_.emplace_back(old);
+  }
+}
+
+void SimMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
+  for (uintptr_t page = PageDown(begin); page < end; page += kPageSize) {
+    if (!latched_.Insert(page)) {
+      break;  // set saturated: the pages keep faulting instead
+    }
+  }
 }
 
 }  // namespace pkrusafe

@@ -8,9 +8,12 @@
 #define SRC_MPK_SIM_BACKEND_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "src/mpk/backend.h"
+#include "src/mpk/latched_page_set.h"
 #include "src/mpk/page_key_map.h"
 
 namespace pkrusafe {
@@ -35,6 +38,12 @@ class SimMpkBackend final : public MpkBackend {
 
   void SetFaultHandler(FaultHandlerFn handler) override;
 
+  // First-fault latching: accesses to latched pages pass CheckAccess without
+  // consulting the PKRU (the page has been downgraded to the shared key).
+  void NoteLatchedRange(uintptr_t begin, uintptr_t end) override;
+  bool IsLatched(uintptr_t addr) const override { return latched_.Contains(addr); }
+  size_t latched_page_count() const override { return latched_.size(); }
+
   // Number of violations observed (before resolution), for tests and stats.
   uint64_t fault_count() const { return fault_count_.load(std::memory_order_relaxed); }
 
@@ -43,8 +52,14 @@ class SimMpkBackend final : public MpkBackend {
   std::atomic<uint16_t> next_key_{1};
   std::atomic<uint64_t> fault_count_{0};
 
+  // Atomic-pointer handler (same scheme as the native backends): CheckAccess
+  // is the sim's per-access hot path, so the handler is reached through one
+  // acquire load instead of a mutex + std::function copy.
   std::mutex handler_mutex_;
-  FaultHandlerFn handler_;
+  std::atomic<FaultHandlerFn*> handler_{nullptr};
+  std::vector<std::unique_ptr<FaultHandlerFn>> retired_handlers_;
+
+  LatchedPageSet latched_;
 };
 
 }  // namespace pkrusafe

@@ -55,6 +55,21 @@ bool ProvenanceTracker::LookupForSignal(uintptr_t addr, bool* found, Record* rec
   return true;
 }
 
+int ProvenanceTracker::RecordsInRangeForSignal(uintptr_t lo, uintptr_t hi, Record* out,
+                                               int max) const {
+  if (!mutex_.try_lock()) {
+    return -1;
+  }
+  int written = 0;
+  objects_.ForEachIn(lo, hi, [&](const IntervalMap<Record>::Interval& interval) {
+    if (written < max) {
+      out[written++] = interval.value;
+    }
+  });
+  mutex_.unlock();
+  return written;
+}
+
 size_t ProvenanceTracker::live_count() const {
   std::lock_guard lock(mutex_);
   return objects_.size();

@@ -47,6 +47,13 @@ class ProvenanceTracker {
   // allocate.
   bool LookupForSignal(uintptr_t addr, bool* found, Record* record) const;
 
+  // Signal-context range query: copies up to `max` records overlapping
+  // [lo, hi) into `out` and returns how many were written, or -1 when the
+  // mutex was unavailable (held by the interrupted thread). Used by the
+  // fault handler to re-check a single-step window at latch time. Does not
+  // allocate.
+  int RecordsInRangeForSignal(uintptr_t lo, uintptr_t hi, Record* out, int max) const;
+
   size_t live_count() const;
   void Clear();
 

@@ -1,5 +1,6 @@
 #include "src/runtime/runtime.h"
 
+#include "src/memmap/page.h"
 #include "src/runtime/site_stats.h"
 #include "src/support/logging.h"
 #include "src/telemetry/flight_recorder.h"
@@ -69,6 +70,28 @@ telemetry::Counter* DeniedFaultCounter() {
   return counter;
 }
 
+// Profiling faults that hit trusted memory with no tracked allocation (or
+// whose attribution lost a try_lock race): stepped past without a profile
+// entry. Replaces the old PS_LOG(Warning) on this path, which allocated and
+// locked from signal context.
+telemetry::Counter* UnattributedFaultCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("runtime.fault.unattributed");
+  return counter;
+}
+
+telemetry::Counter* LatchedFaultCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("runtime.fault.latched");
+  return counter;
+}
+
+telemetry::Counter* StepWindowMissCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("runtime.fault.step_window_miss");
+  return counter;
+}
+
 uint8_t AllocDetail(Domain domain, bool has_site) {
   return static_cast<uint8_t>((domain == Domain::kUntrusted ? 1 : 0) | (has_site ? 2 : 0));
 }
@@ -90,6 +113,7 @@ void RecordAllocEvent(Domain domain, size_t size, const AllocId* site) {
 PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBackend> backend,
                                  std::unique_ptr<PkAllocator> allocator)
     : mode_(config.mode),
+      latch_sites_(config.latch_sites),
       policy_(std::move(config.policy)),
       backend_(std::move(backend)),
       allocator_(std::move(allocator)) {
@@ -139,6 +163,9 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
   // the first fault still lists them.
   (void)ProfiledFaultCounter();
   (void)DeniedFaultCounter();
+  (void)UnattributedFaultCounter();
+  (void)LatchedFaultCounter();
+  (void)StepWindowMissCounter();
 
   // Crash forensics wiring: let the recorder reach the page-key map, the
   // provenance table and the thread PKRU from signal context.
@@ -210,15 +237,51 @@ FaultResolution PkruSafeRuntime::OnMpkFault(const MpkFault& fault) {
   // site owning the address, record it once per site, and let the access
   // complete via single-stepping. Faults that hit trusted memory not backed
   // by a tracked object (e.g. allocator metadata) are stepped past without a
-  // profile entry — there is no allocation site to move.
-  const auto record = provenance_.Lookup(fault.address);
-  if (record.has_value()) {
-    recorder_.RecordFault(record->id);
-  } else {
-    PS_LOG(Warning) << "profiling fault at 0x" << std::hex << fault.address << std::dec
-                    << " hit no tracked allocation";
+  // profile entry — there is no allocation site to move. Everything on this
+  // path must be async-signal-safe: native backends call it from SIGSEGV.
+  ProvenanceTracker::Record record;
+  bool found = false;
+  if (!provenance_.LookupForSignal(fault.address, &found, &record) || !found) {
+    UnattributedFaultCounter()->Increment();
+    return FaultResolution::kRetryAllowed;
   }
-  return FaultResolution::kRetryAllowed;
+  recorder_.RecordFault(record.id);
+  if (!latch_sites_) {
+    return FaultResolution::kRetryAllowed;
+  }
+  // First-fault latching: once the (site, page) pair is recorded, downgrade
+  // the page to the shared key so the site stops paying a signal round-trip
+  // per access. Only pages FULLY covered by the faulting object may latch —
+  // a page shared with a neighboring object must keep faulting, or that
+  // neighbor's site could go unrecorded and the latched profile's site set
+  // would diverge from the unlatched one.
+  const uintptr_t fault_page = PageDown(fault.address);
+  const uintptr_t covered_lo = PageUp(record.base);
+  const uintptr_t covered_hi = PageDown(record.base + record.size);
+  if (fault_page < covered_lo || fault_page + kPageSize > covered_hi) {
+    return FaultResolution::kRetryAllowed;
+  }
+  // Backends whose single-step window is process-wide (mprotect re-opens the
+  // page for every thread; hardware page tags are global) let concurrent
+  // accesses to the window slip through unrecorded. The page is about to stop
+  // faulting forever, so re-check the window now and re-record any co-located
+  // tracked sites that would otherwise be missed.
+  if (backend_->has_process_wide_step_window()) {
+    constexpr int kMaxWindowRecords = 16;
+    ProvenanceTracker::Record window[kMaxWindowRecords];
+    const int n = provenance_.RecordsInRangeForSignal(fault_page, fault_page + 2 * kPageSize,
+                                                      window, kMaxWindowRecords);
+    for (int i = 0; i < n; ++i) {
+      if (window[i].id == record.id) {
+        continue;
+      }
+      recorder_.RecordFault(window[i].id);
+      StepWindowMissCounter()->Increment();
+    }
+  }
+  backend_->NoteLatchedRange(fault_page, fault_page + kPageSize);
+  LatchedFaultCounter()->Increment();
+  return FaultResolution::kRetryAndLatch;
 }
 
 void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
@@ -343,6 +406,8 @@ RuntimeStats PkruSafeRuntime::stats() const {
   stats.transitions_to_trusted = gates_->transitions_to_trusted();
   stats.transitions = stats.transitions_to_untrusted + stats.transitions_to_trusted;
   stats.profile_faults = recorder_.total_faults();
+  stats.latched_faults = LatchedFaultCounter()->value();
+  stats.step_window_misses = StepWindowMissCounter()->value();
   {
     std::lock_guard lock(sites_mutex_);
     stats.sites_seen = sites_seen_.size();

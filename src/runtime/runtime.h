@@ -52,6 +52,12 @@ struct RuntimeConfig {
   RuntimeMode mode = RuntimeMode::kDisabled;
   PkAllocatorConfig allocator;
   bool verify_gates = true;
+  // First-fault site latching (profiling mode): after a (site, page) pair is
+  // recorded once, pages fully covered by the faulting object are downgraded
+  // to the shared key for the rest of the run, so hot sites stop paying a
+  // signal round-trip per access. Counts become approximate (first fault per
+  // latched page only); the site set is unchanged.
+  bool latch_sites = false;
   // Enforcement policy; typically SitePolicy::FromProfile(profile).
   SitePolicy policy;
 };
@@ -64,6 +70,8 @@ struct RuntimeStats {
   uint64_t transitions_to_untrusted = 0;  // T -> U crossings
   uint64_t transitions_to_trusted = 0;    // U -> T crossings
   uint64_t profile_faults = 0;
+  uint64_t latched_faults = 0;      // faults that latched their page open
+  uint64_t step_window_misses = 0;  // co-located sites re-recorded at latch time
   size_t sites_seen = 0;        // distinct AllocIds that allocated
   size_t sites_shared = 0;      // sites the policy serves from M_U
   uint64_t trusted_bytes = 0;   // cumulative usable bytes from M_T
@@ -132,6 +140,7 @@ class PkruSafeRuntime {
   bool TracksProvenance() const;
 
   RuntimeMode mode_;
+  bool latch_sites_;
   SitePolicy policy_;
   std::unique_ptr<MpkBackend> backend_;
   std::unique_ptr<PkAllocator> allocator_;

@@ -1,0 +1,130 @@
+// First-fault site latching (--latch-sites): once a (site, page) pair has
+// been recorded, pages fully covered by the faulting object are downgraded so
+// later accesses skip the fault path entirely — without changing which sites
+// end up in the profile.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/memmap/page.h"
+#include "src/runtime/runtime.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr AllocId kSharedSite{1, 0, 0};
+constexpr AllocId kPrivateSite{2, 0, 0};
+
+std::unique_ptr<PkruSafeRuntime> MakeProfilingRuntime(bool latch_sites) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  RuntimeConfig config;
+  config.backend = BackendKind::kSim;
+  config.mode = RuntimeMode::kProfiling;
+  config.latch_sites = latch_sites;
+  config.allocator.trusted_pool_bytes = size_t{1} << 30;
+  config.allocator.untrusted_pool_bytes = size_t{1} << 30;
+  auto runtime = PkruSafeRuntime::Create(std::move(config));
+  EXPECT_TRUE(runtime.ok()) << runtime.status().ToString();
+  return std::move(*runtime);
+}
+
+Status UntrustedRead(PkruSafeRuntime& rt, uintptr_t addr) {
+  UntrustedScope scope(rt.gates());
+  return rt.backend().CheckAccess(addr, AccessKind::kRead);
+}
+
+// First page of `ptr` that the object covers completely, or 0 if none.
+uintptr_t FirstFullyCoveredPage(void* ptr, size_t size) {
+  const uintptr_t base = reinterpret_cast<uintptr_t>(ptr);
+  const uintptr_t lo = PageUp(base);
+  const uintptr_t hi = PageDown(base + size);
+  return lo + kPageSize <= hi ? lo : 0;
+}
+
+TEST(LatchTest, FullyCoveredPageLatchesAfterFirstFault) {
+  auto rt = MakeProfilingRuntime(/*latch_sites=*/true);
+  void* big = rt->AllocTrusted(kSharedSite, 4 * kPageSize);
+  ASSERT_NE(big, nullptr);
+  const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+  ASSERT_NE(page, 0u);
+
+  // Telemetry counters are process-global, so assert on deltas.
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  const RuntimeStats after_first = rt->stats();
+  EXPECT_EQ(after_first.latched_faults, before.latched_faults + 1);
+  EXPECT_EQ(after_first.profile_faults, before.profile_faults + 1);
+
+  // The latched page is now open to the shared key: subsequent accesses must
+  // not re-enter the fault path at all.
+  EXPECT_TRUE(UntrustedRead(*rt, page + 8).ok());
+  EXPECT_TRUE(UntrustedRead(*rt, page + kPageSize - 1).ok());
+  const RuntimeStats after_more = rt->stats();
+  EXPECT_EQ(after_more.profile_faults, after_first.profile_faults);
+  EXPECT_EQ(after_more.latched_faults, after_first.latched_faults);
+
+  // Latching must not have cost us the site.
+  Profile profile = rt->TakeProfile();
+  EXPECT_TRUE(profile.Contains(kSharedSite));
+  EXPECT_FALSE(profile.Contains(kPrivateSite));
+  rt->Free(big);
+}
+
+TEST(LatchTest, PartiallyCoveredObjectNeverLatches) {
+  auto rt = MakeProfilingRuntime(/*latch_sites=*/true);
+  // A sub-page object cannot fully cover any page, so its page may host other
+  // sites and must keep faulting (site-set exactness).
+  void* small = rt->AllocTrusted(kSharedSite, 64);
+  ASSERT_NE(small, nullptr);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(small);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, addr).ok());
+  EXPECT_TRUE(UntrustedRead(*rt, addr).ok());
+  const RuntimeStats after = rt->stats();
+  EXPECT_EQ(after.latched_faults, before.latched_faults);
+  EXPECT_EQ(after.profile_faults, before.profile_faults + 2);
+  rt->Free(small);
+}
+
+TEST(LatchTest, LatchingOffIsTheDefault) {
+  auto rt = MakeProfilingRuntime(/*latch_sites=*/false);
+  void* big = rt->AllocTrusted(kSharedSite, 4 * kPageSize);
+  ASSERT_NE(big, nullptr);
+  const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+  ASSERT_NE(page, 0u);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  const RuntimeStats after = rt->stats();
+  EXPECT_EQ(after.latched_faults, before.latched_faults);
+  EXPECT_EQ(after.profile_faults, before.profile_faults + 2);
+  rt->Free(big);
+}
+
+TEST(LatchTest, LatchedAndUnlatchedRunsRecordTheSameSites) {
+  // The acceptance property, at runtime level: identical access sequences
+  // with latching on and off produce identical site sets.
+  Profile unlatched;
+  Profile latched;
+  for (const bool latch : {false, true}) {
+    auto rt = MakeProfilingRuntime(latch);
+    void* big = rt->AllocTrusted(kSharedSite, 4 * kPageSize);
+    void* small = rt->AllocTrusted(kPrivateSite, 64);
+    ASSERT_NE(big, nullptr);
+    ASSERT_NE(small, nullptr);
+    const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+    ASSERT_NE(page, 0u);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(UntrustedRead(*rt, page + static_cast<uintptr_t>(i)).ok());
+    }
+    (latch ? latched : unlatched) = rt->TakeProfile();
+    rt->Free(big);
+    rt->Free(small);
+  }
+  EXPECT_EQ(latched.Sites(), unlatched.Sites());
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace pkrusafe {
 namespace {
@@ -66,6 +69,75 @@ TEST(ProfileTest, DeserializeSkipsCommentsAndBlanks) {
   EXPECT_EQ(profile->CountFor(kA), 4u);
 }
 
+TEST(ProfileTest, DeserializeMergesDuplicateLines) {
+  auto profile = Profile::Deserialize(
+      "# pkru-safe profile v1\n"
+      "1:2:3 4\n"
+      "1:2:3 6\n");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->site_count(), 1u);
+  EXPECT_EQ(profile->CountFor(kA), 10u);
+}
+
+TEST(ProfileTest, DeserializeRejectsOverflowingDuplicateSum) {
+  // Each line parses, but their sum exceeds uint64: must be rejected, not
+  // silently wrapped.
+  auto profile = Profile::Deserialize(
+      "# pkru-safe profile v1\n"
+      "1:2:3 18446744073709551615\n"
+      "1:2:3 1\n");
+  EXPECT_FALSE(profile.ok());
+}
+
+TEST(ProfileTest, DeserializeRejectsOverflowingCountLiteral) {
+  EXPECT_FALSE(Profile::Deserialize(
+                   "# pkru-safe profile v1\n"
+                   "1:2:3 18446744073709551616\n")
+                   .ok());
+}
+
+TEST(ProfileTest, DeserializeFuzzLinesNeverCrash) {
+  // None of these may crash; each must either parse cleanly or fail cleanly.
+  const char* kLines[] = {
+      "1:2:3 -4",
+      "1:2:3 4 5",
+      "1:2:3:4 5",
+      ": : 1",
+      "1:2: 1",
+      "4294967296:1:1 1",  // function id overflows uint32
+      "1:2:3\t4",
+      "0:0:0 0",
+      "1:2:3 0x10",
+      "\x01\x02\x03",
+      "1:2:3 99999999999999999999999999",
+  };
+  for (const char* line : kLines) {
+    const std::string text = std::string("# pkru-safe profile v1\n") + line + "\n";
+    auto profile = Profile::Deserialize(text);
+    if (profile.ok()) {
+      // The only acceptable successes are well-formed lines.
+      EXPECT_LE(profile->site_count(), 1u) << line;
+    }
+  }
+}
+
+TEST(ProfileTest, AddCheckedRejectsOverflow) {
+  Profile profile;
+  profile.Add(kA, UINT64_MAX);
+  EXPECT_FALSE(profile.AddChecked(kA, 1).ok());
+  EXPECT_TRUE(profile.AddChecked(kB, UINT64_MAX).ok());
+  EXPECT_EQ(profile.CountFor(kB), UINT64_MAX);
+}
+
+TEST(ProfileTest, MergeSaturatesInsteadOfWrapping) {
+  Profile a;
+  a.Add(kA, UINT64_MAX - 1);
+  Profile b;
+  b.Add(kA, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.CountFor(kA), UINT64_MAX);
+}
+
 TEST(ProfileTest, MergeAddsCounts) {
   Profile a;
   a.Add(kA, 1);
@@ -110,6 +182,76 @@ TEST(ProfileRecorderTest, ResetClears) {
   recorder.Reset();
   EXPECT_EQ(recorder.total_faults(), 0u);
   EXPECT_TRUE(recorder.TakeProfile().empty());
+}
+
+TEST(ProfileRecorderTest, ConcurrentRecordingLosesNoCounts) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThreadSites = 16;
+  constexpr int kHitsPerSite = 500;
+  ProfileRecorder recorder;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int hit = 0; hit < kHitsPerSite; ++hit) {
+        for (int s = 0; s < kPerThreadSites; ++s) {
+          // Distinct sites per thread plus one shared hot site everybody hits.
+          recorder.RecordFault(
+              AllocId{static_cast<uint32_t>(t + 1), 0, static_cast<uint32_t>(s)});
+          recorder.RecordFault(kA);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(recorder.dropped_faults(), 0u);
+  EXPECT_EQ(recorder.total_faults(),
+            static_cast<uint64_t>(kThreads) * kPerThreadSites * kHitsPerSite * 2);
+  Profile profile = recorder.TakeProfile();
+  EXPECT_EQ(profile.site_count(),
+            static_cast<size_t>(kThreads) * kPerThreadSites + 1);
+  EXPECT_EQ(profile.CountFor(kA),
+            static_cast<uint64_t>(kThreads) * kPerThreadSites * kHitsPerSite);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int s = 0; s < kPerThreadSites; ++s) {
+      EXPECT_EQ(profile.CountFor(
+                    AllocId{static_cast<uint32_t>(t + 1), 0, static_cast<uint32_t>(s)}),
+                static_cast<uint64_t>(kHitsPerSite));
+    }
+  }
+}
+
+TEST(ProfileRecorderTest, TableExhaustionDropsInsteadOfCorrupting) {
+  ProfileRecorder recorder;
+  // One thread owns one 256-slot table; hammering more distinct sites than
+  // slots must overflow into dropped_faults, never into another table or UB.
+  constexpr int kSites = 400;
+  for (int s = 0; s < kSites; ++s) {
+    recorder.RecordFault(AllocId{7, 7, static_cast<uint32_t>(s)});
+  }
+  EXPECT_EQ(recorder.total_faults(), static_cast<uint64_t>(kSites));
+  EXPECT_GT(recorder.dropped_faults(), 0u);
+  Profile profile = recorder.TakeProfile();
+  EXPECT_LE(profile.site_count(), 256u);
+  EXPECT_EQ(profile.site_count() + recorder.dropped_faults(),
+            static_cast<size_t>(kSites));
+}
+
+TEST(ProfileRecorderTest, IndependentRecordersDoNotBleed) {
+  ProfileRecorder first;
+  first.RecordFault(kA);
+  {
+    ProfileRecorder second;
+    second.RecordFault(kB);
+    EXPECT_EQ(second.TakeProfile().site_count(), 1u);
+    EXPECT_FALSE(second.TakeProfile().Contains(kA));
+  }
+  Profile profile = first.TakeProfile();
+  EXPECT_TRUE(profile.Contains(kA));
+  EXPECT_FALSE(profile.Contains(kB));
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <sstream>
 
 #include "src/core/pkru_safe.h"
+#include "src/mpk/fault_signal.h"
 #include "src/passes/alloc_id_pass.h"
 #include "src/passes/gate_insertion_pass.h"
 #include "src/passes/pass.h"
@@ -78,7 +79,11 @@ int Usage() {
                "         [--backend=sim|mprotect|hardware|auto] [--entry=NAME]\n"
                "         [--dump-ir] [--trace-out=FILE] [--stats[=json|text]]\n"
                "         [--crash-report=FILE] [--sample-out=FILE] [--sample-ms=N]\n"
-               "         [--site-stats[=FILE]]\n"
+               "         [--site-stats[=FILE]] [--latch-sites]\n"
+               "  --latch-sites     profiling mode: after a site's first fault,\n"
+               "                    downgrade pages it fully covers to the shared\n"
+               "                    key (counts become approximate, sites exact;\n"
+               "                    see runtime.fault.latched in --stats)\n"
                "  --trace-out=FILE  enable telemetry tracing; write Chrome-trace\n"
                "                    JSON (open in Perfetto / chrome://tracing)\n"
                "  --stats[=text]    dump the metrics registry after the run\n"
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
   bool site_stats = false;
   bool use_static = false;
   bool dump_ir = false;
+  bool latch_sites = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -157,6 +163,8 @@ int main(int argc, char** argv) {
       site_stats_path = v;
     } else if (arg == "--site-stats") {
       site_stats = true;
+    } else if (arg == "--latch-sites") {
+      latch_sites = true;
     } else if (arg == "--static") {
       use_static = true;
     } else if (arg == "--dump-ir") {
@@ -196,6 +204,7 @@ int main(int argc, char** argv) {
   } else {
     return Usage();
   }
+  config.latch_sites = latch_sites;
 
   if (!trace_out.empty()) {
     telemetry::SetEnabled(true);
@@ -340,6 +349,23 @@ int main(int argc, char** argv) {
       telemetry::WriteStatsJson(std::cout, snapshot);
     } else {
       telemetry::WriteStatsText(std::cout, snapshot);
+      // Per-thread fault service table (signal-engine backends only).
+      constexpr size_t kMaxThreads = 64;
+      ThreadFaultStats threads[kMaxThreads];
+      const size_t n = FaultSignalEngine::SnapshotThreadStats(threads, kMaxThreads);
+      if (n > 0) {
+        std::printf("per-thread fault service:\n");
+        std::printf("  %-10s %12s %16s %12s\n", "tid", "serviced", "service ns", "avg ns");
+        for (size_t i = 0; i < n; ++i) {
+          std::printf("  %-10llu %12llu %16llu %12llu\n",
+                      static_cast<unsigned long long>(threads[i].tid),
+                      static_cast<unsigned long long>(threads[i].serviced),
+                      static_cast<unsigned long long>(threads[i].service_ns),
+                      static_cast<unsigned long long>(
+                          threads[i].serviced == 0 ? 0
+                                                   : threads[i].service_ns / threads[i].serviced));
+        }
+      }
     }
   }
   return 0;
