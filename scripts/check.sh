@@ -11,8 +11,11 @@
 #                                   # violation must leave a parseable report
 #   scripts/check.sh faultstress    # multithreaded profiling-fault stress
 #                                   # (mprotect backend) under ThreadSanitizer
+#   scripts/check.sh contprof       # continuous profiling: budget + delta +
+#                                   # aggregator tests under ThreadSanitizer,
+#                                   # then the overhead bench (BENCH_contprof)
 #   scripts/check.sh matrix         # plain + asan + tsan + lint + crash
-#                                   # + faultstress
+#                                   # + faultstress + contprof
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
 #
 # --asan/--tsan are accepted as aliases of asan/tsan.
@@ -28,9 +31,10 @@ while [[ $# -gt 0 ]]; do
     lint|--lint) mode=lint; shift ;;
     crash|--crash) mode=crash; shift ;;
     faultstress|--faultstress) mode=faultstress; shift ;;
+    contprof|--contprof) mode=contprof; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -103,6 +107,26 @@ run_faultstress() {
   echo "faultstress check OK"
 }
 
+run_contprof() {
+  echo "== check: contprof (build/check-tsan) =="
+  # The always-on sampled-profiling path: fault-rate budget admission from
+  # signal context, delta encode/decode, aggregator stream tailing, and the
+  # fork-based end-to-end loop — all under ThreadSanitizer, since the budget
+  # and the policy swap are lock-free fast paths. Then the overhead bench:
+  # 1% sampled pages must stay within 10% of latched enforce throughput.
+  cmake -B build/check-tsan -S . -DPKRUSAFE_SANITIZE=thread
+  cmake --build build/check-tsan -j "$(nproc)"     --target mpk_test runtime_test aggregator_test telemetry_test integration_test
+  ctest --test-dir build/check-tsan --output-on-failure     -R 'FaultRateBudget|ProfileDelta|SampledProfiling|Aggregator|Sampler|ContinuousProfiling'
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" --target bench_contprof
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  PKRUSAFE_BENCH_OUT_DIR="$out" build/bench/bench_contprof
+  grep -q '"bench":"contprof"' "$out/BENCH_contprof.json"
+  echo "contprof check OK"
+}
+
 case "$mode" in
   plain) run_one "" build "$@" ;;
   asan)  run_one address build/check-asan "$@" ;;
@@ -110,6 +134,7 @@ case "$mode" in
   lint)  run_lint ;;
   crash) run_crash ;;
   faultstress) run_faultstress ;;
+  contprof) run_contprof ;;
   matrix)
     run_one "" build "$@"
     run_one address build/check-asan "$@"
@@ -117,5 +142,6 @@ case "$mode" in
     run_lint
     run_crash
     run_faultstress
+    run_contprof
     ;;
 esac

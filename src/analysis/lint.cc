@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/ir/module_hash.h"
 #include "src/support/string_util.h"
 
 namespace pkrusafe {
@@ -145,6 +146,27 @@ void LintStaleProfileSites(const IrModule& module, const Profile& profile,
                        "this module before the enforcement build";
     sink.Report(std::move(finding));
   }
+}
+
+void LintProfileDeltaIrHash(const IrModule& module, uint64_t delta_ir_hash,
+                            std::string_view origin, DiagnosticSink& sink) {
+  const uint64_t module_hash = ModuleContentHash(module);
+  if (delta_ir_hash == module_hash) {
+    return;
+  }
+  Finding finding;
+  finding.severity = Severity::kError;
+  finding.rule = "stale-profile-hash";
+  finding.message = StrFormat(
+      "profile delta from %.*s was recorded against IR with content hash "
+      "0x%016llx, but this module hashes to 0x%016llx",
+      static_cast<int>(origin.size()), origin.data(),
+      static_cast<unsigned long long>(delta_ir_hash),
+      static_cast<unsigned long long>(module_hash));
+  finding.fix_hint = "the stream comes from a different build; rotate the fleet onto this "
+                     "module's epoch (or aggregate against the module the stream was "
+                     "recorded on) before merging counts";
+  sink.Report(std::move(finding));
 }
 
 void LintFreeAcrossDomain(const IrModule& module, const PointsToAnalysis& pts,

@@ -6,6 +6,7 @@
 #include "src/passes/gate_insertion_pass.h"
 #include "src/passes/pass.h"
 #include "src/passes/profile_apply_pass.h"
+#include "src/passes/static_sharing_analysis.h"
 
 namespace pkrusafe {
 
@@ -43,6 +44,20 @@ Result<std::unique_ptr<System>> System::Create(std::string_view ir_source, Syste
   rc.latch_sites = config.latch_sites;
   rc.allocator.trusted_pool_bytes = config.trusted_pool_bytes;
   rc.allocator.untrusted_pool_bytes = config.untrusted_pool_bytes;
+  if (config.mode == RuntimeMode::kEnforcing && config.sampled_profiling) {
+    // Sampling candidates = the static points-to envelope minus what the
+    // profile already promoted: sites that MAY flow to U but were not
+    // observed doing so yet. Those fault-and-record instead of fault-and-die.
+    StaticSharingAnalysis static_sharing(&system->module_);
+    PS_ASSIGN_OR_RETURN(const Profile static_profile, static_sharing.Run());
+    for (const AllocId id : static_profile.Sites()) {
+      if (!config.profile.Contains(id)) {
+        rc.sampling_candidates.insert(id);
+      }
+    }
+    rc.sampled_profiling = true;
+    rc.sampling = config.sampling;
+  }
   // Defence in depth: even if an alloc instruction escaped rewriting, the
   // runtime's site policy redirects it.
   rc.policy = SitePolicy::FromProfile(config.profile);

@@ -33,6 +33,13 @@ struct SystemConfig {
   bool verify_gates = true;
   // Profiling-mode first-fault latching (see RuntimeConfig::latch_sites).
   bool latch_sites = false;
+  // Always-on sampled profiling in enforce mode: keep observing the
+  // statically-shared-but-unpromoted sites (the points-to envelope minus the
+  // loaded profile) while enforcement stays live. The candidate set is
+  // derived here from StaticSharingAnalysis; see RuntimeConfig for the exact
+  // semantics and FaultRateBudgetOptions for the cost knobs.
+  bool sampled_profiling = false;
+  FaultRateBudgetOptions sampling;
   size_t trusted_pool_bytes = size_t{2} << 30;
   size_t untrusted_pool_bytes = size_t{2} << 30;
 };

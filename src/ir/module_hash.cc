@@ -1,0 +1,21 @@
+#include "src/ir/module_hash.h"
+
+#include "src/ir/printer.h"
+
+namespace pkrusafe {
+
+uint64_t ContentHash(std::string_view bytes) {
+  // FNV-1a, 64-bit.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t ModuleContentHash(const IrModule& module) {
+  return ContentHash(PrintModule(module));
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,27 @@
+// Content hash of an IR module, used to version profile streams.
+//
+// A ProfileDelta stamped with ModuleContentHash(m) is only valid against the
+// exact module text it was recorded on: any change to the IR (new alloc
+// sites, renumbered blocks) changes the hash and the aggregator refuses the
+// delta instead of silently merging counts onto the wrong sites.
+#ifndef SRC_IR_MODULE_HASH_H_
+#define SRC_IR_MODULE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/ir/module.h"
+
+namespace pkrusafe {
+
+// FNV-1a over the canonical printed form of the module. Stable across runs
+// and processes; Parse(Print(m)) hashes identically to m.
+uint64_t ModuleContentHash(const IrModule& module);
+
+// Hash of an arbitrary byte string with the same function (exposed so tests
+// and tools can stamp deltas without a parsed module).
+uint64_t ContentHash(std::string_view bytes);
+
+}  // namespace pkrusafe
+
+#endif  // SRC_IR_MODULE_HASH_H_

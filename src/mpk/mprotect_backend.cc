@@ -111,6 +111,14 @@ void MprotectMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
     if (!latched_.Insert(page)) {
       break;  // set saturated: the pages keep single-stepping instead
     }
+    // Open the page now rather than waiting for the next Reprotect sweep:
+    // inside the fault path this is redundant with AllowOnce, but online
+    // re-partitioning (Runtime::ApplyPromotions) latches pages outside any
+    // fault, and a promoted object must stop faulting immediately. Plain
+    // syscall, safe from the SIGSEGV handler.
+    if (page_keys_.IsTagged(page)) {
+      (void)::mprotect(reinterpret_cast<void*>(page), kPageSize, PROT_READ | PROT_WRITE);
+    }
   }
 }
 

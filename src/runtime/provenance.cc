@@ -70,6 +70,17 @@ int ProvenanceTracker::RecordsInRangeForSignal(uintptr_t lo, uintptr_t hi, Recor
   return written;
 }
 
+std::vector<ProvenanceTracker::Record> ProvenanceTracker::RecordsForSite(AllocId id) const {
+  std::vector<Record> records;
+  std::lock_guard lock(mutex_);
+  objects_.ForEach([&](const IntervalMap<Record>::Interval& interval) {
+    if (interval.value.id == id) {
+      records.push_back(interval.value);
+    }
+  });
+  return records;
+}
+
 size_t ProvenanceTracker::live_count() const {
   std::lock_guard lock(mutex_);
   return objects_.size();

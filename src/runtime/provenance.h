@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/memmap/interval_map.h"
 #include "src/runtime/alloc_id.h"
@@ -53,6 +54,11 @@ class ProvenanceTracker {
   // fault handler to re-check a single-step window at latch time. Does not
   // allocate.
   int RecordsInRangeForSignal(uintptr_t lo, uintptr_t hi, Record* out, int max) const;
+
+  // All live objects allocated at `id`, in address order. Not signal-safe
+  // (takes the mutex, allocates); used by online re-partitioning to find the
+  // pages of a just-promoted site.
+  std::vector<Record> RecordsForSite(AllocId id) const;
 
   size_t live_count() const;
   void Clear();

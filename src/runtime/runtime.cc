@@ -92,6 +92,44 @@ telemetry::Counter* StepWindowMissCounter() {
   return counter;
 }
 
+// Sampled-profiling outcome counters (enforce mode with a fault-rate
+// budget). Exported by the sampler as profile.sampled.* rates.
+telemetry::Counter* SampledFaultCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("profile.sampled.faults");
+  return counter;
+}
+
+telemetry::Counter* SampledRecordedCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("profile.sampled.recorded");
+  return counter;
+}
+
+telemetry::Counter* SampledTrappingCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("profile.sampled.trapping");
+  return counter;
+}
+
+telemetry::Counter* SampledLatchedCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("profile.sampled.latched");
+  return counter;
+}
+
+telemetry::Counter* SampledAutolatchedCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("profile.sampled.autolatched");
+  return counter;
+}
+
+telemetry::Counter* SampledDeniedStaticCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("profile.sampled.denied_static");
+  return counter;
+}
+
 uint8_t AllocDetail(Domain domain, bool has_site) {
   return static_cast<uint8_t>((domain == Domain::kUntrusted ? 1 : 0) | (has_site ? 2 : 0));
 }
@@ -114,9 +152,14 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
                                  std::unique_ptr<PkAllocator> allocator)
     : mode_(config.mode),
       latch_sites_(config.latch_sites),
-      policy_(std::move(config.policy)),
       backend_(std::move(backend)),
-      allocator_(std::move(allocator)) {
+      allocator_(std::move(allocator)),
+      sampling_candidates_(std::move(config.sampling_candidates)) {
+  policies_.push_back(std::make_unique<const SitePolicy>(std::move(config.policy)));
+  policy_.store(policies_.back().get(), std::memory_order_release);
+  if (config.sampled_profiling && mode_ == RuntimeMode::kEnforcing) {
+    budget_ = std::make_unique<FaultRateBudget>(config.sampling);
+  }
   gates_ = std::make_unique<GateSet>(backend_.get(), allocator_->trusted_key());
   gates_->set_verify(config.verify_gates);
   // The baseline configuration has no instrumentation: gates become no-ops.
@@ -141,7 +184,7 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
     return static_cast<int64_t>(sites_seen_.size());
   });
   registry.SetCallbackGauge("runtime.sites_shared", this, [this] {
-    return static_cast<int64_t>(policy_.shared_site_count());
+    return static_cast<int64_t>(policy_.load(std::memory_order_acquire)->shared_site_count());
   });
   registry.SetCallbackGauge("runtime.heap.trusted_bytes", this, [this] {
     return static_cast<int64_t>(allocator_->trusted_stats().total_bytes);
@@ -166,6 +209,23 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
   (void)UnattributedFaultCounter();
   (void)LatchedFaultCounter();
   (void)StepWindowMissCounter();
+  if (budget_ != nullptr) {
+    (void)SampledFaultCounter();
+    (void)SampledRecordedCounter();
+    (void)SampledTrappingCounter();
+    (void)SampledLatchedCounter();
+    (void)SampledAutolatchedCounter();
+    (void)SampledDeniedStaticCounter();
+    registry.SetCallbackGauge("profile.sampled.budget_tokens_ns", this, [this] {
+      return static_cast<int64_t>(budget_->tokens_ns());
+    });
+    registry.SetCallbackGauge("profile.sampled.budget_admitted", this, [this] {
+      return static_cast<int64_t>(budget_->admitted());
+    });
+    registry.SetCallbackGauge("profile.sampled.budget_exhausted", this, [this] {
+      return static_cast<int64_t>(budget_->exhausted());
+    });
+  }
 
   // Crash forensics wiring: let the recorder reach the page-key map, the
   // provenance table and the thread PKRU from signal context.
@@ -211,7 +271,10 @@ PkruSafeRuntime::~PkruSafeRuntime() {
 }
 
 bool PkruSafeRuntime::TracksProvenance() const {
-  return mode_ == RuntimeMode::kProfiling ||
+  // Sampled profiling needs pointer→site attribution in enforce mode: both
+  // the fault handler (candidate check) and ApplyPromotions (live pages of a
+  // promoted site) resolve through the provenance table.
+  return mode_ == RuntimeMode::kProfiling || budget_ != nullptr ||
          telemetry::FlightRecorder::Global().configured() || SiteHeapStats::Global().enabled();
 }
 
@@ -221,6 +284,18 @@ FaultResolution PkruSafeRuntime::OnMpkFault(const MpkFault& fault) {
   // backends so a fault never shows up twice in the trace.
   const bool native = backend_->enforces_natively();
   if (mode_ != RuntimeMode::kProfiling) {
+    // Always-on sampled profiling: candidate sites record-and-continue
+    // instead of dying; everything else falls through to the denial below.
+    if (budget_ != nullptr && mode_ == RuntimeMode::kEnforcing) {
+      const FaultResolution resolution = OnSampledEnforcingFault(fault);
+      if (resolution != FaultResolution::kDeny) {
+        if (!native) {
+          telemetry::RecordEvent(telemetry::TraceEventType::kFaultServiced,
+                                 static_cast<uint8_t>(fault.kind), fault.address, fault.key);
+        }
+        return resolution;
+      }
+    }
     DeniedFaultCounter()->Increment();
     if (!native) {
       telemetry::RecordEvent(telemetry::TraceEventType::kFaultDenied,
@@ -284,6 +359,115 @@ FaultResolution PkruSafeRuntime::OnMpkFault(const MpkFault& fault) {
   return FaultResolution::kRetryAndLatch;
 }
 
+FaultResolution PkruSafeRuntime::OnSampledEnforcingFault(const MpkFault& fault) {
+  // Async-signal-safe throughout: native backends call this from SIGSEGV.
+  // sampling_candidates_ is immutable after construction, so the read-only
+  // hash probe below is safe from signal context.
+  SampledFaultCounter()->Increment();
+  ProvenanceTracker::Record record;
+  bool found = false;
+  if (!provenance_.LookupForSignal(fault.address, &found, &record) || !found) {
+    // Unattributed (allocator metadata, non-candidate M_T data) or the
+    // provenance lock was contended: enforcement bias — deny. A candidate
+    // site can lose at most this one access to lock contention; the next
+    // fault re-attributes.
+    SampledDeniedStaticCounter()->Increment();
+    return FaultResolution::kDeny;
+  }
+  if (sampling_candidates_.find(record.id) == sampling_candidates_.end()) {
+    // Outside the static points-to envelope: sampling never weakens
+    // enforcement beyond what the analysis proved may flow to U.
+    SampledDeniedStaticCounter()->Increment();
+    return FaultResolution::kDeny;
+  }
+  recorder_.RecordFault(record.id);
+  SampledRecordedCounter()->Increment();
+
+  const uintptr_t fault_page = PageDown(fault.address);
+  // Every serviced fault spends budget, whether or not the page is in the
+  // sampled fraction — the ceiling bounds total fault-service time, not just
+  // the observable share.
+  const bool in_sample = budget_->SamplesPage(fault_page);
+  const bool within_budget = budget_->Admit();
+  if (in_sample && within_budget) {
+    // The page stays trap-on-touch: this is the always-on observation the
+    // delta stream is built from.
+    SampledTrappingCounter()->Increment();
+    return FaultResolution::kRetryAllowed;
+  }
+  // Out of the sample (or over budget): open the page so it stops costing a
+  // signal round-trip — but only when the faulting object fully covers it. A
+  // page shared with another object must keep faulting, or that neighbor
+  // could slip past the candidate check unrecorded (same rule as profiling
+  // latch mode).
+  const uintptr_t covered_lo = PageUp(record.base);
+  const uintptr_t covered_hi = PageDown(record.base + record.size);
+  if (fault_page < covered_lo || fault_page + kPageSize > covered_hi) {
+    return FaultResolution::kRetryAllowed;
+  }
+  if (backend_->has_process_wide_step_window()) {
+    constexpr int kMaxWindowRecords = 16;
+    ProvenanceTracker::Record window[kMaxWindowRecords];
+    const int n = provenance_.RecordsInRangeForSignal(fault_page, fault_page + 2 * kPageSize,
+                                                      window, kMaxWindowRecords);
+    for (int i = 0; i < n; ++i) {
+      if (window[i].id == record.id ||
+          sampling_candidates_.find(window[i].id) == sampling_candidates_.end()) {
+        continue;
+      }
+      recorder_.RecordFault(window[i].id);
+      StepWindowMissCounter()->Increment();
+    }
+  }
+  backend_->NoteLatchedRange(fault_page, fault_page + kPageSize);
+  (in_sample ? SampledAutolatchedCounter() : SampledLatchedCounter())->Increment();
+  return FaultResolution::kRetryAndLatch;
+}
+
+PkruSafeRuntime::PromotionResult PkruSafeRuntime::ApplyPromotions(
+    const std::vector<AllocId>& sites) {
+  PromotionResult result;
+  if (sites.empty()) {
+    return result;
+  }
+  std::vector<AllocId> fresh;
+  {
+    std::lock_guard lock(policy_mutex_);
+    const SitePolicy* current = policy_.load(std::memory_order_acquire);
+    auto next = std::make_unique<SitePolicy>(*current);
+    for (const AllocId id : sites) {
+      if (next->IsShared(id)) {
+        ++result.already_shared;
+        continue;
+      }
+      next->MarkShared(id);
+      fresh.push_back(id);
+      ++result.promoted;
+    }
+    if (!fresh.empty()) {
+      policies_.push_back(std::move(next));
+      policy_.store(policies_.back().get(), std::memory_order_release);
+    }
+  }
+  // New allocations at the promoted sites now land in M_U. Live objects are
+  // still in M_T pages: downgrade every page one of them fully covers, so
+  // in-flight data stops faulting without a restart. Partially-covered pages
+  // stay enforced (they may host unpromoted neighbors) — accesses there keep
+  // going through the sampled fault path, which the candidate check admits.
+  for (const AllocId id : fresh) {
+    for (const ProvenanceTracker::Record& record : provenance_.RecordsForSite(id)) {
+      const uintptr_t lo = PageUp(record.base);
+      const uintptr_t hi = PageDown(record.base + record.size);
+      if (lo >= hi) {
+        continue;
+      }
+      backend_->NoteLatchedRange(lo, hi);
+      result.pages_opened += (hi - lo) / kPageSize;
+    }
+  }
+  return result;
+}
+
 void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
   {
     std::lock_guard lock(sites_mutex_);
@@ -291,7 +475,7 @@ void* PkruSafeRuntime::AllocTrusted(AllocId site, size_t size) {
   }
   Domain domain = Domain::kTrusted;
   if (mode_ == RuntimeMode::kEnforcing) {
-    domain = policy_.DomainFor(site);
+    domain = policy_.load(std::memory_order_acquire)->DomainFor(site);
   }
   void* ptr = allocator_->Allocate(domain, size);
   if (ptr == nullptr) {
@@ -408,11 +592,17 @@ RuntimeStats PkruSafeRuntime::stats() const {
   stats.profile_faults = recorder_.total_faults();
   stats.latched_faults = LatchedFaultCounter()->value();
   stats.step_window_misses = StepWindowMissCounter()->value();
+  stats.sampled_faults = SampledFaultCounter()->value();
+  stats.sampled_recorded = SampledRecordedCounter()->value();
+  stats.sampled_trapping = SampledTrappingCounter()->value();
+  stats.sampled_latched = SampledLatchedCounter()->value();
+  stats.sampled_autolatched = SampledAutolatchedCounter()->value();
+  stats.sampled_denied_static = SampledDeniedStaticCounter()->value();
   {
     std::lock_guard lock(sites_mutex_);
     stats.sites_seen = sites_seen_.size();
   }
-  stats.sites_shared = policy_.shared_site_count();
+  stats.sites_shared = policy_.load(std::memory_order_acquire)->shared_site_count();
   stats.trusted_bytes = allocator_->trusted_stats().total_bytes;
   stats.untrusted_bytes = allocator_->untrusted_stats().total_bytes;
   return stats;

@@ -18,9 +18,11 @@
 #include <memory>
 #include <mutex>
 #include <unordered_set>
+#include <vector>
 
 #include "src/mpk/backend.h"
 #include "src/mpk/backend_factory.h"
+#include "src/mpk/fault_rate_budget.h"
 #include "src/pkalloc/pkalloc.h"
 #include "src/runtime/call_gate.h"
 #include "src/runtime/profile.h"
@@ -60,6 +62,18 @@ struct RuntimeConfig {
   bool latch_sites = false;
   // Enforcement policy; typically SitePolicy::FromProfile(profile).
   SitePolicy policy;
+  // Always-on sampled profiling (enforcement mode only): keep observing
+  // boundary crossings while enforcement stays live. Sites in
+  // `sampling_candidates` — the statically-shared-but-unpromoted sites, i.e.
+  // the points-to envelope minus the loaded profile — fault-and-record
+  // instead of fault-and-die; a `sampling.page_fraction` of their pages stay
+  // trap-on-touch for ongoing counts (the rest latch open after the first
+  // recorded fault), throttled by the token-bucket budget. Sites OUTSIDE the
+  // candidates still deny: sampling never widens what the static analysis
+  // already proved may flow to U.
+  bool sampled_profiling = false;
+  FaultRateBudgetOptions sampling;
+  std::unordered_set<AllocId, AllocIdHasher> sampling_candidates;
 };
 
 // Snapshot of the runtime's registry-backed metrics. Every field reads the
@@ -72,6 +86,13 @@ struct RuntimeStats {
   uint64_t profile_faults = 0;
   uint64_t latched_faults = 0;      // faults that latched their page open
   uint64_t step_window_misses = 0;  // co-located sites re-recorded at latch time
+  // Sampled profiling in enforce mode (profile.sampled.* counters).
+  uint64_t sampled_faults = 0;         // faults entering the sampled path
+  uint64_t sampled_recorded = 0;       // attributed to a candidate and recorded
+  uint64_t sampled_trapping = 0;       // serviced with the page kept trapping
+  uint64_t sampled_latched = 0;        // latched open (page outside the sample)
+  uint64_t sampled_autolatched = 0;    // latched because the budget ran dry
+  uint64_t sampled_denied_static = 0;  // denied: outside the static candidates
   size_t sites_seen = 0;        // distinct AllocIds that allocated
   size_t sites_shared = 0;      // sites the policy serves from M_U
   uint64_t trusted_bytes = 0;   // cumulative usable bytes from M_T
@@ -117,7 +138,30 @@ class PkruSafeRuntime {
 
   // --- Profiling ---
   Profile TakeProfile() const { return recorder_.TakeProfile(); }
-  const SitePolicy& policy() const { return policy_; }
+  // The current policy. The reference stays valid for the life of the
+  // runtime (superseded policies are retired, not freed), but a caller that
+  // wants to observe later promotions must re-fetch.
+  const SitePolicy& policy() const {
+    return *policy_.load(std::memory_order_acquire);
+  }
+  // The sampling budget, or nullptr when sampled profiling is off.
+  const FaultRateBudget* sampling_budget() const { return budget_.get(); }
+
+  // --- Online re-partitioning ---
+  struct PromotionResult {
+    size_t promoted = 0;        // sites newly marked shared
+    size_t already_shared = 0;  // sites the policy already served from M_U
+    size_t pages_opened = 0;    // pages of live objects downgraded to M_U's key
+  };
+
+  // Marks `sites` as shared without a restart: future allocations at those
+  // sites are served from M_U, and pages fully covered by their LIVE objects
+  // are downgraded to the shared key so in-flight data stops faulting too.
+  // Callers (the aggregation service) must only pass sites inside the static
+  // points-to bound — the aggregator cross-checks before calling. Thread-safe
+  // against concurrent allocation and fault handling (policy swaps are
+  // copy-on-write; superseded policies are retired until destruction).
+  PromotionResult ApplyPromotions(const std::vector<AllocId>& sites);
 
   // --- Introspection ---
   MpkBackend& backend() { return *backend_; }
@@ -132,6 +176,9 @@ class PkruSafeRuntime {
                   std::unique_ptr<PkAllocator> allocator);
 
   FaultResolution OnMpkFault(const MpkFault& fault);
+  // The sampled-profiling arm of OnMpkFault (enforcing mode, budget_ set).
+  // kDeny means the fault falls through to the ordinary denial accounting.
+  FaultResolution OnSampledEnforcingFault(const MpkFault& fault);
 
   // Whether trusted allocations should register provenance records: always
   // in profiling mode (the paper's pipeline), and additionally whenever the
@@ -141,12 +188,23 @@ class PkruSafeRuntime {
 
   RuntimeMode mode_;
   bool latch_sites_;
-  SitePolicy policy_;
+  // Copy-on-write policy: readers (the allocation hot path, fault handlers)
+  // load the pointer lock-free; ApplyPromotions clones, mutates and swaps
+  // under policy_mutex_. Superseded policies park in policies_ until the
+  // runtime dies, so a borrowed policy() reference can never dangle.
+  std::atomic<const SitePolicy*> policy_;
+  std::mutex policy_mutex_;
+  std::vector<std::unique_ptr<const SitePolicy>> policies_;
   std::unique_ptr<MpkBackend> backend_;
   std::unique_ptr<PkAllocator> allocator_;
   std::unique_ptr<GateSet> gates_;
   ProvenanceTracker provenance_;
   ProfileRecorder recorder_;
+  // Sampled profiling (enforce mode): non-null iff config.sampled_profiling.
+  // candidates_ is immutable after construction — the fault handler reads it
+  // from signal context.
+  std::unique_ptr<FaultRateBudget> budget_;
+  const std::unordered_set<AllocId, AllocIdHasher> sampling_candidates_;
   // Latches true once any provenance record was registered; the free path
   // then always consults the tracker so records stay balanced even when the
   // enabling feature (profiling, recorder, site stats) toggles off mid-run.

@@ -7,7 +7,9 @@
 #ifndef SRC_RUNTIME_SITE_POLICY_H_
 #define SRC_RUNTIME_SITE_POLICY_H_
 
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "src/mpk/pkey.h"
 #include "src/runtime/alloc_id.h"
@@ -33,7 +35,16 @@ class SitePolicy {
 
   void MarkShared(AllocId id) { shared_sites_.insert(id); }
 
+  bool IsShared(AllocId id) const { return shared_sites_.contains(id); }
+
   size_t shared_site_count() const { return shared_sites_.size(); }
+
+  // Shared sites in deterministic (sorted) order.
+  std::vector<AllocId> SharedSites() const {
+    std::vector<AllocId> sites(shared_sites_.begin(), shared_sites_.end());
+    std::sort(sites.begin(), sites.end());
+    return sites;
+  }
 
  private:
   std::unordered_set<AllocId, AllocIdHasher> shared_sites_;

@@ -1,0 +1,227 @@
+#include "src/telemetry/aggregator.h"
+
+#include <fstream>
+
+#include "src/analysis/lint.h"
+#include "src/ir/module_hash.h"
+#include "src/support/string_util.h"
+#include "src/telemetry/metrics.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+namespace {
+
+// Fleet-visible counters, shared by every aggregator instance (stats() has
+// the per-instance values).
+Counter* DeltasAppliedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.deltas.applied");
+  return counter;
+}
+
+Counter* RejectedHashCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.deltas.rejected_hash");
+  return counter;
+}
+
+Counter* RejectedMalformedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.deltas.rejected_malformed");
+  return counter;
+}
+
+Counter* RejectedSequenceCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.deltas.rejected_sequence");
+  return counter;
+}
+
+Counter* PromotionsEmittedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.promotions.emitted");
+  return counter;
+}
+
+Counter* PromotionsRejectedStaticCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.promotions.rejected_static");
+  return counter;
+}
+
+}  // namespace
+
+ProfileAggregator::ProfileAggregator(AggregatorOptions options)
+    : options_(std::move(options)),
+      expected_hash_(options_.module != nullptr ? ModuleContentHash(*options_.module)
+                                                : options_.expected_ir_hash) {
+  (void)DeltasAppliedCounter();
+  (void)RejectedHashCounter();
+  (void)RejectedMalformedCounter();
+  (void)RejectedSequenceCounter();
+  (void)PromotionsEmittedCounter();
+  (void)PromotionsRejectedStaticCounter();
+}
+
+void ProfileAggregator::AddStream(std::string path) {
+  for (const StreamState& existing : streams_) {
+    if (existing.path == path) {
+      return;
+    }
+  }
+  streams_.push_back(StreamState{std::move(path), 0, std::nullopt});
+}
+
+Result<size_t> ProfileAggregator::Poll(std::vector<PromotionCandidate>* promotions) {
+  size_t applied = 0;
+  for (StreamState& stream : streams_) {
+    std::ifstream in(stream.path, std::ios::in | std::ios::binary);
+    if (!in) {
+      continue;  // not written yet — a stream may be registered ahead of its producer
+    }
+    in.seekg(static_cast<std::streamoff>(stream.offset));
+    if (!in) {
+      continue;  // truncated below our offset: wait for it to regrow
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (in.eof()) {
+        // No trailing newline: a writer is mid-append. Leave the fragment for
+        // the next poll rather than parsing half a record.
+        break;
+      }
+      stream.offset += line.size() + 1;
+      if (StrStrip(line).empty()) {
+        continue;
+      }
+      if (ConsumeLine(stream, line, promotions)) {
+        ++applied;
+      }
+    }
+  }
+  return applied;
+}
+
+bool ProfileAggregator::ConsumeLine(StreamState& stream, std::string_view line,
+                                    std::vector<PromotionCandidate>* promotions) {
+  Result<ProfileDelta> decoded = ProfileDelta::FromJsonLine(line);
+  if (!decoded.ok()) {
+    ++stats_.rejected_malformed;
+    RejectedMalformedCounter()->Increment();
+    analysis::Finding finding;
+    finding.severity = analysis::Severity::kWarning;
+    finding.rule = "malformed-profile-delta";
+    finding.message = StrFormat("%s: %s", stream.path.c_str(),
+                                decoded.status().ToString().c_str());
+    finding.fix_hint = "the stream is corrupt or not a profile delta stream; drop it from "
+                       "the aggregation set";
+    sink_.Report(std::move(finding));
+    return false;
+  }
+  const ProfileDelta& delta = *decoded;
+
+  if (expected_hash_ != 0 && delta.ir_hash() != expected_hash_) {
+    ++stats_.rejected_hash;
+    RejectedHashCounter()->Increment();
+    if (options_.module != nullptr) {
+      analysis::LintProfileDeltaIrHash(*options_.module, delta.ir_hash(), stream.path, sink_);
+    } else {
+      analysis::Finding finding;
+      finding.severity = analysis::Severity::kError;
+      finding.rule = "stale-profile-hash";
+      finding.message = StrFormat(
+          "%s: delta recorded against IR hash 0x%016llx, expected 0x%016llx",
+          stream.path.c_str(), static_cast<unsigned long long>(delta.ir_hash()),
+          static_cast<unsigned long long>(expected_hash_));
+      finding.fix_hint = "the stream comes from a different build; aggregate it against the "
+                         "module it was recorded on";
+      sink_.Report(std::move(finding));
+    }
+    return false;
+  }
+
+  if (stream.last_sequence.has_value() && delta.sequence() <= *stream.last_sequence) {
+    ++stats_.rejected_sequence;
+    RejectedSequenceCounter()->Increment();
+    analysis::Finding finding;
+    finding.severity = analysis::Severity::kWarning;
+    finding.rule = "replayed-profile-delta";
+    finding.message = StrFormat(
+        "%s: sequence %llu after %llu — replayed or rewritten stream", stream.path.c_str(),
+        static_cast<unsigned long long>(delta.sequence()),
+        static_cast<unsigned long long>(*stream.last_sequence));
+    finding.fix_hint = "each stream file must carry strictly increasing sequence numbers; "
+                       "give every producer its own stream file";
+    sink_.Report(std::move(finding));
+    return false;
+  }
+  stream.last_sequence = delta.sequence();
+
+  delta.ApplyTo(&rolling_);
+  delta.ApplyTo(&epochs_[delta.epoch()]);
+  for (const auto& [site, count] : delta.entries()) {
+    site_epochs_[site].insert(delta.epoch());
+    MaybePromote(site, promotions);
+  }
+  ++stats_.deltas_applied;
+  DeltasAppliedCounter()->Increment();
+  ++version_;
+  return true;
+}
+
+void ProfileAggregator::MaybePromote(AllocId site,
+                                     std::vector<PromotionCandidate>* promotions) {
+  if (promoted_.contains(site) || rejected_.contains(site)) {
+    return;
+  }
+  const uint64_t count = rolling_.CountFor(site);
+  const size_t epochs = site_epochs_[site].size();
+  if (count < options_.promotion_threshold || epochs < options_.min_epochs) {
+    return;
+  }
+  // The static cross-check: dynamic observations may only ever CONFIRM what
+  // the points-to analysis already allows (dynamic ⊆ static). A site outside
+  // the bound means a poisoned stream, a stale profile, or an analysis bug —
+  // never a promotion.
+  if (!options_.static_shared.contains(site)) {
+    rejected_.insert(site);
+    ++stats_.promotions_rejected_static;
+    PromotionsRejectedStaticCounter()->Increment();
+    analysis::Finding finding;
+    finding.severity = analysis::Severity::kError;
+    finding.rule = "promotion-outside-static";
+    finding.site = site;
+    finding.message = StrFormat(
+        "site %s crossed the promotion threshold (count %llu over %zu epochs) but is "
+        "outside the static points-to bound; refusing to widen sharing",
+        site.ToString().c_str(), static_cast<unsigned long long>(count), epochs);
+    finding.fix_hint = "audit the contributing streams for poisoning, and the analysis for "
+                       "missed flows; promotion requires the static analyzer to agree";
+    sink_.Report(std::move(finding));
+    return;
+  }
+  promoted_.insert(site);
+  ++stats_.promotions_emitted;
+  PromotionsEmittedCounter()->Increment();
+  if (promotions != nullptr) {
+    promotions->push_back(PromotionCandidate{site, count, epochs});
+  }
+}
+
+std::vector<std::string> ProfileAggregator::EpochNames() const {
+  std::vector<std::string> names;
+  names.reserve(epochs_.size());
+  for (const auto& [name, profile] : epochs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const Profile* ProfileAggregator::EpochProfile(const std::string& epoch) const {
+  auto it = epochs_.find(epoch);
+  return it == epochs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace telemetry
+}  // namespace pkrusafe

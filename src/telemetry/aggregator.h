@@ -1,0 +1,142 @@
+// Incremental profile aggregation service.
+//
+// The fleet-scale loop: processes running with always-on sampled profiling
+// flush ProfileDelta JSONL streams next to their metrics; this aggregator
+// tails any number of those streams, folds validated deltas into a versioned
+// rolling profile with per-epoch provenance, and emits promotion candidates —
+// sites whose observed share count crossed the threshold in enough distinct
+// epochs. Every candidate is cross-checked against the static points-to bound
+// BEFORE it is emitted: a poisoned or stale stream can therefore never widen
+// sharing beyond what the analysis proved may flow to U. Rejections surface
+// both as the aggregator.promotions.rejected_static counter and as a
+// "promotion-outside-static" lint diagnostic.
+//
+// Deltas are rejected (never partially applied) when:
+//   * the line is not a well-formed delta record        (rejected_malformed)
+//   * the IR content hash does not match the module's   (rejected_hash,
+//     plus a "stale-profile-hash" diagnostic)
+//   * the per-stream sequence number did not increase   (rejected_sequence —
+//     a replayed or rewritten stream)
+//
+// Driven by `profile_tool aggregate`, either one-shot (drain what exists) or
+// follow mode (poll in a loop). The class itself is poll-based and owns no
+// thread.
+#ifndef SRC_TELEMETRY_AGGREGATOR_H_
+#define SRC_TELEMETRY_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/ir/module.h"
+#include "src/runtime/alloc_id.h"
+#include "src/runtime/profile.h"
+#include "src/runtime/profile_delta.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+namespace telemetry {
+
+struct AggregatorOptions {
+  // A site becomes a promotion candidate once its rolling count reaches this.
+  uint64_t promotion_threshold = 1;
+  // ... and at least this many distinct epochs observed it (guards against a
+  // single bad build's stream promoting alone when set > 1).
+  size_t min_epochs = 1;
+  // The static safety bound: sites the points-to analysis proved may flow to
+  // U (e.g. StaticSharingAnalysis(module).Run()->Sites()). Promotions outside
+  // this set are rejected. An EMPTY set rejects every promotion — the caller
+  // must supply the bound; there is no unchecked mode.
+  std::unordered_set<AllocId, AllocIdHasher> static_shared;
+  // Module the streams must have been recorded against. When set, every
+  // delta's IR hash is checked against ModuleContentHash(*module) and the
+  // stale-profile-hash lint fires on mismatch. `module` must outlive the
+  // aggregator.
+  const IrModule* module = nullptr;
+  // Explicit expected hash for when no parsed module is at hand (tests,
+  // replay tooling). Ignored when `module` is set; 0 disables the check.
+  uint64_t expected_ir_hash = 0;
+};
+
+// A site whose rolling count crossed the threshold and passed the static
+// cross-check. Emitted exactly once per site.
+struct PromotionCandidate {
+  AllocId site;
+  uint64_t count = 0;     // rolling count at emission
+  size_t epochs = 0;      // distinct epochs that observed the site
+};
+
+class ProfileAggregator {
+ public:
+  struct Stats {
+    uint64_t deltas_applied = 0;
+    uint64_t rejected_hash = 0;
+    uint64_t rejected_malformed = 0;
+    uint64_t rejected_sequence = 0;
+    uint64_t promotions_emitted = 0;
+    uint64_t promotions_rejected_static = 0;
+  };
+
+  explicit ProfileAggregator(AggregatorOptions options);
+
+  // Registers a JSONL delta stream to tail. The file need not exist yet.
+  void AddStream(std::string path);
+
+  // Drains every registered stream to its current end, applying complete
+  // lines (a partially-written trailing line is left for the next poll).
+  // Newly-crossed, statically-valid promotion candidates are appended to
+  // `promotions` (may be null). Returns the number of deltas applied.
+  Result<size_t> Poll(std::vector<PromotionCandidate>* promotions);
+
+  // The rolling merged profile across all streams and epochs.
+  const Profile& rolling() const { return rolling_; }
+  // Bumped every time a delta is applied; lets consumers cheaply detect "has
+  // anything changed since I last looked".
+  uint64_t version() const { return version_; }
+
+  // Per-epoch provenance: which epochs have contributed, and what each one
+  // contributed on its own.
+  std::vector<std::string> EpochNames() const;
+  const Profile* EpochProfile(const std::string& epoch) const;
+
+  const Stats& stats() const { return stats_; }
+  // Validation failures and rejected promotions, as lint-style findings.
+  const analysis::DiagnosticSink& diagnostics() const { return sink_; }
+
+ private:
+  struct StreamState {
+    std::string path;
+    uint64_t offset = 0;                   // bytes of the file already consumed
+    std::optional<uint64_t> last_sequence; // last accepted seq on this stream
+  };
+
+  // Validates and applies one line from `stream`. Returns true when a delta
+  // was applied.
+  bool ConsumeLine(StreamState& stream, std::string_view line,
+                   std::vector<PromotionCandidate>* promotions);
+  void MaybePromote(AllocId site, std::vector<PromotionCandidate>* promotions);
+
+  const AggregatorOptions options_;
+  const uint64_t expected_hash_;  // 0 = unchecked
+  std::vector<StreamState> streams_;
+
+  Profile rolling_;
+  uint64_t version_ = 0;
+  std::map<std::string, Profile> epochs_;                  // epoch -> contribution
+  std::map<AllocId, std::set<std::string>> site_epochs_;   // site -> epochs seen in
+  std::set<AllocId> promoted_;   // emitted candidates (once per site)
+  std::set<AllocId> rejected_;   // statically-rejected sites (diagnosed once)
+
+  Stats stats_;
+  analysis::DiagnosticSink sink_;
+};
+
+}  // namespace telemetry
+}  // namespace pkrusafe
+
+#endif  // SRC_TELEMETRY_AGGREGATOR_H_

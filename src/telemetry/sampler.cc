@@ -23,23 +23,45 @@ std::string FormatDouble(double value) {
   return s;
 }
 
-// Interval histogram: current minus previous, bucket-wise. Bounds must match
-// (same metric object); mismatches fall back to the current snapshot.
+// Interval histogram: current minus previous, matched by *bound value*, not
+// by bucket index. A histogram that gained le-buckets between the two
+// snapshots (a finer grid registered mid-run) still has a meaningful delta:
+// bounds present in both snapshots subtract, bounds new in `current` count
+// from zero (their bucket only ever saw post-extension observations).
+// Index-wise subtraction would pair unrelated buckets and corrupt the
+// percentiles. Only when a *previous* bound has vanished — a different
+// metric object reused the name — are the snapshots incomparable, and the
+// cumulative `current` is returned as the fallback.
 MetricsSnapshot::HistogramData HistogramDelta(const MetricsSnapshot::HistogramData& current,
                                               const MetricsSnapshot::HistogramData* previous) {
-  if (previous == nullptr || previous->bounds != current.bounds ||
-      previous->bucket_counts.size() != current.bucket_counts.size()) {
+  if (previous == nullptr ||
+      current.bucket_counts.size() != current.bounds.size() + 1 ||
+      previous->bucket_counts.size() != previous->bounds.size() + 1) {
     return current;
   }
   MetricsSnapshot::HistogramData delta;
   delta.bounds = current.bounds;
   delta.bucket_counts.reserve(current.bucket_counts.size());
-  for (size_t i = 0; i < current.bucket_counts.size(); ++i) {
-    const uint64_t prev = previous->bucket_counts[i];
-    delta.bucket_counts.push_back(current.bucket_counts[i] >= prev
-                                      ? current.bucket_counts[i] - prev
-                                      : current.bucket_counts[i]);
+  size_t pi = 0;
+  for (size_t ci = 0; ci < current.bounds.size(); ++ci) {
+    if (pi < previous->bounds.size() && previous->bounds[pi] < current.bounds[ci]) {
+      return current;  // a previous bound disappeared: incomparable shapes
+    }
+    uint64_t prev = 0;
+    if (pi < previous->bounds.size() && previous->bounds[pi] == current.bounds[ci]) {
+      prev = previous->bucket_counts[pi];
+      ++pi;
+    }
+    const uint64_t cur = current.bucket_counts[ci];
+    delta.bucket_counts.push_back(cur >= prev ? cur - prev : cur);
   }
+  if (pi != previous->bounds.size()) {
+    return current;  // previous had trailing bounds current lacks
+  }
+  // The implicit +Inf buckets always pair with each other.
+  const uint64_t prev_inf = previous->bucket_counts.back();
+  const uint64_t cur_inf = current.bucket_counts.back();
+  delta.bucket_counts.push_back(cur_inf >= prev_inf ? cur_inf - prev_inf : cur_inf);
   delta.count = current.count >= previous->count ? current.count - previous->count : current.count;
   delta.sum = current.sum >= previous->sum ? current.sum - previous->sum : current.sum;
   return delta;
@@ -119,6 +141,7 @@ Status Sampler::Start(const Options& options) {
     return InternalError("sampler: cannot open " + options.path);
   }
   period_ms_ = options.period_ms;
+  on_sample_ = options.on_sample;
   samples_.store(0, std::memory_order_relaxed);
   {
     std::lock_guard lock(stop_mutex_);
@@ -155,6 +178,9 @@ void Sampler::Loop() {
                             [this] { return stop_requested_; })) {
         // Final row captures whatever accumulated since the last tick.
       }
+    }
+    if (on_sample_) {
+      on_sample_();
     }
     const MetricsSnapshot current = MetricsRegistry::Global().Snapshot();
     const uint64_t now_ns = NowNs();

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -39,6 +40,10 @@ class Sampler {
   struct Options {
     std::string path;         // output JSONL file (created/truncated)
     uint64_t period_ms = 100; // sampling period
+    // Invoked on the sampler thread once per tick, right before the metrics
+    // row is written. The continuous-profiling pipeline hooks the profile
+    // stream flush here so delta records land at the same cadence as metrics.
+    std::function<void()> on_sample;
   };
 
   Sampler() = default;
@@ -69,6 +74,7 @@ class Sampler {
   std::thread thread_;
   std::ofstream out_;
   uint64_t period_ms_ = 100;
+  std::function<void()> on_sample_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> samples_{0};
 

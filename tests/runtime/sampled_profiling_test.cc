@@ -1,0 +1,231 @@
+// Always-on sampled profiling in enforce mode: statically-shared-but-
+// unpromoted candidate sites record-and-continue under a fault-rate budget;
+// everything else keeps the enforcement bias and dies. ApplyPromotions
+// re-tags a promoted site's live pages without a restart.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/memmap/page.h"
+#include "src/runtime/runtime.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr AllocId kCandidateSite{1, 0, 0};
+constexpr AllocId kPrivateSite{2, 0, 0};
+
+std::unique_ptr<PkruSafeRuntime> MakeSampledRuntime(FaultRateBudgetOptions sampling) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  RuntimeConfig config;
+  config.backend = BackendKind::kSim;
+  config.mode = RuntimeMode::kEnforcing;
+  config.sampled_profiling = true;
+  config.sampling = sampling;
+  config.sampling_candidates.insert(kCandidateSite);
+  config.allocator.trusted_pool_bytes = size_t{1} << 30;
+  config.allocator.untrusted_pool_bytes = size_t{1} << 30;
+  auto runtime = PkruSafeRuntime::Create(std::move(config));
+  EXPECT_TRUE(runtime.ok()) << runtime.status().ToString();
+  return std::move(*runtime);
+}
+
+Status UntrustedRead(PkruSafeRuntime& rt, uintptr_t addr) {
+  UntrustedScope scope(rt.gates());
+  return rt.backend().CheckAccess(addr, AccessKind::kRead);
+}
+
+uintptr_t FirstFullyCoveredPage(void* ptr, size_t size) {
+  const uintptr_t base = reinterpret_cast<uintptr_t>(ptr);
+  const uintptr_t lo = PageUp(base);
+  const uintptr_t hi = PageDown(base + size);
+  return lo + kPageSize <= hi ? lo : 0;
+}
+
+FaultRateBudgetOptions GenerousBudget(double fraction) {
+  FaultRateBudgetOptions options;
+  options.page_fraction = fraction;
+  options.service_ns_per_interval = ~uint64_t{0} / 2;  // effectively unlimited
+  options.fault_cost_ns = 1;
+  return options;
+}
+
+TEST(SampledProfilingTest, CandidateFaultIsRecordedAndServiced) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/1.0));
+  ASSERT_NE(rt->sampling_budget(), nullptr);
+  void* obj = rt->AllocTrusted(kCandidateSite, 64);
+  ASSERT_NE(obj, nullptr);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(obj);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, addr).ok());
+  EXPECT_TRUE(UntrustedRead(*rt, addr).ok());
+  const RuntimeStats after = rt->stats();
+  EXPECT_EQ(after.sampled_faults, before.sampled_faults + 2);
+  EXPECT_EQ(after.sampled_recorded, before.sampled_recorded + 2);
+  EXPECT_EQ(after.sampled_trapping, before.sampled_trapping + 2);
+  EXPECT_EQ(after.sampled_denied_static, before.sampled_denied_static);
+
+  // The observation is what feeds the delta stream.
+  Profile profile = rt->TakeProfile();
+  EXPECT_TRUE(profile.Contains(kCandidateSite));
+  rt->Free(obj);
+}
+
+TEST(SampledProfilingTest, NonCandidateStaysDenied) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/1.0));
+  void* obj = rt->AllocTrusted(kPrivateSite, 64);
+  ASSERT_NE(obj, nullptr);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_FALSE(UntrustedRead(*rt, reinterpret_cast<uintptr_t>(obj)).ok());
+  const RuntimeStats after = rt->stats();
+  EXPECT_EQ(after.sampled_denied_static, before.sampled_denied_static + 1);
+  EXPECT_FALSE(rt->TakeProfile().Contains(kPrivateSite));
+  rt->Free(obj);
+}
+
+TEST(SampledProfilingTest, FractionOneKeepsPagesTrapping) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/1.0));
+  void* big = rt->AllocTrusted(kCandidateSite, 4 * kPageSize);
+  ASSERT_NE(big, nullptr);
+  const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+  ASSERT_NE(page, 0u);
+
+  const RuntimeStats before = rt->stats();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(UntrustedRead(*rt, page + static_cast<uintptr_t>(i)).ok());
+  }
+  const RuntimeStats after = rt->stats();
+  // Every access faulted (and was observed): nothing latched.
+  EXPECT_EQ(after.sampled_faults, before.sampled_faults + 4);
+  EXPECT_EQ(after.sampled_trapping, before.sampled_trapping + 4);
+  EXPECT_EQ(after.sampled_latched, before.sampled_latched);
+  EXPECT_EQ(after.sampled_autolatched, before.sampled_autolatched);
+  rt->Free(big);
+}
+
+TEST(SampledProfilingTest, FractionZeroLatchesAfterFirstTouch) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/0.0));
+  void* big = rt->AllocTrusted(kCandidateSite, 4 * kPageSize);
+  ASSERT_NE(big, nullptr);
+  const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+  ASSERT_NE(page, 0u);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  const RuntimeStats first = rt->stats();
+  EXPECT_EQ(first.sampled_faults, before.sampled_faults + 1);
+  EXPECT_EQ(first.sampled_latched, before.sampled_latched + 1);
+
+  // Latched open: later accesses skip the fault path but the site is already
+  // in the profile — one fault, then free.
+  EXPECT_TRUE(UntrustedRead(*rt, page + 8).ok());
+  const RuntimeStats second = rt->stats();
+  EXPECT_EQ(second.sampled_faults, first.sampled_faults);
+  EXPECT_TRUE(rt->TakeProfile().Contains(kCandidateSite));
+  rt->Free(big);
+}
+
+TEST(SampledProfilingTest, ExhaustedBudgetAutoLatches) {
+  FaultRateBudgetOptions sampling;
+  sampling.page_fraction = 1.0;
+  sampling.service_ns_per_interval = 1;    // first charge already over
+  sampling.fault_cost_ns = 4'000;
+  sampling.interval_ms = 1'000'000;        // no refill during the test
+  auto rt = MakeSampledRuntime(sampling);
+  void* big = rt->AllocTrusted(kCandidateSite, 4 * kPageSize);
+  ASSERT_NE(big, nullptr);
+  const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+  ASSERT_NE(page, 0u);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  const RuntimeStats after = rt->stats();
+  // In-sample page over budget: recorded, then latched as autolatched.
+  EXPECT_EQ(after.sampled_recorded, before.sampled_recorded + 1);
+  EXPECT_EQ(after.sampled_autolatched, before.sampled_autolatched + 1);
+  EXPECT_EQ(after.sampled_trapping, before.sampled_trapping);
+  rt->Free(big);
+}
+
+TEST(SampledProfilingTest, PartiallyCoveredPageNeverLatches) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/0.0));
+  void* small = rt->AllocTrusted(kCandidateSite, 64);
+  ASSERT_NE(small, nullptr);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(small);
+
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, addr).ok());
+  EXPECT_TRUE(UntrustedRead(*rt, addr).ok());
+  const RuntimeStats after = rt->stats();
+  EXPECT_EQ(after.sampled_faults, before.sampled_faults + 2);
+  EXPECT_EQ(after.sampled_latched, before.sampled_latched);
+  EXPECT_EQ(after.sampled_autolatched, before.sampled_autolatched);
+  rt->Free(small);
+}
+
+TEST(SampledProfilingTest, DisabledOutsideEnforceMode) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  RuntimeConfig config;
+  config.backend = BackendKind::kSim;
+  config.mode = RuntimeMode::kProfiling;
+  config.sampled_profiling = true;  // ignored: profiling already records all
+  auto runtime = PkruSafeRuntime::Create(std::move(config));
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ((*runtime)->sampling_budget(), nullptr);
+}
+
+TEST(SampledProfilingTest, ApplyPromotionsStopsFaultingWithoutRestart) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/1.0));
+  void* big = rt->AllocTrusted(kCandidateSite, 4 * kPageSize);
+  ASSERT_NE(big, nullptr);
+  const uintptr_t page = FirstFullyCoveredPage(big, 4 * kPageSize);
+  ASSERT_NE(page, 0u);
+
+  // Before promotion: every access faults (observed).
+  const RuntimeStats before = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  EXPECT_EQ(rt->stats().sampled_faults, before.sampled_faults + 1);
+  EXPECT_FALSE(rt->policy().IsShared(kCandidateSite));
+
+  const auto result = rt->ApplyPromotions({kCandidateSite});
+  EXPECT_EQ(result.promoted, 1u);
+  EXPECT_EQ(result.already_shared, 0u);
+  EXPECT_GE(result.pages_opened, 3u);  // 4-page object fully covers >= 3 pages
+  EXPECT_TRUE(rt->policy().IsShared(kCandidateSite));
+
+  // After promotion: the live object's pages are open — no more faults.
+  const RuntimeStats promoted = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, page).ok());
+  EXPECT_TRUE(UntrustedRead(*rt, page + kPageSize).ok());
+  const RuntimeStats after = rt->stats();
+  EXPECT_EQ(after.sampled_faults, promoted.sampled_faults);
+
+  // Re-promoting is idempotent.
+  const auto again = rt->ApplyPromotions({kCandidateSite});
+  EXPECT_EQ(again.promoted, 0u);
+  EXPECT_EQ(again.already_shared, 1u);
+
+  // New allocations at the promoted site land in M_U directly: untrusted
+  // reads succeed without entering the sampled fault path.
+  void* fresh = rt->AllocTrusted(kCandidateSite, 64);
+  ASSERT_NE(fresh, nullptr);
+  const RuntimeStats pre_fresh = rt->stats();
+  EXPECT_TRUE(UntrustedRead(*rt, reinterpret_cast<uintptr_t>(fresh)).ok());
+  EXPECT_EQ(rt->stats().sampled_faults, pre_fresh.sampled_faults);
+
+  rt->Free(fresh);
+  rt->Free(big);
+}
+
+TEST(SampledProfilingTest, PromotionOfUnknownSiteTouchesNothing) {
+  auto rt = MakeSampledRuntime(GenerousBudget(/*fraction=*/1.0));
+  const auto result = rt->ApplyPromotions({AllocId{99, 9, 9}});
+  EXPECT_EQ(result.promoted, 1u);  // policy learns the site
+  EXPECT_EQ(result.pages_opened, 0u);  // no live objects to open
+}
+
+}  // namespace
+}  // namespace pkrusafe

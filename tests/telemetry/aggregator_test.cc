@@ -1,0 +1,266 @@
+// Incremental aggregation: tail delta streams, fold validated deltas into a
+// versioned rolling profile, emit statically-cross-checked promotions.
+#include "src/telemetry/aggregator.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/runtime/profile_delta.h"
+
+namespace pkrusafe {
+namespace telemetry {
+namespace {
+
+constexpr AllocId kSharedSite{1, 0, 0};
+constexpr AllocId kOtherSite{2, 0, 0};
+constexpr AllocId kPoisonSite{66, 6, 6};
+constexpr uint64_t kIrHash = 0xfeedface;
+
+std::string TempStream(const char* name) {
+  return ::testing::TempDir() + "/" + name + ".jsonl";
+}
+
+void WriteLines(const std::string& path, const std::vector<std::string>& lines,
+                bool final_newline = true) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size() || final_newline) {
+      out << '\n';
+    }
+  }
+}
+
+void AppendLine(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  out << line << '\n';
+}
+
+std::string DeltaLine(AllocId site, uint64_t count, uint64_t seq,
+                      const std::string& epoch = "e1", uint64_t ir_hash = kIrHash) {
+  ProfileDelta delta(epoch, ir_hash, seq);
+  delta.Add(site, count);
+  return delta.ToJsonLine();
+}
+
+AggregatorOptions BaseOptions() {
+  AggregatorOptions options;
+  options.expected_ir_hash = kIrHash;
+  options.static_shared.insert(kSharedSite);
+  options.static_shared.insert(kOtherSite);
+  return options;
+}
+
+TEST(AggregatorTest, AppliesDeltasAndPromotes) {
+  const std::string path = TempStream("apply");
+  WriteLines(path, {DeltaLine(kSharedSite, 2, 0), DeltaLine(kSharedSite, 3, 1)});
+
+  AggregatorOptions options = BaseOptions();
+  options.promotion_threshold = 5;
+  ProfileAggregator aggregator(std::move(options));
+  aggregator.AddStream(path);
+
+  std::vector<PromotionCandidate> promotions;
+  auto applied = aggregator.Poll(&promotions);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2u);
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 5u);
+  EXPECT_EQ(aggregator.version(), 2u);
+  ASSERT_EQ(promotions.size(), 1u);
+  EXPECT_EQ(promotions[0].site, kSharedSite);
+  EXPECT_EQ(promotions[0].count, 5u);
+  EXPECT_EQ(aggregator.stats().promotions_emitted, 1u);
+
+  // Promotion fires exactly once per site, even as counts keep growing.
+  AppendLine(path, DeltaLine(kSharedSite, 10, 2));
+  promotions.clear();
+  ASSERT_TRUE(aggregator.Poll(&promotions).ok());
+  EXPECT_TRUE(promotions.empty());
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 15u);
+}
+
+TEST(AggregatorTest, BelowThresholdDoesNotPromote) {
+  const std::string path = TempStream("below");
+  WriteLines(path, {DeltaLine(kSharedSite, 4, 0)});
+  AggregatorOptions options = BaseOptions();
+  options.promotion_threshold = 5;
+  ProfileAggregator aggregator(std::move(options));
+  aggregator.AddStream(path);
+  std::vector<PromotionCandidate> promotions;
+  ASSERT_TRUE(aggregator.Poll(&promotions).ok());
+  EXPECT_TRUE(promotions.empty());
+}
+
+TEST(AggregatorTest, MinEpochsGatesPromotion) {
+  const std::string a = TempStream("epoch_a");
+  const std::string b = TempStream("epoch_b");
+  WriteLines(a, {DeltaLine(kSharedSite, 10, 0, "canary")});
+  WriteLines(b, {DeltaLine(kSharedSite, 10, 0, "prod")});
+
+  AggregatorOptions options = BaseOptions();
+  options.promotion_threshold = 1;
+  options.min_epochs = 2;
+  ProfileAggregator aggregator(std::move(options));
+  aggregator.AddStream(a);
+  std::vector<PromotionCandidate> promotions;
+  ASSERT_TRUE(aggregator.Poll(&promotions).ok());
+  EXPECT_TRUE(promotions.empty());  // one epoch only
+
+  aggregator.AddStream(b);
+  ASSERT_TRUE(aggregator.Poll(&promotions).ok());
+  ASSERT_EQ(promotions.size(), 1u);
+  EXPECT_EQ(promotions[0].epochs, 2u);
+
+  // Per-epoch provenance is kept separately.
+  EXPECT_EQ(aggregator.EpochNames().size(), 2u);
+  ASSERT_NE(aggregator.EpochProfile("canary"), nullptr);
+  EXPECT_EQ(aggregator.EpochProfile("canary")->CountFor(kSharedSite), 10u);
+  EXPECT_EQ(aggregator.EpochProfile("nope"), nullptr);
+}
+
+TEST(AggregatorTest, PoisonedDeltaIsRejectedByStaticBound) {
+  // The acceptance-criteria scenario: a crafted stream pushes a site past the
+  // threshold that the points-to analysis never allowed. The aggregator must
+  // refuse it, bump rejected_static, and diagnose.
+  const std::string path = TempStream("poison");
+  WriteLines(path, {DeltaLine(kPoisonSite, 1000, 0)});
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  std::vector<PromotionCandidate> promotions;
+  ASSERT_TRUE(aggregator.Poll(&promotions).ok());
+  EXPECT_TRUE(promotions.empty());
+  EXPECT_GE(aggregator.stats().promotions_rejected_static, 1u);
+  bool diagnosed = false;
+  for (const auto& finding : aggregator.diagnostics().findings()) {
+    if (finding.rule == "promotion-outside-static") {
+      diagnosed = true;
+    }
+  }
+  EXPECT_TRUE(diagnosed);
+  // The counts still aggregate (for forensics) — only promotion is refused.
+  EXPECT_EQ(aggregator.rolling().CountFor(kPoisonSite), 1000u);
+}
+
+TEST(AggregatorTest, EmptyStaticBoundRejectsEverything) {
+  const std::string path = TempStream("nobound");
+  WriteLines(path, {DeltaLine(kSharedSite, 10, 0)});
+  AggregatorOptions options;
+  options.expected_ir_hash = kIrHash;  // no static_shared: nothing may promote
+  ProfileAggregator aggregator(std::move(options));
+  aggregator.AddStream(path);
+  std::vector<PromotionCandidate> promotions;
+  ASSERT_TRUE(aggregator.Poll(&promotions).ok());
+  EXPECT_TRUE(promotions.empty());
+  EXPECT_EQ(aggregator.stats().promotions_rejected_static, 1u);
+}
+
+TEST(AggregatorTest, StaleIrHashRejected) {
+  const std::string path = TempStream("stale");
+  WriteLines(path, {DeltaLine(kSharedSite, 5, 0, "e1", /*ir_hash=*/0xbad)});
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  ASSERT_TRUE(aggregator.Poll(nullptr).ok());
+  EXPECT_EQ(aggregator.stats().deltas_applied, 0u);
+  EXPECT_EQ(aggregator.stats().rejected_hash, 1u);
+  EXPECT_TRUE(aggregator.rolling().empty());
+  bool diagnosed = false;
+  for (const auto& finding : aggregator.diagnostics().findings()) {
+    if (finding.rule == "stale-profile-hash") {
+      diagnosed = true;
+    }
+  }
+  EXPECT_TRUE(diagnosed);
+}
+
+TEST(AggregatorTest, MalformedLinesRejectedOthersStillApply) {
+  const std::string path = TempStream("malformed");
+  WriteLines(path, {"this is not json", DeltaLine(kSharedSite, 2, 0),
+                    "{\"kind\":\"wrong\"}"});
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  auto applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(aggregator.stats().rejected_malformed, 2u);
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 2u);
+}
+
+TEST(AggregatorTest, ReplayedSequenceRejected) {
+  const std::string path = TempStream("replay");
+  WriteLines(path, {DeltaLine(kSharedSite, 2, 5), DeltaLine(kSharedSite, 2, 5),
+                    DeltaLine(kSharedSite, 2, 4), DeltaLine(kSharedSite, 2, 6)});
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  auto applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2u);  // seq 5 and 6
+  EXPECT_EQ(aggregator.stats().rejected_sequence, 2u);
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 4u);
+}
+
+TEST(AggregatorTest, SequenceTrackingIsPerStream) {
+  const std::string a = TempStream("perstream_a");
+  const std::string b = TempStream("perstream_b");
+  WriteLines(a, {DeltaLine(kSharedSite, 1, 0)});
+  WriteLines(b, {DeltaLine(kOtherSite, 1, 0)});  // same seq, different stream
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(a);
+  aggregator.AddStream(b);
+  auto applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2u);
+  EXPECT_EQ(aggregator.stats().rejected_sequence, 0u);
+}
+
+TEST(AggregatorTest, PartialTrailingLineWaitsForCompletion) {
+  const std::string path = TempStream("partial");
+  const std::string full = DeltaLine(kSharedSite, 3, 0);
+  const std::string next = DeltaLine(kSharedSite, 4, 1);
+  // First poll sees one complete line plus half of the next (no newline).
+  WriteLines(path, {full, next.substr(0, next.size() / 2)},
+             /*final_newline=*/false);
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  auto applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(aggregator.stats().rejected_malformed, 0u);
+
+  // The writer finishes the line; the next poll picks it up from the offset.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << next.substr(next.size() / 2) << '\n';
+  }
+  applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 7u);
+  EXPECT_EQ(aggregator.stats().rejected_malformed, 0u);
+}
+
+TEST(AggregatorTest, MissingStreamIsNotAnError) {
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(::testing::TempDir() + "/never_written.jsonl");
+  auto applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0u);
+}
+
+TEST(AggregatorTest, DuplicateAddStreamIsIdempotent) {
+  const std::string path = TempStream("dup");
+  WriteLines(path, {DeltaLine(kSharedSite, 1, 0)});
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  aggregator.AddStream(path);
+  auto applied = aggregator.Poll(nullptr);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);  // not double-counted
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 1u);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace pkrusafe

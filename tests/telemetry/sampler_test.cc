@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -100,6 +101,43 @@ TEST(SamplerFormatTest, HistogramDeltaIsPerInterval) {
   EXPECT_LE(hist->GetDouble("p50"), 20.0);
 }
 
+TEST(SamplerFormatTest, HistogramDeltaAlignsByBoundWhenBucketsAppear) {
+  // Regression: a histogram may gain le-buckets mid-run (another thread
+  // registered the same name with finer bounds). Index-wise subtraction would
+  // pair bucket (10,20] against the old (10,30] and go negative; the delta
+  // must align buckets by bound value and treat new bounds as starting at 0.
+  MetricsSnapshot previous;
+  previous.histograms["lat"] = MakeHistogram({10, 30}, {6, 2, 0});
+  MetricsSnapshot current;
+  current.histograms["lat"] = MakeHistogram({10, 20, 30}, {6, 4, 2, 0});
+
+  const std::string line = Sampler::FormatSampleLine(0, 1.0, previous, current);
+  auto row = json::Parse(line);
+  ASSERT_TRUE(row.ok()) << row.status().ToString() << " in: " << line;
+  const json::Value* hist = row->Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  // The interval saw exactly the 4 observations in the new (10, 20] bucket.
+  EXPECT_EQ(hist->GetUint("count"), 4u);
+  EXPECT_GT(hist->GetDouble("p50"), 10.0);
+  EXPECT_LE(hist->GetDouble("p50"), 20.0);
+}
+
+TEST(SamplerFormatTest, HistogramDeltaFallsBackWhenBoundVanishes) {
+  // A previous bound that disappeared means the metric was replaced; the
+  // snapshots are incomparable and the row reports the cumulative current.
+  MetricsSnapshot previous;
+  previous.histograms["lat"] = MakeHistogram({10, 20, 30}, {1, 2, 3, 0});
+  MetricsSnapshot current;
+  current.histograms["lat"] = MakeHistogram({10, 30}, {5, 5, 0});
+
+  const std::string line = Sampler::FormatSampleLine(0, 1.0, previous, current);
+  auto row = json::Parse(line);
+  ASSERT_TRUE(row.ok());
+  const json::Value* hist = row->Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetUint("count"), 10u);  // cumulative, not a bogus delta
+}
+
 TEST(SamplerFormatTest, CounterResetFallsBackToTotal) {
   MetricsSnapshot previous;
   previous.counters["c"] = 500;
@@ -151,6 +189,26 @@ TEST(SamplerTest, WritesParseableJsonlRows) {
   }
   EXPECT_EQ(rows, sampler.samples_written());
   EXPECT_EQ(last_total, 50u);  // final row captured everything
+  std::remove(path.c_str());
+}
+
+TEST(SamplerTest, OnSampleHookRunsEveryTick) {
+  const std::string path = ::testing::TempDir() + "/sampler_hook_test.jsonl";
+  std::atomic<uint64_t> hook_calls{0};
+
+  Sampler sampler;
+  Sampler::Options options;
+  options.path = path;
+  options.period_ms = 5;
+  options.on_sample = [&hook_calls] { hook_calls.fetch_add(1); };
+  ASSERT_TRUE(sampler.Start(options).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  sampler.Stop();
+
+  // The hook fires once per tick, same cadence as the metrics rows (this is
+  // what flushes profile delta streams alongside the samples).
+  EXPECT_GE(hook_calls.load(), 1u);
+  EXPECT_GE(hook_calls.load(), sampler.samples_written());
   std::remove(path.c_str());
 }
 

@@ -19,12 +19,14 @@
 #include <sstream>
 
 #include "src/core/pkru_safe.h"
+#include "src/ir/module_hash.h"
 #include "src/mpk/fault_signal.h"
 #include "src/passes/alloc_id_pass.h"
 #include "src/passes/gate_insertion_pass.h"
 #include "src/passes/pass.h"
 #include "src/passes/static_sharing_analysis.h"
 #include "src/ir/parser.h"
+#include "src/runtime/profile_delta.h"
 #include "src/runtime/site_stats.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/flight_recorder.h"
@@ -80,6 +82,8 @@ int Usage() {
                "         [--dump-ir] [--trace-out=FILE] [--stats[=json|text]]\n"
                "         [--crash-report=FILE] [--sample-out=FILE] [--sample-ms=N]\n"
                "         [--site-stats[=FILE]] [--latch-sites]\n"
+               "         [--sampled[=FRACTION]] [--sample-budget-ns=N]\n"
+               "         [--sample-interval-ms=N] [--profile-stream=FILE] [--epoch=NAME]\n"
                "  --latch-sites     profiling mode: after a site's first fault,\n"
                "                    downgrade pages it fully covers to the shared\n"
                "                    key (counts become approximate, sites exact;\n"
@@ -96,7 +100,17 @@ int Usage() {
                "  --sample-ms=N     sampling period in ms (default 100)\n"
                "  --site-stats[=FILE]  per-site heap attribution: print the top\n"
                "                    sites by live bytes; with =FILE also write\n"
-               "                    the full table as JSON for `profile_tool sites`\n");
+               "                    the full table as JSON for `profile_tool sites`\n"
+               "  --sampled[=F]     enforce mode: always-on sampled profiling. The\n"
+               "                    statically-shared-but-unpromoted sites record\n"
+               "                    instead of dying; fraction F of their pages\n"
+               "                    (default 0.01) stay trap-on-touch for counts\n"
+               "  --sample-budget-ns=N  fault-service budget per interval (default 2e6)\n"
+               "  --sample-interval-ms=N  budget refill interval (default 100)\n"
+               "  --profile-stream=FILE  write IR-versioned profile deltas as JSONL\n"
+               "                    (flushed on each sampler tick and at exit;\n"
+               "                    feed to `profile_tool aggregate`)\n"
+               "  --epoch=NAME      epoch stamp for --profile-stream (default dev)\n");
   return 2;
 }
 
@@ -122,6 +136,12 @@ int main(int argc, char** argv) {
   bool use_static = false;
   bool dump_ir = false;
   bool latch_sites = false;
+  bool sampled = false;
+  double sampled_fraction = 0.01;
+  uint64_t sample_budget_ns = 2'000'000;
+  uint64_t sample_interval_ms = 100;
+  std::string profile_stream_path;
+  std::string epoch = "dev";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -165,6 +185,22 @@ int main(int argc, char** argv) {
       site_stats = true;
     } else if (arg == "--latch-sites") {
       latch_sites = true;
+    } else if (const char* v = value_of("--sampled=")) {
+      sampled = true;
+      sampled_fraction = std::strtod(v, nullptr);
+      if (sampled_fraction < 0.0 || sampled_fraction > 1.0) {
+        return Usage();
+      }
+    } else if (arg == "--sampled") {
+      sampled = true;
+    } else if (const char* v = value_of("--sample-budget-ns=")) {
+      sample_budget_ns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--sample-interval-ms=")) {
+      sample_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--profile-stream=")) {
+      profile_stream_path = v;
+    } else if (const char* v = value_of("--epoch=")) {
+      epoch = v;
     } else if (arg == "--static") {
       use_static = true;
     } else if (arg == "--dump-ir") {
@@ -205,6 +241,16 @@ int main(int argc, char** argv) {
     return Usage();
   }
   config.latch_sites = latch_sites;
+  if (sampled) {
+    if (config.mode != RuntimeMode::kEnforcing) {
+      std::fprintf(stderr, "--sampled requires --mode=enforce\n");
+      return Usage();
+    }
+    config.sampled_profiling = true;
+    config.sampling.page_fraction = sampled_fraction;
+    config.sampling.service_ns_per_interval = sample_budget_ns;
+    config.sampling.interval_ms = sample_interval_ms;
+  }
 
   if (!trace_out.empty()) {
     telemetry::SetEnabled(true);
@@ -268,11 +314,34 @@ int main(int argc, char** argv) {
     std::printf("%s", (*system)->DumpIr().c_str());
   }
 
+  // Delta stream: the continuous-profiling output. Flushed on each sampler
+  // tick (when sampling) and once more at exit, so short runs still ship
+  // their observations.
+  std::unique_ptr<ProfileStreamWriter> stream;
+  if (!profile_stream_path.empty()) {
+    ProfileStreamWriter::Options stream_options;
+    stream_options.path = profile_stream_path;
+    stream_options.epoch = epoch;
+    stream_options.ir_hash = ModuleContentHash((*system)->module());
+    stream = std::make_unique<ProfileStreamWriter>(std::move(stream_options));
+    if (auto status = stream->Open(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
   telemetry::Sampler sampler;
   if (!sample_out.empty()) {
     telemetry::Sampler::Options options;
     options.path = sample_out;
     options.period_ms = sample_ms;
+    if (stream != nullptr) {
+      auto* system_ptr = system->get();
+      auto* stream_ptr = stream.get();
+      options.on_sample = [system_ptr, stream_ptr] {
+        (void)stream_ptr->Flush(system_ptr->TakeProfile());
+      };
+    }
     if (auto status = sampler.Start(options); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
@@ -315,6 +384,18 @@ int main(int argc, char** argv) {
     sampler.Stop();
     std::printf("wrote %llu sample(s) to %s\n",
                 static_cast<unsigned long long>(sampler.samples_written()), sample_out.c_str());
+  }
+  if (stream != nullptr) {
+    // Final flush after the sampler has stopped, so nothing observed between
+    // the last tick and exit is lost.
+    if (auto status = stream->Flush((*system)->TakeProfile()); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu delta(s) to %s (epoch %s)\n",
+                static_cast<unsigned long long>(stream->deltas_written()),
+                profile_stream_path.c_str(), epoch.c_str());
+    stream->Close();
   }
   if (site_stats) {
     SiteHeapStats& stats = SiteHeapStats::Global();

@@ -21,6 +21,7 @@
 // (previously stale profiles were silently accepted and their sites simply
 // never matched).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +30,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/diagnostics.h"
@@ -40,6 +42,7 @@
 #include "src/passes/static_sharing_analysis.h"
 #include "src/runtime/profile.h"
 #include "src/support/json.h"
+#include "src/telemetry/aggregator.h"
 #include "src/telemetry/crash_report.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
@@ -57,13 +60,20 @@ int Usage() {
                "       profile_tool report <crash.json> [--json]\n"
                "       profile_tool sites <sites.json> [--top=N]\n"
                "           [--domain=trusted|untrusted] [--module=FILE]\n"
+               "       profile_tool aggregate --module=FILE [--threshold=N]\n"
+               "           [--min-epochs=N] [--out=FILE] [--promotions=FILE]\n"
+               "           [--follow [--interval-ms=N] [--max-polls=N]] <stream.jsonl>...\n"
                "  report  render a flight-recorder crash report for humans\n"
                "          (--json echoes the validated raw JSON instead)\n"
                "  sites   top-K heap-attribution table from a\n"
                "          `pkrusafe_run --site-stats=FILE` dump; with --module,\n"
                "          cross-check each site against the static points-to\n"
                "          sharing analysis (dynamic M_U traffic the analyzer\n"
-               "          missed is an error)\n");
+               "          missed is an error)\n"
+               "  aggregate  tail delta streams into a versioned rolling profile;\n"
+               "          promotion candidates are cross-checked against the\n"
+               "          static points-to bound of --module (rejections exit 1);\n"
+               "          --follow polls until streams go quiet or --max-polls\n");
   return 2;
 }
 
@@ -209,19 +219,39 @@ int main(int argc, char** argv) {
     }
     int only_a = 0;
     int only_b = 0;
+    int shifted = 0;
     for (const AllocId& id : a->Sites()) {
       if (!b->Contains(id)) {
-        std::printf("only in %s: %s\n", argv[2], id.ToString().c_str());
+        std::printf("removed: %s (%llu fault(s) in %s)\n", id.ToString().c_str(),
+                    static_cast<unsigned long long>(a->CountFor(id)), argv[2]);
         ++only_a;
       }
     }
     for (const AllocId& id : b->Sites()) {
       if (!a->Contains(id)) {
-        std::printf("only in %s: %s\n", argv[3], id.ToString().c_str());
+        std::printf("added:   %s (%llu fault(s) in %s)\n", id.ToString().c_str(),
+                    static_cast<unsigned long long>(b->CountFor(id)), argv[3]);
         ++only_b;
       }
     }
-    std::printf("%d site(s) unique to %s, %d unique to %s\n", only_a, argv[2], only_b, argv[3]);
+    // Epoch drift: sites present in both but with shifted counts. With two
+    // rolling-profile snapshots (epoch N vs N+1) this is the workload drift
+    // an operator reviews before promoting.
+    for (const AllocId& id : a->Sites()) {
+      if (!b->Contains(id)) {
+        continue;
+      }
+      const uint64_t old_count = a->CountFor(id);
+      const uint64_t new_count = b->CountFor(id);
+      if (old_count != new_count) {
+        std::printf("shifted: %s %llu -> %llu fault(s)\n", id.ToString().c_str(),
+                    static_cast<unsigned long long>(old_count),
+                    static_cast<unsigned long long>(new_count));
+        ++shifted;
+      }
+    }
+    std::printf("drift: %d added, %d removed, %d count-shifted (of %zu / %zu site(s))\n",
+                only_b, only_a, shifted, a->site_count(), b->site_count());
     // Precision read: with a static profile as <a> and a dynamic one as <b>,
     // this is the over-sharing factor (static sites / dynamic sites).
     if (b->site_count() > 0) {
@@ -380,6 +410,162 @@ int main(int argc, char** argv) {
                 "dynamic M_U traffic\n",
                 missed, over_shared);
     return missed == 0 ? 0 : 1;
+  }
+
+  if (command == "aggregate") {
+    std::string module_path;
+    std::string out_path;
+    std::string promotions_path;
+    uint64_t threshold = 1;
+    size_t min_epochs = 1;
+    bool follow = false;
+    uint64_t interval_ms = 200;
+    uint64_t max_polls = 0;  // 0 = until no stream grows (follow mode only)
+    std::vector<std::string> stream_paths;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--module=", 0) == 0) {
+        module_path = arg.substr(9);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+      } else if (arg.rfind("--promotions=", 0) == 0) {
+        promotions_path = arg.substr(13);
+      } else if (arg.rfind("--threshold=", 0) == 0) {
+        threshold = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      } else if (arg.rfind("--min-epochs=", 0) == 0) {
+        min_epochs = static_cast<size_t>(std::strtoull(arg.c_str() + 13, nullptr, 10));
+      } else if (arg == "--follow") {
+        follow = true;
+      } else if (arg.rfind("--interval-ms=", 0) == 0) {
+        interval_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+      } else if (arg.rfind("--max-polls=", 0) == 0) {
+        max_polls = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      } else if (arg.rfind("--", 0) == 0) {
+        return Usage();
+      } else {
+        stream_paths.push_back(arg);
+      }
+    }
+    if (module_path.empty() || stream_paths.empty()) {
+      return Usage();
+    }
+
+    // The static safety bound comes from the same instrumented build the
+    // streams were recorded against: instrument, analyze, and check every
+    // delta's IR hash against this module.
+    auto module_text = ReadFile(module_path.c_str());
+    if (!module_text.ok()) {
+      std::fprintf(stderr, "%s\n", module_text.status().ToString().c_str());
+      return 1;
+    }
+    auto module = ParseModule(*module_text);
+    if (!module.ok()) {
+      std::fprintf(stderr, "parse: %s\n", module.status().ToString().c_str());
+      return 1;
+    }
+    PassManager pm;
+    pm.Add(std::make_unique<AllocIdPass>());
+    pm.Add(std::make_unique<GateInsertionPass>());
+    if (auto status = pm.Run(*module); !status.ok()) {
+      std::fprintf(stderr, "instrument: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    StaticSharingAnalysis analysis(&*module);
+    auto static_profile = analysis.Run();
+    if (!static_profile.ok()) {
+      std::fprintf(stderr, "analysis: %s\n", static_profile.status().ToString().c_str());
+      return 1;
+    }
+
+    telemetry::AggregatorOptions options;
+    options.promotion_threshold = threshold;
+    options.min_epochs = min_epochs;
+    options.module = &*module;
+    for (const AllocId& id : static_profile->Sites()) {
+      options.static_shared.insert(id);
+    }
+    telemetry::ProfileAggregator aggregator(std::move(options));
+    for (const std::string& path : stream_paths) {
+      aggregator.AddStream(path);
+    }
+
+    std::vector<telemetry::PromotionCandidate> promotions;
+    uint64_t polls = 0;
+    for (;;) {
+      auto applied = aggregator.Poll(&promotions);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+        return 1;
+      }
+      ++polls;
+      if (!follow) {
+        break;
+      }
+      if (max_polls != 0 && polls >= max_polls) {
+        break;
+      }
+      if (max_polls == 0 && *applied == 0 && polls > 1) {
+        break;  // streams have gone quiet
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+
+    analysis::RenderFindingsText(std::cout, aggregator.diagnostics().findings());
+    const auto& stats = aggregator.stats();
+    std::printf("aggregated %llu delta(s) from %zu stream(s) over %llu poll(s): "
+                "%zu site(s), version %llu\n",
+                static_cast<unsigned long long>(stats.deltas_applied), stream_paths.size(),
+                static_cast<unsigned long long>(polls), aggregator.rolling().site_count(),
+                static_cast<unsigned long long>(aggregator.version()));
+    for (const std::string& epoch : aggregator.EpochNames()) {
+      const Profile* epoch_profile = aggregator.EpochProfile(epoch);
+      std::printf("  epoch %-12s %zu site(s)\n", epoch.c_str(),
+                  epoch_profile != nullptr ? epoch_profile->site_count() : 0);
+    }
+    std::printf("rejected: %llu hash, %llu malformed, %llu sequence\n",
+                static_cast<unsigned long long>(stats.rejected_hash),
+                static_cast<unsigned long long>(stats.rejected_malformed),
+                static_cast<unsigned long long>(stats.rejected_sequence));
+    std::printf("promotions: %llu emitted, %llu rejected by static bound\n",
+                static_cast<unsigned long long>(stats.promotions_emitted),
+                static_cast<unsigned long long>(stats.promotions_rejected_static));
+    for (const auto& candidate : promotions) {
+      std::printf("promote: %s (count %llu over %zu epoch(s))\n",
+                  candidate.site.ToString().c_str(),
+                  static_cast<unsigned long long>(candidate.count), candidate.epochs);
+    }
+
+    if (!out_path.empty()) {
+      if (auto status = aggregator.rolling().SaveToFile(out_path); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote rolling profile (%zu site(s)) to %s\n",
+                  aggregator.rolling().site_count(), out_path.c_str());
+    }
+    if (!promotions_path.empty()) {
+      // Promotions land as a profile so the enforcement build can merge them
+      // straight into its input profile (and ApplyPromotions consumers can
+      // load the same file).
+      Profile promoted;
+      for (const auto& candidate : promotions) {
+        promoted.Add(candidate.site, candidate.count);
+      }
+      if (auto status = promoted.SaveToFile(promotions_path); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu promotion(s) to %s\n", promoted.site_count(),
+                  promotions_path.c_str());
+    }
+    // Rejections and stale streams are error findings: surface them in the
+    // exit code so CI pipelines notice poisoned inputs.
+    for (const auto& finding : aggregator.diagnostics().findings()) {
+      if (finding.severity == analysis::Severity::kError) {
+        return 1;
+      }
+    }
+    return 0;
   }
 
   if (command == "check") {
