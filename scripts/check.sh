@@ -14,8 +14,12 @@
 #   scripts/check.sh contprof       # continuous profiling: budget + delta +
 #                                   # aggregator tests under ThreadSanitizer,
 #                                   # then the overhead bench (BENCH_contprof)
+#   scripts/check.sh vpkey          # virtual-pkey cache: multidomain tests
+#                                   # under ThreadSanitizer (pin/evict races),
+#                                   # the 32-tenant sandbox on both backends,
+#                                   # then the transition bench (BENCH_vpkey)
 #   scripts/check.sh matrix         # plain + asan + tsan + lint + crash
-#                                   # + faultstress + contprof
+#                                   # + faultstress + contprof + vpkey
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
 #
 # --asan/--tsan are accepted as aliases of asan/tsan.
@@ -32,9 +36,10 @@ while [[ $# -gt 0 ]]; do
     crash|--crash) mode=crash; shift ;;
     faultstress|--faultstress) mode=faultstress; shift ;;
     contprof|--contprof) mode=contprof; shift ;;
+    vpkey|--vpkey) mode=vpkey; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|vpkey|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -127,6 +132,34 @@ run_contprof() {
   echo "contprof check OK"
 }
 
+run_vpkey() {
+  echo "== check: vpkey (build/check-tsan) =="
+  # The virtual-pkey cache's lock-free pin fast path races eviction by
+  # design (hazard-pointer protocol, see src/multidomain/pin_registry.h), so
+  # the multidomain suite — including the stress tests that hammer pins
+  # against forced evictions — runs under ThreadSanitizer, along with the
+  # publication protocol of the lock-free library table.
+  cmake -B build/check-tsan -S . -DPKRUSAFE_SANITIZE=thread
+  cmake --build build/check-tsan -j "$(nproc)" \
+    --target multidomain_test support_test multidomain_sandbox
+  ctest --test-dir build/check-tsan --output-on-failure \
+    -R 'multidomain|StableIndexArray|example_multidomain'
+  echo "-- vpkey: 32 tenants past the 16-key hardware limit"
+  build/check-tsan/examples/multidomain_sandbox --libraries=32 --backend=sim
+  build/check-tsan/examples/multidomain_sandbox --libraries=32 --backend=mprotect \
+    --policy=lfu
+  # The resident-key transition bench: entering a cached compartment must
+  # stay within 10% of the pre-virtualization (direct hardware key) cost.
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" --target bench_vpkey
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  PKRUSAFE_BENCH_OUT_DIR="$out" build/bench/bench_vpkey
+  grep -q '"bench":"vpkey"' "$out/BENCH_vpkey.json"
+  echo "vpkey check OK"
+}
+
 case "$mode" in
   plain) run_one "" build "$@" ;;
   asan)  run_one address build/check-asan "$@" ;;
@@ -135,6 +168,7 @@ case "$mode" in
   crash) run_crash ;;
   faultstress) run_faultstress ;;
   contprof) run_contprof ;;
+  vpkey) run_vpkey ;;
   matrix)
     run_one "" build "$@"
     run_one address build/check-asan "$@"
@@ -143,5 +177,6 @@ case "$mode" in
     run_crash
     run_faultstress
     run_contprof
+    run_vpkey
     ;;
 esac

@@ -77,6 +77,16 @@ class MpkBackend {
   // Allocates a fresh protection key. Key 0 is never returned.
   virtual Result<PkeyId> AllocateKey() = 0;
 
+  // Returns `key` to the allocator so a later AllocateKey can hand it out
+  // again (pkey_free analogue). The caller must have untagged or retagged
+  // every range still carrying the key: like the kernel, the backend does not
+  // sweep page tables on free, so a stale tag would silently alias the key's
+  // next owner. Freeing key 0 or a never-allocated key is an error.
+  virtual Status FreeKey(PkeyId key) {
+    (void)key;
+    return FailedPreconditionError("backend does not support key release");
+  }
+
   // Tags pages [addr, addr+length) with `key` (pkey_mprotect analogue).
   virtual Status TagRange(uintptr_t addr, size_t length, PkeyId key) = 0;
 

@@ -83,6 +83,16 @@ Result<PkeyId> HardwareMpkBackend::AllocateKey() {
   return static_cast<PkeyId>(key);
 }
 
+Status HardwareMpkBackend::FreeKey(PkeyId key) {
+  if (key == kDefaultPkey) {
+    return InvalidArgumentError("FreeKey of the default key");
+  }
+  if (PkeyFree(key) != 0) {
+    return InternalError(StrFormat("pkey_free(%u) failed", key));
+  }
+  return Status::Ok();
+}
+
 Status HardwareMpkBackend::TagRange(uintptr_t addr, size_t length, PkeyId key) {
   if (PkeyMprotect(addr, length, PROT_READ | PROT_WRITE, key) != 0) {
     return InternalError(StrFormat("pkey_mprotect(0x%zx, %zu, key=%u) failed", addr, length, key));

@@ -32,6 +32,7 @@ class HardwareMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   bool enforces_natively() const override { return true; }
 
   Result<PkeyId> AllocateKey() override;
+  Status FreeKey(PkeyId key) override;
   Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
   Status UntagRange(uintptr_t addr) override;
   PkeyId KeyFor(uintptr_t addr) const override;

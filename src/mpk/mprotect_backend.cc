@@ -10,11 +10,30 @@ namespace pkrusafe {
 MprotectMpkBackend::~MprotectMpkBackend() { UninstallSignalHandlers(); }
 
 Result<PkeyId> MprotectMpkBackend::AllocateKey() {
-  const uint16_t key = next_key_.fetch_add(1, std::memory_order_relaxed);
-  if (key >= kNumPkeys) {
+  std::lock_guard lock(key_mutex_);
+  if (!free_keys_.empty()) {
+    const PkeyId key = free_keys_.back();
+    free_keys_.pop_back();
+    return key;
+  }
+  if (next_key_ >= kNumPkeys) {
     return ResourceExhaustedError("out of protection keys");
   }
-  return static_cast<PkeyId>(key);
+  return static_cast<PkeyId>(next_key_++);
+}
+
+Status MprotectMpkBackend::FreeKey(PkeyId key) {
+  std::lock_guard lock(key_mutex_);
+  if (key == kDefaultPkey || key >= next_key_) {
+    return InvalidArgumentError("FreeKey of key that was never allocated");
+  }
+  for (const PkeyId free_key : free_keys_) {
+    if (free_key == key) {
+      return InvalidArgumentError("double FreeKey");
+    }
+  }
+  free_keys_.push_back(key);
+  return Status::Ok();
 }
 
 int MprotectMpkBackend::ProtFor(PkruValue pkru, PkeyId key) {

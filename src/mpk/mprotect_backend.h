@@ -41,6 +41,7 @@ class MprotectMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   bool enforces_natively() const override { return true; }
 
   Result<PkeyId> AllocateKey() override;
+  Status FreeKey(PkeyId key) override;
   Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
   Status UntagRange(uintptr_t addr) override;
   PkeyId KeyFor(uintptr_t addr) const override;
@@ -87,7 +88,11 @@ class MprotectMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   }
 
   PageKeyMap page_keys_;
-  std::atomic<uint16_t> next_key_{1};
+  // Key allocation: a bump counter plus a free list so released keys (see
+  // FreeKey) can be handed out again — pkey_alloc/pkey_free semantics.
+  std::mutex key_mutex_;
+  uint16_t next_key_ = 1;
+  std::vector<PkeyId> free_keys_;
 
   std::mutex pkru_mutex_;  // serializes WritePkru's read-modify-mprotect sweep
   std::atomic<uint32_t> effective_pkru_{0};  // process-wide value protections reflect

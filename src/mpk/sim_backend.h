@@ -26,6 +26,7 @@ class SimMpkBackend final : public MpkBackend {
   bool enforces_natively() const override { return false; }
 
   Result<PkeyId> AllocateKey() override;
+  Status FreeKey(PkeyId key) override;
   Status TagRange(uintptr_t addr, size_t length, PkeyId key) override;
   Status UntagRange(uintptr_t addr) override;
   PkeyId KeyFor(uintptr_t addr) const override;
@@ -49,7 +50,11 @@ class SimMpkBackend final : public MpkBackend {
 
  private:
   PageKeyMap page_keys_;
-  std::atomic<uint16_t> next_key_{1};
+  // Key allocation: a bump counter plus a free list so released keys (see
+  // FreeKey) can be handed out again — pkey_alloc/pkey_free semantics.
+  std::mutex key_mutex_;
+  uint16_t next_key_ = 1;
+  std::vector<PkeyId> free_keys_;
   std::atomic<uint64_t> fault_count_{0};
 
   // Atomic-pointer handler (same scheme as the native backends): CheckAccess

@@ -1,8 +1,20 @@
 #include "src/multidomain/multi_compartment.h"
 
 #include "src/support/logging.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/metrics.h"
 
 namespace pkrusafe {
+
+namespace {
+
+telemetry::Counter* ForeignFreeCounter() {
+  static auto* counter =
+      telemetry::MetricsRegistry::Global().GetOrCreateCounter("multidomain.free.foreign");
+  return counter;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<MultiCompartment>> MultiCompartment::Create(
     MpkBackend* backend, const MultiCompartmentConfig& config) {
@@ -11,6 +23,8 @@ Result<std::unique_ptr<MultiCompartment>> MultiCompartment::Create(
   }
   auto mc = std::unique_ptr<MultiCompartment>(new MultiCompartment(backend, config));
 
+  // Any failure below destroys `mc`, whose destructor returns the trusted
+  // key (and the vpkey cache's keys) to the backend.
   PS_ASSIGN_OR_RETURN(mc->trusted_key_, backend->AllocateKey());
   PS_ASSIGN_OR_RETURN(mc->trusted_arena_, Arena::Create(config.trusted_pool_bytes));
   PS_RETURN_IF_ERROR(backend->TagRange(mc->trusted_arena_->base(),
@@ -20,20 +34,58 @@ Result<std::unique_ptr<MultiCompartment>> MultiCompartment::Create(
   // The shared pool stays on the default key: visible to everyone.
   PS_ASSIGN_OR_RETURN(mc->shared_arena_, Arena::Create(config.shared_pool_bytes));
   mc->shared_heap_ = std::make_unique<FreeListHeap>(mc->shared_arena_.get());
+
+  VpkeyConfig vpkey_config;
+  vpkey_config.policy = config.eviction_policy;
+  vpkey_config.max_hw_slots = config.max_hw_slots;
+  vpkey_config.always_deny = {mc->trusted_key_};
+  PS_ASSIGN_OR_RETURN(mc->vpkeys_, VirtualPkeyTable::Create(backend, vpkey_config));
+
+  // Make sure the foreign-free counter exists before any crash report could
+  // want it, and let an already-configured flight recorder pick it (and the
+  // vpkey counters) up.
+  ForeignFreeCounter();
+  telemetry::FlightRecorder::Global().RefreshMetricHandles();
   return mc;
 }
 
-Result<LibraryId> MultiCompartment::RegisterLibrary(const std::string& name) {
-  PS_ASSIGN_OR_RETURN(PkeyId key, backend_->AllocateKey());
-  PS_ASSIGN_OR_RETURN(std::unique_ptr<Arena> arena, Arena::Create(config_.library_pool_bytes));
-  PS_RETURN_IF_ERROR(backend_->TagRange(arena->base(), arena->reserved_bytes(), key));
+MultiCompartment::~MultiCompartment() {
+  vpkeys_.reset();  // returns the evicted key and every slot key
+  if (trusted_key_ != kDefaultPkey) {
+    (void)backend_->FreeKey(trusted_key_);
+  }
+}
 
-  Library library;
-  library.name = name;
-  library.key = key;
-  library.heap = std::make_unique<FreeListHeap>(arena.get());
-  library.arena = std::move(arena);
-  libraries_.push_back(std::move(library));
+Result<LibraryId> MultiCompartment::RegisterLibrary(const std::string& name) {
+  std::lock_guard lock(mu_);
+  PS_ASSIGN_OR_RETURN(const VirtualKeyId vkey, vpkeys_->AllocateVirtualKey());
+
+  auto arena = Arena::Create(config_.library_pool_bytes);
+  if (!arena.ok()) {
+    // Without the release this slot of the (virtual) key space would burn
+    // forever — the pre-virtualization bug permanently lost one of the 15
+    // hardware keys here.
+    (void)vpkeys_->ReleaseVirtualKey(vkey);
+    return arena.status();
+  }
+  const Status tag = vpkeys_->TagRange(vkey, (*arena)->base(), (*arena)->reserved_bytes());
+  if (!tag.ok()) {
+    (void)vpkeys_->ReleaseVirtualKey(vkey);
+    return tag;
+  }
+
+  Library* library = libraries_.Claim();
+  if (library == nullptr) {
+    (void)vpkeys_->ReleaseVirtualKey(vkey);
+    return ResourceExhaustedError("library table full");
+  }
+  library->name = name;
+  library->vkey = vkey;
+  library->heap = std::make_unique<FreeListHeap>(arena->get());
+  library->arena = std::move(*arena);
+  // Publish after the entry is complete: lock-free readers that observe the
+  // new count see a fully-built Library.
+  libraries_.Publish();
   return static_cast<LibraryId>(libraries_.size());
 }
 
@@ -42,9 +94,7 @@ void* MultiCompartment::AllocateTrusted(size_t size) { return trusted_heap_->All
 void* MultiCompartment::AllocateShared(size_t size) { return shared_heap_->Allocate(size); }
 
 void* MultiCompartment::AllocateIn(LibraryId library, size_t size) {
-  PS_CHECK_GE(library, 1u);
-  PS_CHECK_LE(library, libraries_.size());
-  return libraries_[library - 1].heap->Allocate(size);
+  return LibraryAt(library).heap->Allocate(size);
 }
 
 void MultiCompartment::Free(void* ptr) {
@@ -60,13 +110,22 @@ void MultiCompartment::Free(void* ptr) {
     shared_heap_->Free(ptr);
     return;
   }
-  for (Library& library : libraries_) {
-    if (library.arena->Contains(addr)) {
-      library.heap->Free(ptr);
+  const size_t library_count = libraries_.size();
+  for (size_t i = 0; i < library_count; ++i) {
+    Library* library = libraries_.at(i);
+    if (library != nullptr && library->arena->Contains(addr)) {
+      library->heap->Free(ptr);
       return;
     }
   }
-  PS_CHECK(false) << "Free of pointer not owned by any compartment pool";
+  // A tenant handed us a pointer no pool owns. Take the same diagnostics
+  // path as pkalloc's canary aborts: bump the metric (visible in the crash
+  // report's counter table via the flight recorder's SIGABRT hook) and die
+  // with the address in the message instead of a bare check failure.
+  ForeignFreeCounter()->Increment();
+  PS_LOG(Fatal) << "multidomain: Free of foreign pointer 0x" << std::hex << addr << std::dec
+                << " owned by no compartment pool (trusted, shared, " << library_count
+                << " libraries)";
 }
 
 std::optional<LibraryId> MultiCompartment::PrivateOwnerOf(const void* ptr) const {
@@ -74,43 +133,74 @@ std::optional<LibraryId> MultiCompartment::PrivateOwnerOf(const void* ptr) const
   if (trusted_arena_->Contains(addr)) {
     return kTrustedLibrary;
   }
-  for (size_t i = 0; i < libraries_.size(); ++i) {
-    if (libraries_[i].arena->Contains(addr)) {
+  const size_t library_count = libraries_.size();
+  for (size_t i = 0; i < library_count; ++i) {
+    const Library* library = libraries_.at(i);
+    if (library != nullptr && library->arena->Contains(addr)) {
       return static_cast<LibraryId>(i + 1);
     }
   }
   return std::nullopt;
 }
 
-PkruValue MultiCompartment::PolicyFor(LibraryId library) const {
+PkruValue MultiCompartment::PolicyFor(LibraryId library) {
   if (library == kTrustedLibrary) {
     return PkruValue::AllowAll();
   }
-  PS_CHECK_LE(library, libraries_.size());
-  // Deny every key we manage except the entered library's own; key 0
-  // (shared) stays accessible.
-  PkruValue pkru = PkruValue::AllowAll().WithAccessDisabled(trusted_key_);
-  for (size_t i = 0; i < libraries_.size(); ++i) {
-    if (static_cast<LibraryId>(i + 1) != library) {
-      pkru = pkru.WithAccessDisabled(libraries_[i].key);
-    }
-  }
-  return pkru;
+  std::lock_guard lock(mu_);
+  auto mask = vpkeys_->PolicyFor(LibraryAt(library).vkey);
+  PS_CHECK(mask.ok()) << "PolicyFor(" << library << "): " << mask.status().ToString();
+  return *mask;
 }
 
 void MultiCompartment::EnterLibrary(LibraryId library) {
   PS_CHECK_GE(library, 1u);
+  const VirtualKeyId vkey = LibraryAt(library).vkey;
+  // Resident key: pin with no lock and no RMW — this is the path the
+  // ≤10%-over-legacy acceptance bar measures. Evicted (or racing an
+  // eviction): fall into the locked fault-in.
+  std::optional<PkruValue> mask = vpkeys_->TryPinFast(vkey);
+  if (!mask.has_value()) {
+    std::lock_guard lock(mu_);
+    auto pinned = vpkeys_->PinResident(vkey);
+    PS_CHECK(pinned.ok()) << "EnterLibrary(" << library << "): " << pinned.status().ToString();
+    mask = *pinned;
+  }
   const PkruValue saved = backend_->ReadPkru();
   CompartmentStack::Push({saved, Domain::kUntrusted});
-  ++transitions_;
-  backend_->WritePkru(PolicyFor(library));
+  transitions_.store(transitions_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  backend_->WritePkru(*mask);
 }
 
 void MultiCompartment::ExitLibrary() {
   const CompartmentStack::Frame frame = CompartmentStack::Pop();
   PS_CHECK(frame.entered == Domain::kUntrusted) << "unbalanced library transitions";
-  ++transitions_;
+  transitions_.store(transitions_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  // Restore the caller's rights first, then drop the pin: the key must stay
+  // bound to its slot for as long as any installed PKRU can refer to it.
   backend_->WritePkru(frame.saved_pkru);
+  vpkeys_->UnpinFast();
+}
+
+size_t MultiCompartment::library_count() const { return libraries_.size(); }
+
+std::string MultiCompartment::library_name(LibraryId id) const { return LibraryAt(id).name; }
+
+PkeyId MultiCompartment::key_of(LibraryId id) const {
+  std::lock_guard lock(mu_);
+  return vpkeys_->CurrentHardwareKey(LibraryAt(id).vkey);
+}
+
+bool MultiCompartment::library_resident(LibraryId id) const {
+  std::lock_guard lock(mu_);
+  return vpkeys_->IsResident(LibraryAt(id).vkey);
+}
+
+VpkeyStats MultiCompartment::vpkey_stats() const {
+  std::lock_guard lock(mu_);
+  return vpkeys_->stats();
 }
 
 }  // namespace pkrusafe

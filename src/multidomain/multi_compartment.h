@@ -1,4 +1,5 @@
-// Multi-compartment support: the §6 "Number of Compartments" extension.
+// Multi-compartment support: the §6 "Number of Compartments" extension,
+// scaled past the hardware key count.
 //
 // The paper's two-domain split (T + one U) is a policy choice; §6 sees "no
 // fundamental issue using a more complicated partitioning scheme that uses
@@ -12,20 +13,38 @@
 //     trusted pool and every other library's pool are denied.
 //
 // So a compromised codec cannot corrupt the JS engine's heap either — a
-// strictly stronger property than the paper's deployment, bought with one
-// pkey per library (15 usable keys bound the library count).
+// strictly stronger property than the paper's deployment. Library keys are
+// *virtual* (src/multidomain/vpkey.h, after libmpk): the registration count
+// is unbounded, hot keys are cached in the hardware key slots, and entering
+// a library whose key was evicted faults it back in by lazily re-tagging its
+// pool. A library's key stays pinned for the duration of every Scope that
+// entered it, so eviction can never invalidate an installed PKRU.
+//
+// Thread safety: registration, transitions, allocation and ownership queries
+// may race freely across threads. Registration and the vpkey cache's
+// mutating operations serialize on one internal mutex; the transition fast
+// path (EnterLibrary of a resident library, ExitLibrary) takes no lock —
+// the library table has lock-free readers (StableIndexArray) and pins live
+// in per-thread records (vpkey.h). transition_count() is maintained
+// lossily for the same reason and may undercount under concurrency.
 #ifndef SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_
 #define SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/mpk/backend.h"
+#include "src/multidomain/vpkey.h"
 #include "src/pkalloc/arena.h"
 #include "src/pkalloc/free_list_heap.h"
 #include "src/runtime/call_gate.h"
+#include "src/support/compiler.h"
+#include "src/support/logging.h"
+#include "src/support/stable_index_array.h"
 
 namespace pkrusafe {
 
@@ -38,20 +57,32 @@ struct MultiCompartmentConfig {
   size_t trusted_pool_bytes = size_t{1} << 30;
   size_t shared_pool_bytes = size_t{1} << 30;
   size_t library_pool_bytes = size_t{1} << 30;
+  // Victim selection when a library must be faulted in and every hardware
+  // slot is taken (see vpkey.h).
+  EvictionPolicy eviction_policy = EvictionPolicy::kLru;
+  // Hardware key slots backing the virtual keys; 0 = every key the backend
+  // can still allocate. Tests set small values to force evictions.
+  size_t max_hw_slots = 0;
 };
 
 class MultiCompartment {
  public:
-  // Creates the trusted pool (own key) and the shared pool (default key).
-  // The backend must outlive the compartment manager.
+  // Creates the trusted pool (own key), the shared pool (default key) and
+  // the virtual-key cache. The backend must outlive the compartment manager.
   static Result<std::unique_ptr<MultiCompartment>> Create(
       MpkBackend* backend, const MultiCompartmentConfig& config = {});
+
+  // Returns every hardware key (trusted + the vpkey cache's) to the backend.
+  // Runs on Create's error paths too, so a failed registration of the pools
+  // can never strand a key — the original RegisterLibrary leak class.
+  ~MultiCompartment();
 
   MultiCompartment(const MultiCompartment&) = delete;
   MultiCompartment& operator=(const MultiCompartment&) = delete;
 
-  // Registers an untrusted library: allocates its key, reserves and tags its
-  // private pool. Fails when protection keys run out (15 usable).
+  // Registers an untrusted library: mints its virtual key, reserves and tags
+  // its private pool. The count is unbounded — libraries beyond the hardware
+  // slot capacity time-share slots through eviction.
   Result<LibraryId> RegisterLibrary(const std::string& name);
 
   // --- allocation ---
@@ -68,9 +99,12 @@ class MultiCompartment {
   std::optional<LibraryId> PrivateOwnerOf(const void* ptr) const;
 
   // --- transitions ---
-  // Enters `library`'s compartment: PKRU allows only key 0 and the
-  // library's key. Balanced by ExitLibrary; nesting across different
-  // libraries is allowed and restores exactly.
+  // Enters `library`'s compartment: faults its virtual key in if evicted,
+  // pins it for the scope, and installs a PKRU that allows only key 0 and
+  // the library's hardware slot. Balanced by ExitLibrary; nesting across
+  // different libraries is allowed (each level holds a pin, so nesting
+  // depth across distinct libraries is bounded by the hardware slot count)
+  // and restores exactly.
   void EnterLibrary(LibraryId library);
   void ExitLibrary();
 
@@ -87,24 +121,43 @@ class MultiCompartment {
   };
 
   // The PKRU value that running inside `library` uses (exposed for tests).
-  PkruValue PolicyFor(LibraryId library) const;
+  // Faults the library's key in as a side effect — the mask only exists for
+  // resident keys.
+  PkruValue PolicyFor(LibraryId library);
 
-  size_t library_count() const { return libraries_.size(); }
-  const std::string& library_name(LibraryId id) const { return libraries_[id - 1].name; }
+  size_t library_count() const;
+  std::string library_name(LibraryId id) const;
   PkeyId trusted_key() const { return trusted_key_; }
-  PkeyId key_of(LibraryId id) const { return libraries_[id - 1].key; }
-  uint64_t transition_count() const { return transitions_; }
+  // The hardware key currently tagging the library's pool: its slot key when
+  // resident, the shared evicted key otherwise.
+  PkeyId key_of(LibraryId id) const;
+  bool library_resident(LibraryId id) const;
+  uint64_t transition_count() const { return transitions_.load(std::memory_order_relaxed); }
+
+  // Virtual-key cache counters (hits/misses/evictions/retag traffic).
+  VpkeyStats vpkey_stats() const;
 
  private:
   struct Library {
     std::string name;
-    PkeyId key;
+    VirtualKeyId vkey = 0;
     std::unique_ptr<Arena> arena;
     std::unique_ptr<FreeListHeap> heap;
   };
 
   MultiCompartment(MpkBackend* backend, MultiCompartmentConfig config)
       : backend_(backend), config_(config) {}
+
+  // Lock-free: entries are immutable once published.
+  PS_ALWAYS_INLINE Library& LibraryAt(LibraryId id) {
+    PS_CHECK_GE(id, 1u);
+    Library* library = libraries_.at(id - 1);
+    PS_CHECK(library != nullptr) << "unknown library id " << id;
+    return *library;
+  }
+  PS_ALWAYS_INLINE const Library& LibraryAt(LibraryId id) const {
+    return const_cast<MultiCompartment*>(this)->LibraryAt(id);
+  }
 
   MpkBackend* backend_;
   MultiCompartmentConfig config_;
@@ -113,8 +166,17 @@ class MultiCompartment {
   std::unique_ptr<FreeListHeap> trusted_heap_;
   std::unique_ptr<Arena> shared_arena_;
   std::unique_ptr<FreeListHeap> shared_heap_;
-  std::vector<Library> libraries_;
-  uint64_t transitions_ = 0;
+
+  // Guards registration (the libraries_ writer side) and every vpkeys_
+  // mutation: fault-in, eviction, release, stats. Reads of published
+  // Library entries and the vpkey pin fast path take no lock.
+  mutable std::mutex mu_;
+  StableIndexArray<Library> libraries_;
+  std::unique_ptr<VirtualPkeyTable> vpkeys_;
+
+  // Lossy (plain load+store): the transition fast path pays no RMW. Exact
+  // single-threaded; may undercount when transitions race.
+  std::atomic<uint64_t> transitions_{0};
 };
 
 }  // namespace pkrusafe

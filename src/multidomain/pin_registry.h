@@ -1,0 +1,102 @@
+// The per-thread pin registry backing the virtual-pkey fast path.
+//
+// A "pin" marks a virtual key as in active use by some thread: its hardware
+// slot binding must not be re-assigned while a PKRU value composed for it
+// may be installed anywhere. The classic design would refcount pins on the
+// key itself — an atomic RMW per compartment entry, which the transition
+// cost budget (within 10% of the pre-virtualization enter) does not cover.
+//
+// Instead, pins follow the hazard-pointer shape: each thread owns a
+// PinRecord and announces pins with plain stores into it (entries[0..depth)
+// hold (table, vkey) pairs). The rare writer — eviction, key release —
+// unbinds the slot, executes a process-wide barrier (membarrier(2), see
+// vpkey.cc), and scans every record. Either the scan observes the pin, or
+// the pinning thread's subsequent slot load observes the unbind and retries
+// through the locked slow path; the barrier rules out the third
+// interleaving where both sides miss each other in their store buffers.
+//
+// Records live on a global, grow-only, lock-free list. A thread's record is
+// retired on thread exit and reused by the next new thread, never freed:
+// an eviction scan may hold a record pointer across any thread's death.
+//
+// Pin/unpin are LIFO per thread in the common (RAII Scope) case; releasing
+// a pin from the middle punches a hole (null table) rather than shifting
+// survivors — a concurrent scan that shifted past a moving entry could
+// miss a live pin. Holes compact lazily when they surface to the top.
+#ifndef SRC_MULTIDOMAIN_PIN_REGISTRY_H_
+#define SRC_MULTIDOMAIN_PIN_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/support/compiler.h"
+
+namespace pkrusafe {
+
+class VirtualPkeyTable;
+
+namespace pin_registry {
+
+// Nested pins per thread. The hardware slot pool (< 16) bounds nesting
+// across *distinct* keys much earlier; this only limits recursive re-entry.
+inline constexpr uint32_t kMaxPinDepth = 64;
+
+struct PinEntry {
+  std::atomic<const VirtualPkeyTable*> table{nullptr};
+  std::atomic<uint32_t> vkey{0};
+};
+
+struct PinRecord {
+  std::atomic<uint32_t> depth{0};
+  std::atomic<bool> claimed{false};
+  PinEntry entries[kMaxPinDepth];
+  PinRecord* next = nullptr;  // immutable once on the list
+};
+
+inline std::atomic<PinRecord*> g_records{nullptr};
+
+// Claims a retired record or links a new one (out-of-line: runs once per
+// thread), and retires it again on thread exit.
+PinRecord* ClaimRecordSlow();
+
+struct RecordHolder {
+  explicit RecordHolder(PinRecord** cache_slot)
+      : rec(ClaimRecordSlow()), cache(cache_slot) {}
+  ~RecordHolder() {
+    // Retire for reuse by the next new thread, and drop this thread's cache
+    // so a late CurrentRecord (from another TLS destructor) cannot touch a
+    // record someone else may have claimed.
+    *cache = nullptr;
+    rec->depth.store(0, std::memory_order_release);
+    rec->claimed.store(false, std::memory_order_release);
+  }
+  PinRecord* rec;
+  PinRecord** cache;
+};
+
+// This thread's record. The raw-pointer cache keeps the fast path at one
+// TLS load + null test; the holder (with its thread-exit destructor) is
+// only touched on first use.
+PS_ALWAYS_INLINE PinRecord* CurrentRecord() {
+  thread_local PinRecord* cached = nullptr;
+  if (cached == nullptr) [[unlikely]] {
+    thread_local RecordHolder holder(&cached);
+    cached = holder.rec;
+  }
+  return cached;
+}
+
+// Visits every record ever linked (claimed or retired; retired records have
+// depth 0). Safe concurrently with claims and pins.
+template <typename Fn>
+inline void ForEachRecord(Fn&& fn) {
+  for (const PinRecord* r = g_records.load(std::memory_order_acquire); r != nullptr;
+       r = r->next) {
+    fn(*r);
+  }
+}
+
+}  // namespace pin_registry
+}  // namespace pkrusafe
+
+#endif  // SRC_MULTIDOMAIN_PIN_REGISTRY_H_

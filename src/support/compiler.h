@@ -1,0 +1,16 @@
+// Compiler attribute shims.
+#ifndef SRC_SUPPORT_COMPILER_H_
+#define SRC_SUPPORT_COMPILER_H_
+
+// For functions on a measured fast path whose bodies carry cold error
+// handling (PS_CHECK streams) that pushes them past the inliner's cost
+// model. Use sparingly: only where a benchmark shows the call mattering.
+#if defined(__GNUC__)
+#define PS_ALWAYS_INLINE inline __attribute__((always_inline))
+#define PS_NOINLINE __attribute__((noinline))
+#else
+#define PS_ALWAYS_INLINE inline
+#define PS_NOINLINE
+#endif
+
+#endif  // SRC_SUPPORT_COMPILER_H_

@@ -41,6 +41,13 @@ TEST_F(MultiCompartmentTest, RegistrationAssignsDistinctKeys) {
   EXPECT_EQ(mc_->library_count(), 2u);
   EXPECT_EQ(mc_->library_name(codec_), "codec");
   EXPECT_EQ(mc_->library_name(jsengine_), "jsengine");
+  // Keys are virtual: a library starts evicted, its pages on the shared
+  // evicted key. Once faulted in, each resident library holds its own slot.
+  EXPECT_FALSE(mc_->library_resident(codec_));
+  EXPECT_EQ(mc_->key_of(codec_), mc_->key_of(jsengine_));
+  (void)mc_->PolicyFor(codec_);
+  (void)mc_->PolicyFor(jsengine_);
+  EXPECT_TRUE(mc_->library_resident(codec_));
   EXPECT_NE(mc_->key_of(codec_), mc_->key_of(jsengine_));
   EXPECT_NE(mc_->key_of(codec_), mc_->trusted_key());
   EXPECT_NE(mc_->key_of(codec_), kDefaultPkey);
@@ -132,19 +139,28 @@ TEST_F(MultiCompartmentTest, PolicyForMatchesMatrix) {
   EXPECT_EQ(mc_->PolicyFor(kTrustedLibrary), PkruValue::AllowAll());
 }
 
-TEST_F(MultiCompartmentTest, KeysExhaustGracefully) {
-  // 16 keys total, minus default, trusted, codec, jsengine = 12 left.
-  int registered = 0;
-  while (true) {
+TEST_F(MultiCompartmentTest, RegistrationScalesBeyondHardwareKeys) {
+  // Keys are virtual now: registration is unbounded, far past the 16
+  // hardware keys. Libraries beyond the slot capacity start out evicted.
+  for (int i = 0; i < 38; ++i) {
     auto id = mc_->RegisterLibrary("extra");
-    if (!id.ok()) {
-      EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
-      break;
-    }
-    ++registered;
-    ASSERT_LE(registered, 16);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
   }
-  EXPECT_EQ(registered, 12);
+  EXPECT_EQ(mc_->library_count(), 40u);
+  const VpkeyStats stats = mc_->vpkey_stats();
+  EXPECT_EQ(stats.virtual_keys, 40u);
+  EXPECT_LE(stats.resident, stats.hw_slots);
+  // Every library is enterable, resident or not, with the full matrix
+  // intact: own pool plus shared visible, trusted denied.
+  void* shared = mc_->AllocateShared(32);
+  for (LibraryId id = 1; id <= 40; ++id) {
+    void* own = mc_->AllocateIn(id, 32);
+    MultiCompartment::Scope scope(*mc_, id);
+    EXPECT_TRUE(Check(own).ok()) << "library " << id;
+    EXPECT_TRUE(Check(shared).ok()) << "library " << id;
+    mc_->Free(own);
+  }
+  mc_->Free(shared);
 }
 
 TEST_F(MultiCompartmentTest, SharedDataFlowsBetweenLibraries) {

@@ -1,0 +1,118 @@
+// Multi-compartment on the mprotect backend: >16 registered libraries with
+// real OS enforcement. Entry to a library whose key was evicted must re-tag
+// (pkey_mprotect-style) transparently; cross-library and trusted-pool
+// accesses inside a scope are genuine SIGSEGVs, exercised as death tests.
+#include <gtest/gtest.h>
+
+#include "src/mpk/mprotect_backend.h"
+#include "src/multidomain/multi_compartment.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr int kLibraries = 20;  // more than the 15 allocatable hardware keys
+
+class MprotectMultidomainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    backend_.WritePkru(PkruValue::AllowAll());
+    MultiCompartmentConfig config;
+    config.trusted_pool_bytes = size_t{2} << 20;
+    config.shared_pool_bytes = size_t{2} << 20;
+    config.library_pool_bytes = size_t{2} << 20;
+    auto mc = MultiCompartment::Create(&backend_, config);
+    ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+    mc_ = std::move(*mc);
+    for (int i = 0; i < kLibraries; ++i) {
+      auto id = mc_->RegisterLibrary("lib" + std::to_string(i));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      objs_.push_back(static_cast<uint64_t*>(mc_->AllocateIn(*id, sizeof(uint64_t))));
+      ASSERT_NE(objs_.back(), nullptr);
+    }
+    trusted_obj_ = static_cast<uint64_t*>(mc_->AllocateTrusted(sizeof(uint64_t)));
+    shared_obj_ = static_cast<uint64_t*>(mc_->AllocateShared(sizeof(uint64_t)));
+    *shared_obj_ = 7;
+  }
+
+  void TearDown() override {
+    mc_.reset();
+    backend_.WritePkru(PkruValue::AllowAll());
+    backend_.UninstallSignalHandlers();
+  }
+
+  MprotectMpkBackend backend_;
+  std::unique_ptr<MultiCompartment> mc_;
+  std::vector<uint64_t*> objs_;
+  uint64_t* trusted_obj_ = nullptr;
+  uint64_t* shared_obj_ = nullptr;
+};
+
+TEST_F(MprotectMultidomainTest, TwentyLibrariesEnterAndWriteNatively) {
+  ASSERT_EQ(mc_->library_count(), static_cast<size_t>(kLibraries));
+  const VpkeyStats stats = mc_->vpkey_stats();
+  EXPECT_EQ(stats.virtual_keys, static_cast<size_t>(kLibraries));
+  EXPECT_LE(stats.resident, stats.hw_slots);
+  EXPECT_LT(stats.hw_slots, static_cast<size_t>(kLibraries));
+
+  // Every library — including the ones that start evicted — is enterable,
+  // and ordinary loads/stores into its own pool and the shared pool succeed
+  // under real page protections.
+  for (int i = 0; i < kLibraries; ++i) {
+    MultiCompartment::Scope scope(*mc_, static_cast<LibraryId>(i + 1));
+    *objs_[i] = static_cast<uint64_t>(i);
+    EXPECT_EQ(*objs_[i], static_cast<uint64_t>(i));
+    EXPECT_EQ(*shared_obj_, 7u);
+  }
+  // The full sweep misses every library once and overflows the slot pool.
+  const VpkeyStats after = mc_->vpkey_stats();
+  EXPECT_EQ(after.misses, static_cast<uint64_t>(kLibraries));
+  EXPECT_GE(after.evictions, static_cast<uint64_t>(kLibraries) - after.hw_slots);
+  EXPECT_GT(after.retag_bytes, 0u);
+
+  // Back in T: everything accessible again, including evicted pools.
+  *trusted_obj_ = 1;
+  for (int i = 0; i < kLibraries; ++i) {
+    EXPECT_EQ(*objs_[i], static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(MprotectMultidomainTest, CrossLibraryReadDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MultiCompartment::Scope scope(*mc_, 1);
+        volatile uint64_t v = *objs_[1];  // library 2's pool
+        (void)v;
+      },
+      "");
+}
+
+TEST_F(MprotectMultidomainTest, EvictedLibraryPoolDeniedFromOtherScope) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Force library 1 out of residency by sweeping every other library.
+  for (int i = 1; i < kLibraries; ++i) {
+    MultiCompartment::Scope scope(*mc_, static_cast<LibraryId>(i + 1));
+  }
+  ASSERT_FALSE(mc_->library_resident(1));
+  // Its pages now carry the evicted key, which every mask denies.
+  EXPECT_DEATH(
+      {
+        MultiCompartment::Scope scope(*mc_, 2);
+        volatile uint64_t v = *objs_[0];
+        (void)v;
+      },
+      "");
+}
+
+TEST_F(MprotectMultidomainTest, TrustedPoolDeniedInsideScope) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MultiCompartment::Scope scope(*mc_, 1);
+        *trusted_obj_ = 99;
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -1,0 +1,126 @@
+// Concurrency stress for the multi-compartment manager: registration,
+// transitions (with evictions), allocation and policy queries racing across
+// threads. This is the regression test for the libraries_ data race (the
+// pre-fix code let RegisterLibrary's push_back race Free's iteration) and
+// the proof obligation for the vpkey cache's locking — run it under
+// ThreadSanitizer via `scripts/check.sh vpkey` (or tsan).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mpk/sim_backend.h"
+#include "src/multidomain/multi_compartment.h"
+#include "src/support/rng.h"
+
+namespace pkrusafe {
+namespace {
+
+TEST(MultidomainStressTest, ConcurrentTransitionsEvictionsAndRegistration) {
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+  SimMpkBackend backend;
+  MultiCompartmentConfig config;
+  config.trusted_pool_bytes = size_t{8} << 20;
+  config.shared_pool_bytes = size_t{8} << 20;
+  config.library_pool_bytes = size_t{1} << 20;
+  // 6 slots, 4 worker pins + 1 transient PolicyFor pin: a victim always
+  // exists, so no Enter can hit the all-slots-pinned error.
+  config.max_hw_slots = 6;
+  auto created = MultiCompartment::Create(&backend, config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  MultiCompartment& mc = **created;
+
+  constexpr int kInitialLibraries = 8;
+  constexpr int kWorkers = 4;
+  constexpr int kItersPerWorker = 400;
+  constexpr int kLateLibraries = 16;
+
+  std::vector<void*> objs;
+  for (int i = 0; i < kInitialLibraries; ++i) {
+    auto id = mc.RegisterLibrary("lib" + std::to_string(i));
+    ASSERT_TRUE(id.ok());
+    objs.push_back(mc.AllocateIn(*id, 64));
+    ASSERT_NE(objs.back(), nullptr);
+  }
+  void* trusted_obj = mc.AllocateTrusted(64);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+
+  // Workers: enter a library, verify the matrix from inside, allocate and
+  // free, exit. Eight libraries over six slots keeps evictions flowing.
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      SetCurrentThreadPkru(PkruValue::AllowAll());
+      SplitMix64 rng(0x5eed + static_cast<uint64_t>(w));
+      for (int i = 0; i < kItersPerWorker && !failed.load(); ++i) {
+        const auto lib = static_cast<LibraryId>(1 + rng.NextBelow(kInitialLibraries));
+        MultiCompartment::Scope scope(mc, lib);
+        const auto own = reinterpret_cast<uintptr_t>(objs[lib - 1]);
+        if (!backend.CheckAccess(own, AccessKind::kRead).ok() ||
+            backend.CheckAccess(reinterpret_cast<uintptr_t>(trusted_obj), AccessKind::kWrite)
+                .ok()) {
+          failed.store(true);
+        }
+        void* scratch = mc.AllocateIn(lib, 32);
+        if (scratch == nullptr) {
+          failed.store(true);
+        } else {
+          mc.Free(scratch);
+        }
+      }
+    });
+  }
+
+  // Registrar: grows the library table while workers transition.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kLateLibraries; ++i) {
+      auto id = mc.RegisterLibrary("late" + std::to_string(i));
+      if (!id.ok()) {
+        failed.store(true);
+        return;
+      }
+      void* obj = mc.AllocateIn(*id, 16);
+      if (mc.PrivateOwnerOf(obj) != *id) {
+        failed.store(true);
+      }
+      mc.Free(obj);
+      std::this_thread::yield();
+    }
+  });
+
+  // Reader: policy and residency queries against whatever exists right now.
+  threads.emplace_back([&] {
+    SetCurrentThreadPkru(PkruValue::AllowAll());
+    SplitMix64 rng(0xbead5eed);
+    for (int i = 0; i < 600; ++i) {
+      const size_t count = mc.library_count();
+      const auto lib = static_cast<LibraryId>(1 + rng.NextBelow(count));
+      const PkruValue mask = mc.PolicyFor(lib);
+      if (mask.allows_read(mc.trusted_key())) {
+        failed.store(true);
+      }
+      (void)mc.key_of(lib);
+      (void)mc.library_resident(lib);
+      (void)mc.vpkey_stats();
+    }
+  });
+
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  // Post-race sanity: table intact, every library still enterable.
+  EXPECT_EQ(mc.library_count(),
+            static_cast<size_t>(kInitialLibraries + kLateLibraries));
+  for (LibraryId id = 1; id <= mc.library_count(); ++id) {
+    MultiCompartment::Scope scope(mc, id);
+  }
+  mc.Free(trusted_obj);
+  SetCurrentThreadPkru(PkruValue::AllowAll());
+}
+
+}  // namespace
+}  // namespace pkrusafe
