@@ -18,8 +18,13 @@
 #                                   # under ThreadSanitizer (pin/evict races),
 #                                   # the 32-tenant sandbox on both backends,
 #                                   # then the transition bench (BENCH_vpkey)
+#   scripts/check.sh gateintegrity  # PKRU-flow lints over the corpus (clean
+#                                   # modules prove, seeded violations fail),
+#                                   # SARIF export, and link-time check-binary
+#                                   # over the built tools
 #   scripts/check.sh matrix         # plain + asan + tsan + lint + crash
 #                                   # + faultstress + contprof + vpkey
+#                                   # + gateintegrity
 #   scripts/check.sh -- -R telemetry   # extra args after -- go to ctest
 #
 # --asan/--tsan are accepted as aliases of asan/tsan.
@@ -37,9 +42,10 @@ while [[ $# -gt 0 ]]; do
     faultstress|--faultstress) mode=faultstress; shift ;;
     contprof|--contprof) mode=contprof; shift ;;
     vpkey|--vpkey) mode=vpkey; shift ;;
+    gateintegrity|--gateintegrity) mode=gateintegrity; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|vpkey|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|vpkey|gateintegrity|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -160,6 +166,38 @@ run_vpkey() {
   echo "vpkey check OK"
 }
 
+run_gateintegrity() {
+  echo "== check: gateintegrity (build) =="
+  # The static half: the PKRU-flow abstract interpreter must prove every
+  # top-level corpus module gate-balanced (exit 0, even with notes escalated)
+  # and reject every seeded violation module. The link-time half: check-binary
+  # must find only sanctioned, registered wrpkru sites in the built tools,
+  # cross-checked against the explicit-gate module's IR inventory.
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" \
+    --target pkrusafe_lint pkrusafe_run msrun analysis_test gate_agreement_test
+  local lint=build/tools/pkrusafe_lint
+  for ir in examples/ir/*.ir; do
+    echo "-- prove: $ir"
+    "$lint" "$ir" --fail-on=error
+  done
+  for ir in examples/ir/violations/*.ir; do
+    echo "-- reject: $ir"
+    if "$lint" "$ir" >/dev/null; then
+      echo "seeded violation $ir was not reported" >&2
+      exit 1
+    fi
+  done
+  echo "-- sarif: explicit_gates.ir"
+  "$lint" examples/ir/explicit_gates.ir --format=sarif | grep -q '"version":"2.1.0"'
+  echo "-- check-binary: built tools vs IR gate inventory"
+  "$lint" check-binary build/tools/pkrusafe_run examples/ir/explicit_gates.ir
+  "$lint" check-binary build/tools/msrun
+  ctest --test-dir build --output-on-failure \
+    -R 'PkruFlow|GateIntegrity|Sarif|GateAgreement|tool_lint_check_binary'
+  echo "gateintegrity check OK"
+}
+
 case "$mode" in
   plain) run_one "" build "$@" ;;
   asan)  run_one address build/check-asan "$@" ;;
@@ -169,6 +207,7 @@ case "$mode" in
   faultstress) run_faultstress ;;
   contprof) run_contprof ;;
   vpkey) run_vpkey ;;
+  gateintegrity) run_gateintegrity ;;
   matrix)
     run_one "" build "$@"
     run_one address build/check-asan "$@"
@@ -178,5 +217,6 @@ case "$mode" in
     run_faultstress
     run_contprof
     run_vpkey
+    run_gateintegrity
     ;;
 esac

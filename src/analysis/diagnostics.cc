@@ -1,5 +1,6 @@
 #include "src/analysis/diagnostics.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "src/support/string_util.h"
@@ -163,6 +164,68 @@ void RenderFindingsJson(std::ostream& out, const std::vector<Finding>& findings,
     out << "," << extra_summary;
   }
   out << "}}\n";
+}
+
+void RenderFindingsSarif(std::ostream& out, const std::vector<Finding>& findings,
+                         const std::string& artifact) {
+  // SARIF's level vocabulary maps 1:1 onto ours ("note"/"warning"/"error").
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) {
+    if (std::find(rules.begin(), rules.end(), f.rule) == rules.end()) {
+      rules.push_back(f.rule);
+    }
+  }
+  std::sort(rules.begin(), rules.end());
+
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{";
+  out << "\"tool\":{\"driver\":{\"name\":\"pkrusafe_lint\","
+      << "\"informationUri\":\"https://github.com/pkru-safe\",\"rules\":[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "{\"id\":\"" << JsonEscape(rules[i]) << "\"}";
+  }
+  out << "]}},\"results\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    const auto rule_it = std::find(rules.begin(), rules.end(), f.rule);
+    out << "{\"ruleId\":\"" << JsonEscape(f.rule) << "\"";
+    out << ",\"ruleIndex\":" << (rule_it - rules.begin());
+    out << ",\"level\":\"" << SeverityName(f.severity) << "\"";
+    std::string text = f.message;
+    if (f.site.has_value()) {
+      text += " (site " + f.site->ToString() + ")";
+    }
+    if (!f.fix_hint.empty()) {
+      text += " | hint: " + f.fix_hint;
+    }
+    out << ",\"message\":{\"text\":\"" << JsonEscape(text) << "\"}";
+    const std::string loc = Location(f);
+    if (!loc.empty() || !artifact.empty()) {
+      out << ",\"locations\":[{";
+      bool inner = false;
+      if (!artifact.empty()) {
+        out << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"" << JsonEscape(artifact)
+            << "\"}}";
+        inner = true;
+      }
+      if (!loc.empty()) {
+        if (inner) {
+          out << ",";
+        }
+        out << "\"logicalLocations\":[{\"fullyQualifiedName\":\"" << JsonEscape(loc) << "\"}]";
+      }
+      out << "}]";
+    }
+    out << "}";
+  }
+  out << "]}]}\n";
 }
 
 }  // namespace analysis

@@ -61,6 +61,15 @@ void RenderFindingsText(std::ostream& out, const std::vector<Finding>& findings)
 void RenderFindingsJson(std::ostream& out, const std::vector<Finding>& findings,
                         const std::string& extra_summary = "");
 
+// SARIF 2.1.0 (one run, driver "pkrusafe_lint"): each distinct rule id
+// becomes a reportingDescriptor, each finding a result whose logical
+// location is the "@fn/block#i" form used by the text renderer. `artifact`
+// names the analyzed module or binary (results' artifactLocation.uri; pass
+// "" to omit). Output is deterministic — rules sorted by id, results in
+// finding order — so goldens can diff it byte-for-byte.
+void RenderFindingsSarif(std::ostream& out, const std::vector<Finding>& findings,
+                         const std::string& artifact = "");
+
 }  // namespace analysis
 }  // namespace pkrusafe
 

@@ -13,11 +13,23 @@ namespace analysis {
 
 namespace {
 
+// True only when all four marker bytes lie inside [0, size) and match. A
+// wrpkru whose marker would extend past the buffer (a gate split across a
+// section boundary, or a truncated fixture) is classified unsanctioned:
+// the comparison must never read past `size`, so the bytes are checked
+// individually up to the boundary. `pos > size` cannot occur (callers pass
+// the offset just past a 3-byte match inside the buffer) but is rejected
+// anyway so the subtraction below can't wrap.
 bool MarkerFollows(const uint8_t* data, size_t size, size_t pos) {
-  if (pos + sizeof(kWrpkruGateMarker) > size) {
+  if (pos > size || size - pos < sizeof(kWrpkruGateMarker)) {
     return false;
   }
-  return std::memcmp(data + pos, kWrpkruGateMarker, sizeof(kWrpkruGateMarker)) == 0;
+  for (size_t i = 0; i < sizeof(kWrpkruGateMarker); ++i) {
+    if (data[pos + i] != kWrpkruGateMarker[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace

@@ -43,6 +43,12 @@ void LintMissingGates(const IrModule& module, DiagnosticSink& sink) {
     if (instr.opcode != Opcode::kCall || instr.gated) {
       return;
     }
+    // Functions with explicit gate_enter/gate_exit brackets are judged by the
+    // PKRU flow analysis (pkru_flow.h), which knows whether a bracket is open
+    // around the call; a site-local rule would double-report every one.
+    if (fn.UsesExplicitGates()) {
+      return;
+    }
     if (module.IsUntrustedExtern(instr.callee)) {
       sink.Report(At(Severity::kError, "missing-gate", fn, block, index,
                      "call to @" + instr.callee + " crosses into U without a gate mark",

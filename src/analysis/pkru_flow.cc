@@ -1,0 +1,517 @@
+#include "src/analysis/pkru_flow.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/string_util.h"
+
+namespace pkrusafe {
+namespace analysis {
+
+namespace {
+
+// Generous: the lattice has height 2, so each block's in-state changes at
+// most twice and each function re-analyzes a bounded number of times.
+constexpr int kMaxIterations = 100'000;
+
+bool IsGateBearing(const Instruction& instr) {
+  return IsGateOp(instr.opcode) || (instr.opcode == Opcode::kCall && instr.gated);
+}
+
+}  // namespace
+
+const char* PkruStateName(PkruState state) {
+  switch (state) {
+    case PkruState::kBottom:
+      return "unreachable";
+    case PkruState::kTrusted:
+      return "Trusted";
+    case PkruState::kUntrusted:
+      return "Untrusted";
+    case PkruState::kTop:
+      return "Trusted-or-Untrusted";
+  }
+  return "?";
+}
+
+PkruState JoinState(PkruState a, PkruState b) {
+  if (a == b || b == PkruState::kBottom) {
+    return a;
+  }
+  if (a == PkruState::kBottom) {
+    return b;
+  }
+  return PkruState::kTop;
+}
+
+std::string GateSite::Key() const {
+  return StrFormat("@%s/%s#%d", function.c_str(), block.c_str(), index);
+}
+
+Status PkruFlowAnalysis::Run() {
+  findings_.clear();
+  inventory_ = GateInventory{};
+  flows_.clear();
+  unbalanced_count_ = 0;
+  trusted_access_count_ = 0;
+  iterations_ = 0;
+
+  call_graph_ = CallGraph::Build(*module_);
+
+  for (const IrFunction& fn : module_->functions) {
+    FunctionFlow flow;
+    flow.fn = &fn;
+    flow.blocks.resize(fn.blocks.size());
+    for (const BasicBlock& block : fn.blocks) {
+      for (const Instruction& instr : block.instructions) {
+        if (IsGateBearing(instr)) {
+          flow.state_preserving = false;
+        }
+      }
+    }
+    flows_.emplace(fn.name, std::move(flow));
+  }
+
+  // A function preserves the caller's PKRU state unless it (or anything it
+  // transitively calls) performs a gate transition.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& [name, flow] : flows_) {
+      if (!flow.state_preserving) {
+        continue;
+      }
+      for (const std::string& callee : call_graph_.Callees(name)) {
+        auto it = flows_.find(callee);
+        if (it != flows_.end() && !it->second.state_preserving) {
+          flow.state_preserving = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Roots start Trusted: `main` (the canonical entry) and every function no
+  // internal call site targets (exported surface).
+  std::vector<std::string> worklist;
+  for (const IrFunction& fn : module_->functions) {
+    if (fn.name == "main" || call_graph_.Callers(fn.name).empty()) {
+      flows_[fn.name].entry = PkruState::kTrusted;
+      worklist.push_back(fn.name);
+    }
+  }
+
+  while (!worklist.empty()) {
+    const std::string name = worklist.back();
+    worklist.pop_back();
+    FunctionFlow& flow = flows_[name];
+    if (flow.entry == PkruState::kBottom) {
+      continue;
+    }
+    if (++iterations_ > kMaxIterations) {
+      return InternalError("pkru flow analysis did not converge");
+    }
+    AnalyzeFunction(flow, worklist);
+  }
+
+  CollectFindings();
+  return Status::Ok();
+}
+
+PkruState PkruFlowAnalysis::Transfer(const FunctionFlow&, const Instruction& instr,
+                                     PkruState in) const {
+  switch (instr.opcode) {
+    case Opcode::kGateEnter:
+      return PkruState::kUntrusted;
+    case Opcode::kGateExit:
+      return PkruState::kTrusted;
+    case Opcode::kCall: {
+      if (instr.gated) {
+        // Atomic enter+call+exit: the gate restores the saved PKRU.
+        return in;
+      }
+      auto it = flows_.find(instr.callee);
+      if (it == flows_.end()) {
+        return in;  // extern: native code cannot move PKRU outside a gate
+      }
+      const FunctionFlow& callee = it->second;
+      if (callee.state_preserving) {
+        return in;
+      }
+      // Context-insensitive summary: the callee's joined exit state. kBottom
+      // means no return path is known (yet); the rest of the block is then
+      // unreachable until the callee's summary rises.
+      return callee.exit;
+    }
+    default:
+      return in;
+  }
+}
+
+void PkruFlowAnalysis::AnalyzeFunction(FunctionFlow& flow, std::vector<std::string>& fn_worklist) {
+  const IrFunction& fn = *flow.fn;
+
+  // Seed the entry block and revisit every already-reached block: a callee
+  // summary may have risen since the last pass.
+  flow.blocks[0].in = JoinState(flow.blocks[0].in, flow.entry);
+  std::vector<size_t> block_worklist;
+  for (size_t b = 0; b < fn.blocks.size(); ++b) {
+    if (flow.blocks[b].in != PkruState::kBottom) {
+      block_worklist.push_back(b);
+    }
+  }
+
+  auto block_index_of = [&fn](const std::string& label) -> int {
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      if (fn.blocks[b].label == label) {
+        return static_cast<int>(b);
+      }
+    }
+    return -1;
+  };
+
+  const PkruState old_exit = flow.exit;
+
+  while (!block_worklist.empty()) {
+    const size_t b = block_worklist.back();
+    block_worklist.pop_back();
+    const BasicBlock& block = fn.blocks[b];
+    PkruState state = flow.blocks[b].in;
+
+    for (size_t i = 0; i < block.instructions.size() && state != PkruState::kBottom; ++i) {
+      const Instruction& instr = block.instructions[i];
+
+      if (instr.opcode == Opcode::kCall && !instr.gated) {
+        auto it = flows_.find(instr.callee);
+        if (it != flows_.end()) {
+          FunctionFlow& callee = it->second;
+          const PkruState joined = JoinState(callee.entry, state);
+          if (joined != callee.entry) {
+            callee.entry = joined;
+            callee.entry_caller = fn.name;
+            callee.entry_caller_block = block.label;
+            callee.entry_caller_instr = static_cast<int>(i);
+            fn_worklist.push_back(instr.callee);
+          }
+        }
+      }
+
+      if (instr.opcode == Opcode::kRet) {
+        flow.exit = JoinState(flow.exit, state);
+        break;
+      }
+      if (instr.opcode == Opcode::kBr || instr.opcode == Opcode::kBrIf) {
+        for (const std::string& target : instr.targets) {
+          const int t = block_index_of(target);
+          if (t < 0) {
+            continue;  // verifier rejects this; stay safe regardless
+          }
+          BlockFlow& tf = flow.blocks[t];
+          const PkruState joined = JoinState(tf.in, state);
+          if (joined != tf.in) {
+            tf.in = joined;
+            tf.pred_block = static_cast<int>(b);
+            tf.pred_instr = static_cast<int>(i);
+            block_worklist.push_back(static_cast<size_t>(t));
+          }
+        }
+        break;
+      }
+
+      state = Transfer(flow, instr, state);
+    }
+  }
+
+  if (flow.exit != old_exit) {
+    for (const std::string& caller : call_graph_.Callers(fn.name)) {
+      fn_worklist.push_back(caller);
+    }
+  }
+}
+
+std::string PkruFlowAnalysis::TrailTo(const FunctionFlow& flow, size_t block_index,
+                                      int instr_index) const {
+  std::vector<std::string> parts;
+
+  // Caller chain, outermost first.
+  {
+    std::vector<std::string> callers;
+    const FunctionFlow* f = &flow;
+    std::set<const FunctionFlow*> seen;
+    while (!f->entry_caller.empty() && seen.insert(f).second) {
+      callers.push_back(StrFormat("@%s/%s#%d", f->entry_caller.c_str(),
+                                  f->entry_caller_block.c_str(), f->entry_caller_instr));
+      auto it = flows_.find(f->entry_caller);
+      if (it == flows_.end()) {
+        break;
+      }
+      f = &it->second;
+    }
+    parts.insert(parts.end(), callers.rbegin(), callers.rend());
+  }
+
+  // Intra-function witness chain from the entry block to the offending one.
+  {
+    std::vector<std::string> blocks;
+    std::set<int> seen;
+    int b = static_cast<int>(block_index);
+    while (b >= 0 && seen.insert(b).second) {
+      const BlockFlow& bf = flow.blocks[static_cast<size_t>(b)];
+      if (bf.pred_block < 0) {
+        break;
+      }
+      blocks.push_back(StrFormat("@%s/%s#%d", flow.fn->name.c_str(),
+                                 flow.fn->blocks[static_cast<size_t>(bf.pred_block)].label.c_str(),
+                                 bf.pred_instr));
+      b = bf.pred_block;
+    }
+    parts.insert(parts.end(), blocks.rbegin(), blocks.rend());
+  }
+
+  parts.push_back(StrFormat("@%s/%s#%d", flow.fn->name.c_str(),
+                            flow.fn->blocks[block_index].label.c_str(), instr_index));
+  return StrJoin(parts, " -> ");
+}
+
+void PkruFlowAnalysis::AddUnbalanced(const FunctionFlow& flow, size_t block_index,
+                                     int instr_index, const std::string& message) {
+  Finding finding;
+  finding.severity = Severity::kError;
+  finding.rule = "pkru-unbalanced-gate";
+  finding.function = flow.fn->name;
+  finding.block = flow.fn->blocks[block_index].label;
+  finding.instr_index = instr_index;
+  finding.message = message + "; path: " + TrailTo(flow, block_index, instr_index);
+  finding.fix_hint = "every path must close exactly the gate brackets it opened: pair each "
+                     "gate_enter with a gate_exit on all outgoing edges (early returns and "
+                     "loop back-edges included)";
+  findings_.push_back(std::move(finding));
+  ++unbalanced_count_;
+}
+
+void PkruFlowAnalysis::ReportTrusted(const FunctionFlow& flow, size_t block_index,
+                                     int instr_index, PkruState in,
+                                     const AbstractObject* object, const std::string& what) {
+  Finding finding;
+  finding.severity = Severity::kError;
+  finding.rule = "trusted-access-in-u";
+  finding.function = flow.fn->name;
+  finding.block = flow.fn->blocks[block_index].label;
+  finding.instr_index = instr_index;
+  const char* qualifier = in == PkruState::kTop ? " on some path" : "";
+  if (object != nullptr) {
+    finding.site = object->site;
+    finding.message = StrFormat("%s of trusted allocation %s (from @%s) while PKRU is "
+                                "Untrusted%s; path: %s",
+                                what.c_str(), object->site.ToString().c_str(),
+                                object->function.c_str(), qualifier,
+                                TrailTo(flow, block_index, instr_index).c_str());
+  } else {
+    finding.message = StrFormat("%s while PKRU is Untrusted%s; path: %s", what.c_str(), qualifier,
+                                TrailTo(flow, block_index, instr_index).c_str());
+  }
+  finding.fix_hint = "inside a gate bracket the thread has no M_T rights: move the access "
+                     "before gate_enter / after gate_exit, or move the object to M_U";
+  findings_.push_back(std::move(finding));
+  ++trusted_access_count_;
+}
+
+void PkruFlowAnalysis::CheckInstruction(const FunctionFlow& flow, size_t block_index,
+                                        int instr_index, const Instruction& instr,
+                                        PkruState in) {
+  const bool in_u = in == PkruState::kUntrusted;
+  const bool maybe_u = in == PkruState::kTop;
+
+  switch (instr.opcode) {
+    case Opcode::kGateEnter:
+      if (in_u) {
+        AddUnbalanced(flow, block_index, instr_index,
+                      "nested gate_enter: a bracket is already open on every path here");
+      } else if (maybe_u) {
+        AddUnbalanced(flow, block_index, instr_index,
+                      "gate_enter while a bracket may already be open (Untrusted on some path)");
+      }
+      inventory_.sites.push_back(
+          {GateSite::Kind::kEnter, flow.fn->name, flow.fn->blocks[block_index].label,
+           instr_index});
+      ++inventory_.to_untrusted_sites;
+      break;
+
+    case Opcode::kGateExit:
+      if (in == PkruState::kTrusted) {
+        AddUnbalanced(flow, block_index, instr_index, "gate_exit without an open gate bracket");
+      } else if (maybe_u) {
+        AddUnbalanced(flow, block_index, instr_index,
+                      "gate_exit may close a bracket that is not open on every path");
+      }
+      inventory_.sites.push_back(
+          {GateSite::Kind::kExit, flow.fn->name, flow.fn->blocks[block_index].label,
+           instr_index});
+      ++inventory_.to_trusted_sites;
+      break;
+
+    case Opcode::kCall: {
+      if (instr.gated) {
+        if (in_u) {
+          AddUnbalanced(flow, block_index, instr_index,
+                        "gated call to @" + instr.callee +
+                            " inside an explicit gate bracket (nested transition)");
+        } else if (maybe_u) {
+          AddUnbalanced(flow, block_index, instr_index,
+                        "gated call to @" + instr.callee +
+                            " may nest inside an open gate bracket (Untrusted on some path)");
+        }
+        inventory_.sites.push_back(
+            {GateSite::Kind::kGatedCall, flow.fn->name, flow.fn->blocks[block_index].label,
+             instr_index});
+        ++inventory_.to_untrusted_sites;
+        ++inventory_.to_trusted_sites;
+      } else if (module_->IsUntrustedExtern(instr.callee)) {
+        if (in == PkruState::kTrusted) {
+          AddUnbalanced(flow, block_index, instr_index,
+                        "call to @" + instr.callee +
+                            " crosses into U with no gate bracket open (PKRU still Trusted)");
+        } else if (maybe_u) {
+          AddUnbalanced(flow, block_index, instr_index,
+                        "call to @" + instr.callee +
+                            " crosses into U with a gate bracket open on only some paths");
+        }
+      }
+      break;
+    }
+
+    case Opcode::kAlloc:
+    case Opcode::kStackAlloc:
+      if (in_u || maybe_u) {
+        ReportTrusted(flow, block_index, instr_index, in, nullptr,
+                      std::string(OpcodeName(instr.opcode)) + " allocates from the trusted heap");
+      }
+      break;
+
+    case Opcode::kLoad:
+    case Opcode::kStore:
+    case Opcode::kFree: {
+      if ((!in_u && !maybe_u) || pts_ == nullptr || instr.operands.empty()) {
+        break;
+      }
+      const Operand& addr = instr.operands[0];
+      if (!addr.is_reg()) {
+        break;
+      }
+      for (const ObjectId obj : pts_->RegPointsTo(flow.fn->name, addr.reg())) {
+        const AbstractObject& object = pts_->objects()[obj];
+        if (object.trusted()) {
+          ReportTrusted(flow, block_index, instr_index, in, &object, OpcodeName(instr.opcode));
+        }
+      }
+      break;
+    }
+
+    case Opcode::kRet: {
+      if (flow.entry == PkruState::kTop) {
+        break;  // the callers' own findings cover the conflicting contexts
+      }
+      if (in == PkruState::kTop) {
+        AddUnbalanced(flow, block_index, instr_index,
+                      "returns with PKRU Untrusted on some path (gate bracket left open)");
+      } else if (in == PkruState::kUntrusted && flow.entry == PkruState::kTrusted) {
+        AddUnbalanced(flow, block_index, instr_index,
+                      "returns with PKRU still Untrusted: the bracket opened on this path is "
+                      "never closed");
+      } else if (in == PkruState::kTrusted && flow.entry == PkruState::kUntrusted) {
+        AddUnbalanced(flow, block_index, instr_index,
+                      "returns with PKRU Trusted but the function was entered Untrusted "
+                      "(closes a bracket the caller opened)");
+      }
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+void PkruFlowAnalysis::CollectFindings() {
+  auto note_unreachable = [this](const FunctionFlow& flow, size_t block_index, int instr_index,
+                                 const Instruction& instr) {
+    Finding finding;
+    finding.severity = Severity::kNote;
+    finding.rule = "unreachable-gate";
+    finding.function = flow.fn->name;
+    finding.block = flow.fn->blocks[block_index].label;
+    finding.instr_index = instr_index;
+    finding.message = StrFormat("%s is unreachable at the PKRU fixed point but remains "
+                                "executable transition surface in the built binary",
+                                instr.opcode == Opcode::kCall
+                                    ? ("gated call to @" + instr.callee).c_str()
+                                    : OpcodeName(instr.opcode));
+    finding.fix_hint = "delete the dead gate (or the dead code around it): unreachable "
+                       "transitions still count as wrpkru gadget surface";
+    findings_.push_back(std::move(finding));
+  };
+
+  for (const IrFunction& fn : module_->functions) {
+    const FunctionFlow& flow = flows_.at(fn.name);
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      const BasicBlock& block = fn.blocks[b];
+      PkruState state = flow.blocks[b].in;
+      const bool block_reachable = flow.entry != PkruState::kBottom &&
+                                   state != PkruState::kBottom;
+      for (size_t i = 0; i < block.instructions.size(); ++i) {
+        const Instruction& instr = block.instructions[i];
+        if (!block_reachable || state == PkruState::kBottom) {
+          // Dead function, dead block, or the tail after a non-returning
+          // call: sanctioned transitions here never run.
+          if (IsGateBearing(instr)) {
+            note_unreachable(flow, b, static_cast<int>(i), instr);
+          }
+          continue;
+        }
+        CheckInstruction(flow, b, static_cast<int>(i), instr, state);
+        state = Transfer(flow, instr, state);
+      }
+    }
+  }
+}
+
+void PkruFlowAnalysis::ReportFindings(DiagnosticSink& sink) const {
+  for (const Finding& finding : findings_) {
+    sink.Report(finding);
+  }
+}
+
+PkruState PkruFlowAnalysis::FunctionEntryState(const std::string& fn) const {
+  auto it = flows_.find(fn);
+  return it == flows_.end() ? PkruState::kBottom : it->second.entry;
+}
+
+PkruState PkruFlowAnalysis::FunctionExitState(const std::string& fn) const {
+  auto it = flows_.find(fn);
+  return it == flows_.end() ? PkruState::kBottom : it->second.exit;
+}
+
+PkruState PkruFlowAnalysis::BlockEntryState(const std::string& fn,
+                                            const std::string& block) const {
+  auto it = flows_.find(fn);
+  if (it == flows_.end()) {
+    return PkruState::kBottom;
+  }
+  const IrFunction& function = *it->second.fn;
+  for (size_t b = 0; b < function.blocks.size(); ++b) {
+    if (function.blocks[b].label == block) {
+      return it->second.blocks[b].in;
+    }
+  }
+  return PkruState::kBottom;
+}
+
+Status RunPkruFlowLints(const IrModule& module, const PointsToAnalysis* pts,
+                        DiagnosticSink& sink) {
+  PkruFlowAnalysis flow(&module, pts);
+  PS_RETURN_IF_ERROR(flow.Run());
+  flow.ReportFindings(sink);
+  return Status::Ok();
+}
+
+}  // namespace analysis
+}  // namespace pkrusafe

@@ -1,0 +1,166 @@
+// Flow-sensitive, interprocedural PKRU-state abstract interpreter.
+//
+// The points-to layer (PR 3) says *what* a site may share; this pass adds
+// the missing flow dimension: *in which PKRU state* each instruction
+// executes. Every program point gets an element of the lattice
+//
+//            ⊤  (kTop: Trusted on some paths, Untrusted on others)
+//           /  .
+//   kTrusted   kUntrusted
+//           .  /
+//            ⊥  (kBottom: unreachable)
+//
+// propagated through each function's control flow and across the CallGraph
+// (context-insensitive: one entry/exit state per function, joined over all
+// call sites). The only sanctioned transitions are gate marks:
+//
+//   gate_enter        T -> U   (explicit bracket, or the opening half of a
+//   gate_exit         U -> T    gated call after GateLoweringPass)
+//   gated call        state-preserving: enter+call+exit as one atomic step
+//
+// On top of the fixed point the pass proves — or reports a counterexample
+// path (function + instruction index trail) for:
+//
+//   * gate balance: every path through a function restores the PKRU state it
+//     entered with (early returns, loops, dead branches included); no nested
+//     or dangling gate_enter/gate_exit (rule pkru-unbalanced-gate, error);
+//   * every U-crossing call is bracketed: an ungated call to an untrusted
+//     extern must execute in kUntrusted, a gated call in kTrusted;
+//   * no load/store/free of trusted-provenance memory (per PointsToAnalysis)
+//     and no trusted-heap allocation is reachable while the abstract state
+//     is kUntrusted or kTop (rule trusted-access-in-u, error);
+//   * gate sites the fixed point never reaches are flagged (rule
+//     unreachable-gate, note) — dead transitions that still count as
+//     executable wrpkru surface in the binary.
+//
+// The reachable gate sites form the module's gate inventory; the link-time
+// half (gate_integrity.h) cross-checks it against the sanctioned wrpkru
+// sites of a built ELF.
+#ifndef SRC_ANALYSIS_PKRU_FLOW_H_
+#define SRC_ANALYSIS_PKRU_FLOW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/points_to.h"
+#include "src/ir/call_graph.h"
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+namespace analysis {
+
+enum class PkruState : uint8_t { kBottom = 0, kTrusted, kUntrusted, kTop };
+
+const char* PkruStateName(PkruState state);
+PkruState JoinState(PkruState a, PkruState b);
+
+// A sanctioned PKRU transition site in the IR.
+struct GateSite {
+  enum class Kind : uint8_t { kEnter, kExit, kGatedCall };
+  Kind kind = Kind::kEnter;
+  std::string function;
+  std::string block;
+  int index = -1;
+
+  // "@fn/block#index" — matches Interpreter::gate_crossing_sites() keys.
+  std::string Key() const;
+};
+
+// The IR-level gate inventory the link-time check consumes. A gated call is
+// one site that performs both transitions (its lowered form contributes one
+// enter and one exit site instead; the per-direction counts are identical).
+struct GateInventory {
+  size_t to_untrusted_sites = 0;  // gate_enter + gated-call sites
+  size_t to_trusted_sites = 0;    // gate_exit + gated-call sites
+  std::vector<GateSite> sites;
+
+  bool balanced() const { return to_untrusted_sites == to_trusted_sites; }
+};
+
+class PkruFlowAnalysis {
+ public:
+  // `pts` may be null: the trusted-access-in-U rule is skipped (balance and
+  // bracketing are still proven). When given, it must have Run() on the same
+  // module.
+  explicit PkruFlowAnalysis(const IrModule* module, const PointsToAnalysis* pts = nullptr)
+      : module_(module), pts_(pts) {}
+
+  Status Run();
+
+  // Findings collected by Run (pkru-unbalanced-gate, trusted-access-in-u,
+  // unreachable-gate), in deterministic module order.
+  const std::vector<Finding>& findings() const { return findings_; }
+  void ReportFindings(DiagnosticSink& sink) const;
+
+  // True when no error-severity finding of the given family was reported.
+  bool gate_balance_proven() const { return unbalanced_count_ == 0; }
+  bool no_trusted_access_in_u_proven() const { return trusted_access_count_ == 0; }
+
+  // Sanctioned transition sites reachable at the fixed point.
+  const GateInventory& gate_inventory() const { return inventory_; }
+
+  // Abstract states at the fixed point (kBottom for unknown names).
+  PkruState FunctionEntryState(const std::string& fn) const;
+  PkruState FunctionExitState(const std::string& fn) const;
+  PkruState BlockEntryState(const std::string& fn, const std::string& block) const;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  struct BlockFlow {
+    PkruState in = PkruState::kBottom;
+    // Edge that last raised `in` (counterexample witness): index of the
+    // predecessor block and of its terminator instruction; -1 for entry.
+    int pred_block = -1;
+    int pred_instr = -1;
+  };
+
+  struct FunctionFlow {
+    const IrFunction* fn = nullptr;
+    PkruState entry = PkruState::kBottom;
+    PkruState exit = PkruState::kBottom;
+    std::vector<BlockFlow> blocks;
+    // Call site that last raised `entry` (empty caller for roots).
+    std::string entry_caller;
+    std::string entry_caller_block;
+    int entry_caller_instr = -1;
+    // No gate op / gated call transitively: calls preserve the caller state.
+    bool state_preserving = true;
+  };
+
+  // Abstract post-state of one instruction (no diagnostics).
+  PkruState Transfer(const FunctionFlow& flow, const Instruction& instr, PkruState in) const;
+
+  void AnalyzeFunction(FunctionFlow& flow, std::vector<std::string>& fn_worklist);
+  void CollectFindings();
+  void CheckInstruction(const FunctionFlow& flow, size_t block_index, int instr_index,
+                        const Instruction& instr, PkruState in);
+  void ReportTrusted(const FunctionFlow& flow, size_t block_index, int instr_index,
+                     PkruState in, const AbstractObject* object, const std::string& what);
+  void AddUnbalanced(const FunctionFlow& flow, size_t block_index, int instr_index,
+                     const std::string& message);
+  std::string TrailTo(const FunctionFlow& flow, size_t block_index, int instr_index) const;
+
+  const IrModule* module_;
+  const PointsToAnalysis* pts_;
+  CallGraph call_graph_;
+  std::map<std::string, FunctionFlow> flows_;
+  GateInventory inventory_;
+  std::vector<Finding> findings_;
+  size_t unbalanced_count_ = 0;
+  size_t trusted_access_count_ = 0;
+  int iterations_ = 0;
+};
+
+// Convenience for tools: runs the flow analysis and reports its findings
+// (the points-to analysis may be null, see the constructor).
+Status RunPkruFlowLints(const IrModule& module, const PointsToAnalysis* pts,
+                        DiagnosticSink& sink);
+
+}  // namespace analysis
+}  // namespace pkrusafe
+
+#endif  // SRC_ANALYSIS_PKRU_FLOW_H_

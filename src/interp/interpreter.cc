@@ -232,11 +232,37 @@ Result<int64_t> Interpreter::Execute(const IrFunction& fn, const std::vector<int
         ++pc;
         break;
       }
+      case Opcode::kGateEnter:
+        // Explicit T->U transition (lowered gate form). Balance is the flow
+        // analyzer's job; at runtime the compartment stack nests/aborts
+        // exactly like the RAII gates.
+        gate_sites_.insert(
+            StrFormat("@%s/%s#%zu", fn.name.c_str(), block->label.c_str(), pc));
+        runtime_->gates().EnterUntrusted();
+        ++pc;
+        break;
+      case Opcode::kGateExit:
+        // With gates disabled EnterUntrusted never pushed a frame, so the
+        // depth check only applies when the gate set is live.
+        if (runtime_->gates().enabled() && CompartmentStack::Depth() == 0) {
+          return FailedPreconditionError(
+              StrFormat("@%s/%s#%zu: gate_exit with no open gate bracket", fn.name.c_str(),
+                        block->label.c_str(), pc));
+        }
+        gate_sites_.insert(
+            StrFormat("@%s/%s#%zu", fn.name.c_str(), block->label.c_str(), pc));
+        runtime_->gates().ExitUntrusted();
+        ++pc;
+        break;
       case Opcode::kCall: {
         std::vector<int64_t> call_args;
         call_args.reserve(instr.operands.size());
         for (const Operand& op : instr.operands) {
           call_args.push_back(value_of(op));
+        }
+        if (instr.gated) {
+          gate_sites_.insert(
+              StrFormat("@%s/%s#%zu", fn.name.c_str(), block->label.c_str(), pc));
         }
         PS_ASSIGN_OR_RETURN(int64_t result, Invoke(instr, call_args));
         if (instr.dest.has_value()) {

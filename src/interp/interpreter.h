@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,12 @@ class Interpreter {
   PkruSafeRuntime& runtime() { return *runtime_; }
   const IrModule& module() const { return *module_; }
 
+  // IR sites ("@fn/block#index") that performed a PKRU transition during
+  // execution: gated calls and explicit gate_enter/gate_exit instructions.
+  // The static/dynamic agreement property (tests/analysis) asserts this set
+  // is contained in the PkruFlowAnalysis gate inventory.
+  const std::set<std::string>& gate_crossing_sites() const { return gate_sites_; }
+
  private:
   Result<int64_t> Execute(const IrFunction& fn, const std::vector<int64_t>& args);
   Result<int64_t> Invoke(const Instruction& instr, const std::vector<int64_t>& args);
@@ -85,6 +92,7 @@ class Interpreter {
   InterpreterConfig config_;
   uint64_t executed_ = 0;
   std::vector<int64_t> output_;
+  std::set<std::string> gate_sites_;
 };
 
 }  // namespace pkrusafe

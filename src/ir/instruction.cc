@@ -62,12 +62,20 @@ const char* OpcodeName(Opcode opcode) {
       return "ret";
     case Opcode::kPrint:
       return "print";
+    case Opcode::kGateEnter:
+      return "gate_enter";
+    case Opcode::kGateExit:
+      return "gate_exit";
   }
   return "?";
 }
 
 bool IsTerminator(Opcode opcode) {
   return opcode == Opcode::kBr || opcode == Opcode::kBrIf || opcode == Opcode::kRet;
+}
+
+bool IsGateOp(Opcode opcode) {
+  return opcode == Opcode::kGateEnter || opcode == Opcode::kGateExit;
 }
 
 bool IsBinaryOp(Opcode opcode) {

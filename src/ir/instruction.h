@@ -49,12 +49,17 @@ enum class Opcode : uint8_t {
   kBr,
   kBrIf,
   kRet,
-  kPrint,  // writes op0 to the interpreter's output stream
+  kPrint,      // writes op0 to the interpreter's output stream
+  kGateEnter,  // explicit T->U transition (lowered form of a gated call)
+  kGateExit,   // explicit U->T transition closing a kGateEnter bracket
 };
 
 const char* OpcodeName(Opcode opcode);
 bool IsTerminator(Opcode opcode);
 bool IsBinaryOp(Opcode opcode);
+// Explicit PKRU transition instructions (the lowered gate form produced by
+// GateLoweringPass or written by hand in the IR source).
+bool IsGateOp(Opcode opcode);
 
 // An instruction operand: a virtual register or an immediate.
 struct Operand {

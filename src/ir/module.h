@@ -20,6 +20,21 @@ struct IrFunction {
   uint32_t num_params = 0;  // parameters arrive in registers %0 .. %n-1
   std::vector<BasicBlock> blocks;
 
+  // True when the function carries explicit gate_enter/gate_exit
+  // instructions: the developer (or GateLoweringPass) has taken manual
+  // control of gating, so GateInsertionPass and the missing-gate lint leave
+  // its call sites alone and the PKRU flow analysis judges the brackets.
+  bool UsesExplicitGates() const {
+    for (const BasicBlock& block : blocks) {
+      for (const Instruction& instr : block.instructions) {
+        if (IsGateOp(instr.opcode)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
   const BasicBlock* FindBlock(const std::string& label) const {
     for (const BasicBlock& block : blocks) {
       if (block.label == label) {

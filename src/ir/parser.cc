@@ -40,6 +40,8 @@ const std::map<std::string_view, Opcode>& OpcodeTable() {
       {"brif", Opcode::kBrIf},
       {"ret", Opcode::kRet},
       {"print", Opcode::kPrint},
+      {"gate_enter", Opcode::kGateEnter},
+      {"gate_exit", Opcode::kGateExit},
   };
   return *table;
 }

@@ -29,6 +29,8 @@ int ExpectedOperands(Opcode opcode) {
     case Opcode::kStore:
       return 3;
     case Opcode::kBr:
+    case Opcode::kGateEnter:
+    case Opcode::kGateExit:
       return 0;
     case Opcode::kBrIf:
       return 1;
@@ -63,6 +65,8 @@ bool ForbidsDest(Opcode opcode) {
     case Opcode::kBrIf:
     case Opcode::kRet:
     case Opcode::kPrint:
+    case Opcode::kGateEnter:
+    case Opcode::kGateExit:
       return true;
     default:
       return false;

@@ -44,7 +44,19 @@ void WrPkru(uint32_t value) {
   // style gadget scanner looks for (src/analysis/gadget_scan.h): a wrpkru
   // immediately followed by this signature is this gate; any other wrpkru
   // byte sequence in .text is a reportable gadget.
+  //
+  // Each emitted copy also registers its own address in the .pkru_gate_sites
+  // ELF section (one pointer per inlined instance), giving the link-time
+  // gate-integrity check (src/analysis/gate_integrity.h) an authoritative
+  // inventory to cross-check the byte scan against: every registered site
+  // must carry the marker, and every marker-verified wrpkru must be
+  // registered.
   __asm__ volatile(
+      ".pushsection .pkru_gate_sites,\"a\",@progbits\n\t"
+      ".balign 8\n\t"
+      ".quad 1f\n\t"
+      ".popsection\n"
+      "1:\n\t"
       ".byte 0x0f,0x01,0xef\n\t"
       ".byte 0x0f,0x1f,0x40,0xe1"
       :

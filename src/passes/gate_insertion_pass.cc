@@ -5,6 +5,12 @@ namespace pkrusafe {
 Status GateInsertionPass::Run(IrModule& module) {
   gates_inserted_ = 0;
   for (IrFunction& fn : module.functions) {
+    // Functions with explicit gate_enter/gate_exit brackets gate manually;
+    // marking their calls too would nest a second transition inside the
+    // bracket (the PKRU flow analysis flags exactly that pattern).
+    if (fn.UsesExplicitGates()) {
+      continue;
+    }
     for (BasicBlock& block : fn.blocks) {
       for (Instruction& instr : block.instructions) {
         if (instr.opcode != Opcode::kCall) {

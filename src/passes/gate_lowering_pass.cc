@@ -1,0 +1,32 @@
+#include "src/passes/gate_lowering_pass.h"
+
+namespace pkrusafe {
+
+Status GateLoweringPass::Run(IrModule& module) {
+  gates_lowered_ = 0;
+  for (IrFunction& fn : module.functions) {
+    for (BasicBlock& block : fn.blocks) {
+      std::vector<Instruction> lowered;
+      lowered.reserve(block.instructions.size());
+      for (Instruction& instr : block.instructions) {
+        if (instr.opcode != Opcode::kCall || !instr.gated) {
+          lowered.push_back(std::move(instr));
+          continue;
+        }
+        instr.gated = false;
+        Instruction enter;
+        enter.opcode = Opcode::kGateEnter;
+        Instruction exit;
+        exit.opcode = Opcode::kGateExit;
+        lowered.push_back(std::move(enter));
+        lowered.push_back(std::move(instr));
+        lowered.push_back(std::move(exit));
+        ++gates_lowered_;
+      }
+      block.instructions = std::move(lowered);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pkrusafe

@@ -1,0 +1,36 @@
+// GateLoweringPass: expands gate marks into explicit PKRU transitions.
+//
+// GateInsertionPass marks boundary call sites `gated`; the interpreter
+// treats such a mark as an atomic enter/call/exit. This pass lowers the mark
+// into the explicit form the generated code actually has — a kGateEnter
+// before the call and a kGateExit after it, with the mark cleared — so the
+// PKRU flow analysis (src/analysis/pkru_flow.h) can reason about the
+// transition edges individually, exactly as the link-time scanner sees the
+// wrpkru pair in a built binary.
+//
+// Lowered modules execute identically: the interpreter drives the same
+// GateSet from the explicit instructions, and GateInsertionPass skips
+// functions that already carry explicit gates, so lowering is idempotent
+// through the standard pipeline.
+#ifndef SRC_PASSES_GATE_LOWERING_PASS_H_
+#define SRC_PASSES_GATE_LOWERING_PASS_H_
+
+#include "src/passes/pass.h"
+
+namespace pkrusafe {
+
+class GateLoweringPass final : public ModulePass {
+ public:
+  std::string_view name() const override { return "gate-lowering"; }
+  Status Run(IrModule& module) override;
+
+  // Number of gated call sites expanded by the last Run.
+  size_t gates_lowered() const { return gates_lowered_; }
+
+ private:
+  size_t gates_lowered_ = 0;
+};
+
+}  // namespace pkrusafe
+
+#endif  // SRC_PASSES_GATE_LOWERING_PASS_H_

@@ -56,6 +56,30 @@ TEST(GadgetScanTest, MarkerMustBeImmediate) {
   EXPECT_FALSE(hits[0].sanctioned);
 }
 
+TEST(GadgetScanTest, TruncatedMarkerAtBufferEndIsUnsanctioned) {
+  // A wrpkru whose marker would extend past the buffer end must be
+  // classified unsanctioned, never read out of bounds: probe with exactly
+  // 1, 2 and 3 marker bytes present at the boundary.
+  for (size_t present = 1; present < sizeof(kWrpkruGateMarker); ++present) {
+    std::vector<uint8_t> bytes = Bytes({0x0f, 0x01, 0xef});
+    bytes.insert(bytes.end(), kWrpkruGateMarker, kWrpkruGateMarker + present);
+    auto hits = Scan(bytes);
+    ASSERT_EQ(hits.size(), 1u) << present << " marker byte(s)";
+    EXPECT_EQ(hits[0].kind, GadgetHit::Kind::kWrpkru);
+    EXPECT_FALSE(hits[0].sanctioned)
+        << present << " of " << sizeof(kWrpkruGateMarker)
+        << " marker bytes before the buffer boundary must not sanction the gate";
+  }
+}
+
+TEST(GadgetScanTest, WrpkruFlushAgainstBufferEndIsUnsanctioned) {
+  // Zero marker bytes: the wrpkru itself is the last thing in the buffer.
+  const std::vector<uint8_t> bytes = Bytes({0x90, 0x0f, 0x01, 0xef});
+  auto hits = Scan(bytes);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_FALSE(hits[0].sanctioned);
+}
+
 TEST(GadgetScanTest, FindsXrstorWithMemoryOperand) {
   // 0F AE 2F = xrstor (%rdi): mod=00, reg=101, rm=111.
   const std::vector<uint8_t> bytes = Bytes({0x0f, 0xae, 0x2f});

@@ -1,0 +1,253 @@
+// Tests for the PKRU-state abstract interpreter: lattice algebra, balance
+// proofs over the clean corpus, counterexample paths for every seeded
+// violation module, and equivalence of the marked (gated-call) and lowered
+// (gate_enter/gate_exit) forms.
+#include "src/analysis/pkru_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/points_to.h"
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/gate_lowering_pass.h"
+#include "src/passes/pass.h"
+
+#ifndef PKRUSAFE_EXAMPLES_IR_DIR
+#error "build must define PKRUSAFE_EXAMPLES_IR_DIR"
+#endif
+
+namespace pkrusafe {
+namespace analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string ViolationPath(const std::string& name) {
+  return std::string(PKRUSAFE_EXAMPLES_IR_DIR) + "/violations/" + name;
+}
+
+IrModule Instrument(const std::string& source, bool lower_gates = false) {
+  auto module = ParseModule(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  if (lower_gates) {
+    pm.Add(std::make_unique<GateLoweringPass>());
+  }
+  EXPECT_TRUE(pm.Run(*module).ok());
+  return std::move(*module);
+}
+
+size_t CountRule(const PkruFlowAnalysis& flow, const std::string& rule) {
+  size_t n = 0;
+  for (const Finding& f : flow.findings()) {
+    if (f.rule == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const Finding* FirstOf(const PkruFlowAnalysis& flow, const std::string& rule) {
+  for (const Finding& f : flow.findings()) {
+    if (f.rule == rule) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+TEST(PkruStateTest, JoinIsTheLatticeLub) {
+  const PkruState B = PkruState::kBottom;
+  const PkruState T = PkruState::kTrusted;
+  const PkruState U = PkruState::kUntrusted;
+  const PkruState Top = PkruState::kTop;
+  EXPECT_EQ(JoinState(B, B), B);
+  EXPECT_EQ(JoinState(B, T), T);
+  EXPECT_EQ(JoinState(U, B), U);
+  EXPECT_EQ(JoinState(T, T), T);
+  EXPECT_EQ(JoinState(U, U), U);
+  EXPECT_EQ(JoinState(T, U), Top);
+  EXPECT_EQ(JoinState(U, T), Top);
+  EXPECT_EQ(JoinState(Top, T), Top);
+  EXPECT_EQ(JoinState(U, Top), Top);
+  EXPECT_EQ(JoinState(Top, Top), Top);
+}
+
+TEST(PkruFlowTest, WholeCorpusProvesBalancedAndTrustedAccessFree) {
+  // Every runnable corpus module — explicit gates or inserted marks — must
+  // prove clean; this is the "proves gate-bracketing on all paths" half of
+  // the analysis, with the violations/ directory as the other half.
+  size_t modules = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(PKRUSAFE_EXAMPLES_IR_DIR)) {
+    if (entry.path().extension() != ".ir") {
+      continue;
+    }
+    SCOPED_TRACE(entry.path().string());
+    ++modules;
+    IrModule module = Instrument(ReadFile(entry.path().string()));
+    PointsToAnalysis pts(&module);
+    ASSERT_TRUE(pts.Run().ok());
+    PkruFlowAnalysis flow(&module, &pts);
+    ASSERT_TRUE(flow.Run().ok());
+    EXPECT_TRUE(flow.gate_balance_proven());
+    EXPECT_TRUE(flow.no_trusted_access_in_u_proven());
+  }
+  EXPECT_GE(modules, 5u);
+}
+
+TEST(PkruFlowTest, CleanModuleStatesAtTheFixedPoint) {
+  IrModule module = Instrument(ReadFile(std::string(PKRUSAFE_EXAMPLES_IR_DIR) +
+                                        "/explicit_gates.ir"));
+  PkruFlowAnalysis flow(&module);
+  ASSERT_TRUE(flow.Run().ok());
+
+  EXPECT_EQ(flow.FunctionEntryState("main"), PkruState::kTrusted);
+  EXPECT_EQ(flow.FunctionExitState("main"), PkruState::kTrusted);
+  // Helpers are only ever called in T, and restore T on return.
+  EXPECT_EQ(flow.FunctionEntryState("slot_probe"), PkruState::kTrusted);
+  EXPECT_EQ(flow.FunctionExitState("slot_probe"), PkruState::kTrusted);
+  // The loop head joins the entry edge and the back edge, both Trusted.
+  EXPECT_EQ(flow.BlockEntryState("sum_slots", "head"), PkruState::kTrusted);
+  EXPECT_EQ(flow.FunctionEntryState("no_such_fn"), PkruState::kBottom);
+
+  // 3 brackets (slot_probe, maybe_probe, main's fill) => 3 enter + 3 exit
+  // sites, all reachable.
+  EXPECT_EQ(flow.gate_inventory().to_untrusted_sites, 3u);
+  EXPECT_EQ(flow.gate_inventory().to_trusted_sites, 3u);
+  EXPECT_TRUE(flow.gate_inventory().balanced());
+  EXPECT_GT(flow.iterations(), 0);
+}
+
+TEST(PkruFlowTest, UnbalancedEarlyReturnReportsInterproceduralPath) {
+  IrModule module = Instrument(ReadFile(ViolationPath("unbalanced_early_return.ir")));
+  PkruFlowAnalysis flow(&module);
+  ASSERT_TRUE(flow.Run().ok());
+
+  EXPECT_FALSE(flow.gate_balance_proven());
+  const Finding* f = FirstOf(flow, "pkru-unbalanced-gate");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->function, "work");
+  EXPECT_EQ(f->block, "err");
+  // The counterexample trail walks from the call site in @main through
+  // @work's entry block to the offending return.
+  EXPECT_NE(f->message.find("@main/entry#2"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("@work/e#"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("@work/err#0"), std::string::npos) << f->message;
+}
+
+TEST(PkruFlowTest, NestedEnterReported) {
+  IrModule module = Instrument(ReadFile(ViolationPath("nested_enter.ir")));
+  PkruFlowAnalysis flow(&module);
+  ASSERT_TRUE(flow.Run().ok());
+  EXPECT_FALSE(flow.gate_balance_proven());
+  const Finding* f = FirstOf(flow, "pkru-unbalanced-gate");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->instr_index, 3);
+  EXPECT_NE(f->message.find("nested gate_enter"), std::string::npos) << f->message;
+}
+
+TEST(PkruFlowTest, DanglingExitReported) {
+  IrModule module = Instrument(ReadFile(ViolationPath("dangling_exit.ir")));
+  PkruFlowAnalysis flow(&module);
+  ASSERT_TRUE(flow.Run().ok());
+  EXPECT_FALSE(flow.gate_balance_proven());
+  const Finding* f = FirstOf(flow, "pkru-unbalanced-gate");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->instr_index, 1);
+  EXPECT_NE(f->message.find("without an open gate bracket"), std::string::npos) << f->message;
+}
+
+TEST(PkruFlowTest, TrustedAccessInUNamesTheAllocationSite) {
+  IrModule module = Instrument(ReadFile(ViolationPath("trusted_access_in_u.ir")));
+  PointsToAnalysis pts(&module);
+  ASSERT_TRUE(pts.Run().ok());
+  PkruFlowAnalysis flow(&module, &pts);
+  ASSERT_TRUE(flow.Run().ok());
+
+  EXPECT_TRUE(flow.gate_balance_proven());  // the brackets themselves are fine
+  EXPECT_FALSE(flow.no_trusted_access_in_u_proven());
+  const Finding* f = FirstOf(flow, "trusted-access-in-u");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  ASSERT_TRUE(f->site.has_value());
+  EXPECT_NE(f->message.find("load"), std::string::npos) << f->message;
+
+  // Without points-to the rule is skipped, but balance is still judged.
+  PkruFlowAnalysis no_pts(&module);
+  ASSERT_TRUE(no_pts.Run().ok());
+  EXPECT_TRUE(no_pts.no_trusted_access_in_u_proven());
+}
+
+TEST(PkruFlowTest, UnreachableGateNoteAndUngatedCrossing) {
+  IrModule module = Instrument(ReadFile(ViolationPath("unreachable_gate.ir")));
+  PkruFlowAnalysis flow(&module);
+  ASSERT_TRUE(flow.Run().ok());
+
+  EXPECT_EQ(CountRule(flow, "unreachable-gate"), 2u);  // the dead enter+exit
+  const Finding* note = FirstOf(flow, "unreachable-gate");
+  ASSERT_NE(note, nullptr);
+  EXPECT_EQ(note->severity, Severity::kNote);
+  EXPECT_EQ(note->block, "stale");
+
+  // The ungated boundary call in T is an error, and the dead sites are
+  // excluded from the reachable inventory.
+  EXPECT_EQ(CountRule(flow, "pkru-unbalanced-gate"), 1u);
+  EXPECT_EQ(flow.gate_inventory().to_untrusted_sites, 0u);
+}
+
+TEST(PkruFlowTest, MarkedAndLoweredFormsAgree) {
+  // A module gated by GateInsertionPass (marks) and the same module after
+  // GateLoweringPass (explicit brackets) must both prove clean with the same
+  // per-direction transition counts.
+  const std::string source = ReadFile(std::string(PKRUSAFE_EXAMPLES_IR_DIR) + "/interproc.ir");
+  IrModule marked = Instrument(source, /*lower_gates=*/false);
+  IrModule lowered = Instrument(source, /*lower_gates=*/true);
+
+  PkruFlowAnalysis marked_flow(&marked);
+  PkruFlowAnalysis lowered_flow(&lowered);
+  ASSERT_TRUE(marked_flow.Run().ok());
+  ASSERT_TRUE(lowered_flow.Run().ok());
+
+  EXPECT_TRUE(marked_flow.gate_balance_proven());
+  EXPECT_TRUE(lowered_flow.gate_balance_proven());
+  EXPECT_GT(marked_flow.gate_inventory().to_untrusted_sites, 0u);
+  EXPECT_EQ(marked_flow.gate_inventory().to_untrusted_sites,
+            lowered_flow.gate_inventory().to_untrusted_sites);
+  EXPECT_EQ(marked_flow.gate_inventory().to_trusted_sites,
+            lowered_flow.gate_inventory().to_trusted_sites);
+  // Lowering splits each gated-call site into an enter and an exit site.
+  EXPECT_EQ(lowered_flow.gate_inventory().sites.size(),
+            2 * marked_flow.gate_inventory().sites.size());
+}
+
+TEST(PkruFlowTest, GateSiteKeyMatchesInterpreterScheme) {
+  GateSite site{GateSite::Kind::kEnter, "main", "entry", 4};
+  EXPECT_EQ(site.Key(), "@main/entry#4");
+}
+
+TEST(PkruFlowTest, RunPkruFlowLintsReportsThroughTheSink) {
+  IrModule module = Instrument(ReadFile(ViolationPath("nested_enter.ir")));
+  DiagnosticSink sink;
+  ASSERT_TRUE(RunPkruFlowLints(module, nullptr, sink).ok());
+  EXPECT_GE(sink.CountAtLeast(Severity::kError), 1u);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pkrusafe

@@ -1,0 +1,120 @@
+// SARIF 2.1.0 exporter tests: structural checks on the generated document
+// plus a byte-for-byte golden comparison over a seeded-violation module, so
+// any drift in the export format is a visible diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/pkru_flow.h"
+#include "src/ir/parser.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+
+#ifndef PKRUSAFE_EXAMPLES_IR_DIR
+#error "build must define PKRUSAFE_EXAMPLES_IR_DIR"
+#endif
+#ifndef PKRUSAFE_TEST_GOLDEN_DIR
+#error "build must define PKRUSAFE_TEST_GOLDEN_DIR"
+#endif
+
+namespace pkrusafe {
+namespace analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SarifTest, EmptyFindingsIsAValidEmptyRun) {
+  std::ostringstream out;
+  RenderFindingsSarif(out, {});
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"pkrusafe_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"results\":[]"), std::string::npos);
+}
+
+TEST(SarifTest, FindingMapsToResultWithRuleLevelAndLocation) {
+  Finding f;
+  f.severity = Severity::kWarning;
+  f.rule = "trusted-leak";
+  f.function = "main";
+  f.block = "entry";
+  f.instr_index = 3;
+  f.message = "a \"quoted\" message";
+  f.fix_hint = "do\tless";
+
+  std::ostringstream out;
+  RenderFindingsSarif(out, {f}, "mod.ir");
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"ruleId\":\"trusted-leak\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\":\"@main/entry#3\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"mod.ir\""), std::string::npos);
+  // JSON escaping applied to message text.
+  EXPECT_NE(sarif.find("a \\\"quoted\\\" message"), std::string::npos);
+  EXPECT_NE(sarif.find("do\\tless"), std::string::npos);
+}
+
+TEST(SarifTest, RulesAreDeduplicatedAndSorted) {
+  Finding a;
+  a.rule = "zeta-rule";
+  a.message = "m1";
+  Finding b;
+  b.rule = "alpha-rule";
+  b.message = "m2";
+  Finding c;
+  c.rule = "zeta-rule";
+  c.message = "m3";
+
+  std::ostringstream out;
+  RenderFindingsSarif(out, {a, b, c});
+  const std::string sarif = out.str();
+  const size_t alpha = sarif.find("{\"id\":\"alpha-rule\"}");
+  const size_t zeta = sarif.find("{\"id\":\"zeta-rule\"}");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, zeta);
+  // zeta-rule appears once in the rules array.
+  EXPECT_EQ(sarif.find("{\"id\":\"zeta-rule\"}", zeta + 1), std::string::npos);
+}
+
+TEST(SarifTest, GoldenFileOverSeededViolationModule) {
+  auto module = ParseModule(
+      ReadFile(std::string(PKRUSAFE_EXAMPLES_IR_DIR) + "/violations/nested_enter.ir"));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  ASSERT_TRUE(pm.Run(*module).ok());
+
+  DiagnosticSink sink;
+  ASSERT_TRUE(RunPkruFlowLints(*module, nullptr, sink).ok());
+  std::ostringstream out;
+  RenderFindingsSarif(out, sink.findings(), "nested_enter.ir");
+
+  const std::string golden_path =
+      std::string(PKRUSAFE_TEST_GOLDEN_DIR) + "/nested_enter.sarif";
+  if (std::getenv("PKRUSAFE_REGOLDEN") != nullptr) {
+    std::ofstream regen(golden_path, std::ios::binary);
+    regen << out.str();
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  EXPECT_EQ(out.str(), ReadFile(golden_path))
+      << "SARIF output drifted from " << golden_path
+      << "; rerun with PKRUSAFE_REGOLDEN=1 if the change is intentional";
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pkrusafe

@@ -133,5 +133,52 @@ TEST(ParserTest, NegativeImmediates) {
   EXPECT_EQ(module->functions[0].blocks[0].instructions[0].operands[0].value, -5);
 }
 
+constexpr const char* kExplicitGates = R"(
+module gated
+untrusted "clib"
+extern @u_fn(1) lib "clib"
+
+func @main(0) {
+entry:
+  %0 = alloc 8
+  gate_enter
+  %1 = call @u_fn(%0)
+  gate_exit
+  ret %1
+}
+)";
+
+TEST(ParserTest, ParsesExplicitGateOps) {
+  auto module = ParseModule(kExplicitGates);
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  const auto& instrs = module->functions[0].blocks[0].instructions;
+  ASSERT_EQ(instrs.size(), 5u);
+  EXPECT_EQ(instrs[1].opcode, Opcode::kGateEnter);
+  EXPECT_TRUE(instrs[1].operands.empty());
+  EXPECT_FALSE(instrs[1].dest.has_value());
+  EXPECT_EQ(instrs[3].opcode, Opcode::kGateExit);
+  EXPECT_TRUE(module->functions[0].UsesExplicitGates());
+  EXPECT_TRUE(VerifyModule(*module).ok());
+}
+
+TEST(ParserTest, GateOpsPrintParseFixpoint) {
+  auto module = ParseModule(kExplicitGates);
+  ASSERT_TRUE(module.ok());
+  const std::string printed = PrintModule(*module);
+  EXPECT_NE(printed.find("gate_enter"), std::string::npos);
+  EXPECT_NE(printed.find("gate_exit"), std::string::npos);
+  auto reparsed = ParseModule(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << printed;
+  EXPECT_EQ(PrintModule(*reparsed), printed);
+}
+
+TEST(ParserTest, VerifierRejectsMalformedGateOps) {
+  // Gate ops take no operands and produce no value.
+  auto with_dest = ParseModule("func @f(0) {\ne:\n  %0 = gate_enter\n  ret 0\n}\n");
+  EXPECT_FALSE(with_dest.ok() && VerifyModule(*with_dest).ok());
+  auto with_operand = ParseModule("func @f(0) {\ne:\n  gate_exit 1\n  ret 0\n}\n");
+  EXPECT_FALSE(with_operand.ok() && VerifyModule(*with_operand).ok());
+}
+
 }  // namespace
 }  // namespace pkrusafe

@@ -1,0 +1,93 @@
+// GateLoweringPass: gated-call marks expand into explicit
+// gate_enter/call/gate_exit triples, idempotently, without disturbing
+// AllocIds or unmarked calls — and the lowered module still executes.
+#include "src/passes/gate_lowering_pass.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/passes/alloc_id_pass.h"
+#include "src/passes/gate_insertion_pass.h"
+#include "src/passes/pass.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr const char* kSource = R"(
+module lowering_demo
+untrusted "clib"
+extern @sink(1) lib "clib"
+extern @trusted_helper(1)
+
+func @main(0) {
+entry:
+  %0 = alloc 64
+  call @sink(%0)
+  %1 = call @trusted_helper(%0)
+  ret %1
+}
+)";
+
+IrModule Instrumented() {
+  auto module = ParseModule(kSource);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  EXPECT_TRUE(pm.Run(*module).ok());
+  return std::move(*module);
+}
+
+TEST(GateLoweringPassTest, ExpandsEachGatedCallIntoABracket) {
+  IrModule module = Instrumented();
+  GateLoweringPass pass;
+  ASSERT_TRUE(pass.Run(module).ok());
+  EXPECT_EQ(pass.gates_lowered(), 1u);
+
+  const auto& instrs = module.functions[0].blocks[0].instructions;
+  // alloc, gate_enter, call @sink, gate_exit, call @trusted_helper, ret
+  ASSERT_EQ(instrs.size(), 6u);
+  EXPECT_EQ(instrs[1].opcode, Opcode::kGateEnter);
+  EXPECT_EQ(instrs[2].opcode, Opcode::kCall);
+  EXPECT_EQ(instrs[2].callee, "sink");
+  EXPECT_FALSE(instrs[2].gated);
+  EXPECT_EQ(instrs[3].opcode, Opcode::kGateExit);
+  EXPECT_EQ(instrs[4].opcode, Opcode::kCall);
+  EXPECT_FALSE(instrs[4].gated);
+
+  // The alloc keeps its site id: lowering must not shift AllocIds.
+  EXPECT_TRUE(instrs[0].alloc_id.has_value());
+  EXPECT_EQ(*instrs[0].alloc_id, (AllocId{0, 0, 0}));
+
+  EXPECT_TRUE(VerifyModule(module).ok());
+}
+
+TEST(GateLoweringPassTest, IdempotentOnLoweredModules) {
+  IrModule module = Instrumented();
+  GateLoweringPass first;
+  ASSERT_TRUE(first.Run(module).ok());
+  GateLoweringPass second;
+  ASSERT_TRUE(second.Run(module).ok());
+  EXPECT_EQ(second.gates_lowered(), 0u);
+  EXPECT_EQ(module.functions[0].blocks[0].instructions.size(), 6u);
+}
+
+TEST(GateLoweringPassTest, GateInsertionSkipsExplicitlyGatedFunctions) {
+  // Running the insertion pass AFTER lowering must not re-mark the call:
+  // the function now carries explicit gates, so it owns its gating.
+  IrModule module = Instrumented();
+  GateLoweringPass lower;
+  ASSERT_TRUE(lower.Run(module).ok());
+  GateInsertionPass insert;
+  ASSERT_TRUE(insert.Run(module).ok());
+  EXPECT_EQ(insert.gates_inserted(), 0u);
+  for (const Instruction& instr : module.functions[0].blocks[0].instructions) {
+    EXPECT_FALSE(instr.gated);
+  }
+}
+
+}  // namespace
+}  // namespace pkrusafe

@@ -9,6 +9,10 @@
 //   pkrusafe_lint --scan=build/tools/pkrusafe_run # WRPKRU/XRSTOR gadget scan
 //   pkrusafe_lint --scan-self                     # scan this very binary
 //   pkrusafe_lint prog.ir --format=json           # machine-readable output
+//   pkrusafe_lint prog.ir --format=sarif          # SARIF 2.1.0 output
+//   pkrusafe_lint check-binary BIN [prog.ir...]   # link-time gate-integrity
+//                                                 #   check (registry vs scan,
+//                                                 #   optionally vs IR gates)
 //
 // Exit codes: 0 clean (below --fail-on, default error), 1 findings at or
 // above the threshold, 2 usage/load errors.
@@ -21,13 +25,16 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/gadget_scan.h"
+#include "src/analysis/gate_integrity.h"
 #include "src/analysis/lint.h"
+#include "src/analysis/pkru_flow.h"
 #include "src/analysis/points_to.h"
 #include "src/ir/parser.h"
 #include "src/passes/alloc_id_pass.h"
@@ -43,6 +50,7 @@ using namespace pkrusafe;  // NOLINT: tool brevity
 int Usage() {
   std::fprintf(stderr,
                "usage: pkrusafe_lint [<module.ir>] [options]\n"
+               "       pkrusafe_lint check-binary <binary> [<module.ir>...] [options]\n"
                "  --profile=FILE       check the module against a recorded profile and\n"
                "                       report the static/dynamic precision ratio\n"
                "  --no-gates           skip GateInsertionPass before linting (shows\n"
@@ -50,9 +58,40 @@ int Usage() {
                "  --scan=BINARY        WRPKRU/XRSTOR gadget-scan a built binary\n"
                "                       (repeatable)\n"
                "  --scan-self          gadget-scan this pkrusafe_lint binary\n"
-               "  --format=text|json   output format (default text)\n"
-               "  --fail-on=error|warning|note   exit-1 threshold (default error)\n");
+               "  --format=text|json|sarif   output format (default text)\n"
+               "  --fail-on=error|warning|note   exit-1 threshold (default error)\n"
+               "\n"
+               "check-binary cross-checks the binary's .pkru_gate_sites registry against\n"
+               "an ERIM-style byte scan (and, given modules, against their IR-level gate\n"
+               "inventory from the PKRU flow analysis); mismatches are errors.\n");
   return 2;
+}
+
+// Loads, instruments (AllocId + gate insertion unless disabled) and returns a
+// module, or exits via `return 2` semantics (nullopt).
+std::optional<IrModule> LoadModule(const std::string& path, bool apply_gates) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto module = ParseModule(buffer.str());
+  if (!module.ok()) {
+    std::fprintf(stderr, "parse %s: %s\n", path.c_str(), module.status().ToString().c_str());
+    return std::nullopt;
+  }
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  if (apply_gates) {
+    pm.Add(std::make_unique<GateInsertionPass>());
+  }
+  if (auto status = pm.Run(*module); !status.ok()) {
+    std::fprintf(stderr, "instrument %s: %s\n", path.c_str(), status.ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(*module);
 }
 
 }  // namespace
@@ -64,6 +103,9 @@ int main(int argc, char** argv) {
   std::string fail_on = "error";
   std::vector<std::string> scan_paths;
   bool apply_gates = true;
+  bool check_binary = false;
+  std::string binary_path;
+  std::vector<std::string> inventory_modules;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,7 +122,7 @@ int main(int argc, char** argv) {
       scan_paths.push_back("/proc/self/exe");
     } else if (const char* v = value_of("--format=")) {
       format = v;
-      if (format != "text" && format != "json") {
+      if (format != "text" && format != "json" && format != "sarif") {
         return Usage();
       }
     } else if (const char* v = value_of("--fail-on=")) {
@@ -92,40 +134,59 @@ int main(int argc, char** argv) {
       apply_gates = false;
     } else if (arg[0] == '-') {
       return Usage();
+    } else if (arg == "check-binary" && !check_binary && module_path.empty()) {
+      check_binary = true;
+    } else if (check_binary && binary_path.empty()) {
+      binary_path = arg;
+    } else if (check_binary) {
+      inventory_modules.push_back(arg);
     } else if (module_path.empty()) {
       module_path = arg;
     } else {
       return Usage();
     }
   }
-  if (module_path.empty() && scan_paths.empty()) {
+  if (check_binary ? binary_path.empty() : (module_path.empty() && scan_paths.empty())) {
     return Usage();
   }
 
   analysis::DiagnosticSink sink;
   std::string extra_summary;
 
-  if (!module_path.empty()) {
-    std::ifstream in(module_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", module_path.c_str());
+  if (check_binary) {
+    analysis::GateInventory inventory;
+    for (const std::string& path : inventory_modules) {
+      auto module = LoadModule(path, apply_gates);
+      if (!module.has_value()) {
+        return 2;
+      }
+      analysis::PkruFlowAnalysis flow(&*module);
+      if (auto status = flow.Run(); !status.ok()) {
+        std::fprintf(stderr, "pkru-flow %s: %s\n", path.c_str(), status.ToString().c_str());
+        return 2;
+      }
+      inventory.to_untrusted_sites += flow.gate_inventory().to_untrusted_sites;
+      inventory.to_trusted_sites += flow.gate_inventory().to_trusted_sites;
+      inventory.sites.insert(inventory.sites.end(), flow.gate_inventory().sites.begin(),
+                             flow.gate_inventory().sites.end());
+    }
+    auto report = analysis::ScanBinaryGates(binary_path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "check-binary: %s\n", report.status().ToString().c_str());
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
+    analysis::CheckGateIntegrity(*report, inventory_modules.empty() ? nullptr : &inventory,
+                                 sink);
+    if (format == "text") {
+      std::printf("check-binary %s: %zu sanctioned, %zu unsanctioned, %zu registered\n",
+                  binary_path.c_str(), report->sanctioned, report->unsanctioned,
+                  report->registered);
+    }
+  }
 
-    auto module = ParseModule(buffer.str());
-    if (!module.ok()) {
-      std::fprintf(stderr, "parse: %s\n", module.status().ToString().c_str());
-      return 2;
-    }
-    PassManager pm;
-    pm.Add(std::make_unique<AllocIdPass>());
-    if (apply_gates) {
-      pm.Add(std::make_unique<GateInsertionPass>());
-    }
-    if (auto status = pm.Run(*module); !status.ok()) {
-      std::fprintf(stderr, "instrument: %s\n", status.ToString().c_str());
+  if (!module_path.empty()) {
+    auto module = LoadModule(module_path, apply_gates);
+    if (!module.has_value()) {
       return 2;
     }
 
@@ -147,6 +208,10 @@ int main(int argc, char** argv) {
       have_profile = true;
     }
     analysis::RunAllLints(*module, points_to, have_profile ? &profile : nullptr, sink);
+    if (auto status = analysis::RunPkruFlowLints(*module, &points_to, sink); !status.ok()) {
+      std::fprintf(stderr, "pkru-flow: %s\n", status.ToString().c_str());
+      return 2;
+    }
 
     const size_t static_sites = points_to.SharedSites().size();
     if (have_profile) {
@@ -189,6 +254,12 @@ int main(int argc, char** argv) {
 
   if (format == "json") {
     analysis::RenderFindingsJson(std::cout, sink.findings(), extra_summary);
+  } else if (format == "sarif") {
+    const std::string artifact = !module_path.empty() ? module_path
+                                 : check_binary       ? binary_path
+                                 : scan_paths.empty() ? std::string()
+                                                      : scan_paths.front();
+    analysis::RenderFindingsSarif(std::cout, sink.findings(), artifact);
   } else {
     analysis::RenderFindingsText(std::cout, sink.findings());
   }
