@@ -14,6 +14,11 @@
 #   scripts/check.sh contprof       # continuous profiling: budget + delta +
 #                                   # aggregator tests under ThreadSanitizer,
 #                                   # then the overhead bench (BENCH_contprof)
+#   scripts/check.sh fleet          # fleet transport: frame codec/server,
+#                                   # net-sink, demotion and artifact tests
+#                                   # under ThreadSanitizer, the socket e2e,
+#                                   # a live serve round trip, then the
+#                                   # transport bench (BENCH_fleet)
 #   scripts/check.sh vpkey          # virtual-pkey cache: multidomain tests
 #                                   # under ThreadSanitizer (pin/evict races),
 #                                   # the 32-tenant sandbox on both backends,
@@ -41,11 +46,12 @@ while [[ $# -gt 0 ]]; do
     crash|--crash) mode=crash; shift ;;
     faultstress|--faultstress) mode=faultstress; shift ;;
     contprof|--contprof) mode=contprof; shift ;;
+    fleet|--fleet) mode=fleet; shift ;;
     vpkey|--vpkey) mode=vpkey; shift ;;
     gateintegrity|--gateintegrity) mode=gateintegrity; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|vpkey|gateintegrity|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|fleet|vpkey|gateintegrity|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -138,6 +144,56 @@ run_contprof() {
   echo "contprof check OK"
 }
 
+run_fleet() {
+  echo "== check: fleet (build/check-tsan) =="
+  # The fleet telemetry plane: the frame codec against adversarial input, the
+  # poll-based server, the reconnecting non-blocking sink, cold-site demotion
+  # and network-delta validation in the aggregator, provenance-checked
+  # artifacts, and the fork-based socket e2e — all under ThreadSanitizer,
+  # since the sink is locked against a sampler thread and the e2e races a
+  # producer against the serve loop.
+  cmake -B build/check-tsan -S . -DPKRUSAFE_SANITIZE=thread
+  cmake --build build/check-tsan -j "$(nproc)" \
+    --target telemetry_test aggregator_test runtime_test mpk_test integration_test
+  ctest --test-dir build/check-tsan --output-on-failure \
+    -R 'FrameCodec|FrameServer|NetSink|Aggregator|ProfileArtifact|ProfileDelta|LatchedPageSet|FleetE2e|Sampler'
+
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" --target pkrusafe_run profile_tool bench_fleet
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+
+  echo "-- fleet: live serve round trip (stream -> promote -> artifact)"
+  build/tools/profile_tool serve --module=examples/ir/interproc.ir --port=0 \
+    --artifact="$out/fleet.artifact" --idle-exit-polls=40 \
+    > "$out/serve.log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out/serve.log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "serve never reported its port" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  build/tools/pkrusafe_run examples/ir/interproc.ir --mode=profile \
+    --profile-stream="tcp://127.0.0.1:$port" --epoch=check >/dev/null
+  wait "$serve_pid"
+  grep -q '^promote:' "$out/serve.log"
+  [[ -s "$out/fleet.artifact" ]]
+  # The exported artifact must load back into an enforcement run.
+  build/tools/pkrusafe_run examples/ir/interproc.ir --mode=enforce \
+    --artifact="$out/fleet.artifact" --expected-epoch=check >/dev/null
+
+  PKRUSAFE_BENCH_OUT_DIR="$out" build/bench/bench_fleet
+  grep -q '"bench":"fleet"' "$out/BENCH_fleet.json"
+  echo "fleet check OK"
+}
+
 run_vpkey() {
   echo "== check: vpkey (build/check-tsan) =="
   # The virtual-pkey cache's lock-free pin fast path races eviction by
@@ -206,6 +262,7 @@ case "$mode" in
   crash) run_crash ;;
   faultstress) run_faultstress ;;
   contprof) run_contprof ;;
+  fleet) run_fleet ;;
   vpkey) run_vpkey ;;
   gateintegrity) run_gateintegrity ;;
   matrix)
@@ -216,6 +273,7 @@ case "$mode" in
     run_crash
     run_faultstress
     run_contprof
+    run_fleet
     run_vpkey
     run_gateintegrity
     ;;

@@ -1,5 +1,6 @@
 #include "src/core/pkru_safe.h"
 
+#include "src/ir/module_hash.h"
 #include "src/ir/parser.h"
 #include "src/ir/printer.h"
 #include "src/passes/alloc_id_pass.h"
@@ -7,6 +8,9 @@
 #include "src/passes/pass.h"
 #include "src/passes/profile_apply_pass.h"
 #include "src/passes/static_sharing_analysis.h"
+#include "src/runtime/profile_artifact.h"
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
 
 namespace pkrusafe {
 
@@ -16,26 +20,58 @@ Result<std::unique_ptr<System>> System::Create(std::string_view ir_source, Syste
 
   PS_ASSIGN_OR_RETURN(system->module_, ParseModule(ir_source));
 
-  // Instrumented build: site naming, boundary gating, and (for enforcement
-  // builds) profile application.
+  // Instrumented build: site naming and boundary gating run first, so the
+  // module hash that streams and artifacts are keyed by can be taken BEFORE
+  // any profile is applied (the pre-apply text is the stable anchor across
+  // profile iterations).
   auto alloc_ids = std::make_unique<AllocIdPass>();
   auto gates = std::make_unique<GateInsertionPass>();
   auto* alloc_ids_ptr = alloc_ids.get();
   auto* gates_ptr = gates.get();
-  ProfileApplyPass* apply_ptr = nullptr;
 
   PassManager pm;
   pm.Add(std::move(alloc_ids));
   pm.Add(std::move(gates));
-  if (config.mode == RuntimeMode::kEnforcing && !config.profile.empty()) {
-    auto apply = std::make_unique<ProfileApplyPass>(config.profile);
-    apply_ptr = apply.get();
-    pm.Add(std::move(apply));
-  }
   PS_RETURN_IF_ERROR(pm.Run(system->module_));
   system->total_sites_ = alloc_ids_ptr->sites_assigned();
   system->gates_inserted_ = gates_ptr->gates_inserted();
-  system->sites_rewritten_ = apply_ptr != nullptr ? apply_ptr->sites_rewritten() : 0;
+  system->instrumented_ir_hash_ = ModuleContentHash(system->module_);
+
+  // Provenance-checked artifact: the committed profile, verified before it
+  // may influence the partition.
+  if (!config.profile_artifact.empty()) {
+    if (!config.profile.empty()) {
+      return InvalidArgumentError(
+          "SystemConfig: profile and profile_artifact are mutually exclusive");
+    }
+    PS_ASSIGN_OR_RETURN(const ProfileArtifact artifact,
+                        ProfileArtifact::LoadFromFile(config.profile_artifact));
+    if (artifact.ir_hash != system->instrumented_ir_hash_) {
+      return FailedPreconditionError(StrFormat(
+          "profile artifact %s was recorded against IR hash 0x%016llx but this module's "
+          "instrumented hash is 0x%016llx — its site ids do not apply; re-profile and "
+          "re-export",
+          config.profile_artifact.c_str(), static_cast<unsigned long long>(artifact.ir_hash),
+          static_cast<unsigned long long>(system->instrumented_ir_hash_)));
+    }
+    if (!config.expected_epoch.empty() && artifact.NewestEpoch() != config.expected_epoch) {
+      PS_LOG(Warning) << "profile artifact " << config.profile_artifact
+                      << " is stale: newest contributing epoch is '" << artifact.NewestEpoch()
+                      << "', expected '" << config.expected_epoch
+                      << "' — applying it anyway; consider re-exporting";
+    }
+    config.profile = artifact.profile;
+  }
+
+  // Enforcement builds additionally apply the (now-verified) profile.
+  if (config.mode == RuntimeMode::kEnforcing && !config.profile.empty()) {
+    PassManager apply_pm;
+    auto apply = std::make_unique<ProfileApplyPass>(config.profile);
+    auto* apply_ptr = apply.get();
+    apply_pm.Add(std::move(apply));
+    PS_RETURN_IF_ERROR(apply_pm.Run(system->module_));
+    system->sites_rewritten_ = apply_ptr->sites_rewritten();
+  }
 
   RuntimeConfig rc;
   rc.backend = config.backend;

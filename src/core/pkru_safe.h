@@ -42,6 +42,18 @@ struct SystemConfig {
   FaultRateBudgetOptions sampling;
   size_t trusted_pool_bytes = size_t{2} << 30;
   size_t untrusted_pool_bytes = size_t{2} << 30;
+  // Path to a provenance-checked profile artifact (profile_tool
+  // export-artifact). When set, the artifact supplies the enforcement
+  // profile — `profile` must be empty — and Create verifies it at load:
+  //   * checksum failure or malformed content   -> hard error
+  //   * artifact ir_hash != this module's instrumented (pre-profile-apply)
+  //     content hash                            -> hard error — the site ids
+  //     were recorded against different IR
+  //   * newest contributing epoch != `expected_epoch` (when that is
+  //     non-empty)                              -> warning only: the profile
+  //     still applies, but the fleet has moved past it
+  std::string profile_artifact;
+  std::string expected_epoch;
 };
 
 class System {
@@ -62,6 +74,12 @@ class System {
   Interpreter& interpreter() { return *interpreter_; }
   const IrModule& module() const { return module_; }
 
+  // ModuleContentHash of the instrumented, profile-free module (after
+  // AllocIdPass + GateInsertionPass, before ProfileApplyPass). This is the
+  // hash profile streams and artifacts are keyed by: it is stable across
+  // profile iterations, where the post-apply module text is not.
+  uint64_t instrumented_ir_hash() const { return instrumented_ir_hash_; }
+
   Profile TakeProfile() const { return runtime_->TakeProfile(); }
 
   // Instrumentation statistics (the §5.3 numbers for this program).
@@ -76,6 +94,7 @@ class System {
   System() = default;
 
   IrModule module_;
+  uint64_t instrumented_ir_hash_ = 0;
   std::unique_ptr<PkruSafeRuntime> runtime_;
   std::unique_ptr<Interpreter> interpreter_;
   size_t total_sites_ = 0;

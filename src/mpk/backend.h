@@ -128,6 +128,16 @@ class MpkBackend {
     (void)end;
   }
 
+  // Reverses NoteLatchedRange for [begin, end): the pages leave the latched
+  // set and their key-derived protection is restored, so they trap on touch
+  // again. Called from USER context only (Runtime::ApplyDemotions) — never a
+  // signal handler — though it must tolerate racing signal-context Inserts.
+  // Backends without latch support ignore the call.
+  virtual void UnlatchRange(uintptr_t begin, uintptr_t end) {
+    (void)begin;
+    (void)end;
+  }
+
   // Whether the page containing `addr` has been latched.
   virtual bool IsLatched(uintptr_t addr) const {
     (void)addr;

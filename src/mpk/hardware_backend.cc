@@ -173,6 +173,19 @@ void HardwareMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
   }
 }
 
+void HardwareMpkBackend::UnlatchRange(uintptr_t begin, uintptr_t end) {
+  // User-context only (ApplyDemotions). Re-tag each page with its recorded
+  // key so the hardware enforces the PKRU on it again.
+  for (uintptr_t page = PageDown(begin); page < end; page += kPageSize) {
+    if (!latched_.Erase(page)) {
+      continue;  // never latched: still carries its key
+    }
+    if (page_keys_.IsTagged(page)) {
+      (void)PkeyMprotect(page, kPageSize, PROT_READ | PROT_WRITE, page_keys_.KeyFor(page));
+    }
+  }
+}
+
 Status HardwareMpkBackend::InstallSignalHandlers() { return FaultSignalEngine::Install(this); }
 
 void HardwareMpkBackend::UninstallSignalHandlers() {

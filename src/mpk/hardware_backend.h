@@ -47,6 +47,7 @@ class HardwareMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   // First-fault latching: latched pages are re-tagged to the default key
   // (pkey 0, always accessible) for the rest of the run.
   void NoteLatchedRange(uintptr_t begin, uintptr_t end) override;
+  void UnlatchRange(uintptr_t begin, uintptr_t end) override;
   bool IsLatched(uintptr_t addr) const override { return latched_.Contains(addr); }
   size_t latched_page_count() const override { return latched_.size(); }
   // Page tags are process-wide (only the PKRU is per-thread), so the

@@ -7,11 +7,14 @@
 // path of the sim backend, so everything is an open-addressed table of
 // atomics: CAS insert, acquire-load probe, no allocation, no locks.
 //
-// Pages are never removed — a latch lasts for the run by design, and latch
-// mode only exists in profiling runs where the approximation is acceptable.
-// When the table fills up (load factor 1/2) it refuses further inserts; the
-// caller then simply keeps single-stepping those pages and surfaces the
-// saturation through a metric.
+// Removal exists only for online demotion (Runtime::ApplyDemotions returns a
+// cold site's pages to trap-on-touch): Erase tombstones the slot so probe
+// chains stay intact, and Insert reuses the earliest tombstone on its path.
+// Erase is called from user context only — never a signal handler — but must
+// still be lock-free because it races with signal-context Inserts.
+// When the table fills up (load factor 1/2 of live pages) it refuses further
+// inserts; the caller then simply keeps single-stepping those pages and
+// surfaces the saturation through a metric.
 #ifndef SRC_MPK_LATCHED_PAGE_SET_H_
 #define SRC_MPK_LATCHED_PAGE_SET_H_
 
@@ -29,6 +32,9 @@ class LatchedPageSet {
   // 4096 slots / max 2048 latched pages = 8 MiB of latched heap; plenty for
   // the profiling corpus, and saturation degrades to plain single-stepping.
   static constexpr size_t kCapacity = 4096;
+  // Erased-slot marker. Never collides with a real page (pages are aligned;
+  // all-ones is not) or the empty sentinel 0.
+  static constexpr uintptr_t kTombstone = ~uintptr_t{0};
 
   LatchedPageSet() = default;
   LatchedPageSet(const LatchedPageSet&) = delete;
@@ -45,7 +51,36 @@ class LatchedPageSet {
       return Contains(page);
     }
     size_t index = Hash(page);
+    size_t reuse = kCapacity;  // earliest tombstone on the probe path
     for (size_t probe = 0; probe < kCapacity; ++probe) {
+      uintptr_t slot = slots_[index].load(std::memory_order_acquire);
+      if (slot == page) {
+        return true;
+      }
+      if (slot == kTombstone) {
+        if (reuse == kCapacity) {
+          reuse = index;
+        }
+        index = (index + 1) & (kCapacity - 1);
+        continue;
+      }
+      if (slot != 0) {
+        index = (index + 1) & (kCapacity - 1);
+        continue;
+      }
+      // The chain ends here, so the page is absent. Claim the earliest
+      // tombstone if one was passed, else this empty slot. Losing the
+      // tombstone CAS to a racing insert of a DIFFERENT page is fine — we
+      // fall through to the empty slot; losing it to the SAME page leaves a
+      // benign duplicate that Erase clears.
+      if (reuse != kCapacity) {
+        uintptr_t expected = kTombstone;
+        if (slots_[reuse].compare_exchange_strong(expected, page, std::memory_order_acq_rel)) {
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        reuse = kCapacity;
+      }
       uintptr_t expected = 0;
       if (slots_[index].compare_exchange_strong(expected, page, std::memory_order_acq_rel)) {
         size_.fetch_add(1, std::memory_order_relaxed);
@@ -54,7 +89,7 @@ class LatchedPageSet {
       if (expected == page) {
         return true;
       }
-      index = (index + 1) & (kCapacity - 1);
+      // A racing insert filled the slot: re-examine it without advancing.
     }
     return false;
   }
@@ -70,9 +105,38 @@ class LatchedPageSet {
       if (slot == 0) {
         return false;
       }
+      // Tombstones and other pages keep the probe chain alive.
       index = (index + 1) & (kCapacity - 1);
     }
     return false;
+  }
+
+  // Removes the page containing `addr` (all duplicates in its probe chain).
+  // Returns true when at least one slot was cleared. User-context only by
+  // contract, but lock-free because signal-context Inserts race with it.
+  bool Erase(uintptr_t addr) {
+    const uintptr_t page = PageDown(addr);
+    if (page == 0) {
+      return false;
+    }
+    bool erased = false;
+    size_t index = Hash(page);
+    for (size_t probe = 0; probe < kCapacity; ++probe) {
+      const uintptr_t slot = slots_[index].load(std::memory_order_acquire);
+      if (slot == 0) {
+        break;
+      }
+      if (slot == page) {
+        uintptr_t expected = page;
+        if (slots_[index].compare_exchange_strong(expected, kTombstone,
+                                                  std::memory_order_acq_rel)) {
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          erased = true;
+        }
+      }
+      index = (index + 1) & (kCapacity - 1);
+    }
+    return erased;
   }
 
   PKRUSAFE_AS_SAFE size_t size() const { return size_.load(std::memory_order_relaxed); }

@@ -141,6 +141,22 @@ void MprotectMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
   }
 }
 
+void MprotectMpkBackend::UnlatchRange(uintptr_t begin, uintptr_t end) {
+  // User-context only (ApplyDemotions). Restore each page's protection from
+  // its key and the current process-wide PKRU so the page traps again.
+  std::lock_guard lock(pkru_mutex_);
+  const PkruValue pkru = EffectivePkru();
+  for (uintptr_t page = PageDown(begin); page < end; page += kPageSize) {
+    if (!latched_.Erase(page)) {
+      continue;  // never latched: its protection already matches its key
+    }
+    if (page_keys_.IsTagged(page)) {
+      const PkeyId key = page_keys_.KeyFor(page);
+      (void)::mprotect(reinterpret_cast<void*>(page), kPageSize, ProtFor(pkru, key));
+    }
+  }
+}
+
 Status MprotectMpkBackend::InstallSignalHandlers() { return FaultSignalEngine::Install(this); }
 
 void MprotectMpkBackend::UninstallSignalHandlers() {

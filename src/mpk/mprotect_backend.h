@@ -58,6 +58,7 @@ class MprotectMpkBackend final : public MpkBackend, public FaultSignalDelegate {
   // First-fault latching: latched pages stay PROT_READ|PROT_WRITE across
   // Reprotect and subsequent PKRU writes for the rest of the run.
   void NoteLatchedRange(uintptr_t begin, uintptr_t end) override;
+  void UnlatchRange(uintptr_t begin, uintptr_t end) override;
   bool IsLatched(uintptr_t addr) const override { return latched_.Contains(addr); }
   size_t latched_page_count() const override { return latched_.size(); }
   bool has_process_wide_step_window() const override { return true; }

@@ -97,4 +97,12 @@ void SimMpkBackend::NoteLatchedRange(uintptr_t begin, uintptr_t end) {
   }
 }
 
+void SimMpkBackend::UnlatchRange(uintptr_t begin, uintptr_t end) {
+  // The model is the latched set itself: removing a page makes CheckAccess
+  // consult the PKRU again, i.e. the page traps on touch.
+  for (uintptr_t page = PageDown(begin); page < end; page += kPageSize) {
+    (void)latched_.Erase(page);
+  }
+}
+
 }  // namespace pkrusafe

@@ -42,6 +42,7 @@ class SimMpkBackend final : public MpkBackend {
   // First-fault latching: accesses to latched pages pass CheckAccess without
   // consulting the PKRU (the page has been downgraded to the shared key).
   void NoteLatchedRange(uintptr_t begin, uintptr_t end) override;
+  void UnlatchRange(uintptr_t begin, uintptr_t end) override;
   bool IsLatched(uintptr_t addr) const override { return latched_.Contains(addr); }
   size_t latched_page_count() const override { return latched_.size(); }
 

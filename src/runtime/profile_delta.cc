@@ -270,49 +270,145 @@ Result<ProfileDelta> ProfileDelta::FromJsonLine(std::string_view line) {
   return delta;
 }
 
+ProfileStreamWriter::ProfileStreamWriter(Options options)
+    : options_(std::move(options)), epoch_(options_.epoch) {}
+
+ProfileStreamWriter::~ProfileStreamWriter() { Close(); }
+
 Status ProfileStreamWriter::Open() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (fd_ >= 0) return Status::Ok();
-  fd_ = ::open(options_.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
-               0644);
-  if (fd_ < 0) {
-    return InternalError(StrFormat("profile stream: open %s: %s",
-                                   options_.path.c_str(), strerror(errno)));
+  if (options_.adopt_fd >= 0 && fd_ < 0) {
+    fd_ = options_.adopt_fd;
+  } else if (!options_.path.empty() && fd_ < 0) {
+    fd_ = ::open(options_.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                 0644);
+    if (fd_ < 0) {
+      return InternalError(StrFormat("profile stream: open %s: %s",
+                                     options_.path.c_str(), strerror(errno)));
+    }
+  }
+  if (options_.net_port != 0 && net_sink_ == nullptr) {
+    telemetry::NetSinkOptions net;
+    net.host = options_.net_host;
+    net.port = options_.net_port;
+    net_sink_ = std::make_unique<telemetry::NetSink>(net);
+    net_sink_->Send(telemetry::FrameType::kHello,
+                    StrFormat(R"({"kind":"pkru_safe_hello","stream":"%s","epoch":"%s"})",
+                              options_.path.empty() ? "net" : options_.path.c_str(),
+                              epoch_.c_str()));
+  }
+  if (fd_ < 0 && options_.net_port == 0) {
+    return InvalidArgumentError("profile stream: no sink configured");
+  }
+  return Status::Ok();
+}
+
+Status ProfileStreamWriter::DrainPendingLocked() {
+  while (!pending_.empty()) {
+    const ssize_t n = ::write(fd_, pending_.data(), pending_.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // EAGAIN (a non-blocking sink, e.g. a full pipe in tests) and real
+      // errors both defer: the accepted bytes stay pending, so the file
+      // never keeps a torn line — the tail completes on a later flush.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Ok();
+      }
+      return InternalError(StrFormat("profile stream: write %s: %s",
+                                     options_.path.c_str(), strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Ok();  // no progress; try again next flush
+    }
+    // Every accepted record ends in '\n', so the write stopped mid-line
+    // exactly when the last byte out was not a newline.
+    front_partially_written_ = pending_[static_cast<size_t>(n) - 1] != '\n';
+    pending_.erase(0, static_cast<size_t>(n));
+  }
+  front_partially_written_ = false;
+  if (options_.fsync_on_flush) {
+    (void)::fsync(fd_);
   }
   return Status::Ok();
 }
 
 Status ProfileStreamWriter::Flush(const Profile& current) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (fd_ < 0) {
+  if (fd_ < 0 && net_sink_ == nullptr) {
     return FailedPreconditionError("profile stream: not open");
   }
-  ProfileDelta delta = ProfileDelta::Between(last_, current, options_.epoch,
-                                             options_.ir_hash, next_sequence_);
-  if (delta.empty()) return Status::Ok();
-  std::string line = delta.ToJsonLine();
-  line.push_back('\n');
-  size_t written = 0;
-  while (written < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return InternalError(StrFormat("profile stream: write %s: %s",
-                                     options_.path.c_str(), strerror(errno)));
+  ProfileDelta delta =
+      ProfileDelta::Between(last_, current, epoch_, options_.ir_hash, next_sequence_);
+  if (delta.empty()) {
+    // Nothing new — but keep draining any deferred tail and pumping the net
+    // sink (reconnects and policy frames don't wait for fresh data).
+    if (net_sink_ != nullptr) {
+      net_sink_->Pump();
     }
-    written += static_cast<size_t>(n);
+    return fd_ >= 0 ? DrainPendingLocked() : Status::Ok();
   }
+  // The delta is accepted — the baseline and sequence advance — regardless
+  // of sink backpressure; the sinks deliver (or drop whole records) on
+  // their own schedule.
   last_ = current;
   ++next_sequence_;
   ++deltas_written_;
-  return Status::Ok();
+  if (net_sink_ != nullptr) {
+    net_sink_->Send(telemetry::FrameType::kProfileDelta, delta.EncodeBinary());
+  }
+  if (fd_ < 0) {
+    return Status::Ok();
+  }
+  std::string line = delta.ToJsonLine();
+  line.push_back('\n');
+  if (pending_.size() + line.size() > options_.max_pending_bytes) {
+    // Overflow: drop whole NOT-YET-STARTED lines from the front. A line
+    // with a prefix already in the file must finish, or the file keeps a
+    // torn line forever (the exact bug this buffer exists to prevent).
+    size_t keep_from = 0;
+    if (front_partially_written_) {
+      const size_t eol = pending_.find('\n');
+      keep_from = eol == std::string::npos ? pending_.size() : eol + 1;
+    }
+    std::string kept = pending_.substr(0, keep_from);
+    size_t drop_pos = keep_from;
+    while (pending_.size() - drop_pos + kept.size() + line.size() >
+               options_.max_pending_bytes &&
+           drop_pos < pending_.size()) {
+      const size_t eol = pending_.find('\n', drop_pos);
+      drop_pos = eol == std::string::npos ? pending_.size() : eol + 1;
+      ++lines_dropped_;
+    }
+    kept.append(pending_, drop_pos, std::string::npos);
+    pending_ = std::move(kept);
+  }
+  pending_ += line;
+  return DrainPendingLocked();
+}
+
+void ProfileStreamWriter::SetEpoch(std::string epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_ = std::move(epoch);
+}
+
+size_t ProfileStreamWriter::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
 }
 
 void ProfileStreamWriter::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ >= 0) {
+    // Last chance for a deferred tail; best-effort.
+    (void)DrainPendingLocked();
     ::close(fd_);
     fd_ = -1;
+  }
+  if (net_sink_ != nullptr) {
+    net_sink_->DrainFor(200);
+    net_sink_.reset();
   }
 }
 

@@ -36,6 +36,7 @@
 #define SRC_RUNTIME_PROFILE_DELTA_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -44,6 +45,7 @@
 #include "src/runtime/alloc_id.h"
 #include "src/runtime/profile.h"
 #include "src/support/status.h"
+#include "src/telemetry/stream_net.h"
 
 namespace pkrusafe {
 
@@ -97,17 +99,40 @@ class ProfileDelta {
 // Flushes the growth of a live profile to a JSONL stream, one delta per
 // flush. The sampler calls Flush on its tick, so deltas land on disk at the
 // same cadence as metrics rows. Thread-safe.
+//
+// Sinks (either or both):
+//   * a file (`path`): accepted lines go through a bounded pending buffer,
+//     so a short or failed write never leaves a torn JSONL line in the file
+//     — the unwritten tail is retried on the next flush, and when the
+//     buffer overflows, whole not-yet-started lines drop from the front
+//     (the aggregator tolerates sequence gaps; it rejects rewrites).
+//   * a TCP endpoint (`net_host`/`net_port`): each delta is framed as a
+//     kProfileDelta PSD1 frame over the fleet stream protocol
+//     (telemetry::NetSink — non-blocking, bounded, reconnecting).
 class ProfileStreamWriter {
  public:
   struct Options {
-    std::string path;
+    std::string path;   // file sink; "" = none
+    // Adopt an already-open descriptor as the file sink instead of opening
+    // `path` (ownership transfers; Close closes it). Lets tests drive the
+    // short-write/EAGAIN paths with a non-blocking pipe.
+    int adopt_fd = -1;
     std::string epoch;
     uint64_t ir_hash = 0;
+    // fsync the file after every fully-drained flush (durability over
+    // throughput; default off).
+    bool fsync_on_flush = false;
+    // Cap on buffered-but-unwritten file bytes before whole lines drop.
+    size_t max_pending_bytes = 1u << 20;
+    // Network sink; port 0 = none.
+    std::string net_host = "127.0.0.1";
+    uint16_t net_port = 0;
   };
 
-  explicit ProfileStreamWriter(Options options) : options_(std::move(options)) {}
+  explicit ProfileStreamWriter(Options options);
+  ~ProfileStreamWriter();
 
-  // Creates/truncates the stream file.
+  // Creates/truncates the stream file and/or starts the network sink.
   Status Open();
 
   // Writes Between(last flushed, current) if non-empty. Callers pass the full
@@ -115,17 +140,39 @@ class ProfileStreamWriter {
   // the previous snapshot to diff against.
   Status Flush(const Profile& current);
 
+  // Switches the epoch stamped on subsequent deltas (a live deploy-epoch
+  // roll; the delta baseline and sequence continue).
+  void SetEpoch(std::string epoch);
+
   void Close();
 
   uint64_t deltas_written() const { return deltas_written_; }
+  // Whole lines dropped from the pending buffer (file sink backpressure).
+  uint64_t lines_dropped() const { return lines_dropped_; }
+  // Bytes accepted but not yet written to the file (0 = fully drained).
+  size_t pending_bytes() const;
+  // The network sink, or nullptr when none was configured. Callers use it to
+  // pump reconnects and to receive policy-update frames.
+  telemetry::NetSink* net_sink() { return net_sink_.get(); }
 
  private:
+  // Appends pending_ to the file, tolerating EINTR/EAGAIN/short writes by
+  // keeping the unwritten tail for the next call.
+  Status DrainPendingLocked();
+
   const Options options_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
+  std::string epoch_;       // guarded by mutex_
   Profile last_;            // guarded by mutex_
   uint64_t next_sequence_ = 0;  // guarded by mutex_
   uint64_t deltas_written_ = 0;
+  uint64_t lines_dropped_ = 0;
   int fd_ = -1;             // guarded by mutex_
+  std::string pending_;     // accepted, unwritten file bytes; guarded by mutex_
+  // True when a prefix of pending_'s first line is already in the file — that
+  // line must never be dropped, or the file would keep a torn line.
+  bool front_partially_written_ = false;
+  std::unique_ptr<telemetry::NetSink> net_sink_;
 };
 
 }  // namespace pkrusafe

@@ -157,6 +157,9 @@ PkruSafeRuntime::PkruSafeRuntime(RuntimeConfig config, std::unique_ptr<MpkBacken
       sampling_candidates_(std::move(config.sampling_candidates)) {
   policies_.push_back(std::make_unique<const SitePolicy>(std::move(config.policy)));
   policy_.store(policies_.back().get(), std::memory_order_release);
+  for (const AllocId id : policies_.back()->SharedSites()) {
+    baseline_shared_.insert(id);
+  }
   if (config.sampled_profiling && mode_ == RuntimeMode::kEnforcing) {
     budget_ = std::make_unique<FaultRateBudget>(config.sampling);
   }
@@ -463,6 +466,59 @@ PkruSafeRuntime::PromotionResult PkruSafeRuntime::ApplyPromotions(
       }
       backend_->NoteLatchedRange(lo, hi);
       result.pages_opened += (hi - lo) / kPageSize;
+    }
+  }
+  return result;
+}
+
+PkruSafeRuntime::DemotionResult PkruSafeRuntime::ApplyDemotions(
+    const std::vector<AllocId>& sites) {
+  DemotionResult result;
+  if (sites.empty()) {
+    return result;
+  }
+  std::vector<AllocId> fresh;
+  {
+    std::lock_guard lock(policy_mutex_);
+    const SitePolicy* current = policy_.load(std::memory_order_acquire);
+    auto next = std::make_unique<SitePolicy>(*current);
+    for (const AllocId id : sites) {
+      // The baseline guard: the profile the build was partitioned with says
+      // this site flows to U — a fleet-observed cold streak must not
+      // contradict it (the fleet may simply not have exercised the path).
+      if (baseline_shared_.contains(id)) {
+        ++result.baseline_kept;
+        continue;
+      }
+      if (!next->IsShared(id)) {
+        ++result.not_shared;
+        continue;
+      }
+      next->UnmarkShared(id);
+      fresh.push_back(id);
+      ++result.demoted;
+    }
+    if (!fresh.empty()) {
+      policies_.push_back(std::move(next));
+      policy_.store(policies_.back().get(), std::memory_order_release);
+    }
+  }
+  // New allocations at the demoted sites land in M_T from here on. Pages the
+  // promotion had latched open for live objects go back to trap-on-touch, so
+  // a site that turns hot again is observed (and can re-promote) instead of
+  // silently riding stale latches. Unlatching a page another (still-shared)
+  // site's object also fully covers would close it too — but promotion only
+  // latches fully-covered pages, so a fully-covered page has exactly one
+  // owning object.
+  for (const AllocId id : fresh) {
+    for (const ProvenanceTracker::Record& record : provenance_.RecordsForSite(id)) {
+      const uintptr_t lo = PageUp(record.base);
+      const uintptr_t hi = PageDown(record.base + record.size);
+      if (lo >= hi) {
+        continue;
+      }
+      backend_->UnlatchRange(lo, hi);
+      result.pages_closed += (hi - lo) / kPageSize;
     }
   }
   return result;

@@ -163,6 +163,23 @@ class PkruSafeRuntime {
   // copy-on-write; superseded policies are retired until destruction).
   PromotionResult ApplyPromotions(const std::vector<AllocId>& sites);
 
+  struct DemotionResult {
+    size_t demoted = 0;        // sites newly returned to M_T
+    size_t not_shared = 0;     // sites the policy already served from M_T
+    size_t baseline_kept = 0;  // refused: the loaded baseline profile shares them
+    size_t pages_closed = 0;   // latched pages of live objects re-protected
+  };
+
+  // The reverse of ApplyPromotions: returns cold `sites` to trap-on-touch
+  // without a restart. Future allocations at a demoted site are served from
+  // M_T again, and pages its live objects had latched open are un-latched
+  // and re-protected, so stale in-flight data starts faulting (and being
+  // re-observed) immediately. Sites in the baseline profile the runtime was
+  // configured with are never demoted — a demotion must not contradict the
+  // profile the build was partitioned against. Thread-safe, same
+  // copy-on-write policy swap as ApplyPromotions.
+  DemotionResult ApplyDemotions(const std::vector<AllocId>& sites);
+
   // --- Introspection ---
   MpkBackend& backend() { return *backend_; }
   PkAllocator& allocator() { return *allocator_; }
@@ -195,6 +212,9 @@ class PkruSafeRuntime {
   std::atomic<const SitePolicy*> policy_;
   std::mutex policy_mutex_;
   std::vector<std::unique_ptr<const SitePolicy>> policies_;
+  // Shared sites of the policy the runtime was CREATED with (the loaded
+  // baseline profile). ApplyDemotions refuses to demote these.
+  std::unordered_set<AllocId, AllocIdHasher> baseline_shared_;
   std::unique_ptr<MpkBackend> backend_;
   std::unique_ptr<PkAllocator> allocator_;
   std::unique_ptr<GateSet> gates_;

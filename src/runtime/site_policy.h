@@ -35,6 +35,11 @@ class SitePolicy {
 
   void MarkShared(AllocId id) { shared_sites_.insert(id); }
 
+  // Reverses MarkShared: the site's future allocations return to M_T. Only
+  // meaningful on a policy copy being prepared for a copy-on-write swap
+  // (Runtime::ApplyDemotions); published policies are immutable.
+  void UnmarkShared(AllocId id) { shared_sites_.erase(id); }
+
   bool IsShared(AllocId id) const { return shared_sites_.contains(id); }
 
   size_t shared_site_count() const { return shared_sites_.size(); }

@@ -1,0 +1,58 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// The fleet frame protocol (src/telemetry/stream_net.h) and the provenance
+// artifact format (src/runtime/profile_artifact.h) both need an integrity
+// check that is cheap, dependency-free, and stable across platforms. This is
+// the ubiquitous zlib-compatible CRC-32: crc32("123456789") == 0xCBF43926.
+#ifndef SRC_SUPPORT_CRC32_H_
+#define SRC_SUPPORT_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace pkrusafe {
+
+namespace crc32_internal {
+
+inline constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+// One-shot CRC of `bytes`. For incremental use, pass the previous result as
+// `seed` (the pre/post conditioning composes correctly across calls only via
+// Crc32Update below).
+inline uint32_t Crc32(std::string_view bytes) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = (crc >> 8) ^ crc32_internal::kTable[(crc ^ static_cast<uint8_t>(c)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// Incremental form: fold `bytes` into a running CRC started from Crc32("")'s
+// internal state. Crc32Finish(Crc32Update(Crc32Init(), a), b) == Crc32(a+b).
+inline uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+inline uint32_t Crc32Update(uint32_t state, std::string_view bytes) {
+  for (const char c : bytes) {
+    state = (state >> 8) ^ crc32_internal::kTable[(state ^ static_cast<uint8_t>(c)) & 0xFF];
+  }
+  return state;
+}
+inline uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace pkrusafe
+
+#endif  // SRC_SUPPORT_CRC32_H_

@@ -50,6 +50,18 @@ Counter* PromotionsRejectedStaticCounter() {
   return counter;
 }
 
+Counter* DemotionsEmittedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetOrCreateCounter("aggregator.demotions.emitted");
+  return counter;
+}
+
+Counter* DemotionsSuppressedBaselineCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetOrCreateCounter(
+      "aggregator.demotions.suppressed_baseline");
+  return counter;
+}
+
 }  // namespace
 
 ProfileAggregator::ProfileAggregator(AggregatorOptions options)
@@ -73,7 +85,8 @@ void ProfileAggregator::AddStream(std::string path) {
   streams_.push_back(StreamState{std::move(path), 0, std::nullopt});
 }
 
-Result<size_t> ProfileAggregator::Poll(std::vector<PromotionCandidate>* promotions) {
+Result<size_t> ProfileAggregator::Poll(std::vector<PromotionCandidate>* promotions,
+                                       std::vector<DemotionCandidate>* demotions) {
   size_t applied = 0;
   for (StreamState& stream : streams_) {
     std::ifstream in(stream.path, std::ios::in | std::ios::binary);
@@ -100,27 +113,95 @@ Result<size_t> ProfileAggregator::Poll(std::vector<PromotionCandidate>* promotio
       }
     }
   }
+  CollectDemotions(demotions);
   return applied;
+}
+
+bool ProfileAggregator::ConsumeNetworkDelta(const std::string& stream_name,
+                                            std::string_view psd1_bytes,
+                                            std::vector<PromotionCandidate>* promotions) {
+  auto [it, inserted] = net_streams_.try_emplace(stream_name);
+  if (inserted) {
+    it->second.path = stream_name;
+  }
+  Result<ProfileDelta> decoded = ProfileDelta::DecodeBinary(psd1_bytes);
+  if (!decoded.ok()) {
+    ReportMalformed(stream_name, decoded.status());
+    return false;
+  }
+  return ConsumeDelta(it->second, *decoded, promotions);
+}
+
+void ProfileAggregator::CollectDemotions(std::vector<DemotionCandidate>* demotions) {
+  if (options_.demote_cold_epochs == 0 || epoch_ordinal_.empty()) {
+    return;
+  }
+  const size_t newest = epoch_ordinal_.size() - 1;
+  std::vector<std::pair<AllocId, size_t>> cold;  // (site, epochs cold)
+  for (const AllocId site : promoted_) {
+    const auto it = site_last_ordinal_.find(site);
+    const size_t last = it == site_last_ordinal_.end() ? 0 : it->second;
+    const size_t age = newest - last;
+    if (age < options_.demote_cold_epochs) {
+      continue;
+    }
+    if (options_.baseline.contains(site)) {
+      // The loaded profile says this site flows to U; a cold streak in the
+      // fleet window cannot override it. The site stays promoted (and stays
+      // "cold" indefinitely); the suppression is counted once.
+      if (baseline_suppressed_.insert(site).second) {
+        ++stats_.demotions_suppressed_baseline;
+        DemotionsSuppressedBaselineCounter()->Increment();
+      }
+      continue;
+    }
+    cold.emplace_back(site, age);
+  }
+  for (const auto& [site, age] : cold) {
+    promoted_.erase(site);
+    demoted_floor_[site] = rolling_.CountFor(site);
+    ++stats_.demotions_emitted;
+    DemotionsEmittedCounter()->Increment();
+    if (demotions != nullptr) {
+      demotions->push_back(DemotionCandidate{site, age});
+    }
+    analysis::Finding finding;
+    finding.severity = analysis::Severity::kNote;
+    finding.rule = "site-demoted-cold";
+    finding.site = site;
+    finding.message = StrFormat(
+        "site %s demoted: no epoch observed it for %zu consecutive epochs",
+        site.ToString().c_str(), age);
+    finding.fix_hint = "the site returns to trap-on-touch; renewed activity re-promotes it "
+                       "after another threshold's worth of observations";
+    sink_.Report(std::move(finding));
+  }
+}
+
+void ProfileAggregator::ReportMalformed(const std::string& origin, const Status& status) {
+  ++stats_.rejected_malformed;
+  RejectedMalformedCounter()->Increment();
+  analysis::Finding finding;
+  finding.severity = analysis::Severity::kWarning;
+  finding.rule = "malformed-profile-delta";
+  finding.message = StrFormat("%s: %s", origin.c_str(), status.ToString().c_str());
+  finding.fix_hint = "the stream is corrupt or not a profile delta stream; drop it from "
+                     "the aggregation set";
+  sink_.Report(std::move(finding));
 }
 
 bool ProfileAggregator::ConsumeLine(StreamState& stream, std::string_view line,
                                     std::vector<PromotionCandidate>* promotions) {
   Result<ProfileDelta> decoded = ProfileDelta::FromJsonLine(line);
   if (!decoded.ok()) {
-    ++stats_.rejected_malformed;
-    RejectedMalformedCounter()->Increment();
-    analysis::Finding finding;
-    finding.severity = analysis::Severity::kWarning;
-    finding.rule = "malformed-profile-delta";
-    finding.message = StrFormat("%s: %s", stream.path.c_str(),
-                                decoded.status().ToString().c_str());
-    finding.fix_hint = "the stream is corrupt or not a profile delta stream; drop it from "
-                       "the aggregation set";
-    sink_.Report(std::move(finding));
+    ReportMalformed(stream.path, decoded.status());
     return false;
   }
-  const ProfileDelta& delta = *decoded;
+  return ConsumeDelta(stream, *decoded, promotions);
+}
 
+bool ProfileAggregator::ConsumeDelta(StreamState& stream, const ProfileDelta& delta,
+                                     std::vector<PromotionCandidate>* promotions) {
   if (expected_hash_ != 0 && delta.ir_hash() != expected_hash_) {
     ++stats_.rejected_hash;
     RejectedHashCounter()->Increment();
@@ -160,8 +241,14 @@ bool ProfileAggregator::ConsumeLine(StreamState& stream, std::string_view line,
 
   delta.ApplyTo(&rolling_);
   delta.ApplyTo(&epochs_[delta.epoch()]);
+  const size_t ordinal =
+      epoch_ordinal_.try_emplace(delta.epoch(), epoch_ordinal_.size()).first->second;
   for (const auto& [site, count] : delta.entries()) {
     site_epochs_[site].insert(delta.epoch());
+    auto [last_it, fresh] = site_last_ordinal_.try_emplace(site, ordinal);
+    if (!fresh && ordinal > last_it->second) {
+      last_it->second = ordinal;
+    }
     MaybePromote(site, promotions);
   }
   ++stats_.deltas_applied;
@@ -177,7 +264,14 @@ void ProfileAggregator::MaybePromote(AllocId site,
   }
   const uint64_t count = rolling_.CountFor(site);
   const size_t epochs = site_epochs_[site].size();
-  if (count < options_.promotion_threshold || epochs < options_.min_epochs) {
+  // A demoted site must earn a full threshold of NEW observations on top of
+  // the count it was demoted at — otherwise its (already-over-threshold)
+  // rolling count would re-promote it on the very next delta.
+  const auto floor_it = demoted_floor_.find(site);
+  const uint64_t threshold = floor_it == demoted_floor_.end()
+                                 ? options_.promotion_threshold
+                                 : floor_it->second + options_.promotion_threshold;
+  if (count < threshold || epochs < options_.min_epochs) {
     return;
   }
   // The static cross-check: dynamic observations may only ever CONFIRM what
@@ -210,10 +304,11 @@ void ProfileAggregator::MaybePromote(AllocId site,
 }
 
 std::vector<std::string> ProfileAggregator::EpochNames() const {
-  std::vector<std::string> names;
-  names.reserve(epochs_.size());
-  for (const auto& [name, profile] : epochs_) {
-    names.push_back(name);
+  // First-seen (aggregation) order, so the last name is the newest epoch —
+  // the order artifacts record provenance in.
+  std::vector<std::string> names(epoch_ordinal_.size());
+  for (const auto& [name, ordinal] : epoch_ordinal_) {
+    names[ordinal] = name;
   }
   return names;
 }

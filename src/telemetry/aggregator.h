@@ -61,6 +61,15 @@ struct AggregatorOptions {
   // Explicit expected hash for when no parsed module is at hand (tests,
   // replay tooling). Ignored when `module` is set; 0 disables the check.
   uint64_t expected_ir_hash = 0;
+  // Two-way lifecycle: when > 0, a promoted site that no epoch has observed
+  // for this many consecutive epochs (epochs are ordered by first
+  // appearance across all streams) is emitted as a demotion candidate.
+  // 0 disables demotion entirely.
+  size_t demote_cold_epochs = 0;
+  // Sites of the baseline profile the fleet's builds were partitioned with.
+  // Never demoted: a cold streak must not contradict the loaded profile
+  // (the fleet may simply not have exercised the path this window).
+  std::unordered_set<AllocId, AllocIdHasher> baseline;
 };
 
 // A site whose rolling count crossed the threshold and passed the static
@@ -69,6 +78,16 @@ struct PromotionCandidate {
   AllocId site;
   uint64_t count = 0;     // rolling count at emission
   size_t epochs = 0;      // distinct epochs that observed the site
+};
+
+// A previously-promoted site gone cold: no epoch has observed it for
+// `cold_epochs` consecutive epochs. The site may re-promote later, but only
+// after ANOTHER `promotion_threshold` observations on top of the count it
+// was demoted at (a hysteresis floor, so a site oscillating around the
+// threshold does not flap).
+struct DemotionCandidate {
+  AllocId site;
+  size_t cold_epochs = 0;  // epochs since the site was last observed
 };
 
 class ProfileAggregator {
@@ -80,6 +99,8 @@ class ProfileAggregator {
     uint64_t rejected_sequence = 0;
     uint64_t promotions_emitted = 0;
     uint64_t promotions_rejected_static = 0;
+    uint64_t demotions_emitted = 0;
+    uint64_t demotions_suppressed_baseline = 0;
   };
 
   explicit ProfileAggregator(AggregatorOptions options);
@@ -90,8 +111,23 @@ class ProfileAggregator {
   // Drains every registered stream to its current end, applying complete
   // lines (a partially-written trailing line is left for the next poll).
   // Newly-crossed, statically-valid promotion candidates are appended to
-  // `promotions` (may be null). Returns the number of deltas applied.
-  Result<size_t> Poll(std::vector<PromotionCandidate>* promotions);
+  // `promotions` (may be null), and — when demotion is enabled — newly-cold
+  // sites to `demotions`. Returns the number of deltas applied.
+  Result<size_t> Poll(std::vector<PromotionCandidate>* promotions,
+                      std::vector<DemotionCandidate>* demotions = nullptr);
+
+  // Feeds one PSD1-encoded delta (a kProfileDelta frame payload) from a
+  // named network stream. Validation is identical to file tailing —
+  // malformed, hash, sequence, then the static cross-check on promotion —
+  // with `stream_name` (e.g. "tcp:<client-id>") standing in for the file
+  // path in diagnostics. Returns true when the delta was applied.
+  bool ConsumeNetworkDelta(const std::string& stream_name, std::string_view psd1_bytes,
+                           std::vector<PromotionCandidate>* promotions);
+
+  // Runs the cold-site sweep immediately (Poll does this itself; the serve
+  // loop calls it after consuming network frames). Appends newly-cold sites
+  // to `demotions` (may be null). No-op unless demote_cold_epochs > 0.
+  void CollectDemotions(std::vector<DemotionCandidate>* demotions);
 
   // The rolling merged profile across all streams and epochs.
   const Profile& rolling() const { return rolling_; }
@@ -100,7 +136,8 @@ class ProfileAggregator {
   uint64_t version() const { return version_; }
 
   // Per-epoch provenance: which epochs have contributed, and what each one
-  // contributed on its own.
+  // contributed on its own. Names come back in first-seen (aggregation)
+  // order; the last entry is the newest epoch.
   std::vector<std::string> EpochNames() const;
   const Profile* EpochProfile(const std::string& epoch) const;
 
@@ -119,18 +156,34 @@ class ProfileAggregator {
   // was applied.
   bool ConsumeLine(StreamState& stream, std::string_view line,
                    std::vector<PromotionCandidate>* promotions);
+  // The shared validate-and-fold tail of ConsumeLine / ConsumeNetworkDelta:
+  // hash check, sequence check, apply, promotion sweep.
+  bool ConsumeDelta(StreamState& stream, const ProfileDelta& delta,
+                    std::vector<PromotionCandidate>* promotions);
   void MaybePromote(AllocId site, std::vector<PromotionCandidate>* promotions);
+  void ReportMalformed(const std::string& origin, const Status& status);
 
   const AggregatorOptions options_;
   const uint64_t expected_hash_;  // 0 = unchecked
   std::vector<StreamState> streams_;
+  std::map<std::string, StreamState> net_streams_;  // name -> per-connection state
 
   Profile rolling_;
   uint64_t version_ = 0;
   std::map<std::string, Profile> epochs_;                  // epoch -> contribution
   std::map<AllocId, std::set<std::string>> site_epochs_;   // site -> epochs seen in
-  std::set<AllocId> promoted_;   // emitted candidates (once per site)
+  std::set<AllocId> promoted_;   // live promotions (demotion removes)
   std::set<AllocId> rejected_;   // statically-rejected sites (diagnosed once)
+  // Cold-site tracking: epochs get ordinals in first-seen order; a site is
+  // cold when the newest ordinal has moved demote_cold_epochs past the last
+  // ordinal that observed it.
+  std::map<std::string, size_t> epoch_ordinal_;
+  std::map<AllocId, size_t> site_last_ordinal_;
+  // Re-promotion hysteresis: rolling count at demotion time; re-promotion
+  // requires threshold MORE observations on top of this floor.
+  std::map<AllocId, uint64_t> demoted_floor_;
+  // Baseline sites that went cold (suppression counted once per site).
+  std::set<AllocId> baseline_suppressed_;
 
   Stats stats_;
   analysis::DiagnosticSink sink_;

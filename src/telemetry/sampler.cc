@@ -142,6 +142,7 @@ Status Sampler::Start(const Options& options) {
   }
   period_ms_ = options.period_ms;
   on_sample_ = options.on_sample;
+  net_sink_ = options.net_sink;
   samples_.store(0, std::memory_order_relaxed);
   {
     std::lock_guard lock(stop_mutex_);
@@ -171,13 +172,16 @@ void Sampler::Stop() {
 void Sampler::Loop() {
   MetricsSnapshot previous = MetricsRegistry::Global().Snapshot();
   uint64_t previous_ns = NowNs();
-  for (;;) {
+  // The stop flag is observed *before* the sample, never after: when a stop
+  // request lands mid-tick, the next wait returns immediately and the body
+  // runs once more, so the interval between the last periodic row and Stop()
+  // always gets its own final row instead of being dropped.
+  bool stopping = false;
+  while (!stopping) {
     {
       std::unique_lock lock(stop_mutex_);
-      if (stop_cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
-                            [this] { return stop_requested_; })) {
-        // Final row captures whatever accumulated since the last tick.
-      }
+      stopping = stop_cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                                   [this] { return stop_requested_; });
     }
     if (on_sample_) {
       on_sample_();
@@ -185,15 +189,16 @@ void Sampler::Loop() {
     const MetricsSnapshot current = MetricsRegistry::Global().Snapshot();
     const uint64_t now_ns = NowNs();
     const double interval_s = static_cast<double>(now_ns - previous_ns) / 1e9;
-    out_ << FormatSampleLine(now_ns / 1000000, interval_s, previous, current) << "\n";
+    const std::string line = FormatSampleLine(now_ns / 1000000, interval_s, previous, current);
+    out_ << line << "\n";
     out_.flush();
+    if (net_sink_ != nullptr) {
+      net_sink_->Send(FrameType::kSamplerRow, line);
+      net_sink_->Pump();
+    }
     samples_.fetch_add(1, std::memory_order_relaxed);
     previous = current;
     previous_ns = now_ns;
-    std::lock_guard lock(stop_mutex_);
-    if (stop_requested_) {
-      return;
-    }
   }
 }
 

@@ -31,6 +31,7 @@
 
 #include "src/support/status.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/stream_net.h"
 
 namespace pkrusafe {
 namespace telemetry {
@@ -44,6 +45,10 @@ class Sampler {
     // row is written. The continuous-profiling pipeline hooks the profile
     // stream flush here so delta records land at the same cadence as metrics.
     std::function<void()> on_sample;
+    // Optional network mirror: each row is also sent as a kSamplerRow frame
+    // (and the sink pumped, so reconnects progress at sampler cadence). Not
+    // owned; must outlive the sampler's running interval.
+    NetSink* net_sink = nullptr;
   };
 
   Sampler() = default;
@@ -56,6 +61,9 @@ class Sampler {
   Status Start(const Options& options);
 
   // Writes one final row, joins the thread and closes the file. Idempotent.
+  // The final row is guaranteed: once the loop observes the stop request it
+  // runs exactly one more sample covering the tail interval, even when the
+  // request lands while a periodic tick is mid-write.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -75,6 +83,7 @@ class Sampler {
   std::ofstream out_;
   uint64_t period_ms_ = 100;
   std::function<void()> on_sample_;
+  NetSink* net_sink_ = nullptr;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> samples_{0};
 

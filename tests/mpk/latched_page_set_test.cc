@@ -1,0 +1,124 @@
+// LatchedPageSet erase/tombstone semantics — the data-structure half of
+// online demotion. Probe chains must survive erasure (tombstones, not
+// holes), tombstones must be reused by later inserts, and the racy
+// insert/erase interplay must keep the set consistent.
+#include "src/mpk/latched_page_set.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/memmap/page.h"
+
+namespace pkrusafe {
+namespace {
+
+constexpr uintptr_t Page(uintptr_t n) { return n * kPageSize; }
+
+TEST(LatchedPageSetTest, InsertContainsErase) {
+  LatchedPageSet set;
+  EXPECT_TRUE(set.Insert(Page(1)));
+  EXPECT_TRUE(set.Insert(Page(2) + 17));  // any addr in the page
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(Page(1)));
+  EXPECT_TRUE(set.Contains(Page(2) + 4000));
+  EXPECT_FALSE(set.Contains(Page(3)));
+
+  EXPECT_TRUE(set.Erase(Page(1)));
+  EXPECT_FALSE(set.Contains(Page(1)));
+  EXPECT_TRUE(set.Contains(Page(2)));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_FALSE(set.Erase(Page(1)));  // already gone
+}
+
+TEST(LatchedPageSetTest, EraseKeepsProbeChainsIntact) {
+  LatchedPageSet set;
+  // Insert many pages — some will collide into shared probe chains. Erasing
+  // an early chain member must not orphan later ones.
+  std::vector<uintptr_t> pages;
+  for (uintptr_t n = 1; n <= 512; ++n) {
+    pages.push_back(Page(n));
+    ASSERT_TRUE(set.Insert(Page(n)));
+  }
+  for (size_t i = 0; i < pages.size(); i += 2) {
+    EXPECT_TRUE(set.Erase(pages[i]));
+  }
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(set.Contains(pages[i]), i % 2 == 1) << "page index " << i;
+  }
+  EXPECT_EQ(set.size(), pages.size() / 2);
+}
+
+TEST(LatchedPageSetTest, TombstonesAreReusedByLaterInserts) {
+  LatchedPageSet set;
+  for (uintptr_t n = 1; n <= 256; ++n) {
+    ASSERT_TRUE(set.Insert(Page(n)));
+  }
+  for (uintptr_t n = 1; n <= 256; ++n) {
+    ASSERT_TRUE(set.Erase(Page(n)));
+  }
+  EXPECT_EQ(set.size(), 0u);
+  // Re-fill many times over: if tombstones were never reused the table would
+  // clog with dead slots and refuse inserts well before capacity.
+  for (int round = 0; round < 8; ++round) {
+    for (uintptr_t n = 1; n <= 256; ++n) {
+      ASSERT_TRUE(set.Insert(Page(n))) << "round " << round << " page " << n;
+    }
+    for (uintptr_t n = 1; n <= 256; ++n) {
+      ASSERT_TRUE(set.Erase(Page(n)));
+    }
+  }
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(LatchedPageSetTest, ReinsertAfterEraseIsVisible) {
+  LatchedPageSet set;
+  ASSERT_TRUE(set.Insert(Page(7)));
+  ASSERT_TRUE(set.Erase(Page(7)));
+  ASSERT_TRUE(set.Insert(Page(7)));  // must reuse the tombstone
+  EXPECT_TRUE(set.Contains(Page(7)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(LatchedPageSetTest, ConcurrentInsertsAndErasesStayConsistent) {
+  LatchedPageSet set;
+  // Demotion (user-context Erase) racing re-latching (signal-context Insert)
+  // on the same pages: afterwards every page must be cleanly present or
+  // cleanly absent, never wedged.
+  constexpr uintptr_t kPages = 128;
+  std::atomic<bool> go{false};
+  std::thread inserter([&] {
+    while (!go.load()) {
+    }
+    for (int round = 0; round < 200; ++round) {
+      for (uintptr_t n = 1; n <= kPages; ++n) {
+        set.Insert(Page(n));
+      }
+    }
+  });
+  std::thread eraser([&] {
+    while (!go.load()) {
+    }
+    for (int round = 0; round < 200; ++round) {
+      for (uintptr_t n = 1; n <= kPages; ++n) {
+        set.Erase(Page(n));
+      }
+    }
+  });
+  go.store(true);
+  inserter.join();
+  eraser.join();
+  // Settle: erase everything, then the set must be empty and reusable.
+  for (uintptr_t n = 1; n <= kPages; ++n) {
+    set.Erase(Page(n));
+    EXPECT_FALSE(set.Contains(Page(n)));
+  }
+  for (uintptr_t n = 1; n <= kPages; ++n) {
+    EXPECT_TRUE(set.Insert(Page(n)));
+    EXPECT_TRUE(set.Contains(Page(n)));
+  }
+}
+
+}  // namespace
+}  // namespace pkrusafe

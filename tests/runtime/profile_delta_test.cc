@@ -1,5 +1,8 @@
 #include "src/runtime/profile_delta.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -223,6 +226,164 @@ TEST(ProfileDeltaStreamWriterTest, FlushWritesGrowthOnly) {
   }
   EXPECT_EQ(rebuilt.CountFor({1, 0, 0}), 3u);
   EXPECT_EQ(rebuilt.CountFor({2, 0, 0}), 5u);
+}
+
+// --- short-write / backpressure regression ---
+//
+// The sink is a non-blocking pipe the test controls, so writes can be forced
+// short (partial line out) or refused outright (EAGAIN). The writer must
+// never leave a torn JSONL line at rest: a partially-written line's tail
+// stays pending and completes on a later flush, and overflow drops only
+// whole not-yet-started lines.
+
+struct PipePair {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+PipePair NonBlockingPipe() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+  return {fds[0], fds[1]};
+}
+
+// Fills the pipe to capacity, then frees exactly `slack` bytes.
+void FillPipeLeaving(const PipePair& pipe, size_t slack) {
+  std::string chunk(4096, 'x');
+  while (::write(pipe.write_fd, chunk.data(), chunk.size()) > 0) {
+  }
+  for (char byte = 'x'; ::write(pipe.write_fd, &byte, 1) == 1;) {
+  }
+  std::vector<char> out(slack);
+  size_t freed = 0;
+  while (freed < slack) {
+    const ssize_t n = ::read(pipe.read_fd, out.data(), slack - freed);
+    ASSERT_GT(n, 0);
+    freed += static_cast<size_t>(n);
+  }
+}
+
+std::string DrainPipe(int read_fd) {
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(read_fd, buffer, sizeof(buffer))) > 0) {
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+// A profile big enough that its delta line exceeds PIPE_BUF (4096), so a
+// non-blocking write into a nearly-full pipe is SHORT rather than atomic.
+Profile WideProfile(uint64_t base_count) {
+  Profile profile;
+  for (uint32_t f = 1; f <= 700; ++f) {
+    profile.Add({f, 0, 0}, base_count);
+  }
+  return profile;
+}
+
+TEST(ProfileDeltaStreamWriterTest, ShortWriteNeverLeavesTornLine) {
+  const PipePair pipe = NonBlockingPipe();
+  ProfileStreamWriter::Options options;
+  options.adopt_fd = pipe.write_fd;
+  options.epoch = "torn";
+  options.ir_hash = 0x7;
+  ProfileStreamWriter writer(std::move(options));
+  ASSERT_TRUE(writer.Open().ok());
+
+  // Leave 1000 bytes of room: the first line (~>4 KiB) only partially fits.
+  FillPipeLeaving(pipe, 1000);
+  ASSERT_TRUE(writer.Flush(WideProfile(1)).ok());
+  EXPECT_EQ(writer.deltas_written(), 1u);
+  EXPECT_GT(writer.pending_bytes(), 0u) << "the unwritten tail must stay pending";
+
+  // Drain the filler plus whatever prefix landed; the data at rest ends
+  // mid-line right now — that is fine for a PIPE, the invariant is that the
+  // writer still holds the tail and completes the line.
+  std::string received = DrainPipe(pipe.read_fd);
+
+  // An empty flush drives the deferred tail out.
+  for (int i = 0; i < 10 && writer.pending_bytes() > 0; ++i) {
+    ASSERT_TRUE(writer.Flush(WideProfile(1)).ok());
+    received += DrainPipe(pipe.read_fd);
+  }
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+  EXPECT_EQ(writer.lines_dropped(), 0u);
+
+  // Strip the filler 'x' bytes; everything after must be exactly one
+  // complete, parseable line.
+  const size_t start = received.find_first_not_of('x');
+  ASSERT_NE(start, std::string::npos);
+  std::string lines = received.substr(start);
+  ASSERT_FALSE(lines.empty());
+  ASSERT_EQ(lines.back(), '\n');
+  lines.pop_back();
+  ASSERT_EQ(lines.find('\n'), std::string::npos);
+  auto decoded = ProfileDelta::FromJsonLine(lines);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->site_count(), 700u);
+
+  writer.Close();
+  ::close(pipe.read_fd);
+}
+
+TEST(ProfileDeltaStreamWriterTest, OverflowDropsWholeLinesNeverTheStartedOne) {
+  const PipePair pipe = NonBlockingPipe();
+  ProfileStreamWriter::Options options;
+  options.adopt_fd = pipe.write_fd;
+  options.epoch = "drop";
+  options.ir_hash = 0x7;
+  options.max_pending_bytes = 16 * 1024;  // a few wide lines at most
+  ProfileStreamWriter writer(std::move(options));
+  ASSERT_TRUE(writer.Open().ok());
+
+  // Start a line (short write), then keep flushing growth with the pipe full
+  // so pending overflows and whole lines drop.
+  FillPipeLeaving(pipe, 500);
+  for (uint64_t round = 1; round <= 8; ++round) {
+    ASSERT_TRUE(writer.Flush(WideProfile(round)).ok());
+  }
+  EXPECT_GT(writer.lines_dropped(), 0u);
+  EXPECT_LE(writer.pending_bytes(), 16u * 1024u);
+  EXPECT_EQ(writer.deltas_written(), 8u) << "acceptance is decoupled from delivery";
+
+  std::string received = DrainPipe(pipe.read_fd);
+  for (int i = 0; i < 20 && writer.pending_bytes() > 0; ++i) {
+    ASSERT_TRUE(writer.Flush(WideProfile(8)).ok());
+    received += DrainPipe(pipe.read_fd);
+  }
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+
+  const size_t start = received.find_first_not_of('x');
+  ASSERT_NE(start, std::string::npos);
+  std::string lines = received.substr(start);
+  ASSERT_FALSE(lines.empty());
+  ASSERT_EQ(lines.back(), '\n');
+
+  // Every line at rest parses — in particular the FIRST one, whose prefix
+  // was already in the pipe when the overflow policy ran: dropping it would
+  // have left a torn line forever.
+  size_t pos = 0;
+  size_t parsed = 0;
+  uint64_t last_seq = 0;
+  while (pos < lines.size()) {
+    const size_t eol = lines.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    auto decoded = ProfileDelta::FromJsonLine(lines.substr(pos, eol - pos));
+    ASSERT_TRUE(decoded.ok()) << "line " << parsed << ": " << decoded.status().ToString();
+    if (parsed > 0) {
+      EXPECT_GT(decoded->sequence(), last_seq) << "gaps allowed, rewrites not";
+    }
+    last_seq = decoded->sequence();
+    ++parsed;
+    pos = eol + 1;
+  }
+  EXPECT_GE(parsed, 1u);
+  EXPECT_LT(parsed, 8u);  // something was genuinely dropped
+
+  writer.Close();
+  ::close(pipe.read_fd);
 }
 
 }  // namespace

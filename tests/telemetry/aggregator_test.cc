@@ -261,6 +261,156 @@ TEST(AggregatorTest, DuplicateAddStreamIsIdempotent) {
   EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 1u);
 }
 
+// --- two-way lifecycle: cold-site demotion ---
+
+TEST(AggregatorTest, ColdPromotedSiteDemotesAndRepromotesPastTheFloor) {
+  const std::string path = TempStream("demote");
+  AggregatorOptions options = BaseOptions();
+  options.promotion_threshold = 2;
+  options.demote_cold_epochs = 2;
+  ProfileAggregator aggregator(std::move(options));
+  aggregator.AddStream(path);
+
+  // Epoch e1 promotes the site (count 2 >= threshold).
+  WriteLines(path, {DeltaLine(kSharedSite, 2, 0, "e1")});
+  std::vector<PromotionCandidate> promotions;
+  std::vector<DemotionCandidate> demotions;
+  ASSERT_TRUE(aggregator.Poll(&promotions, &demotions).ok());
+  ASSERT_EQ(promotions.size(), 1u);
+  EXPECT_TRUE(demotions.empty());
+
+  // Epochs e2, e3 only see the other site: after two cold epochs, demote.
+  AppendLine(path, DeltaLine(kOtherSite, 1, 1, "e2"));
+  promotions.clear();
+  ASSERT_TRUE(aggregator.Poll(&promotions, &demotions).ok());
+  EXPECT_TRUE(demotions.empty()) << "one cold epoch is not enough";
+  AppendLine(path, DeltaLine(kOtherSite, 1, 2, "e3"));
+  ASSERT_TRUE(aggregator.Poll(&promotions, &demotions).ok());
+  ASSERT_EQ(demotions.size(), 1u);
+  EXPECT_EQ(demotions[0].site, kSharedSite);
+  EXPECT_GE(demotions[0].cold_epochs, 2u);
+  EXPECT_EQ(aggregator.stats().demotions_emitted, 1u);
+
+  // A demotion is emitted once, not every sweep.
+  demotions.clear();
+  AppendLine(path, DeltaLine(kOtherSite, 1, 3, "e4"));
+  ASSERT_TRUE(aggregator.Poll(&promotions, &demotions).ok());
+  EXPECT_TRUE(demotions.empty());
+
+  // Hysteresis: the demoted site re-promotes only after ANOTHER threshold's
+  // worth of observations past the count it was demoted at (2 + 2 = 4).
+  promotions.clear();
+  AppendLine(path, DeltaLine(kSharedSite, 1, 4, "e5"));  // rolling 3 < 4
+  ASSERT_TRUE(aggregator.Poll(&promotions, &demotions).ok());
+  EXPECT_TRUE(promotions.empty()) << "flapping around the threshold";
+  AppendLine(path, DeltaLine(kSharedSite, 1, 5, "e6"));  // rolling 4 >= 4
+  ASSERT_TRUE(aggregator.Poll(&promotions, &demotions).ok());
+  ASSERT_EQ(promotions.size(), 1u);
+  EXPECT_EQ(promotions[0].site, kSharedSite);
+}
+
+TEST(AggregatorTest, BaselineSitesAreNeverDemoted) {
+  const std::string path = TempStream("baseline");
+  AggregatorOptions options = BaseOptions();
+  options.demote_cold_epochs = 1;
+  options.baseline.insert(kSharedSite);
+  ProfileAggregator aggregator(std::move(options));
+  aggregator.AddStream(path);
+
+  WriteLines(path, {DeltaLine(kSharedSite, 1, 0, "e1")});
+  std::vector<DemotionCandidate> demotions;
+  ASSERT_TRUE(aggregator.Poll(nullptr, &demotions).ok());
+  for (int e = 2; e <= 4; ++e) {
+    AppendLine(path, DeltaLine(kOtherSite, 1, static_cast<uint64_t>(e - 1),
+                               "e" + std::to_string(e)));
+    ASSERT_TRUE(aggregator.Poll(nullptr, &demotions).ok());
+  }
+  EXPECT_TRUE(demotions.empty());
+  EXPECT_EQ(aggregator.stats().demotions_emitted, 0u);
+  EXPECT_EQ(aggregator.stats().demotions_suppressed_baseline, 1u)
+      << "suppression is counted once per site, not per sweep";
+}
+
+TEST(AggregatorTest, DemotionDisabledByDefault) {
+  const std::string path = TempStream("nodemote");
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  WriteLines(path, {DeltaLine(kSharedSite, 1, 0, "e1")});
+  std::vector<DemotionCandidate> demotions;
+  ASSERT_TRUE(aggregator.Poll(nullptr, &demotions).ok());
+  for (int e = 2; e <= 6; ++e) {
+    AppendLine(path, DeltaLine(kOtherSite, 1, static_cast<uint64_t>(e - 1),
+                               "e" + std::to_string(e)));
+    ASSERT_TRUE(aggregator.Poll(nullptr, &demotions).ok());
+  }
+  EXPECT_TRUE(demotions.empty());
+}
+
+// --- network streams ---
+
+TEST(AggregatorTest, NetworkDeltasValidateExactlyLikeFileLines) {
+  ProfileAggregator aggregator(BaseOptions());
+  std::vector<PromotionCandidate> promotions;
+
+  ProfileDelta good("e1", kIrHash, 0);
+  good.Add(kSharedSite, 3);
+  EXPECT_TRUE(aggregator.ConsumeNetworkDelta("tcp:1", good.EncodeBinary(), &promotions));
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 3u);
+  ASSERT_EQ(promotions.size(), 1u);
+
+  // Malformed bytes: rejected, no crash, nothing applied.
+  EXPECT_FALSE(aggregator.ConsumeNetworkDelta("tcp:1", "not psd1 at all", &promotions));
+  EXPECT_EQ(aggregator.stats().rejected_malformed, 1u);
+
+  // Stale hash: rejected with the same diagnostic path as file tailing.
+  ProfileDelta stale("e1", kIrHash + 1, 1);
+  stale.Add(kSharedSite, 1);
+  EXPECT_FALSE(aggregator.ConsumeNetworkDelta("tcp:1", stale.EncodeBinary(), &promotions));
+  EXPECT_EQ(aggregator.stats().rejected_hash, 1u);
+
+  // Replayed sequence on the SAME stream: rejected...
+  EXPECT_FALSE(aggregator.ConsumeNetworkDelta("tcp:1", good.EncodeBinary(), &promotions));
+  EXPECT_EQ(aggregator.stats().rejected_sequence, 1u);
+  // ...but a different connection is its own stream, with its own sequence.
+  EXPECT_TRUE(aggregator.ConsumeNetworkDelta("tcp:2", good.EncodeBinary(), &promotions));
+  EXPECT_EQ(aggregator.rolling().CountFor(kSharedSite), 6u);
+
+  bool stale_diagnosed = false;
+  for (const auto& finding : aggregator.diagnostics().findings()) {
+    if (finding.rule == "stale-profile-hash") {
+      stale_diagnosed = true;
+    }
+  }
+  EXPECT_TRUE(stale_diagnosed);
+}
+
+TEST(AggregatorTest, NetworkPromotionsRespectTheStaticBound) {
+  ProfileAggregator aggregator(BaseOptions());
+  std::vector<PromotionCandidate> promotions;
+  ProfileDelta poison("e1", kIrHash, 0);
+  poison.Add(kPoisonSite, 1000);
+  // The delta itself applies (the count is real telemetry) but the promotion
+  // is rejected by the static cross-check — same as file streams.
+  EXPECT_TRUE(aggregator.ConsumeNetworkDelta("tcp:9", poison.EncodeBinary(), &promotions));
+  EXPECT_TRUE(promotions.empty());
+  EXPECT_EQ(aggregator.stats().promotions_rejected_static, 1u);
+}
+
+TEST(AggregatorTest, EpochNamesComeBackInFirstSeenOrder) {
+  const std::string path = TempStream("epochorder");
+  ProfileAggregator aggregator(BaseOptions());
+  aggregator.AddStream(path);
+  // Alphabetically descending epoch names: first-seen order must win.
+  WriteLines(path, {DeltaLine(kSharedSite, 1, 0, "zeta"), DeltaLine(kSharedSite, 1, 1, "alpha"),
+                    DeltaLine(kSharedSite, 1, 2, "mid")});
+  ASSERT_TRUE(aggregator.Poll(nullptr).ok());
+  const std::vector<std::string> names = aggregator.EpochNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "zeta");
+  EXPECT_EQ(names[1], "alpha");
+  EXPECT_EQ(names[2], "mid");
+}
+
 }  // namespace
 }  // namespace telemetry
 }  // namespace pkrusafe

@@ -1,0 +1,351 @@
+// Fleet stream transport: frame codec against adversarial bytes, the
+// reconnect schedule, and a real loopback client/server roundtrip. The
+// decoder tests are the protocol's safety argument — every malformed shape a
+// hostile or torn producer can emit must be skipped without a crash and
+// without poisoning later frames.
+#include "src/telemetry/stream_net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/support/rng.h"
+
+namespace pkrusafe {
+namespace telemetry {
+namespace {
+
+std::string Valid(FrameType type, const std::string& payload) {
+  std::string frame = EncodeFrame(type, payload);
+  EXPECT_FALSE(frame.empty());
+  return frame;
+}
+
+TEST(FrameCodecTest, RoundtripsEveryType) {
+  for (const FrameType type : {FrameType::kHello, FrameType::kProfileDelta,
+                               FrameType::kSamplerRow, FrameType::kPolicyUpdate}) {
+    FrameDecoder decoder;
+    decoder.Feed(Valid(type, "payload-bytes"));
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, "payload-bytes");
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_FALSE(decoder.mid_frame());
+  }
+}
+
+TEST(FrameCodecTest, EmptyPayloadRoundtrips) {
+  FrameDecoder decoder;
+  decoder.Feed(Valid(FrameType::kHello, ""));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(FrameCodecTest, OversizedPayloadRefusedAtEncode) {
+  EXPECT_TRUE(EncodeFrame(FrameType::kSamplerRow,
+                          std::string(kMaxFramePayload + 1, 'x'))
+                  .empty());
+}
+
+TEST(FrameCodecTest, TruncatedHeaderStaysPending) {
+  const std::string frame = Valid(FrameType::kProfileDelta, "delta");
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(frame).substr(0, kFrameHeaderSize - 3));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.mid_frame());
+  decoder.Feed(std::string_view(frame).substr(kFrameHeaderSize - 3));
+  auto out = decoder.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, "delta");
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(FrameCodecTest, TruncatedPayloadStaysPendingUntilFed) {
+  const std::string frame = Valid(FrameType::kProfileDelta, "delta-payload");
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(frame).substr(0, frame.size() - 4));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.mid_frame());  // this is the torn-tail state
+  decoder.Feed(std::string_view(frame).substr(frame.size() - 4));
+  EXPECT_TRUE(decoder.Next().has_value());
+}
+
+TEST(FrameCodecTest, GarbageBeforeFrameResyncs) {
+  FrameDecoder decoder;
+  decoder.Feed("not a frame at all");
+  decoder.Feed(Valid(FrameType::kHello, "hi"));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "hi");
+  EXPECT_GT(decoder.stats().bad_magic, 0u);
+}
+
+TEST(FrameCodecTest, BadCrcDropsExactlyThatFrame) {
+  std::string bad = Valid(FrameType::kSamplerRow, "row-one");
+  bad[bad.size() - 1] ^= 0x55;  // corrupt the payload, not the header
+  FrameDecoder decoder;
+  decoder.Feed(bad);
+  decoder.Feed(Valid(FrameType::kSamplerRow, "row-two"));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "row-two");
+  EXPECT_EQ(decoder.stats().bad_crc, 1u);
+  EXPECT_EQ(decoder.stats().frames, 1u);
+}
+
+TEST(FrameCodecTest, VersionSkewSkipsWithoutTrustingHeader) {
+  std::string skewed = Valid(FrameType::kHello, "future");
+  skewed[3] = char(kProtocolVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(skewed);
+  decoder.Feed(Valid(FrameType::kHello, "present"));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "present");
+  EXPECT_GT(decoder.stats().bad_version, 0u);
+}
+
+TEST(FrameCodecTest, UnknownTypeAndReservedBitsSkip) {
+  std::string bad_type = Valid(FrameType::kHello, "x");
+  bad_type[4] = 99;
+  std::string bad_flags = Valid(FrameType::kHello, "y");
+  bad_flags[5] = 1;
+  FrameDecoder decoder;
+  decoder.Feed(bad_type);
+  decoder.Feed(bad_flags);
+  decoder.Feed(Valid(FrameType::kHello, "good"));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "good");
+  EXPECT_GT(decoder.stats().bad_type, 0u);
+}
+
+TEST(FrameCodecTest, OversizedLengthNeverAllocates) {
+  // Hand-build a header declaring a 1 GiB payload: the decoder must not
+  // buffer toward it, just resync.
+  std::string huge(kFrameHeaderSize, '\0');
+  std::memcpy(huge.data(), "PSF", 3);
+  huge[3] = char(kProtocolVersion);
+  huge[4] = char(FrameType::kHello);
+  const uint32_t length = 1u << 30;
+  std::memcpy(huge.data() + 8, &length, 4);  // little-endian host assumed in tests
+  FrameDecoder decoder;
+  decoder.Feed(huge);
+  decoder.Feed(Valid(FrameType::kHello, "after"));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "after");
+  EXPECT_GT(decoder.stats().oversized, 0u);
+}
+
+TEST(FrameCodecTest, RandomBytesNeverCrashAndAlwaysRecover) {
+  SplitMix64 rng(0x5eed);
+  FrameDecoder decoder;
+  for (int round = 0; round < 32; ++round) {
+    std::string noise;
+    const size_t n = 1 + rng.Next() % 512;
+    for (size_t i = 0; i < n; ++i) {
+      noise.push_back(static_cast<char>(rng.Next()));
+    }
+    decoder.Feed(noise);
+    while (decoder.Next().has_value()) {
+    }
+    // A genuine frame after arbitrary noise must still parse: feed it twice —
+    // the first may be consumed resyncing through a noise frame-prefix, the
+    // second always lands on a clean boundary.
+    decoder.Feed(Valid(FrameType::kProfileDelta, "recovery"));
+    decoder.Feed(Valid(FrameType::kProfileDelta, "recovery"));
+    bool recovered = false;
+    while (auto frame = decoder.Next()) {
+      if (frame->type == FrameType::kProfileDelta && frame->payload == "recovery") {
+        recovered = true;
+      }
+    }
+    EXPECT_TRUE(recovered) << "round " << round;
+  }
+}
+
+TEST(NetSinkTest, BackoffGrowsExponentiallyAndCaps) {
+  NetSinkOptions options;
+  options.backoff_initial_ms = 50;
+  options.backoff_max_ms = 5000;
+  SplitMix64 jitter(1);
+  uint64_t previous = 0;
+  for (uint64_t attempt = 0; attempt < 12; ++attempt) {
+    const uint64_t base = std::min<uint64_t>(50ull << std::min<uint64_t>(attempt, 20),
+                                             options.backoff_max_ms);
+    const uint64_t ms = NetSink::BackoffMs(options, attempt, &jitter);
+    EXPECT_GE(ms, base);
+    EXPECT_LT(ms, base + base / 2 + 1);  // jitter in [0, 50%)
+    if (attempt > 0 && base < options.backoff_max_ms) {
+      EXPECT_GT(ms, previous / 4);  // monotone up to jitter
+    }
+    previous = ms;
+  }
+}
+
+TEST(NetSinkTest, BuffersWhileDownAndDropsOldestOnOverflow) {
+  NetSinkOptions options;
+  options.host = "127.0.0.1";
+  options.port = 1;  // nothing listens on port 1
+  options.max_buffer_bytes = 256;
+  NetSink sink(options);
+  for (int i = 0; i < 64; ++i) {
+    sink.Send(FrameType::kSamplerRow, "0123456789abcdef0123456789abcdef");
+  }
+  EXPECT_LE(sink.buffered_bytes(), options.max_buffer_bytes);
+  EXPECT_GT(sink.stats().frames_dropped, 0u);
+  EXPECT_FALSE(sink.connected());
+}
+
+// --- loopback integration ---
+
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << strerror(errno);
+  return fd;
+}
+
+TEST(FrameServerTest, RoundtripAndPolicyPushback) {
+  FrameServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+  ASSERT_NE(server.port(), 0);
+
+  NetSinkOptions options;
+  options.port = server.port();
+  NetSink sink(options);
+  sink.Send(FrameType::kHello, "{\"kind\":\"pkru_safe_hello\",\"stream\":\"t\"}");
+  sink.Send(FrameType::kProfileDelta, "psd1-bytes");
+
+  std::vector<Frame> received;
+  uint64_t client = 0;
+  for (int i = 0; i < 100 && received.size() < 2; ++i) {
+    sink.Pump();
+    auto n = server.PollOnce(20, [&](uint64_t id, Frame&& frame) {
+      client = id;
+      received.push_back(std::move(frame));
+    });
+    ASSERT_TRUE(n.ok());
+  }
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].type, FrameType::kHello);
+  EXPECT_EQ(received[1].payload, "psd1-bytes");
+
+  // Server pushes a policy frame back; the client surfaces it.
+  ASSERT_TRUE(server.SendTo(client, FrameType::kPolicyUpdate, "{\"action\":\"promote\"}").ok());
+  std::vector<Frame> incoming;
+  for (int i = 0; i < 100 && incoming.empty(); ++i) {
+    sink.Pump();
+    incoming = sink.TakeIncoming();
+    (void)server.PollOnce(10, [](uint64_t, Frame&&) {});
+  }
+  ASSERT_EQ(incoming.size(), 1u);
+  EXPECT_EQ(incoming[0].type, FrameType::kPolicyUpdate);
+  server.Stop();
+}
+
+TEST(FrameServerTest, MidFrameDisconnectReportedAndSurvived) {
+  FrameServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+
+  // A producer dies mid-frame: header promises more bytes than ever arrive.
+  const std::string frame = Valid(FrameType::kProfileDelta, "never-finished");
+  const int torn = RawConnect(server.port());
+  ASSERT_EQ(::send(torn, frame.data(), frame.size() - 5, MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size() - 5));
+  // Let the server read the partial bytes before the close lands.
+  for (int i = 0; i < 10 && server.client_count() == 0; ++i) {
+    (void)server.PollOnce(10, [](uint64_t, Frame&&) {});
+  }
+  (void)server.PollOnce(10, [](uint64_t, Frame&&) {});
+  ::close(torn);
+
+  bool saw_torn = false;
+  size_t frames = 0;
+  for (int i = 0; i < 100 && !saw_torn; ++i) {
+    auto n = server.PollOnce(
+        10, [&](uint64_t, Frame&&) { ++frames; },
+        [&](uint64_t, bool mid_frame) { saw_torn = saw_torn || mid_frame; });
+    ASSERT_TRUE(n.ok());
+  }
+  EXPECT_TRUE(saw_torn);
+  EXPECT_EQ(frames, 0u);  // the torn frame never dispatched
+
+  // A healthy client afterwards works: the server survived the tear.
+  const int good = RawConnect(server.port());
+  const std::string ok_frame = Valid(FrameType::kSamplerRow, "alive");
+  ASSERT_EQ(::send(good, ok_frame.data(), ok_frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(ok_frame.size()));
+  std::string payload;
+  for (int i = 0; i < 100 && payload.empty(); ++i) {
+    (void)server.PollOnce(10, [&](uint64_t, Frame&& f) { payload = f.payload; });
+  }
+  EXPECT_EQ(payload, "alive");
+  ::close(good);
+  server.Stop();
+}
+
+TEST(FrameServerTest, ReconnectContinuesAfterServerRestart) {
+  FrameServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+  const uint16_t port = server.port();
+
+  NetSinkOptions options;
+  options.port = port;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 10;
+  NetSink sink(options);
+  sink.Send(FrameType::kSamplerRow, "before");
+  size_t got = 0;
+  for (int i = 0; i < 100 && got < 1; ++i) {
+    sink.Pump();
+    (void)server.PollOnce(10, [&](uint64_t, Frame&&) { ++got; });
+  }
+  ASSERT_EQ(got, 1u);
+
+  server.Stop();
+  // Sends while the server is down buffer (or drop whole frames) client-side.
+  sink.Send(FrameType::kSamplerRow, "while-down");
+  sink.Pump();
+
+  FrameServer revived;
+  FrameServer::Options revived_options;
+  revived_options.port = port;
+  ASSERT_TRUE(revived.Start(revived_options).ok());
+  sink.Send(FrameType::kSamplerRow, "after");
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 300 && payloads.empty(); ++i) {
+    // Frames flushed into the dying socket are dropped by design (a resend
+    // could double-count); keep producing until one lands post-reconnect.
+    if (i % 20 == 19) {
+      sink.Send(FrameType::kSamplerRow, "after");
+    }
+    sink.Pump();
+    (void)revived.PollOnce(10, [&](uint64_t, Frame&& f) { payloads.push_back(f.payload); });
+  }
+  ASSERT_FALSE(payloads.empty());
+  // Whatever arrives must be whole frames — never a torn replay.
+  for (const std::string& payload : payloads) {
+    EXPECT_TRUE(payload == "while-down" || payload == "after") << payload;
+  }
+  EXPECT_GT(sink.stats().reconnects, 0u);
+  revived.Stop();
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace pkrusafe

@@ -19,7 +19,6 @@
 #include <sstream>
 
 #include "src/core/pkru_safe.h"
-#include "src/ir/module_hash.h"
 #include "src/mpk/fault_signal.h"
 #include "src/passes/alloc_id_pass.h"
 #include "src/passes/gate_insertion_pass.h"
@@ -28,6 +27,7 @@
 #include "src/ir/parser.h"
 #include "src/runtime/profile_delta.h"
 #include "src/runtime/site_stats.h"
+#include "src/support/json.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
@@ -74,6 +74,48 @@ ExternRegistry StandardExterns(std::vector<int64_t>* prints) {
   return externs;
 }
 
+// Applies kPolicyUpdate frames the serve endpoint pushed back: promotions
+// and demotions land on the live runtime without a restart.
+void ApplyPolicyFrames(PkruSafeRuntime& runtime, telemetry::NetSink* sink) {
+  if (sink == nullptr) {
+    return;
+  }
+  for (telemetry::Frame& frame : sink->TakeIncoming()) {
+    if (frame.type != telemetry::FrameType::kPolicyUpdate) {
+      continue;
+    }
+    auto update = json::Parse(frame.payload);
+    if (!update.ok() || !update->is_object() ||
+        update->GetString("kind") != "pkru_safe_policy_update") {
+      continue;
+    }
+    const json::Value* sites = update->Find("sites");
+    if (sites == nullptr || !sites->is_array()) {
+      continue;
+    }
+    std::vector<AllocId> ids;
+    for (const json::Value& entry : sites->AsArray()) {
+      if (!entry.is_string()) {
+        continue;
+      }
+      if (auto id = AllocId::Parse(entry.AsString()); id.ok()) {
+        ids.push_back(*id);
+      }
+    }
+    const std::string action = update->GetString("action");
+    if (action == "promote") {
+      const auto applied = runtime.ApplyPromotions(ids);
+      std::printf("policy update: promoted %zu site(s), %zu page(s) opened\n",
+                  applied.promoted, applied.pages_opened);
+    } else if (action == "demote") {
+      const auto applied = runtime.ApplyDemotions(ids);
+      std::printf("policy update: demoted %zu site(s), %zu page(s) closed\n",
+                  applied.demoted, applied.pages_closed);
+    }
+    std::fflush(stdout);
+  }
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pkrusafe_run <prog.ir> [--mode=off|profile|enforce]\n"
@@ -83,7 +125,8 @@ int Usage() {
                "         [--crash-report=FILE] [--sample-out=FILE] [--sample-ms=N]\n"
                "         [--site-stats[=FILE]] [--latch-sites]\n"
                "         [--sampled[=FRACTION]] [--sample-budget-ns=N]\n"
-               "         [--sample-interval-ms=N] [--profile-stream=FILE] [--epoch=NAME]\n"
+               "         [--sample-interval-ms=N] [--profile-stream=DEST] [--epoch=NAME]\n"
+               "         [--artifact=FILE] [--expected-epoch=NAME]\n"
                "  --latch-sites     profiling mode: after a site's first fault,\n"
                "                    downgrade pages it fully covers to the shared\n"
                "                    key (counts become approximate, sites exact;\n"
@@ -107,10 +150,18 @@ int Usage() {
                "                    (default 0.01) stay trap-on-touch for counts\n"
                "  --sample-budget-ns=N  fault-service budget per interval (default 2e6)\n"
                "  --sample-interval-ms=N  budget refill interval (default 100)\n"
-               "  --profile-stream=FILE  write IR-versioned profile deltas as JSONL\n"
-               "                    (flushed on each sampler tick and at exit;\n"
-               "                    feed to `profile_tool aggregate`)\n"
-               "  --epoch=NAME      epoch stamp for --profile-stream (default dev)\n");
+               "  --profile-stream=DEST  ship IR-versioned profile deltas. DEST is\n"
+               "                    a JSONL file (feed to `profile_tool aggregate`)\n"
+               "                    or tcp://HOST:PORT (a `profile_tool serve`\n"
+               "                    endpoint; policy updates pushed back are\n"
+               "                    applied live). Repeat for both sinks\n"
+               "  --epoch=NAME      epoch stamp for --profile-stream (default dev)\n"
+               "  --artifact=FILE   provenance-checked profile artifact (from\n"
+               "                    `profile_tool export-artifact`) supplying the\n"
+               "                    enforcement profile; verified against this\n"
+               "                    module's instrumented IR hash at load\n"
+               "  --expected-epoch=NAME  warn when the artifact's newest epoch\n"
+               "                    is not NAME (stale artifact)\n");
   return 2;
 }
 
@@ -140,8 +191,10 @@ int main(int argc, char** argv) {
   double sampled_fraction = 0.01;
   uint64_t sample_budget_ns = 2'000'000;
   uint64_t sample_interval_ms = 100;
-  std::string profile_stream_path;
+  std::vector<std::string> profile_stream_dests;
   std::string epoch = "dev";
+  std::string artifact_path;
+  std::string expected_epoch;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -198,9 +251,13 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--sample-interval-ms=")) {
       sample_interval_ms = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--profile-stream=")) {
-      profile_stream_path = v;
+      profile_stream_dests.push_back(v);
     } else if (const char* v = value_of("--epoch=")) {
       epoch = v;
+    } else if (const char* v = value_of("--artifact=")) {
+      artifact_path = v;
+    } else if (const char* v = value_of("--expected-epoch=")) {
+      expected_epoch = v;
     } else if (arg == "--static") {
       use_static = true;
     } else if (arg == "--dump-ir") {
@@ -276,6 +333,8 @@ int main(int argc, char** argv) {
     }
     config.profile = *loaded;
   }
+  config.profile_artifact = artifact_path;
+  config.expected_epoch = expected_epoch;
   if (use_static) {
     // Compute the profile at compile time instead of loading one.
     auto module = ParseModule(source);
@@ -316,13 +375,33 @@ int main(int argc, char** argv) {
 
   // Delta stream: the continuous-profiling output. Flushed on each sampler
   // tick (when sampling) and once more at exit, so short runs still ship
-  // their observations.
+  // their observations. Destinations: a JSONL file, a tcp://host:port serve
+  // endpoint, or both (one writer, two sinks). Deltas are keyed by the
+  // instrumented pre-apply hash, which stays stable across profile
+  // iterations where the post-apply module text does not.
   std::unique_ptr<ProfileStreamWriter> stream;
-  if (!profile_stream_path.empty()) {
+  if (!profile_stream_dests.empty()) {
     ProfileStreamWriter::Options stream_options;
-    stream_options.path = profile_stream_path;
     stream_options.epoch = epoch;
-    stream_options.ir_hash = ModuleContentHash((*system)->module());
+    stream_options.ir_hash = (*system)->instrumented_ir_hash();
+    for (const std::string& dest : profile_stream_dests) {
+      if (dest.rfind("tcp://", 0) == 0) {
+        const std::string endpoint = dest.substr(6);
+        const size_t colon = endpoint.rfind(':');
+        const uint64_t port =
+            colon == std::string::npos ? 0
+                                       : std::strtoull(endpoint.c_str() + colon + 1, nullptr, 10);
+        if (colon == std::string::npos || colon == 0 || port == 0 || port > 65535) {
+          std::fprintf(stderr, "bad --profile-stream endpoint %s (want tcp://HOST:PORT)\n",
+                       dest.c_str());
+          return 1;
+        }
+        stream_options.net_host = endpoint.substr(0, colon);
+        stream_options.net_port = static_cast<uint16_t>(port);
+      } else {
+        stream_options.path = dest;
+      }
+    }
     stream = std::make_unique<ProfileStreamWriter>(std::move(stream_options));
     if (auto status = stream->Open(); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -340,6 +419,8 @@ int main(int argc, char** argv) {
       auto* stream_ptr = stream.get();
       options.on_sample = [system_ptr, stream_ptr] {
         (void)stream_ptr->Flush(system_ptr->TakeProfile());
+        // Policy frames the serve endpoint pushed back ride the same tick.
+        ApplyPolicyFrames(system_ptr->runtime(), stream_ptr->net_sink());
       };
     }
     if (auto status = sampler.Start(options); !status.ok()) {
@@ -392,9 +473,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
+    ApplyPolicyFrames((*system)->runtime(), stream->net_sink());
+    std::string dests;
+    for (const std::string& dest : profile_stream_dests) {
+      if (!dests.empty()) {
+        dests += ", ";
+      }
+      dests += dest;
+    }
     std::printf("wrote %llu delta(s) to %s (epoch %s)\n",
-                static_cast<unsigned long long>(stream->deltas_written()),
-                profile_stream_path.c_str(), epoch.c_str());
+                static_cast<unsigned long long>(stream->deltas_written()), dests.c_str(),
+                epoch.c_str());
     stream->Close();
   }
   if (site_stats) {

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -35,17 +36,20 @@
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/lint.h"
+#include "src/ir/module_hash.h"
 #include "src/ir/parser.h"
 #include "src/passes/alloc_id_pass.h"
 #include "src/passes/gate_insertion_pass.h"
 #include "src/passes/pass.h"
 #include "src/passes/static_sharing_analysis.h"
 #include "src/runtime/profile.h"
+#include "src/runtime/profile_artifact.h"
 #include "src/support/json.h"
 #include "src/telemetry/aggregator.h"
 #include "src/telemetry/crash_report.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/stream_net.h"
 
 namespace {
 
@@ -63,6 +67,12 @@ int Usage() {
                "       profile_tool aggregate --module=FILE [--threshold=N]\n"
                "           [--min-epochs=N] [--out=FILE] [--promotions=FILE]\n"
                "           [--follow [--interval-ms=N] [--max-polls=N]] <stream.jsonl>...\n"
+               "       profile_tool serve --module=FILE [--port=N] [--threshold=N]\n"
+               "           [--min-epochs=N] [--demote-cold-epochs=N] [--baseline=FILE]\n"
+               "           [--out=FILE] [--promotions=FILE] [--artifact=FILE]\n"
+               "           [--interval-ms=N] [--max-frames=N] [--idle-exit-polls=N]\n"
+               "       profile_tool export-artifact --module=FILE --out=FILE\n"
+               "           <stream.jsonl>...\n"
                "  report  render a flight-recorder crash report for humans\n"
                "          (--json echoes the validated raw JSON instead)\n"
                "  sites   top-K heap-attribution table from a\n"
@@ -73,7 +83,17 @@ int Usage() {
                "  aggregate  tail delta streams into a versioned rolling profile;\n"
                "          promotion candidates are cross-checked against the\n"
                "          static points-to bound of --module (rejections exit 1);\n"
-               "          --follow polls until streams go quiet or --max-polls\n");
+               "          --follow polls until streams go quiet or --max-polls\n"
+               "  serve   fleet endpoint: accept framed delta streams over TCP\n"
+               "          (pkrusafe_run --profile-stream=tcp://host:port), fold\n"
+               "          them through the same validation as aggregate, and\n"
+               "          push promote/demote policy frames back to every\n"
+               "          connected producer; --port=0 binds an ephemeral port\n"
+               "          (printed on stdout); --max-frames / --idle-exit-polls\n"
+               "          bound the loop for scripted runs\n"
+               "  export-artifact  freeze aggregated streams into a provenance-\n"
+               "          checked artifact (ir_hash + per-epoch provenance +\n"
+               "          rolling profile + crc32) that System::Create verifies\n");
   return 2;
 }
 
@@ -141,6 +161,71 @@ Result<std::vector<SiteRow>> ParseSiteStats(std::string_view text) {
     rows.push_back(row);
   }
   return rows;
+}
+
+// Shared front half of aggregate/serve/export-artifact: parse the module,
+// run the instrumented-build passes (AllocId + gates, no profile apply) and
+// compute the static sharing bound. ir_hash is the instrumented pre-apply
+// content hash — the key every stream and artifact must match.
+struct InstrumentedModule {
+  IrModule module;
+  Profile static_profile;
+  uint64_t ir_hash = 0;
+};
+
+Result<InstrumentedModule> LoadInstrumented(const std::string& path) {
+  PS_ASSIGN_OR_RETURN(const std::string text, ReadFile(path.c_str()));
+  InstrumentedModule out;
+  PS_ASSIGN_OR_RETURN(out.module, ParseModule(text));
+  PassManager pm;
+  pm.Add(std::make_unique<AllocIdPass>());
+  pm.Add(std::make_unique<GateInsertionPass>());
+  PS_RETURN_IF_ERROR(pm.Run(out.module));
+  StaticSharingAnalysis analysis(&out.module);
+  PS_ASSIGN_OR_RETURN(out.static_profile, analysis.Run());
+  out.ir_hash = ModuleContentHash(out.module);
+  return out;
+}
+
+uint64_t ProfileTotalCount(const Profile& profile) {
+  uint64_t total = 0;
+  for (const AllocId& id : profile.Sites()) {
+    total += profile.CountFor(id);
+  }
+  return total;
+}
+
+// Freezes an aggregator's state into a provenance-checked artifact.
+ProfileArtifact BuildArtifact(const telemetry::ProfileAggregator& aggregator,
+                              uint64_t ir_hash) {
+  ProfileArtifact artifact;
+  artifact.ir_hash = ir_hash;
+  for (const std::string& epoch : aggregator.EpochNames()) {
+    ProfileArtifact::EpochProvenance provenance;
+    provenance.name = epoch;
+    if (const Profile* profile = aggregator.EpochProfile(epoch); profile != nullptr) {
+      provenance.sites = profile->site_count();
+      provenance.count = ProfileTotalCount(*profile);
+    }
+    artifact.epochs.push_back(std::move(provenance));
+  }
+  artifact.profile = aggregator.rolling();
+  return artifact;
+}
+
+// The kPolicyUpdate frame payload pushed back to producers.
+std::string PolicyUpdateJson(const char* action, const std::vector<AllocId>& sites) {
+  std::string payload = "{\"kind\":\"pkru_safe_policy_update\",\"action\":\"";
+  payload += action;
+  payload += "\",\"sites\":[";
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) {
+      payload.push_back(',');
+    }
+    payload += "\"" + sites[i].ToString() + "\"";
+  }
+  payload += "]}";
+  return payload;
 }
 
 }  // namespace
@@ -560,6 +645,321 @@ int main(int argc, char** argv) {
     }
     // Rejections and stale streams are error findings: surface them in the
     // exit code so CI pipelines notice poisoned inputs.
+    for (const auto& finding : aggregator.diagnostics().findings()) {
+      if (finding.severity == analysis::Severity::kError) {
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  if (command == "serve") {
+    std::string module_path;
+    std::string out_path;
+    std::string promotions_path;
+    std::string artifact_path;
+    std::string baseline_path;
+    uint64_t threshold = 1;
+    size_t min_epochs = 1;
+    size_t demote_cold_epochs = 0;
+    uint16_t port = 0;
+    uint64_t interval_ms = 50;
+    uint64_t max_frames = 0;       // 0 = unbounded
+    uint64_t idle_exit_polls = 0;  // 0 = never idle-exit
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--module=", 0) == 0) {
+        module_path = arg.substr(9);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+      } else if (arg.rfind("--promotions=", 0) == 0) {
+        promotions_path = arg.substr(13);
+      } else if (arg.rfind("--artifact=", 0) == 0) {
+        artifact_path = arg.substr(11);
+      } else if (arg.rfind("--baseline=", 0) == 0) {
+        baseline_path = arg.substr(11);
+      } else if (arg.rfind("--threshold=", 0) == 0) {
+        threshold = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      } else if (arg.rfind("--min-epochs=", 0) == 0) {
+        min_epochs = static_cast<size_t>(std::strtoull(arg.c_str() + 13, nullptr, 10));
+      } else if (arg.rfind("--demote-cold-epochs=", 0) == 0) {
+        demote_cold_epochs = static_cast<size_t>(std::strtoull(arg.c_str() + 21, nullptr, 10));
+      } else if (arg.rfind("--port=", 0) == 0) {
+        port = static_cast<uint16_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      } else if (arg.rfind("--interval-ms=", 0) == 0) {
+        interval_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+      } else if (arg.rfind("--max-frames=", 0) == 0) {
+        max_frames = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      } else if (arg.rfind("--idle-exit-polls=", 0) == 0) {
+        idle_exit_polls = std::strtoull(arg.c_str() + 18, nullptr, 10);
+      } else {
+        return Usage();
+      }
+    }
+    if (module_path.empty()) {
+      return Usage();
+    }
+
+    auto instrumented = LoadInstrumented(module_path);
+    if (!instrumented.ok()) {
+      std::fprintf(stderr, "%s\n", instrumented.status().ToString().c_str());
+      return 1;
+    }
+
+    telemetry::AggregatorOptions options;
+    options.promotion_threshold = threshold;
+    options.min_epochs = min_epochs;
+    options.demote_cold_epochs = demote_cold_epochs;
+    options.module = &instrumented->module;
+    for (const AllocId& id : instrumented->static_profile.Sites()) {
+      options.static_shared.insert(id);
+    }
+    if (!baseline_path.empty()) {
+      auto baseline = Load(baseline_path.c_str());
+      if (!baseline.ok()) {
+        std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+        return 1;
+      }
+      for (const AllocId& id : baseline->Sites()) {
+        options.baseline.insert(id);
+      }
+    }
+    telemetry::ProfileAggregator aggregator(std::move(options));
+
+    telemetry::FrameServer server;
+    telemetry::FrameServer::Options server_options;
+    server_options.port = port;
+    if (auto status = server.Start(server_options); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    // Scripts parse this line for the ephemeral port; flush before looping.
+    std::printf("serving on 127.0.0.1:%u\n", server.port());
+    std::fflush(stdout);
+
+    // Connected producers by client id -> stream name (hello can rename).
+    std::map<uint64_t, std::string> producers;
+    std::vector<telemetry::PromotionCandidate> all_promotions;
+    std::vector<telemetry::DemotionCandidate> all_demotions;
+    uint64_t frames_total = 0;
+    uint64_t sampler_rows = 0;
+    uint64_t torn_disconnects = 0;
+    uint64_t idle_polls = 0;
+    bool had_producer = false;
+
+    std::vector<telemetry::PromotionCandidate> promotions;  // this iteration
+    const auto on_frame = [&](uint64_t client_id, telemetry::Frame&& frame) {
+      ++frames_total;
+      had_producer = true;
+      auto [it, fresh] =
+          producers.try_emplace(client_id, "tcp:" + std::to_string(client_id));
+      switch (frame.type) {
+        case telemetry::FrameType::kHello: {
+          auto hello = json::Parse(frame.payload);
+          if (hello.ok() && hello->is_object() &&
+              hello->GetString("kind") == "pkru_safe_hello") {
+            const std::string name = hello->GetString("stream");
+            if (!name.empty()) {
+              it->second = name;
+            }
+          }
+          break;
+        }
+        case telemetry::FrameType::kProfileDelta:
+          aggregator.ConsumeNetworkDelta(it->second, frame.payload, &promotions);
+          break;
+        case telemetry::FrameType::kSamplerRow:
+          ++sampler_rows;
+          break;
+        case telemetry::FrameType::kPolicyUpdate:
+          break;  // server-to-client only; a client echoing it is ignored
+      }
+      (void)fresh;
+    };
+    const auto on_disconnect = [&](uint64_t client_id, bool mid_frame) {
+      producers.erase(client_id);
+      if (mid_frame) {
+        ++torn_disconnects;
+      }
+    };
+
+    for (;;) {
+      promotions.clear();
+      auto dispatched = server.PollOnce(static_cast<int>(interval_ms), on_frame, on_disconnect);
+      if (!dispatched.ok()) {
+        std::fprintf(stderr, "%s\n", dispatched.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<telemetry::DemotionCandidate> demotions;
+      aggregator.CollectDemotions(&demotions);
+
+      // Push policy updates to every connected producer. Delivery is
+      // best-effort: a dead client is reaped by the next poll.
+      if (!promotions.empty()) {
+        std::vector<AllocId> sites;
+        for (const auto& candidate : promotions) {
+          sites.push_back(candidate.site);
+          std::printf("promote: %s (count %llu over %zu epoch(s))\n",
+                      candidate.site.ToString().c_str(),
+                      static_cast<unsigned long long>(candidate.count), candidate.epochs);
+        }
+        const std::string payload = PolicyUpdateJson("promote", sites);
+        for (const auto& [client_id, name] : producers) {
+          (void)server.SendTo(client_id, telemetry::FrameType::kPolicyUpdate, payload);
+        }
+        all_promotions.insert(all_promotions.end(), promotions.begin(), promotions.end());
+        std::fflush(stdout);
+      }
+      if (!demotions.empty()) {
+        std::vector<AllocId> sites;
+        for (const auto& candidate : demotions) {
+          sites.push_back(candidate.site);
+          std::printf("demote: %s (cold for %zu epoch(s))\n",
+                      candidate.site.ToString().c_str(), candidate.cold_epochs);
+        }
+        const std::string payload = PolicyUpdateJson("demote", sites);
+        for (const auto& [client_id, name] : producers) {
+          (void)server.SendTo(client_id, telemetry::FrameType::kPolicyUpdate, payload);
+        }
+        all_demotions.insert(all_demotions.end(), demotions.begin(), demotions.end());
+        std::fflush(stdout);
+      }
+
+      if (max_frames != 0 && frames_total >= max_frames) {
+        break;
+      }
+      if (*dispatched == 0) {
+        ++idle_polls;
+      } else {
+        idle_polls = 0;
+      }
+      if (idle_exit_polls != 0 && had_producer && producers.empty() &&
+          idle_polls >= idle_exit_polls) {
+        break;
+      }
+    }
+    server.Stop();
+
+    analysis::RenderFindingsText(std::cout, aggregator.diagnostics().findings());
+    const auto& stats = aggregator.stats();
+    const auto decoder_stats = server.decoder_stats();
+    std::printf("served %llu frame(s) (%llu sampler row(s), %llu torn disconnect(s)): "
+                "%llu delta(s), %zu site(s), version %llu\n",
+                static_cast<unsigned long long>(frames_total),
+                static_cast<unsigned long long>(sampler_rows),
+                static_cast<unsigned long long>(torn_disconnects),
+                static_cast<unsigned long long>(stats.deltas_applied),
+                aggregator.rolling().site_count(),
+                static_cast<unsigned long long>(aggregator.version()));
+    for (const std::string& epoch : aggregator.EpochNames()) {
+      const Profile* epoch_profile = aggregator.EpochProfile(epoch);
+      std::printf("  epoch %-12s %zu site(s)\n", epoch.c_str(),
+                  epoch_profile != nullptr ? epoch_profile->site_count() : 0);
+    }
+    std::printf("rejected: %llu hash, %llu malformed, %llu sequence; frames: %llu resync "
+                "byte(s), %llu bad version, %llu bad type, %llu oversized, %llu bad crc\n",
+                static_cast<unsigned long long>(stats.rejected_hash),
+                static_cast<unsigned long long>(stats.rejected_malformed),
+                static_cast<unsigned long long>(stats.rejected_sequence),
+                static_cast<unsigned long long>(decoder_stats.bad_magic),
+                static_cast<unsigned long long>(decoder_stats.bad_version),
+                static_cast<unsigned long long>(decoder_stats.bad_type),
+                static_cast<unsigned long long>(decoder_stats.oversized),
+                static_cast<unsigned long long>(decoder_stats.bad_crc));
+    std::printf("promotions: %llu emitted, %llu rejected by static bound; demotions: "
+                "%llu emitted, %llu kept by baseline\n",
+                static_cast<unsigned long long>(stats.promotions_emitted),
+                static_cast<unsigned long long>(stats.promotions_rejected_static),
+                static_cast<unsigned long long>(stats.demotions_emitted),
+                static_cast<unsigned long long>(stats.demotions_suppressed_baseline));
+
+    if (!out_path.empty()) {
+      if (auto status = aggregator.rolling().SaveToFile(out_path); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote rolling profile (%zu site(s)) to %s\n",
+                  aggregator.rolling().site_count(), out_path.c_str());
+    }
+    if (!promotions_path.empty()) {
+      Profile promoted;
+      for (const auto& candidate : all_promotions) {
+        promoted.Add(candidate.site, candidate.count);
+      }
+      if (auto status = promoted.SaveToFile(promotions_path); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu promotion(s) to %s\n", promoted.site_count(),
+                  promotions_path.c_str());
+    }
+    if (!artifact_path.empty()) {
+      const ProfileArtifact artifact = BuildArtifact(aggregator, instrumented->ir_hash);
+      if (auto status = artifact.SaveToFile(artifact_path); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote artifact (%zu site(s), %zu epoch(s), ir_hash 0x%016llx) to %s\n",
+                  artifact.profile.site_count(), artifact.epochs.size(),
+                  static_cast<unsigned long long>(artifact.ir_hash), artifact_path.c_str());
+    }
+    for (const auto& finding : aggregator.diagnostics().findings()) {
+      if (finding.severity == analysis::Severity::kError) {
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  if (command == "export-artifact") {
+    std::string module_path;
+    std::string out_path;
+    std::vector<std::string> stream_paths;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--module=", 0) == 0) {
+        module_path = arg.substr(9);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+      } else if (arg.rfind("--", 0) == 0) {
+        return Usage();
+      } else {
+        stream_paths.push_back(arg);
+      }
+    }
+    if (module_path.empty() || out_path.empty() || stream_paths.empty()) {
+      return Usage();
+    }
+
+    auto instrumented = LoadInstrumented(module_path);
+    if (!instrumented.ok()) {
+      std::fprintf(stderr, "%s\n", instrumented.status().ToString().c_str());
+      return 1;
+    }
+    telemetry::AggregatorOptions options;
+    options.module = &instrumented->module;
+    for (const AllocId& id : instrumented->static_profile.Sites()) {
+      options.static_shared.insert(id);
+    }
+    telemetry::ProfileAggregator aggregator(std::move(options));
+    for (const std::string& stream_path : stream_paths) {
+      aggregator.AddStream(stream_path);
+    }
+    auto applied = aggregator.Poll(nullptr);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+      return 1;
+    }
+    analysis::RenderFindingsText(std::cout, aggregator.diagnostics().findings());
+
+    const ProfileArtifact artifact = BuildArtifact(aggregator, instrumented->ir_hash);
+    if (auto status = artifact.SaveToFile(out_path); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote artifact (%zu site(s), %zu epoch(s), ir_hash 0x%016llx) to %s\n",
+                artifact.profile.site_count(), artifact.epochs.size(),
+                static_cast<unsigned long long>(artifact.ir_hash), out_path.c_str());
     for (const auto& finding : aggregator.diagnostics().findings()) {
       if (finding.severity == analysis::Severity::kError) {
         return 1;
