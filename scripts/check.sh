@@ -23,6 +23,12 @@
 #                                   # under ThreadSanitizer (pin/evict races),
 #                                   # the 32-tenant sandbox on both backends,
 #                                   # then the transition bench (BENCH_vpkey)
+#   scripts/check.sh server         # multi-tenant sandbox server: server +
+#                                   # e2e tests under ThreadSanitizer (worker
+#                                   # pool vs sweep vs violator kill), a live
+#                                   # pkrusafe_serve round trip over the
+#                                   # socket, then BENCH_server (1/8/32
+#                                   # tenants on both backends)
 #   scripts/check.sh gateintegrity  # PKRU-flow lints over the corpus (clean
 #                                   # modules prove, seeded violations fail),
 #                                   # SARIF export, and link-time check-binary
@@ -48,10 +54,11 @@ while [[ $# -gt 0 ]]; do
     contprof|--contprof) mode=contprof; shift ;;
     fleet|--fleet) mode=fleet; shift ;;
     vpkey|--vpkey) mode=vpkey; shift ;;
+    server|--server) mode=server; shift ;;
     gateintegrity|--gateintegrity) mode=gateintegrity; shift ;;
     matrix) mode=matrix; shift ;;
     --) shift; break ;;
-    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|fleet|vpkey|gateintegrity|matrix] [-- <ctest args>]" >&2; exit 2 ;;
+    *) echo "usage: $0 [asan|tsan|lint|crash|faultstress|contprof|fleet|vpkey|server|gateintegrity|matrix] [-- <ctest args>]" >&2; exit 2 ;;
   esac
 done
 
@@ -222,6 +229,59 @@ run_vpkey() {
   echo "vpkey check OK"
 }
 
+run_server() {
+  echo "== check: server (build/check-tsan) =="
+  # The multi-tenant sandbox server: the worker pool, the idle sweep, and a
+  # violator's kill all race each other by design, so the server suite and
+  # the fork-based mprotect e2e run under ThreadSanitizer, along with the
+  # multidomain lifecycle (ReleaseLibrary quarantine) they lean on.
+  cmake -B build/check-tsan -S . -DPKRUSAFE_SANITIZE=thread
+  cmake --build build/check-tsan -j "$(nproc)" \
+    --target server_test multidomain_test integration_test
+  ctest --test-dir build/check-tsan --output-on-failure \
+    -R 'SandboxServer|ServerE2e|MultiCompartment'
+
+  cmake -B build -S . -DPKRUSAFE_SANITIZE=""
+  cmake --build build -j "$(nproc)" --target pkrusafe_serve bench_server
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+
+  echo "-- server: live round trip (serve -> violate -> survive)"
+  build/tools/pkrusafe_serve --port=0 --duration-ms=4000 --enable-vulnerability \
+    --crash-dir="$out" --stats > "$out/serve.log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out/serve.log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "pkrusafe_serve never reported its port" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf '%s\n' '{"tenant":"alice","script":"let x = 6 * 7; print(x);"}' >&3
+  IFS= read -r reply <&3
+  echo "$reply" | grep -q '"ok":true'
+  printf '%s\n' '{"tenant":"evil","script":"__poke(secret_addr(), 1);"}' >&3
+  IFS= read -r reply <&3
+  echo "$reply" | grep -q '"dead":true'
+  printf '%s\n' '{"tenant":"alice","script":"let y = 1; print(y);"}' >&3
+  IFS= read -r reply <&3
+  echo "$reply" | grep -q '"ok":true'
+  exec 3<&- 3>&-
+  wait "$serve_pid"
+  grep -q '"violations":1' "$out/serve.log"
+  grep -q '"kind":"pkru_safe_crash_report"' "$out/crash-evil.json"
+
+  PKRUSAFE_BENCH_OUT_DIR="$out" build/bench/bench_server
+  grep -q '"bench":"server"' "$out/BENCH_server.json"
+  echo "server check OK"
+}
+
 run_gateintegrity() {
   echo "== check: gateintegrity (build) =="
   # The static half: the PKRU-flow abstract interpreter must prove every
@@ -264,6 +324,7 @@ case "$mode" in
   contprof) run_contprof ;;
   fleet) run_fleet ;;
   vpkey) run_vpkey ;;
+  server) run_server ;;
   gateintegrity) run_gateintegrity ;;
   matrix)
     run_one "" build "$@"
@@ -275,6 +336,7 @@ case "$mode" in
     run_contprof
     run_fleet
     run_vpkey
+    run_server
     run_gateintegrity
     ;;
 esac

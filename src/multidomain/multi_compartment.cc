@@ -39,6 +39,8 @@ Result<std::unique_ptr<MultiCompartment>> MultiCompartment::Create(
   vpkey_config.policy = config.eviction_policy;
   vpkey_config.max_hw_slots = config.max_hw_slots;
   vpkey_config.always_deny = {mc->trusted_key_};
+  vpkey_config.always_deny.insert(vpkey_config.always_deny.end(), config.extra_deny.begin(),
+                                  config.extra_deny.end());
   PS_ASSIGN_OR_RETURN(mc->vpkeys_, VirtualPkeyTable::Create(backend, vpkey_config));
 
   // Make sure the foreign-free counter exists before any crash report could
@@ -83,10 +85,51 @@ Result<LibraryId> MultiCompartment::RegisterLibrary(const std::string& name) {
   library->vkey = vkey;
   library->heap = std::make_unique<FreeListHeap>(arena->get());
   library->arena = std::move(*arena);
+  library->live_heap.store(library->heap.get(), std::memory_order_release);
   // Publish after the entry is complete: lock-free readers that observe the
   // new count see a fully-built Library.
   libraries_.Publish();
   return static_cast<LibraryId>(libraries_.size());
+}
+
+Status MultiCompartment::ReleaseLibrary(LibraryId library) {
+  std::lock_guard lock(mu_);
+  if (library < 1 || library > libraries_.size()) {
+    return InvalidArgumentError("ReleaseLibrary: unknown library id");
+  }
+  Library& entry = LibraryAt(library);
+  if (entry.live_heap.load(std::memory_order_relaxed) == nullptr) {
+    return FailedPreconditionError("ReleaseLibrary: library already released");
+  }
+  // The quarantine gate: a pinned key (an EnterLibrary scope still open
+  // anywhere) refuses with FailedPrecondition and nothing below runs. On
+  // success the vpkey layer re-tags any resident pool pages to the shared
+  // evicted key before recycling the id, so the dying pool is locked from
+  // the instant the key is gone.
+  PS_RETURN_IF_ERROR(vpkeys_->ReleaseVirtualKey(entry.vkey));
+  // Dead to lock-free scanners first, then return the pool's pages. The
+  // heap/arena objects stay behind (retired in place, see Library) so a
+  // scan that loaded live_heap a moment ago still reads valid memory.
+  entry.live_heap.store(nullptr, std::memory_order_release);
+  return entry.arena->DecommitAll();
+}
+
+Status MultiCompartment::PrefaultWorkingSet(const std::vector<LibraryId>& working_set) {
+  std::lock_guard lock(mu_);
+  for (const LibraryId id : working_set) {
+    if (id < 1 || id > libraries_.size()) {
+      return InvalidArgumentError("PrefaultWorkingSet: unknown library id");
+    }
+    Library& entry = LibraryAt(id);
+    if (entry.live_heap.load(std::memory_order_relaxed) == nullptr) {
+      continue;  // released between batch assembly and prefault
+    }
+    // PolicyFor faults the key into a hardware slot without pinning it —
+    // exactly the warm-up wanted here. It can still be evicted before the
+    // batch runs; that only costs the fault-in this call tried to hoist.
+    PS_RETURN_IF_ERROR(vpkeys_->PolicyFor(entry.vkey).status());
+  }
+  return Status::Ok();
 }
 
 void* MultiCompartment::AllocateTrusted(size_t size) { return trusted_heap_->Allocate(size); }
@@ -94,7 +137,8 @@ void* MultiCompartment::AllocateTrusted(size_t size) { return trusted_heap_->All
 void* MultiCompartment::AllocateShared(size_t size) { return shared_heap_->Allocate(size); }
 
 void* MultiCompartment::AllocateIn(LibraryId library, size_t size) {
-  return LibraryAt(library).heap->Allocate(size);
+  FreeListHeap* heap = LibraryAt(library).live_heap.load(std::memory_order_acquire);
+  return heap != nullptr ? heap->Allocate(size) : nullptr;
 }
 
 void MultiCompartment::Free(void* ptr) {
@@ -113,8 +157,15 @@ void MultiCompartment::Free(void* ptr) {
   const size_t library_count = libraries_.size();
   for (size_t i = 0; i < library_count; ++i) {
     Library* library = libraries_.at(i);
-    if (library != nullptr && library->arena->Contains(addr)) {
-      library->heap->Free(ptr);
+    if (library == nullptr) {
+      continue;
+    }
+    // One acquire load decides liveness and ownership together: a released
+    // library's pointers are no longer freeable (its pool is decommitted),
+    // so they fall through to the foreign-pointer diagnostics below.
+    FreeListHeap* heap = library->live_heap.load(std::memory_order_acquire);
+    if (heap != nullptr && heap->Owns(ptr)) {
+      heap->Free(ptr);
       return;
     }
   }
@@ -136,7 +187,11 @@ std::optional<LibraryId> MultiCompartment::PrivateOwnerOf(const void* ptr) const
   const size_t library_count = libraries_.size();
   for (size_t i = 0; i < library_count; ++i) {
     const Library* library = libraries_.at(i);
-    if (library != nullptr && library->arena->Contains(addr)) {
+    if (library == nullptr) {
+      continue;
+    }
+    FreeListHeap* heap = library->live_heap.load(std::memory_order_acquire);
+    if (heap != nullptr && heap->Owns(reinterpret_cast<const void*>(addr))) {
       return static_cast<LibraryId>(i + 1);
     }
   }
@@ -185,6 +240,18 @@ void MultiCompartment::ExitLibrary() {
 }
 
 size_t MultiCompartment::library_count() const { return libraries_.size(); }
+
+size_t MultiCompartment::live_library_count() const {
+  const size_t total = libraries_.size();
+  size_t live = 0;
+  for (size_t i = 0; i < total; ++i) {
+    const Library* library = libraries_.at(i);
+    if (library != nullptr && library->live_heap.load(std::memory_order_acquire) != nullptr) {
+      ++live;
+    }
+  }
+  return live;
+}
 
 std::string MultiCompartment::library_name(LibraryId id) const { return LibraryAt(id).name; }
 

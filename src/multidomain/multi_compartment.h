@@ -20,13 +20,18 @@
 // pool. A library's key stays pinned for the duration of every Scope that
 // entered it, so eviction can never invalidate an installed PKRU.
 //
-// Thread safety: registration, transitions, allocation and ownership queries
-// may race freely across threads. Registration and the vpkey cache's
-// mutating operations serialize on one internal mutex; the transition fast
-// path (EnterLibrary of a resident library, ExitLibrary) takes no lock —
-// the library table has lock-free readers (StableIndexArray) and pins live
-// in per-thread records (vpkey.h). transition_count() is maintained
-// lossily for the same reason and may undercount under concurrency.
+// Thread safety: registration, release, transitions, allocation and
+// ownership queries may race freely across threads. Registration, release
+// and the vpkey cache's mutating operations serialize on one internal
+// mutex; the transition fast path (EnterLibrary of a resident library,
+// ExitLibrary) takes no lock — the library table has lock-free readers
+// (StableIndexArray) and pins live in per-thread records (vpkey.h).
+// ReleaseLibrary refuses while the library is pinned anywhere, so a racing
+// in-flight request either blocks the release (retry later) or completed
+// before it; operations on a *released* id afterwards are caller bugs, but
+// racing scans over other libraries stay safe throughout.
+// transition_count() is maintained lossily for the same reason and may
+// undercount under concurrency.
 #ifndef SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_
 #define SRC_MULTIDOMAIN_MULTI_COMPARTMENT_H_
 
@@ -63,6 +68,10 @@ struct MultiCompartmentConfig {
   // Hardware key slots backing the virtual keys; 0 = every key the backend
   // can still allocate. Tests set small values to force evictions.
   size_t max_hw_slots = 0;
+  // Extra hardware keys denied in every library's PKRU on top of the trusted
+  // pool's key — an embedder running compartments next to a PkruSafeRuntime
+  // passes the runtime's M_T key here so tenants cannot touch it either.
+  std::vector<PkeyId> extra_deny;
 };
 
 class MultiCompartment {
@@ -84,6 +93,27 @@ class MultiCompartment {
   // its private pool. The count is unbounded — libraries beyond the hardware
   // slot capacity time-share slots through eviction.
   Result<LibraryId> RegisterLibrary(const std::string& name);
+
+  // Tears down a dead tenant's compartment: returns its virtual key (and
+  // hardware slot, if resident) to the cache and its pool pages to the OS.
+  // Registration used to be append-only, so long-lived servers leaked one
+  // key and one pool reservation per evicted session.
+  //
+  // Quarantine contract: a key still pinned by an in-flight EnterLibrary
+  // refuses release with FailedPrecondition and NOTHING is torn down — the
+  // caller keeps the session quarantined and retries once its requests
+  // drain. After success the id is dead forever (ids are never reused);
+  // racing ownership scans on other threads stay safe, but EnterLibrary /
+  // AllocateIn on the released id are caller bugs (the former dies, the
+  // latter returns nullptr).
+  Status ReleaseLibrary(LibraryId library);
+
+  // Faults the working set's virtual keys into hardware slots ahead of a
+  // request batch, without pinning — the batch's EnterLibrary calls then
+  // take the lock-free resident fast path instead of each paying a locked
+  // fault-in (and possibly an eviction barrier) mid-request. Released ids
+  // are skipped; unknown ids are an error.
+  Status PrefaultWorkingSet(const std::vector<LibraryId>& working_set);
 
   // --- allocation ---
   // From M_T (trusted-private), the common shared pool, or a library's
@@ -126,6 +156,8 @@ class MultiCompartment {
   PkruValue PolicyFor(LibraryId library);
 
   size_t library_count() const;
+  // Registered minus released (library_count() counts every id ever minted).
+  size_t live_library_count() const;
   std::string library_name(LibraryId id) const;
   PkeyId trusted_key() const { return trusted_key_; }
   // The hardware key currently tagging the library's pool: its slot key when
@@ -143,6 +175,13 @@ class MultiCompartment {
     VirtualKeyId vkey = 0;
     std::unique_ptr<Arena> arena;
     std::unique_ptr<FreeListHeap> heap;
+    // Lock-free scanner view of `heap`: non-null while the library is live,
+    // null once released. The heap and arena objects are retired in place
+    // (never destroyed — table entries are permanent and the objects are a
+    // few hundred bytes; the pool's pages are decommitted), so a scanner
+    // that loaded the pointer just before a release still dereferences a
+    // valid heap over a valid reservation.
+    std::atomic<FreeListHeap*> live_heap{nullptr};
   };
 
   MultiCompartment(MpkBackend* backend, MultiCompartmentConfig config)

@@ -47,6 +47,13 @@ class Arena {
   // a heap releases an empty span back to the arena.
   size_t outstanding_bytes() const;
 
+  // Returns every physical page of the pool to the OS and forgets all chunk
+  // bookkeeping. The reservation survives — base()/Contains() stay valid, so
+  // racing ownership scans over a dying compartment's pool never touch freed
+  // address space — and the pages read zero if ever touched again. Used by
+  // compartment release (MultiCompartment::ReleaseLibrary).
+  Status DecommitAll();
+
  private:
   explicit Arena(VmRegion region) : region_(std::move(region)) {}
 

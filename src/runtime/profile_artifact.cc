@@ -52,6 +52,10 @@ std::string ProfileArtifact::Serialize() const {
                      static_cast<unsigned long long>(epoch.sites),
                      static_cast<unsigned long long>(epoch.count));
   }
+  for (const auto& [id, count] : promoted) {
+    out << StrFormat("promoted %s %llu\n", id.ToString().c_str(),
+                     static_cast<unsigned long long>(count));
+  }
   for (const AllocId& id : profile.Sites()) {
     out << StrFormat("site %s %llu\n", id.ToString().c_str(),
                      static_cast<unsigned long long>(profile.CountFor(id)));
@@ -66,9 +70,11 @@ Result<ProfileArtifact> ProfileArtifact::Deserialize(std::string_view text) {
   bool saw_header = false;
   bool saw_hash = false;
   bool saw_crc = false;
-  bool in_sites = false;  // epochs must precede sites
+  bool in_sites = false;  // epochs and promoted lines must precede sites
   AllocId last_site{0, 0, 0};
   bool have_last_site = false;
+  AllocId last_promoted{0, 0, 0};
+  bool have_last_promoted = false;
   uint32_t running = Crc32Init();
 
   size_t pos = 0;
@@ -102,14 +108,30 @@ Result<ProfileArtifact> ProfileArtifact::Deserialize(std::string_view text) {
       if (fields.size() != 4) {
         return InvalidArgumentError("malformed epoch line: " + std::string(line));
       }
-      if (in_sites) {
-        return InvalidArgumentError("epoch line after site lines");
+      if (in_sites || have_last_promoted) {
+        return InvalidArgumentError("epoch line after promoted/site lines");
       }
       EpochProvenance epoch;
       epoch.name = std::string(fields[1]);
       PS_ASSIGN_OR_RETURN(epoch.sites, ParseUint64(fields[2]));
       PS_ASSIGN_OR_RETURN(epoch.count, ParseUint64(fields[3]));
       artifact.epochs.push_back(std::move(epoch));
+    } else if (fields[0] == "promoted") {
+      if (fields.size() != 3) {
+        return InvalidArgumentError("malformed promoted line: " + std::string(line));
+      }
+      if (in_sites) {
+        return InvalidArgumentError("promoted line after site lines");
+      }
+      PS_ASSIGN_OR_RETURN(AllocId id, AllocId::Parse(fields[1]));
+      if (have_last_promoted && !(last_promoted < id)) {
+        return InvalidArgumentError("promoted lines out of order or duplicated at " +
+                                    id.ToString());
+      }
+      last_promoted = id;
+      have_last_promoted = true;
+      PS_ASSIGN_OR_RETURN(uint64_t count, ParseUint64(fields[2]));
+      artifact.promoted.emplace_back(id, count);
     } else if (fields[0] == "site") {
       if (fields.size() != 3) {
         return InvalidArgumentError("malformed site line: " + std::string(line));

@@ -15,6 +15,11 @@
 //   ir_hash 0x<16 hex digits>
 //   epoch <name> <sites> <count>     one per contributing epoch, in
 //                                    aggregation (first-seen) order
+//   promoted <f>:<b>:<s> <count>     sites the aggregator had promoted, with
+//                                    their rolling count at snapshot time —
+//                                    present only in serve-side snapshots,
+//                                    sorted; lets a restarted `profile_tool
+//                                    serve` resume without re-promoting
 //   site <f>:<b>:<s> <count>         the rolling profile, sorted
 //   crc32 0x<8 hex digits>           CRC-32 of every preceding byte
 #ifndef SRC_RUNTIME_PROFILE_ARTIFACT_H_
@@ -43,6 +48,11 @@ struct ProfileArtifact {
   // Contributing epochs in aggregation (first-seen) order; the last entry is
   // the newest.
   std::vector<EpochProvenance> epochs;
+  // Sites already promoted when the snapshot was taken, with their rolling
+  // counts, sorted by site. Empty for plain exports; the line is omitted
+  // when empty, so artifacts without promotion state stay byte-identical to
+  // the pre-field format.
+  std::vector<std::pair<AllocId, uint64_t>> promoted;
   Profile profile;
 
   // The newest contributing epoch's name, or "" when no epoch contributed.

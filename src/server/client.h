@@ -1,0 +1,42 @@
+// Blocking JSONL client for the sandbox server — the test/bench/tool side
+// of the wire protocol in sandbox_server.h. One request, one response; the
+// caller owns pacing and concurrency (open one client per thread).
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace pkrusafe {
+namespace server {
+
+class ServerClient {
+ public:
+  ServerClient() = default;
+  ~ServerClient();
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends {"tenant":...,"script":...,["warm":[...]]} and waits for the
+  // response object. Transport errors come back as UnavailableError; a
+  // response with ok=false is still a SUCCESSFUL call (inspect the object).
+  Result<json::Value> Call(const std::string& tenant, const std::string& script,
+                           const std::vector<std::string>& warm = {});
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last response line
+};
+
+}  // namespace server
+}  // namespace pkrusafe
+
+#endif  // SRC_SERVER_CLIENT_H_

@@ -36,6 +36,7 @@
 #include "src/ir/module.h"
 #include "src/runtime/alloc_id.h"
 #include "src/runtime/profile.h"
+#include "src/runtime/profile_artifact.h"
 #include "src/runtime/profile_delta.h"
 #include "src/support/status.h"
 
@@ -141,6 +142,22 @@ class ProfileAggregator {
   std::vector<std::string> EpochNames() const;
   const Profile* EpochProfile(const std::string& epoch) const;
 
+  // Freezes the aggregator's state as a provenance-checked artifact: the
+  // rolling profile, per-epoch provenance (with any restored provenance
+  // folded in — counts add, distinct-site counts take the max), and the
+  // live promoted set with each site's rolling count. A snapshot written
+  // periodically makes the fleet history survive a serve restart.
+  ProfileArtifact ExportArtifact(uint64_t ir_hash) const;
+
+  // Seeds a fresh aggregator from an ExportArtifact snapshot: merges the
+  // profile into the rolling profile, recreates the epoch ordinals in
+  // provenance order, and re-arms the promoted set — restored promotions
+  // are NOT re-emitted as candidates, and their cold-streak clock restarts
+  // at the snapshot's newest epoch. Refuses when the artifact's ir_hash
+  // contradicts the aggregator's expected hash (both nonzero) and must run
+  // before any delta is consumed.
+  Status RestoreFromArtifact(const ProfileArtifact& artifact);
+
   const Stats& stats() const { return stats_; }
   // Validation failures and rejected promotions, as lint-style findings.
   const analysis::DiagnosticSink& diagnostics() const { return sink_; }
@@ -184,6 +201,9 @@ class ProfileAggregator {
   std::map<AllocId, uint64_t> demoted_floor_;
   // Baseline sites that went cold (suppression counted once per site).
   std::set<AllocId> baseline_suppressed_;
+  // Provenance carried over from a restored snapshot: epochs_ only holds
+  // live contributions, so exports fold these back in by name.
+  std::map<std::string, ProfileArtifact::EpochProvenance> restored_epochs_;
 
   Stats stats_;
   analysis::DiagnosticSink sink_;

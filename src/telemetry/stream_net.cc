@@ -297,6 +297,7 @@ void NetSink::PumpLocked() {
     }
     connecting_ = false;
     attempt_ = 0;
+    NoteConnectionEstablishedLocked();
   }
   ReadLocked();
   if (fd_ >= 0) {
@@ -324,19 +325,12 @@ void NetSink::ConnectLocked(uint64_t now_ms) {
     DisconnectLocked(/*schedule_backoff=*/true);
     return;
   }
-  if (attempt_ > 0 || stats_.reconnects > 0) {
-    // Every attempt after the very first one counts as a reconnect.
-    ++stats_.reconnects;
-    NetReconnectsCounter()->Increment();
-  } else if (next_attempt_ms_ != 0) {
-    ++stats_.reconnects;
-    NetReconnectsCounter()->Increment();
-  }
   const int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
   if (rc == 0) {
     fd_ = fd;
     connecting_ = false;
     attempt_ = 0;
+    NoteConnectionEstablishedLocked();
     return;
   }
   if (errno == EINPROGRESS) {
@@ -346,6 +340,18 @@ void NetSink::ConnectLocked(uint64_t now_ms) {
   }
   ::close(fd);
   DisconnectLocked(/*schedule_backoff=*/true);
+}
+
+void NetSink::NoteConnectionEstablishedLocked() {
+  // One reconnect per connection actually re-established — never per attempt.
+  // Counting attempts inflated the metric unboundedly during a single long
+  // outage (every backoff retry incremented it), which made
+  // telemetry.net.reconnects useless for spotting flapping peers.
+  if (ever_connected_) {
+    ++stats_.reconnects;
+    NetReconnectsCounter()->Increment();
+  }
+  ever_connected_ = true;
 }
 
 void NetSink::DisconnectLocked(bool schedule_backoff) {

@@ -135,7 +135,8 @@ class NetSink {
   struct Stats {
     uint64_t frames_sent = 0;
     uint64_t frames_dropped = 0;  // buffer overflow or died mid-send
-    uint64_t reconnects = 0;      // connection attempts after the first
+    uint64_t reconnects = 0;      // connections re-established after the first
+                                  // (failed attempts within an outage do not count)
     uint64_t bytes_sent = 0;
   };
 
@@ -170,6 +171,9 @@ class NetSink {
  private:
   void PumpLocked();
   void ConnectLocked(uint64_t now_ms);
+  // Records a successful (re-)establishment: bumps the reconnect stat only
+  // when a previous connection existed.
+  void NoteConnectionEstablishedLocked();
   void DisconnectLocked(bool schedule_backoff);
   void FlushLocked();
   void ReadLocked();
@@ -179,6 +183,7 @@ class NetSink {
   mutable std::mutex mutex_;
   int fd_ = -1;
   bool connecting_ = false;
+  bool ever_connected_ = false;    // a connection has been established before
   uint64_t attempt_ = 0;           // consecutive failed attempts
   uint64_t next_attempt_ms_ = 0;   // earliest time for the next connect
   SplitMix64 jitter_;

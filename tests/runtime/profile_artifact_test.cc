@@ -86,6 +86,52 @@ TEST(ProfileArtifactTest, RecomputedCrcDoesNotLaunderTampering) {
   EXPECT_FALSE(ProfileArtifact::Deserialize(reordered).ok());
 }
 
+TEST(ProfileArtifactTest, PromotedLinesRoundTripAndStayOptional) {
+  ProfileArtifact artifact = Sample();
+  // Empty promoted set: the serialization is byte-identical to the pre-field
+  // format (plain exports and existing checked-in artifacts do not change).
+  EXPECT_EQ(artifact.Serialize().find("promoted"), std::string::npos);
+
+  artifact.promoted.emplace_back(AllocId{1, 0, 0}, 7);
+  artifact.promoted.emplace_back(AllocId{4, 0, 0}, 25);
+  const std::string text = artifact.Serialize();
+  auto loaded = ProfileArtifact::Deserialize(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->promoted.size(), 2u);
+  EXPECT_EQ(loaded->promoted[0].first, (AllocId{1, 0, 0}));
+  EXPECT_EQ(loaded->promoted[0].second, 7u);
+  EXPECT_EQ(loaded->promoted[1].first, (AllocId{4, 0, 0}));
+  EXPECT_EQ(loaded->Serialize(), text);
+
+  // Every byte flip is still caught with the new line type present.
+  for (size_t i = 0; i < text.size(); i += 3) {
+    std::string tampered = text;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(ProfileArtifact::Deserialize(tampered).ok()) << "byte " << i;
+  }
+}
+
+TEST(ProfileArtifactTest, PromotedLineOrderingEnforced) {
+  ProfileArtifact with_promoted = Sample();
+  with_promoted.promoted.emplace_back(AllocId{1, 0, 0}, 7);
+  const std::string text = with_promoted.Serialize();
+
+  // Structural violations surface while scanning lines, before the crc line
+  // is ever reached — so these reject for ordering, not (just) checksum.
+  auto tamper = [&](const std::string& needle, const std::string& insert_before) {
+    const size_t pos = text.find(needle);
+    EXPECT_NE(pos, std::string::npos) << needle;
+    std::string body = text.substr(0, pos) + insert_before + text.substr(pos);
+    return ProfileArtifact::Deserialize(body);
+  };
+  // Duplicate/out-of-order promoted line right before the existing one.
+  EXPECT_FALSE(tamper("promoted 1:0:0", "promoted 4:0:0 1\npromoted 1:0:0 1\n").ok());
+  // An epoch line after the promoted block.
+  EXPECT_FALSE(tamper("site 1:0:0", "epoch late 1 1\n").ok());
+  // A promoted line after the sites started.
+  EXPECT_FALSE(tamper("site 4:0:0", "promoted 9:9:9 1\n").ok());
+}
+
 TEST(ProfileArtifactTest, SaveLoadFileRoundTrips) {
   const std::string path = ::testing::TempDir() + "/artifact_roundtrip.txt";
   const ProfileArtifact artifact = Sample();

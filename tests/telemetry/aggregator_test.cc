@@ -396,6 +396,120 @@ TEST(AggregatorTest, NetworkPromotionsRespectTheStaticBound) {
   EXPECT_EQ(aggregator.stats().promotions_rejected_static, 1u);
 }
 
+TEST(AggregatorTest, ExportRestoreRoundTripSurvivesRestart) {
+  // Serve-restart scenario: aggregator A promotes a site and snapshots; a
+  // fresh aggregator B restores the snapshot and must carry the rolling
+  // counts, epoch provenance, and promoted set forward.
+  const std::string path = TempStream("restart_a");
+  AggregatorOptions options = BaseOptions();
+  options.promotion_threshold = 5;
+  ProfileAggregator a(options);
+  a.AddStream(path);
+  WriteLines(path, {DeltaLine(kSharedSite, 6, 0, "e1"), DeltaLine(kOtherSite, 3, 1, "e2")});
+  std::vector<PromotionCandidate> promotions;
+  ASSERT_TRUE(a.Poll(&promotions).ok());
+  ASSERT_EQ(promotions.size(), 1u);
+  EXPECT_EQ(promotions[0].site, kSharedSite);
+
+  const ProfileArtifact snapshot = a.ExportArtifact(kIrHash);
+  EXPECT_EQ(snapshot.ir_hash, kIrHash);
+  ASSERT_EQ(snapshot.epochs.size(), 2u);
+  EXPECT_EQ(snapshot.epochs[0].name, "e1");
+  EXPECT_EQ(snapshot.epochs[1].name, "e2");
+  ASSERT_EQ(snapshot.promoted.size(), 1u);
+  EXPECT_EQ(snapshot.promoted[0].first, kSharedSite);
+  EXPECT_EQ(snapshot.promoted[0].second, 6u);
+
+  ProfileAggregator b(options);
+  ASSERT_TRUE(b.RestoreFromArtifact(snapshot).ok());
+  EXPECT_EQ(b.rolling().CountFor(kSharedSite), 6u);
+  EXPECT_EQ(b.rolling().CountFor(kOtherSite), 3u);
+  const std::vector<std::string> names = b.EpochNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "e1");
+  EXPECT_EQ(names[1], "e2");
+  EXPECT_GT(b.version(), 0u);  // consumers see "something changed"
+
+  // The restored promotion is armed but NOT re-emitted: more observations of
+  // the already-promoted site produce no new candidate.
+  const std::string path_b = TempStream("restart_b");
+  b.AddStream(path_b);
+  WriteLines(path_b, {DeltaLine(kSharedSite, 10, 0, "e1")});
+  promotions.clear();
+  ASSERT_TRUE(b.Poll(&promotions).ok());
+  EXPECT_TRUE(promotions.empty());
+  EXPECT_EQ(b.rolling().CountFor(kSharedSite), 16u);
+
+  // History survives: the near-threshold restored count of kOtherSite (3)
+  // crosses with two more observations — no restart-induced reset to zero.
+  AppendLine(path_b, DeltaLine(kOtherSite, 2, 1, "e1"));
+  promotions.clear();
+  ASSERT_TRUE(b.Poll(&promotions).ok());
+  ASSERT_EQ(promotions.size(), 1u);
+  EXPECT_EQ(promotions[0].site, kOtherSite);
+  EXPECT_EQ(promotions[0].count, 5u);
+
+  // Re-exporting folds the restored provenance back in: epoch e1 now has the
+  // restored count plus the live observations.
+  const ProfileArtifact again = b.ExportArtifact(kIrHash);
+  ASSERT_EQ(again.epochs.size(), 2u);
+  EXPECT_EQ(again.epochs[0].name, "e1");
+  EXPECT_EQ(again.epochs[0].count, snapshot.epochs[0].count + 12u);
+  EXPECT_EQ(again.promoted.size(), 2u);
+}
+
+TEST(AggregatorTest, RestoredPromotionColdClockRestartsAtSnapshot) {
+  // A restored promoted site must not be demoted the instant the restarted
+  // serve sees a couple of fresh epochs less than the cold threshold — its
+  // last-seen ordinal is pinned to the snapshot's newest epoch.
+  AggregatorOptions options = BaseOptions();
+  options.promotion_threshold = 1;
+  options.demote_cold_epochs = 3;
+  ProfileAggregator a(options);
+  const std::string path = TempStream("coldclock_a");
+  a.AddStream(path);
+  WriteLines(path, {DeltaLine(kSharedSite, 5, 0, "e1")});
+  std::vector<PromotionCandidate> promotions;
+  ASSERT_TRUE(a.Poll(&promotions).ok());
+  ASSERT_EQ(promotions.size(), 1u);
+
+  ProfileAggregator b(options);
+  ASSERT_TRUE(b.RestoreFromArtifact(a.ExportArtifact(kIrHash)).ok());
+  const std::string path_b = TempStream("coldclock_b");
+  b.AddStream(path_b);
+
+  // Two new epochs without the site: still within the cold threshold.
+  WriteLines(path_b, {DeltaLine(kOtherSite, 1, 0, "e2"), DeltaLine(kOtherSite, 1, 1, "e3")});
+  std::vector<DemotionCandidate> demotions;
+  ASSERT_TRUE(b.Poll(nullptr, &demotions).ok());
+  EXPECT_TRUE(demotions.empty());
+
+  // A third cold epoch crosses it: the restored promotion demotes normally.
+  AppendLine(path_b, DeltaLine(kOtherSite, 1, 2, "e4"));
+  ASSERT_TRUE(b.Poll(nullptr, &demotions).ok());
+  ASSERT_EQ(demotions.size(), 1u);
+  EXPECT_EQ(demotions[0].site, kSharedSite);
+  EXPECT_EQ(demotions[0].cold_epochs, 3u);
+}
+
+TEST(AggregatorTest, RestoreRefusesHashMismatchAndLateRestore) {
+  ProfileArtifact artifact;
+  artifact.ir_hash = 0xdeadbeef;  // contradicts BaseOptions' kIrHash
+  artifact.epochs.push_back({"e1", 1, 1});
+  artifact.profile.Add(kSharedSite, 1);
+  ProfileAggregator fresh(BaseOptions());
+  EXPECT_EQ(fresh.RestoreFromArtifact(artifact).code(), StatusCode::kInvalidArgument);
+
+  // Restore must run before any delta is consumed.
+  const std::string path = TempStream("laterestore");
+  WriteLines(path, {DeltaLine(kSharedSite, 1, 0)});
+  ProfileAggregator late(BaseOptions());
+  late.AddStream(path);
+  ASSERT_TRUE(late.Poll(nullptr).ok());
+  artifact.ir_hash = kIrHash;
+  EXPECT_EQ(late.RestoreFromArtifact(artifact).code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(AggregatorTest, EpochNamesComeBackInFirstSeenOrder) {
   const std::string path = TempStream("epochorder");
   ProfileAggregator aggregator(BaseOptions());

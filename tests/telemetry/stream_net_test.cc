@@ -299,6 +299,54 @@ TEST(FrameServerTest, MidFrameDisconnectReportedAndSurvived) {
   server.Stop();
 }
 
+TEST(FrameServerTest, ReconnectsCountEstablishedConnectionsNotAttempts) {
+  // Regression: the counter used to tick on every connect *attempt* once the
+  // first reconnect happened, so a single long outage (dozens of backoff
+  // retries) inflated telemetry.net.reconnects unboundedly. A flapping server
+  // must produce exactly one reconnect per re-established connection.
+  FrameServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+  const uint16_t port = server.port();
+
+  NetSinkOptions options;
+  options.port = port;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 2;
+  NetSink sink(options);
+
+  auto deliver_one = [&]() {
+    size_t got = 0;
+    for (int i = 0; i < 500 && got == 0; ++i) {
+      sink.Send(FrameType::kSamplerRow, "tick");
+      sink.Pump();
+      auto n = server.PollOnce(5, [&](uint64_t, Frame&&) { ++got; });
+      ASSERT_TRUE(n.ok());
+    }
+    ASSERT_GT(got, 0u);
+  };
+
+  deliver_one();
+  EXPECT_EQ(sink.stats().reconnects, 0u);  // the first connection is not a reconnect
+
+  constexpr uint64_t kFlaps = 5;
+  for (uint64_t flap = 0; flap < kFlaps; ++flap) {
+    server.Stop();
+    // Outage: every one of these pumps may burn a failed connect attempt
+    // (1-2ms backoff), and none of them may move the counter.
+    for (int i = 0; i < 50; ++i) {
+      sink.Send(FrameType::kSamplerRow, "down");
+      sink.Pump();
+    }
+    FrameServer::Options revived_options;
+    revived_options.port = port;
+    ASSERT_TRUE(server.Start(revived_options).ok());
+    deliver_one();
+    EXPECT_EQ(sink.stats().reconnects, flap + 1);
+  }
+  EXPECT_EQ(sink.stats().reconnects, kFlaps);
+  server.Stop();
+}
+
 TEST(FrameServerTest, ReconnectContinuesAfterServerRestart) {
   FrameServer server;
   ASSERT_TRUE(server.Start({}).ok());

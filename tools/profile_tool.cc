@@ -90,7 +90,9 @@ int Usage() {
                "          push promote/demote policy frames back to every\n"
                "          connected producer; --port=0 binds an ephemeral port\n"
                "          (printed on stdout); --max-frames / --idle-exit-polls\n"
-               "          bound the loop for scripted runs\n"
+               "          bound the loop for scripted runs; --artifact=FILE is\n"
+               "          reloaded at startup and snapshotted periodically, so\n"
+               "          the rolling profile and promotions survive restarts\n"
                "  export-artifact  freeze aggregated streams into a provenance-\n"
                "          checked artifact (ir_hash + per-epoch provenance +\n"
                "          rolling profile + crc32) that System::Create verifies\n");
@@ -187,30 +189,16 @@ Result<InstrumentedModule> LoadInstrumented(const std::string& path) {
   return out;
 }
 
-uint64_t ProfileTotalCount(const Profile& profile) {
-  uint64_t total = 0;
-  for (const AllocId& id : profile.Sites()) {
-    total += profile.CountFor(id);
+// Writes an artifact snapshot atomically: a kill mid-write must never leave
+// a torn file where the previous good snapshot was (the crc would reject it,
+// but the history would still be lost).
+Status SaveArtifactAtomically(const ProfileArtifact& artifact, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  PS_RETURN_IF_ERROR(artifact.SaveToFile(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return InternalError("cannot rename artifact snapshot into place: " + path);
   }
-  return total;
-}
-
-// Freezes an aggregator's state into a provenance-checked artifact.
-ProfileArtifact BuildArtifact(const telemetry::ProfileAggregator& aggregator,
-                              uint64_t ir_hash) {
-  ProfileArtifact artifact;
-  artifact.ir_hash = ir_hash;
-  for (const std::string& epoch : aggregator.EpochNames()) {
-    ProfileArtifact::EpochProvenance provenance;
-    provenance.name = epoch;
-    if (const Profile* profile = aggregator.EpochProfile(epoch); profile != nullptr) {
-      provenance.sites = profile->site_count();
-      provenance.count = ProfileTotalCount(*profile);
-    }
-    artifact.epochs.push_back(std::move(provenance));
-  }
-  artifact.profile = aggregator.rolling();
-  return artifact;
+  return Status::Ok();
 }
 
 // The kPolicyUpdate frame payload pushed back to producers.
@@ -726,6 +714,29 @@ int main(int argc, char** argv) {
     }
     telemetry::ProfileAggregator aggregator(std::move(options));
 
+    // Serve-side persistence: --artifact is now a two-way file. If a prior
+    // serve left a snapshot there, reload it so the fleet's history —
+    // including which sites were already promoted — survives the restart; a
+    // snapshot from a different build (IR hash mismatch) or a corrupted one
+    // is warned about and ignored, starting fresh.
+    if (!artifact_path.empty()) {
+      auto snapshot = ProfileArtifact::LoadFromFile(artifact_path);
+      if (snapshot.ok()) {
+        if (auto status = aggregator.RestoreFromArtifact(*snapshot); status.ok()) {
+          std::printf("restored %zu site(s), %zu epoch(s), %zu promotion(s) from %s\n",
+                      snapshot->profile.site_count(), snapshot->epochs.size(),
+                      snapshot->promoted.size(), artifact_path.c_str());
+          std::fflush(stdout);
+        } else {
+          std::fprintf(stderr, "warning: ignoring artifact %s: %s\n", artifact_path.c_str(),
+                       status.ToString().c_str());
+        }
+      } else if (snapshot.status().code() != StatusCode::kNotFound) {
+        std::fprintf(stderr, "warning: ignoring artifact %s: %s\n", artifact_path.c_str(),
+                     snapshot.status().ToString().c_str());
+      }
+    }
+
     telemetry::FrameServer server;
     telemetry::FrameServer::Options server_options;
     server_options.port = port;
@@ -748,6 +759,11 @@ int main(int argc, char** argv) {
     bool had_producer = false;
 
     std::vector<telemetry::PromotionCandidate> promotions;  // this iteration
+    // Snapshot pacing: write immediately when policy changed hands, else
+    // every ~20 polls while new deltas arrived. Version 0-or-restored is the
+    // baseline so an idle serve never rewrites an unchanged file.
+    uint64_t snapshot_version = aggregator.version();
+    uint64_t polls_since_snapshot = 0;
     const auto on_frame = [&](uint64_t client_id, telemetry::Frame&& frame) {
       ++frames_total;
       had_producer = true;
@@ -825,6 +841,25 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
       }
 
+      // The restart-survival fix: the rolling profile and promoted set used
+      // to live only in memory until exit, so a crash or kill silently
+      // discarded the fleet's history. Snapshot to --artifact mid-serve.
+      if (!artifact_path.empty()) {
+        ++polls_since_snapshot;
+        const bool changed = aggregator.version() != snapshot_version;
+        const bool policy_moved = !promotions.empty() || !demotions.empty();
+        if (changed && (policy_moved || polls_since_snapshot >= 20)) {
+          const ProfileArtifact artifact = aggregator.ExportArtifact(instrumented->ir_hash);
+          if (auto status = SaveArtifactAtomically(artifact, artifact_path); status.ok()) {
+            snapshot_version = aggregator.version();
+            polls_since_snapshot = 0;
+          } else {
+            std::fprintf(stderr, "warning: artifact snapshot failed: %s\n",
+                         status.ToString().c_str());
+          }
+        }
+      }
+
       if (max_frames != 0 && frames_total >= max_frames) {
         break;
       }
@@ -894,8 +929,8 @@ int main(int argc, char** argv) {
                   promotions_path.c_str());
     }
     if (!artifact_path.empty()) {
-      const ProfileArtifact artifact = BuildArtifact(aggregator, instrumented->ir_hash);
-      if (auto status = artifact.SaveToFile(artifact_path); !status.ok()) {
+      const ProfileArtifact artifact = aggregator.ExportArtifact(instrumented->ir_hash);
+      if (auto status = SaveArtifactAtomically(artifact, artifact_path); !status.ok()) {
         std::fprintf(stderr, "%s\n", status.ToString().c_str());
         return 1;
       }
@@ -952,7 +987,7 @@ int main(int argc, char** argv) {
     }
     analysis::RenderFindingsText(std::cout, aggregator.diagnostics().findings());
 
-    const ProfileArtifact artifact = BuildArtifact(aggregator, instrumented->ir_hash);
+    const ProfileArtifact artifact = aggregator.ExportArtifact(instrumented->ir_hash);
     if (auto status = artifact.SaveToFile(out_path); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
