@@ -55,6 +55,27 @@ ServerMetrics& Metrics() {
 
 uint64_t NowMsLocal() { return telemetry::NowNs() / 1'000'000; }
 
+// Tenant names come off the wire and end up in file names (the per-tenant
+// crash report is crash_dir + "/crash-" + tenant + ".json"), so they must be
+// a single safe path component: a name like "../../etc/x" would otherwise
+// let an untrusted client steer the crash-report write to an arbitrary path.
+// Restricting the charset (no '/' or '\\') and refusing "." / ".." makes
+// traversal unrepresentable rather than filtered.
+bool ValidTenantName(std::string_view name) {
+  constexpr size_t kMaxTenantNameBytes = 128;
+  if (name.empty() || name.size() > kMaxTenantNameBytes) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return name != "." && name != "..";
+}
+
 Status WriteAll(int fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -288,6 +309,9 @@ std::string SandboxServer::HandleRequestLine(const std::string& line) {
   if (tenant.empty() || script.empty()) {
     return reject("request needs nonempty 'tenant' and 'script'");
   }
+  if (!ValidTenantName(tenant)) {
+    return reject("tenant name must be 1-128 chars of [A-Za-z0-9._-], not '.' or '..'");
+  }
 
   // Working-set hint: pre-fault the named tenants' keys for the batch this
   // request announces. Best effort, never fails the request.
@@ -314,7 +338,6 @@ std::string SandboxServer::HandleRequestLine(const std::string& line) {
   }
 
   const RequestOutcome outcome = RunInTenant(*session, script);
-  (*session)->in_flight.fetch_sub(1, std::memory_order_release);
   Metrics().requests->Increment();
   Metrics().request_ns->Observe(outcome.latency_ns);
   {
@@ -328,6 +351,7 @@ std::string SandboxServer::HandleRequestLine(const std::string& line) {
       ++stats_.script_errors;
     }
   }
+  std::string response;
   if (outcome.ok) {
     Metrics().ok->Increment();
     std::string prints = "[";
@@ -335,25 +359,31 @@ std::string SandboxServer::HandleRequestLine(const std::string& line) {
       prints += (i > 0 ? ",\"" : "\"") + JsonEscape(outcome.prints[i]) + "\"";
     }
     prints += "]";
-    return StrFormat(
+    response = StrFormat(
         "{\"ok\":true,\"tenant\":\"%s\",\"result\":\"%s\",\"prints\":%s,\"latency_ns\":%llu}",
         JsonEscape(tenant).c_str(), JsonEscape(outcome.result).c_str(), prints.c_str(),
         static_cast<unsigned long long>(outcome.latency_ns));
-  }
-  if (outcome.violation) {
+  } else if (outcome.violation) {
     Metrics().violations->Increment();
-    registry_->Kill(tenant);
+    registry_->Kill(*session);
     WriteCrashReport(tenant, (*session)->library, PermissionDeniedError(outcome.error));
-    return StrFormat(
+    response = StrFormat(
         "{\"ok\":false,\"tenant\":\"%s\",\"error\":\"%s\",\"dead\":true,\"latency_ns\":%llu}",
         JsonEscape(tenant).c_str(), JsonEscape(outcome.error).c_str(),
         static_cast<unsigned long long>(outcome.latency_ns));
+  } else {
+    Metrics().script_errors->Increment();
+    response = StrFormat(
+        "{\"ok\":false,\"tenant\":\"%s\",\"error\":\"%s\",\"dead\":false,\"latency_ns\":%llu}",
+        JsonEscape(tenant).c_str(), JsonEscape(outcome.error).c_str(),
+        static_cast<unsigned long long>(outcome.latency_ns));
   }
-  Metrics().script_errors->Increment();
-  return StrFormat(
-      "{\"ok\":false,\"tenant\":\"%s\",\"error\":\"%s\",\"dead\":false,\"latency_ns\":%llu}",
-      JsonEscape(tenant).c_str(), JsonEscape(outcome.error).c_str(),
-      static_cast<unsigned long long>(outcome.latency_ns));
+  // The request slot is released only after the LAST touch of the session —
+  // the kill and crash report above included. While it is held the sweep
+  // cannot retire the session or hand its name to a successor, so the kill
+  // always lands on the session that violated.
+  (*session)->in_flight.fetch_sub(1, std::memory_order_release);
+  return response;
 }
 
 SandboxServer::RequestOutcome SandboxServer::RunInTenant(TenantSession* session,
@@ -389,7 +419,10 @@ SandboxServer::RequestOutcome SandboxServer::RunInTenant(TenantSession* session,
     // Touch the tenant's private scratch from inside its own compartment:
     // every request exercises the tenant's key, and a stale mask would fault
     // right here rather than deep in a script.
-    if (session->scratch != nullptr) {
+    // scratch_bytes is word-aligned by TenantRegistry (and >= one word when
+    // scratch exists); the guard keeps the modulus divisor nonzero even if a
+    // future caller hands the session a smaller buffer.
+    if (session->scratch != nullptr && session->scratch_bytes >= sizeof(uint64_t)) {
       auto* scratch = static_cast<uint64_t*>(session->scratch);
       const uint64_t n = session->requests.load(std::memory_order_relaxed);
       scratch[n % (session->scratch_bytes / sizeof(uint64_t))] = n;
@@ -413,6 +446,11 @@ SandboxServer::RequestOutcome SandboxServer::RunInTenant(TenantSession* session,
 void SandboxServer::WriteCrashReport(const std::string& tenant, LibraryId library,
                                      const Status& status) {
   if (options_.crash_dir.empty()) {
+    return;
+  }
+  // Names are validated at request parse time; refuse anything else reaching
+  // this sink so the path below can never leave crash_dir.
+  if (!ValidTenantName(tenant)) {
     return;
   }
   const std::string path = options_.crash_dir + "/crash-" + tenant + ".json";

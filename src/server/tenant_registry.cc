@@ -6,8 +6,22 @@
 namespace pkrusafe {
 namespace server {
 
+namespace {
+
+TenantRegistryOptions Normalize(TenantRegistryOptions options) {
+  // The per-request touch indexes the scratch as uint64_t words; round a
+  // nonzero size up to a whole word so that index never divides by zero.
+  if (options.scratch_bytes > 0) {
+    options.scratch_bytes =
+        (options.scratch_bytes + sizeof(uint64_t) - 1) & ~(sizeof(uint64_t) - 1);
+  }
+  return options;
+}
+
+}  // namespace
+
 TenantRegistry::TenantRegistry(MultiCompartment* mc, TenantRegistryOptions options)
-    : mc_(mc), options_(options) {}
+    : mc_(mc), options_(Normalize(options)) {}
 
 Result<TenantSession*> TenantRegistry::GetOrCreate(const std::string& name, uint64_t now_ms) {
   std::lock_guard lock(mu_);
@@ -31,6 +45,11 @@ Result<TenantSession*> TenantRegistry::GetOrCreate(const std::string& name, uint
   if (options_.scratch_bytes > 0) {
     session->scratch = mc_->AllocateIn(library, options_.scratch_bytes);
     if (session->scratch == nullptr) {
+      // Roll the registration back: the library was never entered (no pins),
+      // so release cannot refuse. Without this every failed creation burned
+      // a virtual key and a pool reservation — the exact leak class
+      // ReleaseLibrary exists to close.
+      (void)mc_->ReleaseLibrary(library);
       return ResourceExhaustedError("tenant '" + name + "': private pool exhausted");
     }
     session->scratch_bytes = options_.scratch_bytes;
@@ -42,13 +61,15 @@ Result<TenantSession*> TenantRegistry::GetOrCreate(const std::string& name, uint
   return raw;
 }
 
-void TenantRegistry::Kill(const std::string& name) {
+void TenantRegistry::Kill(TenantSession* session) {
   std::lock_guard lock(mu_);
-  const auto it = sessions_.find(name);
-  if (it == sessions_.end() || it->second == nullptr || it->second->dead) {
+  // The caller's in_flight slot keeps the session un-swept, so the pointer
+  // is live and is by construction the session the violating request ran in
+  // — never a successor that reused the name.
+  if (session == nullptr || session->dead) {
     return;
   }
-  it->second->dead = true;
+  session->dead = true;
   ++stats_.killed;
 }
 
@@ -76,7 +97,9 @@ size_t TenantRegistry::SweepIdle(uint64_t now_ms) {
                       now_ms >= session->last_active_ms + options_.idle_timeout_ms;
     const bool in_flight = session->in_flight.load(std::memory_order_acquire) > 0;
     if (!in_flight && (session->dead || idle) && ReleaseLocked(*session)) {
-      retired_.push_back(std::move(it->second));
+      // in_flight == 0 (acquire) under mu_ means no worker holds the pointer
+      // and none can reacquire it (GetOrCreate runs under mu_ too), so the
+      // session is destroyed here — churn leaves nothing behind.
       it = sessions_.erase(it);
       ++released;
     } else {

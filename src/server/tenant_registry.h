@@ -6,9 +6,21 @@
 // a sweep — releases sessions that have gone idle past the timeout (or were
 // killed by an enforcement violation) through MultiCompartment's
 // ReleaseLibrary, returning the virtual key and the pool's pages. A session
-// whose key is still pinned by an in-flight request refuses release and is
-// retried on the next sweep, so the sweep can run concurrently with the
-// worker pool.
+// with a request in flight (or whose key is still pinned) refuses release
+// and is retried on the next sweep, so the sweep can run concurrently with
+// the worker pool.
+//
+// Session lifetime: a worker's pointer to a TenantSession is covered by the
+// in_flight slot GetOrCreate hands out — the slot is taken under the
+// registry lock before the pointer escapes, and the sweep only releases a
+// session it observes (acquire) at in_flight == 0 under the same lock, by
+// which point every access by the releasing worker happened-before (its
+// decrement is a release store after its last touch of the session). So a
+// released session has no readers and is destroyed on the spot: tenant
+// churn costs no registry memory. (MultiCompartment's library table does
+// keep one small retired entry per id ever registered — ids are never
+// reused — which bounds a server's lifetime session count by memory, not by
+// keys or pool pages.)
 //
 // The registry also turns tenant names into working-set hints: WarmTenants
 // resolves live sessions and pre-faults their virtual keys ahead of a
@@ -37,14 +49,16 @@ struct TenantRegistryOptions {
   uint64_t idle_timeout_ms = 30'000;
   // Per-session scratch allocated from the tenant's private pool; requests
   // touch it inside the tenant's compartment so every request exercises the
-  // tenant's own key, not just the shared heap.
+  // tenant's own key, not just the shared heap. Nonzero values are rounded
+  // up to a whole uint64_t word at registry construction (the per-request
+  // touch indexes the scratch as words).
   size_t scratch_bytes = 64 * 1024;
 };
 
-// One tenant's live session. Owned by the registry; pointers stay valid for
-// the registry's lifetime (sessions are retired, not destroyed, on release
-// so racing readers never dangle — mirroring MultiCompartment's own
-// retire-in-place release).
+// One tenant's live session. Owned by the registry; a pointer handed out by
+// GetOrCreate stays valid exactly as long as the caller holds the in_flight
+// slot that came with it — the sweep never destroys a session with a slot
+// outstanding (see the lifetime note above).
 struct TenantSession {
   std::string name;
   LibraryId library = 0;
@@ -57,7 +71,10 @@ struct TenantSession {
   // session with a request in flight — that closes the window between
   // claiming the session and pinning its key in EnterLibrary, where a
   // concurrent kill+sweep could otherwise release the library underfoot.
-  // GetOrCreate increments; the server decrements when the request is done.
+  // GetOrCreate increments; the server decrements (release) strictly after
+  // its LAST touch of the session — including the violation kill and crash
+  // report — so the slot also keeps the session object alive and keeps a
+  // kill from ever landing on a successor session under a reused name.
   std::atomic<uint32_t> in_flight{0};
   // Set when an enforcement violation killed the tenant: the session stops
   // serving immediately and is released on the next sweep.
@@ -78,15 +95,20 @@ class TenantRegistry {
 
   // The session for `tenant`, creating it on first use. Returns an error if
   // the tenant is dead-and-not-yet-swept, the name was released earlier and
-  // recreation failed, or library registration fails. `now_ms` stamps
+  // recreation failed, or library registration fails (a registration that
+  // then fails scratch allocation is rolled back — the library is released
+  // again, so failed creations burn no keys or pool pages). `now_ms` stamps
   // last-activity. On success the session's in_flight count is already
   // incremented — the caller owns one request slot and MUST decrement
-  // in_flight when the request completes.
+  // in_flight after its last touch of the session.
   Result<TenantSession*> GetOrCreate(const std::string& name, uint64_t now_ms);
 
   // Marks the session dead: no further requests are served, and the next
-  // sweep releases its compartment. Unknown names are ignored.
-  void Kill(const std::string& name);
+  // sweep releases its compartment. The caller must hold an in_flight slot
+  // on `session` (so it cannot have been swept) — taking the session rather
+  // than a name means a kill can never mark a fresh successor session that
+  // reused the name.
+  void Kill(TenantSession* session);
 
   // Releases dead sessions and (when idle_timeout_ms > 0) sessions idle past
   // the timeout. A pinned session (request in flight) is skipped and retried
@@ -109,11 +131,10 @@ class TenantRegistry {
   const TenantRegistryOptions options_;
 
   mutable std::mutex mu_;
-  // name -> live session. On release the session object retires to the
-  // graveyard (a racing worker may still hold the pointer) and the map slot
-  // empties, so a returning tenant gets a fresh session under the same name.
+  // name -> live session. Erasing the map slot destroys the session — safe
+  // because release requires in_flight == 0 (see the lifetime note at the
+  // top) — and a returning tenant gets a fresh session under the same name.
   std::map<std::string, std::unique_ptr<TenantSession>> sessions_;
-  std::vector<std::unique_ptr<TenantSession>> retired_;
   Stats stats_;
 };
 

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "src/server/sandbox_server.h"
 #include "src/support/json.h"
 #include "src/telemetry/crash_report.h"
+#include "src/telemetry/export.h"
 
 namespace pkrusafe {
 namespace server {
@@ -123,6 +125,99 @@ TEST(SandboxServerTest, ViolatingTenantDiesWithCrashReportWhileOthersServe) {
   EXPECT_EQ(stats.violations, 1u);
   EXPECT_EQ(stats.tenants.killed, 1u);
   EXPECT_EQ(stats.ok, 2u);
+}
+
+// Tenant names become crash-report file names: anything that could steer
+// the write outside crash_dir (path separators, "..") must be rejected at
+// parse time, before a session — let alone a file — exists for it.
+TEST(SandboxServerTest, HostileTenantNamesAreRejected) {
+  auto runtime = MakeSimRuntime();
+  ASSERT_NE(runtime, nullptr);
+  SandboxServerOptions options;
+  options.crash_dir = ::testing::TempDir();
+  auto server = SandboxServer::Create(runtime.get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const char* hostile[] = {
+      "../escape", "..", ".", "a/b", "a\\b",
+      "..%2f..", " space", "new\nline",
+      // 129 chars: over the length cap.
+      "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+      "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"};
+  for (const char* name : hostile) {
+    const std::string line = "{\"tenant\":\"" + telemetry::JsonEscape(name) +
+                             "\",\"script\":\"let h = 1;\"}";
+    const json::Value response = MustParse((*server)->HandleRequestLine(line));
+    EXPECT_FALSE(BoolField(response, "ok")) << name;
+  }
+  const SandboxServer::Stats stats = (*server)->stats();
+  EXPECT_EQ(stats.rejected, std::size(hostile));
+  EXPECT_EQ(stats.tenants.created, 0u);  // no session, no crash file possible
+}
+
+// A registration whose scratch allocation fails must roll the library back:
+// before the fix every such attempt burned a virtual key and a pool
+// reservation, and client retries burned more.
+TEST(SandboxServerTest, ScratchAllocFailureDoesNotLeakTheLibrary) {
+  auto runtime = MakeSimRuntime();
+  ASSERT_NE(runtime, nullptr);
+  SandboxServerOptions options;
+  options.tenant_pool_bytes = 256 * 1024;
+  options.scratch_bytes = 1 << 20;  // cannot fit in the tenant pool
+  auto server = SandboxServer::Create(runtime.get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const json::Value response = MustParse((*server)->HandleRequestLine(
+        R"({"tenant":"retrier","script":"let r = 1;"})"));
+    EXPECT_FALSE(BoolField(response, "ok"));
+    EXPECT_EQ((*server)->compartments().live_library_count(), 0u) << attempt;
+    EXPECT_EQ((*server)->compartments().vpkey_stats().virtual_keys, 0u) << attempt;
+  }
+  EXPECT_EQ((*server)->stats().tenants.created, 0u);
+}
+
+// scratch_bytes smaller than a word used to divide by zero in the
+// per-request scratch touch; the registry now rounds it up to a whole word.
+TEST(SandboxServerTest, TinyScratchBytesAreRoundedUpNotDividedByZero) {
+  auto runtime = MakeSimRuntime();
+  ASSERT_NE(runtime, nullptr);
+  SandboxServerOptions options;
+  options.scratch_bytes = 4;
+  auto server = SandboxServer::Create(runtime.get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_TRUE(BoolField(
+      MustParse((*server)->HandleRequestLine(R"({"tenant":"tiny","script":"let t = 1;"})")),
+      "ok"));
+}
+
+// After a violator is killed and swept, the same name opens a FRESH session
+// that serves normally — the kill is pinned to the violating session object,
+// so it can never mark a successor dead.
+TEST(SandboxServerTest, NameReuseAfterKillGetsAFreshLiveSession) {
+  auto runtime = MakeSimRuntime();
+  ASSERT_NE(runtime, nullptr);
+  SandboxServerOptions options;
+  options.enable_vulnerability = true;
+  options.idle_timeout_ms = 1;
+  auto server = SandboxServer::Create(runtime.get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const json::Value boom = MustParse((*server)->HandleRequestLine(
+      R"({"tenant":"phoenix","script":"__poke(secret_addr(), 1);"})"));
+  EXPECT_TRUE(BoolField(boom, "dead"));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const uint64_t now_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  ASSERT_EQ((*server)->registry().SweepIdle(now_ms), 1u);
+
+  const json::Value reborn = MustParse((*server)->HandleRequestLine(
+      R"({"tenant":"phoenix","script":"let p = 2; print(p);"})"));
+  EXPECT_TRUE(BoolField(reborn, "ok"));
+  EXPECT_EQ((*server)->stats().tenants.created, 2u);
 }
 
 // A tenant peeking at ANOTHER tenant's private pool is a violation too:
